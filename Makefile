@@ -1,0 +1,31 @@
+# Development targets. Everything is stdlib-only and offline.
+
+GO ?= go
+
+.PHONY: all build vet test bench report cover fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure (see DESIGN.md's experiment index).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The full experiment report: every table and figure of the paper,
+# regenerated with workspace measurements.
+report:
+	$(GO) run ./cmd/tdbbench -n 4000 -faculty 200
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,259 @@
+// Command tdb is a small interactive shell for the temporal query engine:
+// it loads temporal relations from CSV files, accepts Quel-style statements
+// (terminated by a line containing only "go", INGRES-style), optimizes them
+// through the paper's full pipeline — temporal-operator expansion, semantic
+// optimization against declared integrity constraints, conventional
+// pushdown, temporal operator recognition — and executes them with the
+// stream algorithms, printing results, plans, and operator costs.
+//
+// Usage:
+//
+//	tdb -load Faculty=faculty.csv [-rankorder Faculty:Name:Rank=Assistant,Associate,Full[:continuous]] [-e query.quel]
+//
+// Shell commands: \d (relations), \stats R, \explain on|off, \streams on|off, \q.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tdb/internal/constraints"
+	"tdb/internal/engine"
+	"tdb/internal/optimizer"
+	"tdb/internal/quel"
+	"tdb/internal/relation"
+	"tdb/internal/storage"
+	"tdb/internal/value"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	var loads loadFlags
+	flag.Var(&loads, "load", "NAME=path.csv — load a temporal relation (repeatable)")
+	rankOrder := flag.String("rankorder", "", "REL:KEY:VAL=v1,v2,...[:continuous] — declare a chronological ordering")
+	script := flag.String("e", "", "execute statements from this file and exit")
+	flag.Parse()
+
+	db := engine.NewDB()
+	for _, l := range loads {
+		name, path, ok := strings.Cut(l, "=")
+		if !ok {
+			fatal("bad -load %q, want NAME=path", l)
+		}
+		rel, err := storage.LoadCSV(path, name, relation.TupleSchema)
+		if err != nil {
+			// Retry with the Faculty-style schema if the header differs.
+			rel, err = loadFlexible(path, name)
+			if err != nil {
+				fatal("loading %s: %v", path, err)
+			}
+		}
+		if err := db.Register(rel); err != nil {
+			fatal("registering %s: %v", name, err)
+		}
+		fmt.Printf("loaded %s: %d rows\n", name, rel.Cardinality())
+	}
+	if *rankOrder != "" {
+		ic, err := parseRankOrder(*rankOrder)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := db.DeclareChronOrder(ic); err != nil {
+			fatal("declaring constraint: %v", err)
+		}
+		fmt.Printf("declared chronological ordering on %s.%s\n", ic.Relation, ic.ValCol)
+	}
+
+	sh := &shell{db: db, explain: true, streams: true, out: os.Stdout}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := sh.runStatements(string(data)); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	sh.repl()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tdb: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// loadFlexible reads a CSV whose header defines the schema: every column
+// named ValidFrom/ValidTo becomes a temporal attribute, others default to
+// strings.
+func loadFlexible(path, name string) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	cols := strings.Split(strings.TrimSpace(header), ",")
+	schemaCols := make([]relation.Column, len(cols))
+	ts, te := -1, -1
+	for i, c := range cols {
+		kind := value.KindString
+		if strings.EqualFold(c, "ValidFrom") || strings.EqualFold(c, "ValidTo") {
+			kind = value.KindTime
+		}
+		schemaCols[i] = relation.Column{Name: c, Kind: kind}
+		if strings.EqualFold(c, "ValidFrom") {
+			ts = i
+		}
+		if strings.EqualFold(c, "ValidTo") {
+			te = i
+		}
+	}
+	schema, err := relation.NewSchema(schemaCols, ts, te)
+	if err != nil {
+		return nil, err
+	}
+	return storage.LoadCSV(path, name, schema)
+}
+
+func parseRankOrder(s string) (constraints.ChronOrder, error) {
+	continuous := false
+	if strings.HasSuffix(s, ":continuous") {
+		continuous = true
+		s = strings.TrimSuffix(s, ":continuous")
+	}
+	head, vals, ok := strings.Cut(s, "=")
+	if !ok {
+		return constraints.ChronOrder{}, fmt.Errorf("bad -rankorder %q", s)
+	}
+	parts := strings.Split(head, ":")
+	if len(parts) != 3 {
+		return constraints.ChronOrder{}, fmt.Errorf("bad -rankorder head %q, want REL:KEY:VAL", head)
+	}
+	return constraints.ChronOrder{
+		Relation: parts[0], KeyCol: parts[1], ValCol: parts[2],
+		Order: strings.Split(vals, ","), Continuous: continuous,
+	}, nil
+}
+
+type shell struct {
+	db      *engine.DB
+	explain bool
+	streams bool
+	out     io.Writer
+}
+
+func (sh *shell) repl() {
+	fmt.Println(`tdb — temporal query shell. End statements with a line "go"; \q quits.`)
+	sc := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	for {
+		fmt.Print("tdb> ")
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == `\q`:
+			return
+		case trimmed == `\d`:
+			sh.describe()
+			continue
+		case strings.HasPrefix(trimmed, `\stats `):
+			sh.statsOf(strings.TrimSpace(strings.TrimPrefix(trimmed, `\stats`)))
+			continue
+		case trimmed == `\explain on`, trimmed == `\explain off`:
+			sh.explain = trimmed == `\explain on`
+			continue
+		case trimmed == `\streams on`, trimmed == `\streams off`:
+			sh.streams = trimmed == `\streams on`
+			continue
+		case strings.EqualFold(trimmed, "go"):
+			if err := sh.runStatements(buf.String()); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+			buf.Reset()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+	}
+}
+
+func (sh *shell) describe() {
+	for _, name := range sh.db.Names() {
+		rel, err := sh.db.Relation(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(sh.out, "%s%s  [%d rows]\n", name, rel.Schema, rel.Cardinality())
+	}
+}
+
+func (sh *shell) statsOf(name string) {
+	if st := sh.db.Stats(name); st != nil {
+		fmt.Fprintln(sh.out, st)
+		return
+	}
+	fmt.Fprintf(sh.out, "no statistics for %q\n", name)
+}
+
+func (sh *shell) runStatements(src string) error {
+	prog, err := quel.Parse(src)
+	if err != nil {
+		return err
+	}
+	queries, err := quel.Translate(prog, sh.db)
+	if err != nil {
+		return err
+	}
+	if sh.explain {
+		fmt.Fprintf(sh.out, "-- normalized --\n%s", quel.Print(prog))
+	}
+	for _, q := range queries {
+		res, err := optimizer.Optimize(q.Tree, sh.db, optimizer.Options{ICs: sh.db.ChronOrders()})
+		if err != nil {
+			return err
+		}
+		if sh.explain {
+			for _, st := range res.Stages {
+				fmt.Fprintf(sh.out, "-- %s --\n%s", st.Name, st.Tree)
+			}
+			for _, a := range res.Removed {
+				fmt.Fprintf(sh.out, "semantic: removed redundant conjunct %s\n", a)
+			}
+		}
+		if res.Contradiction {
+			fmt.Fprintln(sh.out, "semantic: query is contradictory — empty result without data access")
+			continue
+		}
+		out, stats, err := engine.Run(sh.db, res.Tree, engine.Options{ForceNestedLoop: !sh.streams})
+		if err != nil {
+			return err
+		}
+		if q.Into != "" {
+			out.Name = q.Into
+			if err := sh.db.Register(out); err != nil {
+				return err
+			}
+		}
+		fmt.Fprint(sh.out, out)
+		if sh.explain {
+			fmt.Fprint(sh.out, stats)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdb/internal/engine"
+	"tdb/internal/storage"
+	"tdb/internal/workload"
+)
+
+func TestParseRankOrder(t *testing.T) {
+	ic, err := parseRankOrder("Faculty:Name:Rank=Assistant,Associate,Full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Relation != "Faculty" || ic.KeyCol != "Name" || ic.ValCol != "Rank" {
+		t.Errorf("parsed %+v", ic)
+	}
+	if len(ic.Order) != 3 || ic.Order[2] != "Full" || ic.Continuous {
+		t.Errorf("parsed %+v", ic)
+	}
+	ic, err = parseRankOrder("F:K:V=a,b:continuous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ic.Continuous || len(ic.Order) != 2 {
+		t.Errorf("continuous form parsed %+v", ic)
+	}
+	for _, bad := range []string{"nope", "A:B=x", "A:B:C:D=x"} {
+		if _, err := parseRankOrder(bad); err == nil {
+			t.Errorf("parseRankOrder(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadFlexible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.csv")
+	fac := workload.Faculty(workload.FacultyConfig{N: 8, Seed: 1})
+	if err := storage.SaveCSV(path, fac); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := loadFlexible(path, "Faculty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != fac.Cardinality() {
+		t.Errorf("loaded %d rows, want %d", rel.Cardinality(), fac.Cardinality())
+	}
+	if !rel.Schema.Temporal() {
+		t.Error("temporal columns not recognized from header")
+	}
+	if _, err := loadFlexible(filepath.Join(dir, "missing.csv"), "X"); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A header without temporal columns loads as a snapshot relation.
+	snap := filepath.Join(dir, "s.csv")
+	if err := os.WriteFile(snap, []byte("A,B\nx,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, err = loadFlexible(snap, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema.Temporal() || rel.Cardinality() != 1 {
+		t.Errorf("snapshot load wrong: %v", rel)
+	}
+}
+
+func TestShellRunStatements(t *testing.T) {
+	db := engine.NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 40, Seed: 5}))
+	ic, err := parseRankOrder("Faculty:Name:Rank=Assistant,Associate,Full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeclareChronOrder(ic); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sh := &shell{db: db, explain: true, streams: true, out: &buf}
+	err = sh.runStatements(`
+range of f1 is Faculty
+range of f2 is Faculty
+range of f3 is Faculty
+retrieve into Stars (Name=f1.Name, ValidFrom=f1.ValidFrom, ValidTo=f2.ValidTo)
+where f3.Rank="Associate" and f1.Name=f2.Name and f1.Rank="Assistant"
+  and f2.Rank="Full" and (f1 overlap f3) and (f2 overlap f3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"semantic: removed redundant conjunct",
+		"⋉contained",
+		"Stars(",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("shell output missing %q:\n%s", frag, out)
+		}
+	}
+	// The into-relation is registered and queryable.
+	if _, err := db.Relation("Stars"); err != nil {
+		t.Errorf("into relation not registered: %v", err)
+	}
+	var buf2 bytes.Buffer
+	sh.out = &buf2
+	if err := sh.runStatements("range of s is Stars\nretrieve (s.Name)"); err != nil {
+		t.Fatalf("querying the stored result: %v", err)
+	}
+
+	// Errors surface.
+	if err := sh.runStatements("retrieve (zz.Name)"); err == nil {
+		t.Error("bad statement accepted")
+	}
+	// describe and stats write to the shell writer.
+	var buf3 bytes.Buffer
+	sh.out = &buf3
+	sh.describe()
+	if !strings.Contains(buf3.String(), "Faculty") {
+		t.Errorf("describe output: %q", buf3.String())
+	}
+	buf3.Reset()
+	sh.statsOf("Faculty")
+	if !strings.Contains(buf3.String(), "λ=") {
+		t.Errorf("stats output: %q", buf3.String())
+	}
+	buf3.Reset()
+	sh.statsOf("nope")
+	if !strings.Contains(buf3.String(), "no statistics") {
+		t.Errorf("missing-stats output: %q", buf3.String())
+	}
+}

@@ -1,0 +1,115 @@
+// Command tdbbench runs the full experiment suite of the reproduction —
+// one harness per table and figure of the paper — and prints the report
+// tables: Figure 2 (the thirteen relationships), Figure 3 (parse-tree
+// optimization), Figure 4 (stream aggregation), Tables 1–3 (workspace vs.
+// sort order for every temporal join and semijoin), Section 4.2.4 (the
+// Before operators), Figure 8 / Section 5 (the Superstar query three
+// ways), the Section 4.1 sort/workspace/passes tradeoff, and the Section 6
+// workspace-prediction sweep.
+//
+// Usage:
+//
+//	tdbbench [-n 4000] [-faculty 200] [-seed 1] [-policy sweep|lambda]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdb/internal/core"
+	"tdb/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 4000, "tuples per operand for the table experiments")
+	faculty := flag.Int("faculty", 200, "faculty members for the Superstar experiments")
+	seed := flag.Int64("seed", 1, "workload seed")
+	policyName := flag.String("policy", "sweep", "stream read policy: sweep or lambda")
+	flag.Parse()
+
+	policy := core.ReadSweep
+	if *policyName == "lambda" {
+		policy = core.ReadLambda
+	}
+
+	fmt.Println(experiments.Figure2())
+
+	if _, tab, err := experiments.Figure3(25, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+
+	_, tab4 := experiments.Figure4(100, 50, *seed)
+	fmt.Println(tab4)
+
+	_, tab1 := experiments.Table1(*n, *seed, policy)
+	fmt.Println(tab1)
+
+	_, tab2 := experiments.Table2(*n, *seed, policy)
+	fmt.Println(tab2)
+
+	_, tab3 := experiments.Table3(*n, *seed)
+	fmt.Println(tab3)
+
+	_, tabB := experiments.Before(*n/2, *seed)
+	fmt.Println(tabB)
+
+	if _, tab, err := experiments.Prefilter(*n, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+
+	if _, tab, err := experiments.Superstar(*faculty, *seed, true); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+	if _, tab, err := experiments.Superstar(*faculty, *seed, false); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+
+	dir, err := os.MkdirTemp("", "tdbbench")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+
+	if _, tab, err := experiments.ScanPasses(*faculty*2, *seed, dir); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+	if _, tab, err := experiments.Tradeoffs([]int{*n / 16, *n / 4, *n}, 256, dir, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+
+	if _, tab, err := experiments.Statistics(*n, []float64{0.1, 0.5, 1, 5, 10}, 12, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+
+	if _, tab, err := experiments.CostModel([]int{*n / 16, *n / 4, *n}, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+
+	if _, tab, err := experiments.OrderChoice(*n, []float64{2, 12, 60}, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tdbbench:", err)
+	os.Exit(1)
+}

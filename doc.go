@@ -1,0 +1,14 @@
+// Package tdb is a reproduction of "Query Processing for Temporal
+// Databases" (T.Y. Cliff Leung and Richard R. Muntz, UCLA CSD-890024 /
+// ICDE 1990): stream processing algorithms for temporal join and semijoin
+// operators, the sort-order/workspace/passes tradeoff analysis of the
+// paper's Tables 1–3, and semantic query optimization over temporal
+// integrity constraints, embedded in a small temporal relational engine
+// with a Quel-style query language.
+//
+// The implementation lives under internal/: see internal/core for the
+// paper's algorithms, internal/optimizer for the semantic pass, and
+// internal/experiments for the per-table/figure reproduction harnesses.
+// The benchmarks in bench_test.go regenerate every table and figure; the
+// runnable reports live in cmd/tdbbench.
+package tdb

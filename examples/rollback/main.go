@@ -1,0 +1,78 @@
+// Rollback: the transaction-time dimension (the paper's Section 6 future
+// work, implemented in internal/rollback).
+//
+// A Faculty store receives inserts, a retroactive correction, and a
+// deletion, each stamped with a transaction time. AsOf reconstructs the
+// database exactly as any past transaction saw it, and the same Quel query
+// run against two reconstructions gives the answers the database would
+// have given then — time travel over the query processor.
+package main
+
+import (
+	"fmt"
+
+	"tdb/internal/engine"
+	"tdb/internal/interval"
+	"tdb/internal/optimizer"
+	"tdb/internal/quel"
+	"tdb/internal/relation"
+	"tdb/internal/rollback"
+	"tdb/internal/value"
+	"tdb/internal/workload"
+)
+
+func row(name, rank string, from, to interval.Time) relation.Row {
+	return relation.Row{value.String_(name), value.String_(rank), value.TimeVal(from), value.TimeVal(to)}
+}
+
+func main() {
+	store := rollback.NewStore("Faculty", workload.FacultySchema)
+
+	// Transaction 100: initial records.
+	must(store.Insert(100, row("smith", "Assistant", 0, 8)))
+	must(store.Insert(100, row("smith", "Associate", 8, 15)))
+	must(store.Insert(100, row("jones", "Associate", 5, 20)))
+
+	// Transaction 200: smith's promotion to full is recorded.
+	must(store.Insert(200, row("smith", "Full", 15, interval.Forever)))
+
+	// Transaction 300: jones's record is corrected — the associate period
+	// actually ended at 12.
+	_, err := store.Update(300,
+		func(r relation.Row) bool { return r[0].AsString() == "jones" },
+		[]relation.Row{row("jones", "Associate", 5, 12)})
+	must(err)
+
+	fmt.Println("history with transaction lifespans:")
+	fmt.Print(store.History())
+
+	// The same query at two transaction times.
+	query := `
+range of f is Faculty
+retrieve (Name=f.Name, Rank=f.Rank, ValidFrom=f.ValidFrom, ValidTo=f.ValidTo)
+where f.Rank="Associate"
+`
+	for _, tx := range []interval.Time{150, 350} {
+		db := engine.NewDB()
+		asOf := store.AsOf(tx)
+		asOf.Name = "Faculty"
+		db.MustRegister(asOf)
+
+		prog, err := quel.Parse(query)
+		must(err)
+		qs, err := quel.Translate(prog, db)
+		must(err)
+		res, err := optimizer.Optimize(qs[0].Tree, db, optimizer.Options{})
+		must(err)
+		out, _, err := engine.Run(db, res.Tree, engine.Options{})
+		must(err)
+		fmt.Printf("\nassociates as the database stood at transaction %d:\n", tx)
+		fmt.Print(out)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

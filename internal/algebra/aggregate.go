@@ -1,0 +1,107 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+// AggKind enumerates the aggregate functions.
+type AggKind uint8
+
+// The supported aggregates — the Figure 4 Sum plus its companions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return fmt.Sprintf("AggKind(%d)", uint8(k))
+}
+
+// AggTerm is one aggregate output column.
+type AggTerm struct {
+	Kind AggKind
+	Of   ColRef // ignored for Count
+	As   string
+}
+
+// Aggregate groups its input by the listed columns and computes one row
+// per group with the group columns followed by the aggregate terms — the
+// Figure 4 stream processor lifted into the algebra. The result is a
+// snapshot relation.
+type Aggregate struct {
+	Input   Expr
+	GroupBy []ColRef
+	Terms   []AggTerm
+}
+
+// Children implements Expr.
+func (a *Aggregate) Children() []Expr { return []Expr{a.Input} }
+
+// Label implements Expr.
+func (a *Aggregate) Label() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, t := range a.Terms {
+		if t.Kind == AggCount {
+			parts = append(parts, fmt.Sprintf("%s=count(*)", t.As))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%s(%s)", t.As, t.Kind, t.Of))
+		}
+	}
+	return "γ[" + strings.Join(parts, ", ") + "]"
+}
+
+// aggregateSchema computes the output schema of an aggregate given its
+// input schema.
+func aggregateSchema(a *Aggregate, in *relation.Schema) (*relation.Schema, error) {
+	cols := make([]relation.Column, 0, len(a.GroupBy)+len(a.Terms))
+	for _, g := range a.GroupBy {
+		idx := in.ColumnIndex(g.Name())
+		if idx < 0 {
+			return nil, fmt.Errorf("algebra: group column %s not in %s", g, in)
+		}
+		cols = append(cols, relation.Column{Name: g.Name(), Kind: in.Cols[idx].Kind})
+	}
+	for _, t := range a.Terms {
+		if t.As == "" {
+			return nil, fmt.Errorf("algebra: aggregate term missing output name")
+		}
+		kind := value.KindInt
+		if t.Kind != AggCount {
+			idx := in.ColumnIndex(t.Of.Name())
+			if idx < 0 {
+				return nil, fmt.Errorf("algebra: aggregate column %s not in %s", t.Of, in)
+			}
+			switch t.Kind {
+			case AggMin, AggMax:
+				kind = in.Cols[idx].Kind
+			default: // Sum over numeric columns only
+				if in.Cols[idx].Kind == value.KindString {
+					return nil, fmt.Errorf("algebra: sum over string column %s", t.Of)
+				}
+				kind = value.KindInt
+			}
+		}
+		cols = append(cols, relation.Column{Name: t.As, Kind: kind})
+	}
+	return relation.NewSchema(cols, -1, -1)
+}

@@ -1,0 +1,134 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"tdb/internal/value"
+)
+
+func TestAggregateLabelAndSchema(t *testing.T) {
+	agg := &Aggregate{
+		Input:   &Scan{Relation: "Faculty", As: "e"},
+		GroupBy: []ColRef{{Var: "e", Col: "Rank"}},
+		Terms: []AggTerm{
+			{Kind: AggCount, As: "n"},
+			{Kind: AggSum, Of: ColRef{Var: "e", Col: "ValidFrom"}, As: "s"},
+			{Kind: AggMin, Of: ColRef{Var: "e", Col: "Name"}, As: "first"},
+		},
+	}
+	label := agg.Label()
+	for _, frag := range []string{"γ[", "e.Rank", "n=count(*)", "s=sum(e.ValidFrom)", "first=min(e.Name)"} {
+		if !strings.Contains(label, frag) {
+			t.Errorf("label %q missing %q", label, frag)
+		}
+	}
+	if len(agg.Children()) != 1 {
+		t.Error("children")
+	}
+	schema, err := OutputSchema(agg, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Arity() != 4 || schema.Temporal() {
+		t.Fatalf("schema %s", schema)
+	}
+	if schema.Cols[0].Name != "e.Rank" || schema.Cols[1].Name != "n" {
+		t.Errorf("columns %s", schema)
+	}
+	// min over a string column keeps the string kind.
+	if schema.Cols[3].Kind != value.KindString {
+		t.Errorf("min kind: %v", schema.Cols[3].Kind)
+	}
+	// Kind strings.
+	if AggCount.String() != "count" || AggSum.String() != "sum" ||
+		AggMin.String() != "min" || AggMax.String() != "max" {
+		t.Error("agg kind names")
+	}
+	if AggKind(9).String() == "" {
+		t.Error("unknown agg kind must render")
+	}
+}
+
+func TestAggregateSchemaErrors(t *testing.T) {
+	bad := &Aggregate{
+		Input:   &Scan{Relation: "Faculty", As: "e"},
+		GroupBy: []ColRef{{Var: "e", Col: "Nope"}},
+	}
+	if _, err := OutputSchema(bad, src()); err == nil {
+		t.Error("bad group column accepted")
+	}
+	bad = &Aggregate{
+		Input: &Scan{Relation: "Faculty", As: "e"},
+		Terms: []AggTerm{{Kind: AggSum, Of: ColRef{Var: "e", Col: "Name"}, As: "x"}},
+	}
+	if _, err := OutputSchema(bad, src()); err == nil {
+		t.Error("sum over string accepted")
+	}
+	bad = &Aggregate{
+		Input: &Scan{Relation: "Faculty", As: "e"},
+		Terms: []AggTerm{{Kind: AggCount}},
+	}
+	if _, err := OutputSchema(bad, src()); err == nil {
+		t.Error("unnamed aggregate accepted")
+	}
+	bad = &Aggregate{
+		Input: &Scan{Relation: "Faculty", As: "e"},
+		Terms: []AggTerm{{Kind: AggMax, Of: ColRef{Var: "e", Col: "Nope"}, As: "x"}},
+	}
+	if _, err := OutputSchema(bad, src()); err == nil {
+		t.Error("unknown aggregate column accepted")
+	}
+}
+
+func TestPushDownThroughAggregate(t *testing.T) {
+	agg := &Aggregate{
+		Input: &Select{
+			Input: &Select{
+				Input: &Scan{Relation: "Faculty", As: "e"},
+				Pred:  Predicate{Atoms: []Atom{{Column("e", "Rank"), EQ, Const(value.String_("Full"))}}},
+			},
+			Pred: Predicate{Atoms: []Atom{{Column("e", "Name"), NE, Const(value.String_("x"))}}},
+		},
+		Terms: []AggTerm{{Kind: AggCount, As: "n"}},
+	}
+	opt := PushDown(agg)
+	out, ok := opt.(*Aggregate)
+	if !ok {
+		t.Fatalf("got %T", opt)
+	}
+	sel, ok := out.Input.(*Select)
+	if !ok || len(sel.Pred.Atoms) != 2 {
+		t.Errorf("cascaded selects under aggregate not merged: %T", out.Input)
+	}
+}
+
+func TestSpanRefString(t *testing.T) {
+	sr := SpanRef{TS: ColRef{Var: "f1", Col: "ValidTo"}, TE: ColRef{Var: "f2", Col: "ValidFrom"}}
+	if sr.String() != "[f1.ValidTo, f2.ValidFrom)" {
+		t.Errorf("SpanRef = %q", sr.String())
+	}
+	if !sr.Valid() || (SpanRef{}).Valid() {
+		t.Error("SpanRef validity")
+	}
+}
+
+func TestTemporalKindStrings(t *testing.T) {
+	if KindTheta.String() != "θ" || KindContain.String() != "contain" ||
+		KindContained.String() != "contained" || KindOverlap.String() != "overlap" ||
+		KindBefore.String() != "before" {
+		t.Error("kind names")
+	}
+	j := &Join{L: &Scan{Relation: "R"}, R: &Scan{Relation: "S"},
+		Kind:  KindOverlap,
+		LSpan: SpanRef{TS: ColRef{Var: "r", Col: "A"}, TE: ColRef{Var: "r", Col: "B"}},
+		RSpan: SpanRef{TS: ColRef{Var: "s", Col: "A"}, TE: ColRef{Var: "s", Col: "B"}},
+	}
+	if !strings.Contains(j.Label(), "⋈overlap") {
+		t.Errorf("join label: %q", j.Label())
+	}
+	theta := &Join{L: &Scan{Relation: "R"}, R: &Scan{Relation: "S"}}
+	if !strings.Contains(theta.Label(), "⋈[") {
+		t.Errorf("theta label: %q", theta.Label())
+	}
+}

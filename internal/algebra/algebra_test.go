@@ -1,0 +1,278 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+type fixedSource map[string]*relation.Schema
+
+func (f fixedSource) SchemaOf(name string) (*relation.Schema, error) {
+	s, ok := f[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	return s, nil
+}
+
+var facultySchema = relation.MustSchema([]relation.Column{
+	{Name: "Name", Kind: value.KindString},
+	{Name: "Rank", Kind: value.KindString},
+	{Name: "ValidFrom", Kind: value.KindTime},
+	{Name: "ValidTo", Kind: value.KindTime},
+}, 2, 3)
+
+func src() fixedSource { return fixedSource{"Faculty": facultySchema} }
+
+// superstarTree builds the unoptimized Figure 3(a) expression.
+func superstarTree() Expr {
+	theta := Predicate{
+		Atoms: []Atom{
+			{Column("f1", "Name"), EQ, Column("f2", "Name")},
+			{Column("f1", "Rank"), EQ, Const(value.String_("Assistant"))},
+			{Column("f2", "Rank"), EQ, Const(value.String_("Full"))},
+			{Column("f3", "Rank"), EQ, Const(value.String_("Associate"))},
+			{Column("f1", "ValidFrom"), LT, Column("f3", "ValidTo")},
+			{Column("f3", "ValidFrom"), LT, Column("f1", "ValidTo")},
+			{Column("f2", "ValidFrom"), LT, Column("f3", "ValidTo")},
+			{Column("f3", "ValidFrom"), LT, Column("f2", "ValidTo")},
+		},
+	}
+	prod := &Product{
+		L: &Product{L: &Scan{Relation: "Faculty", As: "f1"}, R: &Scan{Relation: "Faculty", As: "f2"}},
+		R: &Scan{Relation: "Faculty", As: "f3"},
+	}
+	return &Project{
+		Input: &Select{Input: prod, Pred: theta},
+		Cols: []Output{
+			{Name: "Name", From: ColRef{"f1", "Name"}},
+			{Name: "ValidFrom", From: ColRef{"f1", "ValidFrom"}},
+			{Name: "ValidTo", From: ColRef{"f2", "ValidTo"}},
+		},
+		TSName: "ValidFrom", TEName: "ValidTo",
+	}
+}
+
+func TestPredicateRendering(t *testing.T) {
+	a := Atom{Column("f1", "ValidFrom"), LT, Column("f3", "ValidTo")}
+	if a.String() != "f1.ValidFrom<f3.ValidTo" {
+		t.Errorf("atom: %q", a.String())
+	}
+	c := Atom{Column("f1", "Rank"), EQ, Const(value.String_("Full"))}
+	if c.String() != `f1.Rank="Full"` {
+		t.Errorf("const atom: %q", c.String())
+	}
+	ta := TemporalAtom{L: "f1", R: "f3", General: true}
+	if ta.String() != "(f1 overlap f3)" {
+		t.Errorf("temporal atom: %q", ta.String())
+	}
+	ta2 := TemporalAtom{L: "x", R: "y", Rel: interval.RelDuring}
+	if ta2.String() != "(x during y)" {
+		t.Errorf("temporal atom: %q", ta2.String())
+	}
+	var empty Predicate
+	if !empty.True() || empty.String() != "true" {
+		t.Error("empty predicate")
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op         CmpOp
+		lt, eq, gt bool
+	}{
+		{EQ, false, true, false},
+		{NE, true, false, true},
+		{LT, true, false, false},
+		{LE, true, true, false},
+		{GT, false, false, true},
+		{GE, false, true, true},
+	}
+	for _, c := range cases {
+		if c.op.Eval(-1) != c.lt || c.op.Eval(0) != c.eq || c.op.Eval(1) != c.gt {
+			t.Errorf("%v eval wrong", c.op)
+		}
+		// a op b ⇔ b Flip(op) a over all comparisons.
+		for _, cmp := range []int{-1, 0, 1} {
+			if c.op.Eval(cmp) != c.op.Flip().Eval(-cmp) {
+				t.Errorf("%v flip wrong", c.op)
+			}
+		}
+	}
+}
+
+func TestPredicateVarsAndSplit(t *testing.T) {
+	p := Predicate{
+		Atoms: []Atom{
+			{Column("f1", "Rank"), EQ, Const(value.String_("Full"))},
+			{Column("f2", "Rank"), EQ, Const(value.String_("Associate"))},
+			{Column("f1", "ValidFrom"), LT, Column("f2", "ValidTo")},
+		},
+		Temporal: []TemporalAtom{{L: "f1", R: "f2", General: true}},
+	}
+	vs := p.Vars()
+	if len(vs) != 2 || vs[0] != "f1" || vs[1] != "f2" {
+		t.Errorf("Vars = %v", vs)
+	}
+	lp, rp, rest := p.Split(map[string]bool{"f1": true}, map[string]bool{"f2": true})
+	if len(lp.Atoms) != 1 || lp.Atoms[0].L.Col.Var != "f1" {
+		t.Errorf("left split: %v", lp)
+	}
+	if len(rp.Atoms) != 1 || rp.Atoms[0].L.Col.Var != "f2" {
+		t.Errorf("right split: %v", rp)
+	}
+	if len(rest.Atoms) != 1 || len(rest.Temporal) != 1 {
+		t.Errorf("rest split: %v", rest)
+	}
+}
+
+func TestOutputSchemaSuperstar(t *testing.T) {
+	tree := superstarTree()
+	schema, err := OutputSchema(tree, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Arity() != 3 {
+		t.Fatalf("arity %d", schema.Arity())
+	}
+	if !schema.Temporal() || schema.TS != 1 || schema.TE != 2 {
+		t.Errorf("temporal designation wrong: %s", schema)
+	}
+	if schema.Cols[0].Kind != value.KindString {
+		t.Error("Name column kind wrong")
+	}
+}
+
+func TestOutputSchemaErrors(t *testing.T) {
+	if _, err := OutputSchema(&Scan{Relation: "Nope"}, src()); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	bad := &Project{
+		Input: &Scan{Relation: "Faculty", As: "f"},
+		Cols:  []Output{{Name: "X", From: ColRef{"f", "Missing"}}},
+	}
+	if _, err := OutputSchema(bad, src()); err == nil {
+		t.Error("unknown projection column accepted")
+	}
+}
+
+func TestVars(t *testing.T) {
+	tree := superstarTree()
+	vs := Vars(tree.(*Project).Input)
+	if len(vs) != 3 {
+		t.Fatalf("Vars = %v", vs)
+	}
+	semi := &Semijoin{
+		L: &Scan{Relation: "Faculty", As: "a"},
+		R: &Scan{Relation: "Faculty", As: "b"},
+	}
+	if vs := Vars(semi); len(vs) != 1 || vs[0] != "a" {
+		t.Errorf("semijoin vars = %v", vs)
+	}
+}
+
+func TestPushDownSuperstar(t *testing.T) {
+	opt := PushDown(superstarTree())
+	proj, ok := opt.(*Project)
+	if !ok {
+		t.Fatalf("root is %T", opt)
+	}
+	// The top of the optimized tree must be a join carrying only the
+	// cross-variable inequalities; all Rank selections must sit directly
+	// above the scans.
+	join, ok := proj.Input.(*Join)
+	if !ok {
+		t.Fatalf("below project: %T\n%s", proj.Input, Format(opt))
+	}
+	for _, a := range join.Pred.Atoms {
+		if a.L.IsConst || a.R.IsConst {
+			t.Errorf("constant conjunct %v not pushed down", a)
+		}
+	}
+	// Each leaf-side selection holds exactly one Rank constant.
+	var countSelects func(e Expr) int
+	countSelects = func(e Expr) int {
+		n := 0
+		if s, ok := e.(*Select); ok {
+			for _, a := range s.Pred.Atoms {
+				if a.R.IsConst {
+					n++
+				}
+			}
+		}
+		for _, c := range e.Children() {
+			n += countSelects(c)
+		}
+		return n
+	}
+	if got := countSelects(join); got != 3 {
+		t.Errorf("pushed-down constant selections = %d, want 3\n%s", got, Format(opt))
+	}
+	// The schema is unchanged by optimization.
+	s1, err1 := OutputSchema(superstarTree(), src())
+	s2, err2 := OutputSchema(opt, src())
+	if err1 != nil || err2 != nil || !s1.Equal(s2) {
+		t.Errorf("schema changed by PushDown: %v %v %s vs %s", err1, err2, s1, s2)
+	}
+}
+
+func TestPushDownMergesCascadedSelects(t *testing.T) {
+	inner := &Select{
+		Input: &Scan{Relation: "Faculty", As: "f"},
+		Pred:  Predicate{Atoms: []Atom{{Column("f", "Rank"), EQ, Const(value.String_("Full"))}}},
+	}
+	outer := &Select{
+		Input: inner,
+		Pred:  Predicate{Atoms: []Atom{{Column("f", "Name"), EQ, Const(value.String_("x"))}}},
+	}
+	opt := PushDown(outer)
+	s, ok := opt.(*Select)
+	if !ok {
+		t.Fatalf("got %T", opt)
+	}
+	if len(s.Pred.Atoms) != 2 {
+		t.Errorf("cascade not merged: %v", s.Pred)
+	}
+	if _, ok := s.Input.(*Scan); !ok {
+		t.Errorf("select not directly over scan: %T", s.Input)
+	}
+}
+
+func TestPushDownThroughSemijoin(t *testing.T) {
+	semi := &Semijoin{
+		L:    &Scan{Relation: "Faculty", As: "a"},
+		R:    &Scan{Relation: "Faculty", As: "b"},
+		Kind: KindContained,
+	}
+	sel := &Select{
+		Input: semi,
+		Pred:  Predicate{Atoms: []Atom{{Column("a", "Rank"), EQ, Const(value.String_("Associate"))}}},
+	}
+	opt := PushDown(sel)
+	top, ok := opt.(*Semijoin)
+	if !ok {
+		t.Fatalf("selection not commuted through semijoin: %T", opt)
+	}
+	if _, ok := top.L.(*Select); !ok {
+		t.Errorf("selection not pushed to semijoin left input:\n%s", Format(opt))
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	out := Format(superstarTree())
+	for _, frag := range []string{"π[", "σ[", "×", "Faculty f1", "Faculty f3", "└─", "├─"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Format missing %q:\n%s", frag, out)
+		}
+	}
+	// Labels render the recognized semijoin kinds.
+	semi := &Semijoin{L: &Scan{Relation: "R"}, R: &Scan{Relation: "S"}, Kind: KindContained}
+	if !strings.Contains(semi.Label(), "⋉contained") {
+		t.Errorf("semijoin label: %q", semi.Label())
+	}
+}

@@ -1,0 +1,249 @@
+// Package algebra implements the relational algebra of the paper's
+// Section 3: expressions over temporal relations (scan, selection,
+// projection, product, θ-join, semijoin), predicates that are conjunctions
+// of comparison atoms — the dominant shape of temporal qualifications — and
+// temporal-operator atoms ("f1 overlap f3") prior to their expansion into
+// inequalities, plus the parse-tree rendering of Figure 3.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"tdb/internal/interval"
+	"tdb/internal/value"
+)
+
+// ColRef names a column of a range variable, e.g. f1.Name.
+type ColRef struct {
+	Var string // range variable; may be empty for single-relation queries
+	Col string
+}
+
+// String renders the reference as "f1.Name" or bare "Name".
+func (c ColRef) String() string {
+	if c.Var == "" {
+		return c.Col
+	}
+	return c.Var + "." + c.Col
+}
+
+// Name returns the qualified column name as it appears in resolved schemas.
+func (c ColRef) Name() string { return c.String() }
+
+// Operand is one side of a comparison atom: a column reference or a
+// constant.
+type Operand struct {
+	IsConst bool
+	Const   value.Value
+	Col     ColRef
+}
+
+// Column returns a column operand.
+func Column(v, col string) Operand { return Operand{Col: ColRef{Var: v, Col: col}} }
+
+// Const returns a constant operand.
+func Const(v value.Value) Operand { return Operand{IsConst: true, Const: v} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsConst {
+		if o.Const.Kind() == value.KindString {
+			return fmt.Sprintf("%q", o.Const.String())
+		}
+		return o.Const.String()
+	}
+	return o.Col.String()
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// The comparison operators of the language.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var cmpNames = [...]string{EQ: "=", NE: "≠", LT: "<", LE: "≤", GT: ">", GE: "≥"}
+
+// String renders the operator symbol.
+func (op CmpOp) String() string {
+	if int(op) < len(cmpNames) {
+		return cmpNames[op]
+	}
+	return fmt.Sprintf("CmpOp(%d)", uint8(op))
+}
+
+// Eval applies the operator to a three-way comparison result.
+func (op CmpOp) Eval(cmp int) bool {
+	switch op {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	}
+	panic(fmt.Sprintf("algebra: invalid CmpOp %d", uint8(op)))
+}
+
+// Flip returns the operator with its operands exchanged: a op b ⇔ b Flip(op) a.
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op
+	}
+}
+
+// Atom is one comparison of the conjunction.
+type Atom struct {
+	L  Operand
+	Op CmpOp
+	R  Operand
+}
+
+// String renders the atom, e.g. "f1.ValidFrom<f3.ValidTo".
+func (a Atom) String() string { return a.L.String() + a.Op.String() + a.R.String() }
+
+// Vars returns the distinct range variables the atom references.
+func (a Atom) Vars() []string {
+	var vs []string
+	if !a.L.IsConst {
+		vs = append(vs, a.L.Col.Var)
+	}
+	if !a.R.IsConst && (a.L.IsConst || a.R.Col.Var != a.L.Col.Var) {
+		vs = append(vs, a.R.Col.Var)
+	}
+	return vs
+}
+
+// TemporalAtom is an unexpanded temporal-operator application between two
+// range variables — the syntactic sugar of Figure 2 plus the general TQuel
+// overlap of the Superstar query.
+type TemporalAtom struct {
+	L, R string // range variables
+	// Rel is the Allen relationship, meaningful when General is false.
+	Rel interval.Relationship
+	// General marks the TQuel "overlap": lifespans share a chronon.
+	General bool
+}
+
+// String renders the atom in query syntax, e.g. "(f1 overlap f3)".
+func (ta TemporalAtom) String() string {
+	name := ta.Rel.String()
+	if ta.General {
+		name = "overlap"
+	}
+	return fmt.Sprintf("(%s %s %s)", ta.L, name, ta.R)
+}
+
+// Predicate is a conjunction of comparison atoms and (before expansion)
+// temporal-operator atoms.
+type Predicate struct {
+	Atoms    []Atom
+	Temporal []TemporalAtom
+}
+
+// True reports whether the predicate is the empty conjunction.
+func (p Predicate) True() bool { return len(p.Atoms) == 0 && len(p.Temporal) == 0 }
+
+// String renders the conjunction with ∧.
+func (p Predicate) String() string {
+	if p.True() {
+		return "true"
+	}
+	parts := make([]string, 0, len(p.Atoms)+len(p.Temporal))
+	for _, a := range p.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, ta := range p.Temporal {
+		parts = append(parts, ta.String())
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Vars returns the distinct range variables referenced by the predicate.
+func (p Predicate) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, a := range p.Atoms {
+		for _, v := range a.Vars() {
+			add(v)
+		}
+	}
+	for _, ta := range p.Temporal {
+		add(ta.L)
+		add(ta.R)
+	}
+	return out
+}
+
+// And returns the conjunction of two predicates.
+func (p Predicate) And(q Predicate) Predicate {
+	return Predicate{
+		Atoms:    append(append([]Atom{}, p.Atoms...), q.Atoms...),
+		Temporal: append(append([]TemporalAtom{}, p.Temporal...), q.Temporal...),
+	}
+}
+
+// Split partitions the conjunction by the range variables each conjunct
+// needs: conjuncts entirely over vars in left, entirely over vars in right,
+// and the residue spanning both (or neither side completely).
+func (p Predicate) Split(left, right map[string]bool) (lp, rp, rest Predicate) {
+	within := func(vs []string, side map[string]bool) bool {
+		for _, v := range vs {
+			if !side[v] {
+				return false
+			}
+		}
+		return len(vs) > 0
+	}
+	for _, a := range p.Atoms {
+		vs := a.Vars()
+		switch {
+		case within(vs, left):
+			lp.Atoms = append(lp.Atoms, a)
+		case within(vs, right):
+			rp.Atoms = append(rp.Atoms, a)
+		default:
+			rest.Atoms = append(rest.Atoms, a)
+		}
+	}
+	for _, ta := range p.Temporal {
+		vs := []string{ta.L, ta.R}
+		switch {
+		case within(vs, left):
+			lp.Temporal = append(lp.Temporal, ta)
+		case within(vs, right):
+			rp.Temporal = append(rp.Temporal, ta)
+		default:
+			rest.Temporal = append(rest.Temporal, ta)
+		}
+	}
+	return lp, rp, rest
+}

@@ -1,0 +1,76 @@
+package algebra
+
+// This file implements the "well-known traditional algebraic manipulation
+// methods" the paper applies in Figure 3(b): merging cascaded selections,
+// pushing selection conjuncts as far down the parse tree as possible, and
+// converting a selection over a Cartesian product into a θ-join carrying
+// the cross-variable conjuncts.
+
+// selectIf wraps e in a selection unless the predicate is trivially true.
+func selectIf(e Expr, p Predicate) Expr {
+	if p.True() {
+		return e
+	}
+	return &Select{Input: e, Pred: p}
+}
+
+// PushDown rewrites the tree by the conventional rules and returns the
+// optimized tree (inputs are not mutated; shared subtrees may be reused).
+func PushDown(e Expr) Expr {
+	switch n := e.(type) {
+	case *Scan:
+		return n
+	case *Select:
+		// Merge cascaded selections before distributing.
+		input, pred := n.Input, n.Pred
+		for {
+			if s, ok := input.(*Select); ok {
+				pred = pred.And(s.Pred)
+				input = s.Input
+				continue
+			}
+			break
+		}
+		switch child := input.(type) {
+		case *Product:
+			lp, rp, rest := pred.Split(VarSet(child.L), VarSet(child.R))
+			l := PushDown(selectIf(child.L, lp))
+			r := PushDown(selectIf(child.R, rp))
+			if rest.True() {
+				return &Product{L: l, R: r}
+			}
+			return &Join{L: l, R: r, Pred: rest}
+		case *Join:
+			lp, rp, rest := pred.Split(VarSet(child.L), VarSet(child.R))
+			l := PushDown(selectIf(child.L, lp))
+			r := PushDown(selectIf(child.R, rp))
+			return &Join{L: l, R: r, Pred: child.Pred.And(rest)}
+		case *Semijoin:
+			// Conjuncts over the left side commute with the semijoin.
+			lp, _, rest := pred.Split(VarSet(child.L), map[string]bool{})
+			inner := &Semijoin{
+				L:    PushDown(selectIf(child.L, lp)),
+				R:    PushDown(child.R),
+				Pred: child.Pred,
+				Kind: child.Kind,
+			}
+			return selectIf(inner, rest)
+		default:
+			return selectIf(PushDown(input), pred)
+		}
+	case *Product:
+		return &Product{L: PushDown(n.L), R: PushDown(n.R)}
+	case *Join:
+		return &Join{L: PushDown(n.L), R: PushDown(n.R), Pred: n.Pred}
+	case *Semijoin:
+		return &Semijoin{L: PushDown(n.L), R: PushDown(n.R), Pred: n.Pred, Kind: n.Kind}
+	case *Project:
+		return &Project{
+			Input: PushDown(n.Input), Cols: n.Cols,
+			TSName: n.TSName, TEName: n.TEName, Distinct: n.Distinct,
+		}
+	case *Aggregate:
+		return &Aggregate{Input: PushDown(n.Input), GroupBy: n.GroupBy, Terms: n.Terms}
+	}
+	return e
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+)
+
+type item struct {
+	id int
+	iv interval.Interval
+}
+
+func itemSpan(t item) interval.Interval { return t.iv }
+
+func gen(rng *rand.Rand, n, base int) []item {
+	out := make([]item, n)
+	for i := range out {
+		s := interval.Time(rng.Intn(60))
+		out[i] = item{id: base + i, iv: interval.New(s, s+interval.Time(1+rng.Intn(25)))}
+	}
+	return out
+}
+
+func contain(a, b interval.Interval) bool { return a.Start < b.Start && b.End < a.End }
+
+func TestNestedLoopJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs, ys := gen(rng, 20, 0), gen(rng, 25, 100)
+	probe := &metrics.Probe{}
+	pairs := map[[2]int]bool{}
+	NestedLoopJoin(xs, ys, itemSpan, contain, probe, func(a, b item) {
+		pairs[[2]int{a.id, b.id}] = true
+	})
+	// Exhaustive cross-check.
+	want := 0
+	for _, a := range xs {
+		for _, b := range ys {
+			if contain(a.iv, b.iv) {
+				want++
+				if !pairs[[2]int{a.id, b.id}] {
+					t.Fatalf("missing pair %d,%d", a.id, b.id)
+				}
+			}
+		}
+	}
+	if len(pairs) != want {
+		t.Fatalf("pairs %d, want %d", len(pairs), want)
+	}
+	if probe.Comparisons != int64(len(xs)*len(ys)) {
+		t.Errorf("comparisons %d, want %d", probe.Comparisons, len(xs)*len(ys))
+	}
+	if probe.Passes != int64(len(xs)) {
+		t.Errorf("passes %d, want one inner scan per outer tuple (%d)", probe.Passes, len(xs))
+	}
+}
+
+func TestNestedLoopSemijoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs, ys := gen(rng, 30, 0), gen(rng, 30, 100)
+	got := map[int]bool{}
+	NestedLoopSemijoin(xs, ys, itemSpan, contain, nil, func(a item) {
+		if got[a.id] {
+			t.Fatalf("duplicate %d", a.id)
+		}
+		got[a.id] = true
+	})
+	for _, a := range xs {
+		want := false
+		for _, b := range ys {
+			if contain(a.iv, b.iv) {
+				want = true
+				break
+			}
+		}
+		if got[a.id] != want {
+			t.Fatalf("id %d: got %v want %v", a.id, got[a.id], want)
+		}
+	}
+}
+
+// The semijoin stops its inner scan at the first witness.
+func TestNestedLoopSemijoinEarlyExit(t *testing.T) {
+	xs := []item{{0, interval.New(0, 100)}}
+	ys := []item{{1, interval.New(1, 2)}, {2, interval.New(3, 4)}, {3, interval.New(5, 6)}}
+	probe := &metrics.Probe{}
+	NestedLoopSemijoin(xs, ys, itemSpan, contain, probe, func(item) {})
+	if probe.Comparisons != 1 {
+		t.Errorf("comparisons %d, want 1 (first witness)", probe.Comparisons)
+	}
+}
+
+func TestCartesianFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := gen(rng, 15, 0), gen(rng, 17, 100)
+	probe := &metrics.Probe{}
+	n := 0
+	CartesianFilter(xs, ys, itemSpan, contain, probe, func(a, b item) { n++ })
+	if probe.StateHighWater != int64(len(xs)*len(ys)) {
+		t.Errorf("materialized %d pairs, want full product %d", probe.StateHighWater, len(xs)*len(ys))
+	}
+	nl := 0
+	NestedLoopJoin(xs, ys, itemSpan, contain, nil, func(a, b item) { nl++ })
+	if n != nl {
+		t.Errorf("cartesian-filter %d vs nested-loop %d", n, nl)
+	}
+}
+
+func TestSelfJoinPairs(t *testing.T) {
+	xs := []item{
+		{0, interval.New(0, 10)},
+		{1, interval.New(2, 5)},
+		{2, interval.New(3, 4)},
+	}
+	var pairs [][2]int
+	SelfJoinPairs(xs, itemSpan, contain, nil, func(a, b item) {
+		pairs = append(pairs, [2]int{a.id, b.id})
+	})
+	// 0⊃1, 0⊃2, 1⊃2.
+	if len(pairs) != 3 {
+		t.Fatalf("pairs %v", pairs)
+	}
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			t.Errorf("unexpected pair %v", p)
+		}
+	}
+	// No self pairs even with duplicates of the same span.
+	dup := []item{{0, interval.New(0, 10)}, {1, interval.New(0, 10)}}
+	n := 0
+	SelfJoinPairs(dup, itemSpan, func(a, b interval.Interval) bool { return true }, nil, func(a, b item) { n++ })
+	if n != 2 {
+		t.Errorf("ordered pairs over duplicates: %d, want 2", n)
+	}
+}

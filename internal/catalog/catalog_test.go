@@ -1,0 +1,125 @@
+package catalog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+	"tdb/internal/workload"
+)
+
+func TestFromSpansBasics(t *testing.T) {
+	spans := []interval.Interval{
+		interval.New(0, 10),
+		interval.New(5, 7),
+		interval.New(20, 30),
+	}
+	s := FromSpans(spans)
+	if s.Cardinality != 3 {
+		t.Errorf("Cardinality = %d", s.Cardinality)
+	}
+	if s.MinTS != 0 || s.MaxTS != 20 || s.MinTE != 7 || s.MaxTE != 30 {
+		t.Errorf("endpoint stats wrong: %+v", s)
+	}
+	if s.MeanDuration != (10+2+10)/3.0 {
+		t.Errorf("MeanDuration = %f", s.MeanDuration)
+	}
+	if s.MaxDuration != 10 {
+		t.Errorf("MaxDuration = %d", s.MaxDuration)
+	}
+	// λ = (3-1)/(20-0) = 0.1
+	if math.Abs(s.Lambda-0.1) > 1e-9 {
+		t.Errorf("Lambda = %f", s.Lambda)
+	}
+	if s.MaxConcurrency != 2 {
+		t.Errorf("MaxConcurrency = %d", s.MaxConcurrency)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	s := FromSpans(nil)
+	if s.Cardinality != 0 || s.Lambda != 0 || s.PredictedWorkspace() != 0 {
+		t.Errorf("empty stats wrong: %+v", s)
+	}
+	if s.MeanGap() != 1 {
+		t.Errorf("MeanGap on empty = %f", s.MeanGap())
+	}
+	s = FromSpans([]interval.Interval{interval.New(3, 9)})
+	if s.Lambda != 0 || s.MaxConcurrency != 1 || s.MeanDuration != 6 {
+		t.Errorf("singleton stats wrong: %+v", s)
+	}
+}
+
+func TestMaxConcurrencyHalfOpen(t *testing.T) {
+	// Meeting intervals do not overlap: [0,5) and [5,9).
+	s := FromSpans([]interval.Interval{interval.New(0, 5), interval.New(5, 9)})
+	if s.MaxConcurrency != 1 {
+		t.Errorf("meeting intervals counted as concurrent: %d", s.MaxConcurrency)
+	}
+}
+
+// Little's law: for a Poisson workload the prediction tracks the exact
+// maximum concurrency within a small factor.
+func TestPredictedWorkspaceTracksConcurrency(t *testing.T) {
+	for _, lam := range []float64{0.2, 1, 5} {
+		spans := workload.Intervals(workload.Config{N: 4000, Lambda: lam, MeanDur: 20, Seed: 42})
+		s := FromSpans(spans)
+		pred := s.PredictedWorkspace()
+		if pred <= 0 {
+			t.Fatalf("λ=%v: no prediction", lam)
+		}
+		ratio := float64(s.MaxConcurrency) / pred
+		// The max of a Poisson-distributed occupancy exceeds its mean,
+		// but by a modest factor at these scales.
+		if ratio < 1 || ratio > 4 {
+			t.Errorf("λ=%v: max/pred ratio %.2f outside [1,4] (max=%d pred=%.1f)",
+				lam, ratio, s.MaxConcurrency, pred)
+		}
+	}
+}
+
+func TestCatalogAnalyzeAndLookup(t *testing.T) {
+	rel := relation.FromTuples("R", []relation.Tuple{
+		{S: "a", V: value.String_("v"), Span: interval.New(0, 4)},
+		{S: "b", V: value.String_("v"), Span: interval.New(2, 9)},
+	})
+	c := New()
+	s, err := c.Analyze(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cardinality != 2 || !s.SortedTS {
+		t.Errorf("analyze wrong: %+v", s)
+	}
+	if c.Lookup("R") != s {
+		t.Error("Lookup did not return recorded stats")
+	}
+	if c.Lookup("missing") != nil {
+		t.Error("Lookup invented stats")
+	}
+
+	snap := relation.New("S", relation.MustSchema([]relation.Column{{Name: "A", Kind: value.KindInt}}, -1, -1))
+	if _, err := c.Analyze(snap); err == nil {
+		t.Error("non-temporal relation analyzed")
+	}
+}
+
+func TestSortedFlags(t *testing.T) {
+	rel := relation.FromTuples("R", []relation.Tuple{
+		{S: "a", V: value.String_("v"), Span: interval.New(5, 20)},
+		{S: "b", V: value.String_("v"), Span: interval.New(7, 9)},
+	})
+	s, err := Collect(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.SortedTS || s.SortedTE {
+		t.Errorf("sorted flags wrong: TS=%v TE=%v", s.SortedTS, s.SortedTE)
+	}
+}

@@ -1,0 +1,377 @@
+package constraints
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdb/internal/algebra"
+	"tdb/internal/interval"
+	"tdb/internal/value"
+)
+
+func TestBasicImplication(t *testing.T) {
+	s := NewSystem()
+	a, b, c := Col("x", "TS"), Col("x", "TE"), Col("y", "TS")
+	s.AddLT(a, b)
+	s.AddLE(b, c)
+	if !s.Implies(a, algebra.LT, c) {
+		t.Error("a<b ∧ b≤c must imply a<c")
+	}
+	if !s.Implies(a, algebra.LE, c) {
+		t.Error("a<c implies a≤c")
+	}
+	if s.Implies(c, algebra.LT, a) {
+		t.Error("reverse implied incorrectly")
+	}
+	if s.Implies(a, algebra.EQ, c) {
+		t.Error("equality implied incorrectly")
+	}
+	if s.Contradictory() {
+		t.Error("consistent system reported contradictory")
+	}
+}
+
+func TestEqualityChains(t *testing.T) {
+	s := NewSystem()
+	a, b, c := Col("a", "T"), Col("b", "T"), Col("c", "T")
+	s.AddEQ(a, b)
+	s.AddEQ(b, c)
+	if !s.Implies(a, algebra.EQ, c) {
+		t.Error("equality not transitive")
+	}
+	if !s.Implies(a, algebra.LE, c) || !s.Implies(c, algebra.LE, a) {
+		t.Error("equality must imply both ≤ directions")
+	}
+	s.AddLT(a, Col("d", "T"))
+	if !s.Implies(c, algebra.LT, Col("d", "T")) {
+		t.Error("equality must propagate strict bounds")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := NewSystem()
+	a, b := Col("a", "T"), Col("b", "T")
+	s.AddLT(a, b)
+	s.AddLE(b, a)
+	if !s.Contradictory() {
+		t.Error("a<b ∧ b≤a not detected as contradictory")
+	}
+	// Everything is implied by a contradiction.
+	if !s.Implies(b, algebra.LT, a) {
+		t.Error("ex falso")
+	}
+}
+
+func TestConstantGrounding(t *testing.T) {
+	s := NewSystem()
+	a := Col("a", "T")
+	s.AddLE(ConstT(10), a) // 10 ≤ a
+	s.AddLT(a, ConstT(20)) // a < 20
+	if !s.Implies(ConstT(5), algebra.LT, a) {
+		t.Error("5<10≤a not derived")
+	}
+	if !s.Implies(a, algebra.LT, ConstT(30)) {
+		t.Error("a<20<30 not derived")
+	}
+	if s.Implies(a, algebra.LT, ConstT(15)) {
+		t.Error("a<15 over-derived")
+	}
+	// Constants compare directly even when unregistered.
+	if !s.Implies(ConstT(1), algebra.LT, ConstT(2)) {
+		t.Error("constant order not decided")
+	}
+	// A constraint violating constant order is contradictory.
+	s2 := NewSystem()
+	s2.AddLT(ConstT(20), ConstT(10))
+	if !s2.Contradictory() {
+		t.Error("20<10 accepted")
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	s := NewSystem()
+	a, b := Col("a", "T"), Col("b", "T")
+	s.AddCmp(a, algebra.GT, b) // b < a
+	if !s.Implies(b, algebra.LT, a) {
+		t.Error("GT not normalized")
+	}
+	s.AddCmp(a, algebra.GE, Col("c", "T")) // c ≤ a
+	if !s.Implies(Col("c", "T"), algebra.LE, a) {
+		t.Error("GE not normalized")
+	}
+	// NE is ignored (no order content).
+	s.AddCmp(a, algebra.NE, b)
+	if s.Contradictory() {
+		t.Error("NE introduced constraints")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSystem()
+	a, b := Col("a", "T"), Col("b", "T")
+	s.AddLT(a, b)
+	c := s.Clone()
+	c.AddLE(b, a)
+	if !c.Contradictory() {
+		t.Error("clone missing base edges")
+	}
+	if s.Contradictory() {
+		t.Error("mutating clone affected original")
+	}
+	if len(s.Terms()) != 2 {
+		t.Errorf("Terms = %v", s.Terms())
+	}
+}
+
+// Property: implications verified against brute-force assignment search on
+// small random systems.
+func TestImpliesSoundAgainstEnumeration(t *testing.T) {
+	const nTerms = 4
+	const domain = 4
+	terms := make([]Term, nTerms)
+	for i := range terms {
+		terms[i] = Col(string(rune('a'+i)), "T")
+	}
+	ops := []algebra.CmpOp{algebra.LT, algebra.LE, algebra.EQ}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem()
+		type con struct {
+			l, r int
+			op   algebra.CmpOp
+		}
+		var cons []con
+		for k := 0; k < 3; k++ {
+			c := con{l: rng.Intn(nTerms), r: rng.Intn(nTerms), op: ops[rng.Intn(len(ops))]}
+			cons = append(cons, c)
+			s.AddCmp(terms[c.l], c.op, terms[c.r])
+		}
+		// Enumerate all assignments over the small domain.
+		holds := func(v []int, c con) bool {
+			cmp := 0
+			switch {
+			case v[c.l] < v[c.r]:
+				cmp = -1
+			case v[c.l] > v[c.r]:
+				cmp = 1
+			}
+			return c.op.Eval(cmp)
+		}
+		var sat [][]int
+		var assign func(v []int, i int)
+		assign = func(v []int, i int) {
+			if i == nTerms {
+				for _, c := range cons {
+					if !holds(v, c) {
+						return
+					}
+				}
+				sat = append(sat, append([]int{}, v...))
+				return
+			}
+			for d := 0; d < domain; d++ {
+				v[i] = d
+				assign(v, i+1)
+			}
+		}
+		assign(make([]int, nTerms), 0)
+
+		if s.Contradictory() != (len(sat) == 0) {
+			return false
+		}
+		if len(sat) == 0 {
+			return true
+		}
+		// Soundness: every Implies must hold in every satisfying assignment.
+		// (Completeness over the bounded domain is not claimed: the domain
+		// truncates orders a longer time line would satisfy.)
+		for l := 0; l < nTerms; l++ {
+			for r := 0; r < nTerms; r++ {
+				for _, op := range ops {
+					if !s.Implies(terms[l], op, terms[r]) {
+						continue
+					}
+					for _, v := range sat {
+						if !holds(v, con{l: l, r: r, op: op}) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func superstarCtx() QueryContext {
+	return QueryContext{
+		Bindings: map[string]string{"f1": "Faculty", "f2": "Faculty", "f3": "Faculty"},
+		Temporal: map[string][2]string{"Faculty": {"ValidFrom", "ValidTo"}},
+	}
+}
+
+func rankOrder(continuous bool) []ChronOrder {
+	return []ChronOrder{{
+		Relation: "Faculty", KeyCol: "Name", ValCol: "Rank",
+		Order:      []string{"Assistant", "Associate", "Full"},
+		Continuous: continuous,
+	}}
+}
+
+func superstarAtoms() []algebra.Atom {
+	col := algebra.Column
+	cons := func(s string) algebra.Operand { return algebra.Const(value.String_(s)) }
+	return []algebra.Atom{
+		{L: col("f1", "Name"), Op: algebra.EQ, R: col("f2", "Name")},
+		{L: col("f1", "Rank"), Op: algebra.EQ, R: cons("Assistant")},
+		{L: col("f2", "Rank"), Op: algebra.EQ, R: cons("Full")},
+		{L: col("f3", "Rank"), Op: algebra.EQ, R: cons("Associate")},
+		{L: col("f1", "ValidFrom"), Op: algebra.LT, R: col("f3", "ValidTo")},
+		{L: col("f3", "ValidFrom"), Op: algebra.LT, R: col("f1", "ValidTo")},
+		{L: col("f2", "ValidFrom"), Op: algebra.LT, R: col("f3", "ValidTo")},
+		{L: col("f3", "ValidFrom"), Op: algebra.LT, R: col("f2", "ValidTo")},
+	}
+}
+
+// The Section 5 derivation: with the chronological Rank ordering and
+// f1.Name=f2.Name, the conjuncts f1.ValidFrom<f3.ValidTo and
+// f3.ValidFrom<f2.ValidTo are redundant — implied by the remaining atoms
+// plus the integrity constraints.
+func TestSuperstarRedundancy(t *testing.T) {
+	atoms := superstarAtoms()
+	ctx := superstarCtx()
+
+	isRedundant := func(idx int) bool {
+		rest := append(append([]algebra.Atom{}, atoms[:idx]...), atoms[idx+1:]...)
+		sys := NewSystem()
+		Instantiate(sys, rest, ctx, rankOrder(false))
+		AddAtoms(sys, rest, ctx)
+		a := atoms[idx]
+		return sys.Implies(Col(a.L.Col.Var, a.L.Col.Col), a.Op, Col(a.R.Col.Var, a.R.Col.Col))
+	}
+
+	if !isRedundant(4) {
+		t.Error("f1.ValidFrom<f3.ValidTo not derived as redundant")
+	}
+	if !isRedundant(7) {
+		t.Error("f3.ValidFrom<f2.ValidTo not derived as redundant")
+	}
+	if isRedundant(5) {
+		t.Error("f3.ValidFrom<f1.ValidTo wrongly declared redundant")
+	}
+	if isRedundant(6) {
+		t.Error("f2.ValidFrom<f3.ValidTo wrongly declared redundant")
+	}
+
+	// Without the chronological ordering nothing is redundant.
+	sysNoIC := NewSystem()
+	rest := append(append([]algebra.Atom{}, atoms[:4]...), atoms[5:]...)
+	Instantiate(sysNoIC, rest, ctx, nil)
+	AddAtoms(sysNoIC, rest, ctx)
+	if sysNoIC.Implies(Col("f1", "ValidFrom"), algebra.LT, Col("f3", "ValidTo")) {
+		t.Error("redundancy derived without the integrity constraint")
+	}
+}
+
+// Under continuous employment, f1.ValidTo = f2.ValidFrom is derived for the
+// promoted pair (f1 assistant, f2 full? no — consecutive ranks only), so
+// Instantiate must produce equality for adjacent ranks and ≤ otherwise.
+func TestContinuousEmployment(t *testing.T) {
+	ctx := QueryContext{
+		Bindings: map[string]string{"a": "Faculty", "b": "Faculty", "c": "Faculty"},
+		Temporal: map[string][2]string{"Faculty": {"ValidFrom", "ValidTo"}},
+	}
+	col := algebra.Column
+	cons := func(s string) algebra.Operand { return algebra.Const(value.String_(s)) }
+	atoms := []algebra.Atom{
+		{L: col("a", "Name"), Op: algebra.EQ, R: col("b", "Name")},
+		{L: col("b", "Name"), Op: algebra.EQ, R: col("c", "Name")},
+		{L: col("a", "Rank"), Op: algebra.EQ, R: cons("Assistant")},
+		{L: col("b", "Rank"), Op: algebra.EQ, R: cons("Associate")},
+		{L: col("c", "Rank"), Op: algebra.EQ, R: cons("Full")},
+	}
+	sys := NewSystem()
+	Instantiate(sys, atoms, ctx, rankOrder(true))
+	AddAtoms(sys, atoms, ctx)
+
+	if !sys.Implies(Col("a", "ValidTo"), algebra.EQ, Col("b", "ValidFrom")) {
+		t.Error("adjacent ranks must abut under continuous employment")
+	}
+	if !sys.Implies(Col("b", "ValidTo"), algebra.EQ, Col("c", "ValidFrom")) {
+		t.Error("associate/full must abut")
+	}
+	if sys.Implies(Col("a", "ValidTo"), algebra.EQ, Col("c", "ValidFrom")) {
+		t.Error("assistant/full must not abut (associate lies between)")
+	}
+	if !sys.Implies(Col("a", "ValidTo"), algebra.LT, Col("c", "ValidFrom")) {
+		t.Error("assistant ends strictly before full begins (associate period between)")
+	}
+}
+
+// Different names ⇒ no ordering edges.
+func TestNoEdgesWithoutKeyEquality(t *testing.T) {
+	ctx := superstarCtx()
+	col := algebra.Column
+	cons := func(s string) algebra.Operand { return algebra.Const(value.String_(s)) }
+	atoms := []algebra.Atom{
+		{L: col("f1", "Rank"), Op: algebra.EQ, R: cons("Assistant")},
+		{L: col("f2", "Rank"), Op: algebra.EQ, R: cons("Full")},
+	}
+	sys := NewSystem()
+	Instantiate(sys, atoms, ctx, rankOrder(false))
+	AddAtoms(sys, atoms, ctx)
+	if sys.Implies(Col("f1", "ValidTo"), algebra.LE, Col("f2", "ValidFrom")) {
+		t.Error("ordering derived without key equality")
+	}
+	// But the intra-tuple constraints are always present.
+	if !sys.Implies(Col("f1", "ValidFrom"), algebra.LT, Col("f1", "ValidTo")) {
+		t.Error("intra-tuple constraint missing")
+	}
+}
+
+// Key equality must be transitive across variables.
+func TestKeyEqualityTransitive(t *testing.T) {
+	ctx := superstarCtx()
+	col := algebra.Column
+	cons := func(s string) algebra.Operand { return algebra.Const(value.String_(s)) }
+	atoms := []algebra.Atom{
+		{L: col("f1", "Name"), Op: algebra.EQ, R: col("f3", "Name")},
+		{L: col("f3", "Name"), Op: algebra.EQ, R: col("f2", "Name")},
+		{L: col("f1", "Rank"), Op: algebra.EQ, R: cons("Assistant")},
+		{L: col("f2", "Rank"), Op: algebra.EQ, R: cons("Full")},
+	}
+	sys := NewSystem()
+	Instantiate(sys, atoms, ctx, rankOrder(false))
+	if !sys.Implies(Col("f1", "ValidTo"), algebra.LE, Col("f2", "ValidFrom")) {
+		t.Error("transitive key equality not honored")
+	}
+}
+
+func TestAddAtomsSkipsNonTemporal(t *testing.T) {
+	ctx := superstarCtx()
+	col := algebra.Column
+	atoms := []algebra.Atom{
+		// Name is not a temporal column: must not enter the system.
+		{L: col("f1", "Name"), Op: algebra.LT, R: col("f2", "Name")},
+		// Unbound variable: skipped.
+		{L: col("zz", "ValidFrom"), Op: algebra.LT, R: col("f1", "ValidTo")},
+	}
+	sys := NewSystem()
+	AddAtoms(sys, atoms, ctx)
+	if len(sys.Terms()) != 0 {
+		t.Errorf("non-temporal atoms registered terms: %v", sys.Terms())
+	}
+	// Time constants do enter.
+	atoms = []algebra.Atom{
+		{L: col("f1", "ValidFrom"), Op: algebra.GE, R: algebra.Const(value.TimeVal(interval.Time(100)))},
+	}
+	AddAtoms(sys, atoms, ctx)
+	if !sys.Implies(ConstT(100), algebra.LE, Col("f1", "ValidFrom")) {
+		t.Error("time constant comparison not registered")
+	}
+}

@@ -1,0 +1,181 @@
+package constraints
+
+import (
+	"tdb/internal/algebra"
+	"tdb/internal/value"
+)
+
+// ChronOrder declares the chronological ordering of the values an attribute
+// can assume (Section 2's Rank example): for the same key, a tuple carrying
+// an earlier value of Order must end no later than a tuple carrying a later
+// value begins. Continuous additionally asserts the continuous-employment
+// strengthening of Section 5: consecutive values abut exactly
+// (ValidTo_i = ValidFrom_{i+1}) and every history starts at Order[0].
+type ChronOrder struct {
+	Relation   string
+	KeyCol     string // the surrogate, e.g. Name
+	ValCol     string // the ordered attribute, e.g. Rank
+	Order      []string
+	Continuous bool
+}
+
+func (c ChronOrder) rank(v string) int {
+	for i, o := range c.Order {
+		if o == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// QueryContext describes a query to the instantiation step: which relation
+// each range variable scans and the ValidFrom/ValidTo column names of each
+// relation.
+type QueryContext struct {
+	Bindings map[string]string    // range variable → relation name
+	Temporal map[string][2]string // relation name → {TS col, TE col}
+}
+
+// Instantiate adds to sys every edge the integrity constraints imply for
+// the query: the intra-tuple constraint for every range variable over a
+// temporal relation, and the chronological-ordering edges between range
+// variables of the same relation whose key columns the query equates and
+// whose ordered attribute the query binds to constants — exactly the
+// derivation of Section 5 ("f1.ValidTo<f2.ValidFrom always holds in the
+// presence of f1.Name=f2.Name").
+func Instantiate(sys *System, atoms []algebra.Atom, ctx QueryContext, ics []ChronOrder) {
+	// Intra-tuple: v.TS < v.TE.
+	for v, rel := range ctx.Bindings {
+		if tc, ok := ctx.Temporal[rel]; ok {
+			sys.AddLT(Col(v, tc[0]), Col(v, tc[1]))
+		}
+	}
+
+	for _, ic := range ics {
+		tc, ok := ctx.Temporal[ic.Relation]
+		if !ok {
+			continue
+		}
+		// Range variables over the constrained relation.
+		var vars []string
+		for v, rel := range ctx.Bindings {
+			if rel == ic.Relation {
+				vars = append(vars, v)
+			}
+		}
+		// Key-equality classes among those variables (union-find over
+		// the query's key equalities, transitively).
+		parent := map[string]string{}
+		var find func(string) string
+		find = func(v string) string {
+			p, ok := parent[v]
+			if !ok || p == v {
+				return v
+			}
+			root := find(p)
+			parent[v] = root
+			return root
+		}
+		union := func(a, b string) { parent[find(a)] = find(b) }
+		keyEq := func(a algebra.Atom) (string, string, bool) {
+			if a.Op != algebra.EQ || a.L.IsConst || a.R.IsConst {
+				return "", "", false
+			}
+			if a.L.Col.Col != ic.KeyCol || a.R.Col.Col != ic.KeyCol {
+				return "", "", false
+			}
+			return a.L.Col.Var, a.R.Col.Var, true
+		}
+		inScope := map[string]bool{}
+		for _, v := range vars {
+			inScope[v] = true
+		}
+		for _, a := range atoms {
+			if l, r, ok := keyEq(a); ok && inScope[l] && inScope[r] {
+				union(l, r)
+			}
+		}
+		// Constant bindings of the ordered attribute.
+		ranks := map[string]int{}
+		for _, a := range atoms {
+			col, cv, ok := constBinding(a)
+			if !ok || !inScope[col.Var] || col.Col != ic.ValCol {
+				continue
+			}
+			if r := ic.rank(cv); r >= 0 {
+				ranks[col.Var] = r
+			}
+		}
+		// Edges between same-key variables with ordered values.
+		for i, a := range vars {
+			ra, haveA := ranks[a]
+			if !haveA {
+				continue
+			}
+			for _, b := range vars[i+1:] {
+				rb, haveB := ranks[b]
+				if !haveB || find(a) != find(b) {
+					continue
+				}
+				lo, hi, rlo, rhi := a, b, ra, rb
+				if ra > rb {
+					lo, hi, rlo, rhi = b, a, rb, ra
+				}
+				if rlo == rhi {
+					continue
+				}
+				if ic.Continuous && rhi == rlo+1 {
+					sys.AddEQ(Col(lo, tc[1]), Col(hi, tc[0]))
+				} else {
+					sys.AddLE(Col(lo, tc[1]), Col(hi, tc[0]))
+				}
+			}
+		}
+	}
+}
+
+// constBinding recognizes atoms of the form var.Col = "const" (either
+// operand order) over string constants.
+func constBinding(a algebra.Atom) (algebra.ColRef, string, bool) {
+	if a.Op != algebra.EQ {
+		return algebra.ColRef{}, "", false
+	}
+	switch {
+	case !a.L.IsConst && a.R.IsConst && a.R.Const.Kind() == value.KindString:
+		return a.L.Col, a.R.Const.AsString(), true
+	case a.L.IsConst && !a.R.IsConst && a.L.Const.Kind() == value.KindString:
+		return a.R.Col, a.L.Const.AsString(), true
+	}
+	return algebra.ColRef{}, "", false
+}
+
+// AddAtoms registers the order information of the query's own temporal
+// comparison atoms in the system. Only atoms whose column operands belong
+// to the temporal columns of their variable's relation (or compare against
+// integer/time constants) carry time-line order; others are skipped.
+func AddAtoms(sys *System, atoms []algebra.Atom, ctx QueryContext) {
+	temporalCol := func(o algebra.Operand) (Term, bool) {
+		if o.IsConst {
+			if o.Const.Kind() == value.KindString {
+				return Term{}, false
+			}
+			return ConstT(o.Const.AsTime()), true
+		}
+		rel, ok := ctx.Bindings[o.Col.Var]
+		if !ok {
+			return Term{}, false
+		}
+		tc, ok := ctx.Temporal[rel]
+		if !ok || (o.Col.Col != tc[0] && o.Col.Col != tc[1]) {
+			return Term{}, false
+		}
+		return Col(o.Col.Var, o.Col.Col), true
+	}
+	for _, a := range atoms {
+		l, lok := temporalCol(a.L)
+		r, rok := temporalCol(a.R)
+		if lok && rok {
+			sys.AddCmp(l, a.Op, r)
+		}
+	}
+}

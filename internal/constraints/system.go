@@ -1,0 +1,255 @@
+// Package constraints implements the semantic layer of the paper's
+// Section 5: temporal integrity constraints — the intra-tuple constraint
+// ValidFrom < ValidTo, the chronological ordering of attribute values
+// ('Assistant' before 'Associate' before 'Full'), and the continuous-
+// employment strengthening — together with an inference engine over
+// conjunctions of order comparisons. The engine decides which query
+// inequalities are redundant (implied by the remaining conjuncts plus the
+// integrity constraints) and whether a conjunction is contradictory, which
+// is exactly what lets the optimizer reduce the Superstar less-than join to
+// a Contained-semijoin.
+package constraints
+
+import (
+	"fmt"
+	"sort"
+
+	"tdb/internal/algebra"
+	"tdb/internal/interval"
+)
+
+// Term is a node of the inequality graph: a qualified temporal column
+// (f1.ValidFrom) or a time constant.
+type Term struct {
+	IsConst bool
+	Const   interval.Time
+	Var     string
+	Col     string
+}
+
+// Col returns a column term.
+func Col(v, col string) Term { return Term{Var: v, Col: col} }
+
+// ConstT returns a constant chronon term.
+func ConstT(t interval.Time) Term { return Term{IsConst: true, Const: t} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsConst {
+		return fmt.Sprintf("%d", t.Const)
+	}
+	return t.Var + "." + t.Col
+}
+
+func (t Term) key() string {
+	if t.IsConst {
+		return fmt.Sprintf("#%d", t.Const)
+	}
+	return t.Var + "." + t.Col
+}
+
+// System is a set of difference constraints over terms: edges l→r with
+// weight w ∈ {0,1} assert r ≥ l + w, i.e. l ≤ r (w=0) or l < r (w=1) on the
+// discrete time line. Closure is computed on demand; a positive-weight
+// cycle is a contradiction (the conjunction admits no assignment).
+type System struct {
+	ids    map[string]int
+	terms  []Term
+	edges  map[[2]int]int // max weight per ordered pair
+	dist   [][]int        // longest-path closure; nil when stale
+	broken bool
+}
+
+const negInf = int(-1) << 40
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{ids: map[string]int{}, edges: map[[2]int]int{}}
+}
+
+func (s *System) id(t Term) int {
+	k := t.key()
+	if i, ok := s.ids[k]; ok {
+		return i
+	}
+	i := len(s.terms)
+	s.ids[k] = i
+	s.terms = append(s.terms, t)
+	s.dist = nil
+	return i
+}
+
+func (s *System) addEdge(l, r int, w int) {
+	key := [2]int{l, r}
+	if old, ok := s.edges[key]; !ok || w > old {
+		s.edges[key] = w
+		s.dist = nil
+	}
+}
+
+// AddLE asserts l ≤ r.
+func (s *System) AddLE(l, r Term) { s.addEdge(s.id(l), s.id(r), 0) }
+
+// AddLT asserts l < r.
+func (s *System) AddLT(l, r Term) { s.addEdge(s.id(l), s.id(r), 1) }
+
+// AddEQ asserts l = r.
+func (s *System) AddEQ(l, r Term) {
+	li, ri := s.id(l), s.id(r)
+	s.addEdge(li, ri, 0)
+	s.addEdge(ri, li, 0)
+}
+
+// AddCmp asserts a comparison by operator. NE carries no order information
+// on its own and is ignored.
+func (s *System) AddCmp(l Term, op algebra.CmpOp, r Term) {
+	switch op {
+	case algebra.EQ:
+		s.AddEQ(l, r)
+	case algebra.LT:
+		s.AddLT(l, r)
+	case algebra.LE:
+		s.AddLE(l, r)
+	case algebra.GT:
+		s.AddLT(r, l)
+	case algebra.GE:
+		s.AddLE(r, l)
+	}
+}
+
+// close computes the longest-path closure (Floyd–Warshall over max-plus),
+// first grounding the order among the constant terms.
+func (s *System) close() {
+	if s.dist != nil {
+		return
+	}
+	// Ground constants: for each pair, the true order is an edge.
+	var consts []int
+	for i, t := range s.terms {
+		if t.IsConst {
+			consts = append(consts, i)
+		}
+	}
+	sort.Slice(consts, func(a, b int) bool { return s.terms[consts[a]].Const < s.terms[consts[b]].Const })
+	for i := 1; i < len(consts); i++ {
+		a, b := consts[i-1], consts[i]
+		if s.terms[a].Const < s.terms[b].Const {
+			s.addEdge(a, b, 1)
+		} else {
+			s.addEdge(a, b, 0)
+			s.addEdge(b, a, 0)
+		}
+	}
+
+	n := len(s.terms)
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			d[i][j] = negInf
+		}
+		d[i][i] = 0
+	}
+	for e, w := range s.edges {
+		if w > d[e[0]][e[1]] {
+			d[e[0]][e[1]] = w
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d[i][k] == negInf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d[k][j] == negInf {
+					continue
+				}
+				if v := d[i][k] + d[k][j]; v > d[i][j] {
+					if v > 2 {
+						v = 2 // weights saturate; only 0 vs ≥1 matters
+					}
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	s.dist = d
+	s.broken = false
+	for i := 0; i < n; i++ {
+		if d[i][i] > 0 {
+			s.broken = true
+		}
+	}
+}
+
+// Contradictory reports whether the constraints admit no assignment.
+func (s *System) Contradictory() bool {
+	s.close()
+	return s.broken
+}
+
+func (s *System) gap(l, r Term) (int, bool) {
+	// Constants are grounded against every other constant by the closure,
+	// so an unseen constant can simply be registered.
+	if l.IsConst {
+		s.id(l)
+	}
+	if r.IsConst {
+		s.id(r)
+	}
+	li, ok1 := s.ids[l.key()]
+	ri, ok2 := s.ids[r.key()]
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	s.close()
+	if s.dist[li][ri] == negInf {
+		return 0, false
+	}
+	return s.dist[li][ri], true
+}
+
+// Implies reports whether the system entails l op r. A contradictory
+// system entails everything.
+func (s *System) Implies(l Term, op algebra.CmpOp, r Term) bool {
+	if s.Contradictory() {
+		return true
+	}
+	switch op {
+	case algebra.LT:
+		g, ok := s.gap(l, r)
+		return ok && g >= 1
+	case algebra.LE:
+		g, ok := s.gap(l, r)
+		return ok && g >= 0
+	case algebra.GT:
+		g, ok := s.gap(r, l)
+		return ok && g >= 1
+	case algebra.GE:
+		g, ok := s.gap(r, l)
+		return ok && g >= 0
+	case algebra.EQ:
+		// l ≤ r and r ≤ l; a consistent system cannot hold either gap
+		// above 0 in both directions.
+		g1, ok1 := s.gap(l, r)
+		g2, ok2 := s.gap(r, l)
+		return ok1 && ok2 && g1 >= 0 && g2 >= 0
+	}
+	return false
+}
+
+// Clone returns an independent copy of the system.
+func (s *System) Clone() *System {
+	c := NewSystem()
+	c.terms = append([]Term{}, s.terms...)
+	for k, v := range s.ids {
+		c.ids[k] = v
+	}
+	for k, v := range s.edges {
+		c.edges[k] = v
+	}
+	return c
+}
+
+// Terms returns the registered terms (for diagnostics).
+func (s *System) Terms() []Term { return append([]Term{}, s.terms...) }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+
+	"tdb/internal/stream"
+)
+
+// Async adapts a callback-style stream algorithm into a pull-based
+// stream.Stream by running the algorithm in a goroutine and handing its
+// emissions over a channel. It is the glue that lets the join processors
+// participate in stream processor networks (paper Section 4.1: function
+// composition as connecting processors through which data objects flow).
+type Async[T any] struct {
+	ch   chan T
+	err  error // set before ch is closed; read after ch is drained
+	quit chan struct{}
+	once sync.Once
+}
+
+// GoRun starts run in a goroutine; every value passed to the algorithm's
+// emit callback becomes an element of the returned stream. After the
+// consumer calls Stop, further emissions are dropped and the producer runs
+// to completion in the background.
+func GoRun[T any](run func(emit func(T)) error) *Async[T] {
+	a := &Async[T]{ch: make(chan T, 64), quit: make(chan struct{})}
+	go func() {
+		err := run(func(t T) {
+			select {
+			case a.ch <- t:
+			case <-a.quit:
+			}
+		})
+		a.err = err
+		close(a.ch)
+	}()
+	return a
+}
+
+// GoRunPairs is GoRun for two-output algorithms (joins): each emitted pair
+// becomes one stream element.
+func GoRunPairs[T any](run func(emit func(x, y T)) error) *Async[stream.Pair[T, T]] {
+	return GoRun(func(emit func(stream.Pair[T, T])) error {
+		return run(func(x, y T) { emit(stream.Pair[T, T]{First: x, Second: y}) })
+	})
+}
+
+// Next implements stream.Stream.
+func (a *Async[T]) Next() (T, bool) {
+	t, ok := <-a.ch
+	return t, ok
+}
+
+// Err implements stream.Stream. It is meaningful once Next has returned
+// ok=false (the channel close happens after err is set).
+func (a *Async[T]) Err() error { return a.err }
+
+// Stop abandons the stream: the producer's remaining emissions are dropped
+// and its goroutine finishes in the background. Stop is idempotent.
+func (a *Async[T]) Stop() {
+	a.once.Do(func() { close(a.quit) })
+	// Drain so the producer is never blocked on a full channel.
+	go func() {
+		for range a.ch {
+		}
+	}()
+}

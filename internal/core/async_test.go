@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+func TestGoRunPairsPipelines(t *testing.T) {
+	xs := sorted([]item{{1, interval.New(0, 20)}, {2, interval.New(2, 9)}}, relation.Order{relation.TSAsc})
+	ys := sorted([]item{{10, interval.New(1, 5)}, {11, interval.New(3, 8)}}, relation.Order{relation.TSAsc})
+
+	s := GoRunPairs(func(emit func(x, y item)) error {
+		return ContainJoinTSTS(streamOf(xs), streamOf(ys), itemSpan, Options{}, emit)
+	})
+	pairs, err := stream.Collect[stream.Pair[item, item]](s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 { // x1⊃y10, x1⊃y11, x2⊃y11
+		t.Fatalf("got %d pairs: %v", len(pairs), pairs)
+	}
+	// The async stream composes with ordinary combinators.
+	s2 := GoRunPairs(func(emit func(x, y item)) error {
+		return ContainJoinTSTS(streamOf(xs), streamOf(ys), itemSpan, Options{}, emit)
+	})
+	onlyX1 := stream.Filter[stream.Pair[item, item]](s2, func(p stream.Pair[item, item]) bool {
+		return p.First.id == 1
+	})
+	got, err := stream.Collect(onlyX1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("filtered pipeline got %d", len(got))
+	}
+}
+
+func TestGoRunError(t *testing.T) {
+	boom := errors.New("boom")
+	s := GoRun(func(emit func(int)) error {
+		emit(1)
+		return boom
+	})
+	var got []int
+	for {
+		x, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, x)
+	}
+	if len(got) != 1 || !errors.Is(s.Err(), boom) {
+		t.Fatalf("got %v err %v", got, s.Err())
+	}
+}
+
+func TestGoRunStop(t *testing.T) {
+	// A producer much larger than the channel buffer must finish after
+	// Stop rather than deadlock.
+	done := make(chan struct{})
+	s := GoRun(func(emit func(int)) error {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			emit(i)
+		}
+		return nil
+	})
+	if _, ok := s.Next(); !ok {
+		t.Fatal("no first element")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	<-done   // producer ran to completion
+}

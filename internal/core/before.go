@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// BeforeJoinSorted evaluates Before-join(X,Y) — X.TE < Y.TS — with X
+// streamed in ValidTo ascending order and Y materialized, sorted on
+// ValidFrom ascending. The paper observes that no sort ordering bounds the
+// state of a single-pass stream implementation of Before-join (its result
+// is inherently near-Cartesian), but that "with proper sort orders,
+// nested-loop join can avoid scanning the inner relation in its entirety":
+// for each x only the suffix of Y starting at the first y with
+// y.TS > x.TE qualifies, and because X arrives in ValidTo order that
+// suffix start moves monotonically, located here by binary search.
+func BeforeJoinSorted[T any](xs stream.Stream[T], ys []T, span Span[T], opt Options, emit func(x, y T)) error {
+	const name = "before-join[TE↑;Y sorted TS↑]"
+	in := ordered(xs, span, relation.Order{relation.TEAsc}, opt.VerifyOrder)
+	probe := opt.Probe
+	probe.SetBuffers(1)
+	// The materialized inner relation is workspace.
+	probe.StateAdd(int64(len(ys)))
+
+	if err := relation.CheckSortedSpans(ys, func(t T) interval.Interval { return span(t) }, relation.Order{relation.TSAsc}); err != nil {
+		probe.StateRemove(int64(len(ys)))
+		return orderError(name, err)
+	}
+
+	lo := 0 // first possibly-qualifying suffix start; monotone in x.TE
+	for {
+		x, ok := in.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadLeft()
+		xe := span(x).End
+		// First y with y.TS > x.TE, searched within the remaining suffix.
+		d := sort.Search(len(ys)-lo, func(i int) bool {
+			return span(ys[lo+i]).Start > xe
+		})
+		lo += d
+		// Every y from that point on qualifies for this x; x.TE is
+		// non-decreasing, so the suffix can only shrink for later x.
+		for i := lo; i < len(ys); i++ {
+			probe.IncComparisons(1)
+			probe.IncEmitted(1)
+			emit(x, ys[i])
+		}
+	}
+	probe.StateRemove(int64(len(ys)))
+	return orderError(name, in.Err())
+}
+
+// BeforeSemijoin evaluates Before-semijoin(X,Y) — select each x for which
+// some y begins strictly after x ends. As Section 4.2.4 notes, a simple
+// algorithm scans both operands once and is independent of any sort
+// ordering: one pass over Y finds the maximal ValidFrom, one pass over X
+// emits every x with x.TE < max. Workspace: the two input buffers plus the
+// single summary chronon.
+func BeforeSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	const name = "before-semijoin"
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	maxTS := interval.MinTime
+	sawY := false
+	for {
+		y, ok := ys.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadRight()
+		if ts := span(y).Start; !sawY || ts > maxTS {
+			maxTS, sawY = ts, true
+		}
+	}
+	if err := ys.Err(); err != nil {
+		return orderError(name, err)
+	}
+	probe.IncPasses()
+
+	for {
+		x, ok := xs.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadLeft()
+		probe.IncComparisons(1)
+		if sawY && span(x).End < maxTS {
+			probe.IncEmitted(1)
+			emit(x)
+		}
+	}
+	probe.IncPasses()
+	return orderError(name, xs.Err())
+}

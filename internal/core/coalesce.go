@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"tdb/internal/interval"
+	"tdb/internal/stream"
+)
+
+// Coalesce merges value-equivalent tuples whose lifespans meet or overlap
+// into maximal lifespans — the canonical form of a Time Sequence under
+// stepwise-constant interpolation (the paper's Section 2 data construct,
+// where an object's periods with the same attribute value are conceptually
+// one). The input must be grouped by key (surrogate and value) with each
+// group sorted on ValidFrom ascending; the output preserves that order and
+// the operator is itself a stream processor with a single pending element
+// of state, so its output can feed the join algorithms directly.
+//
+// rewrap produces the output element for a representative input element
+// and its coalesced lifespan (e.g. rebuild a tuple with the merged span).
+func Coalesce[T any, K comparable](in stream.Stream[T], key func(T) K, span Span[T],
+	rewrap func(T, interval.Interval) T, opt Options, emit func(T)) error {
+
+	const name = "coalesce"
+	probe := opt.Probe
+	probe.SetBuffers(1)
+
+	var (
+		curKey  K
+		rep     T
+		curSpan interval.Interval
+		open    bool
+	)
+	flush := func() {
+		if open {
+			probe.IncEmitted(1)
+			emit(rewrap(rep, curSpan))
+			probe.StateRemove(1)
+			open = false
+		}
+	}
+	for {
+		x, ok := in.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadLeft()
+		k, s := key(x), span(x)
+		if open && k == curKey {
+			if s.Start < curSpan.Start {
+				return fmt.Errorf("%s: group not sorted on ValidFrom: %v after %v", name, s, curSpan)
+			}
+			probe.IncComparisons(1)
+			if s.Start <= curSpan.End { // meets or overlaps: extend
+				if s.End > curSpan.End {
+					curSpan.End = s.End
+				}
+				continue
+			}
+		}
+		flush()
+		curKey, rep, curSpan, open = k, x, s, true
+		probe.StateAdd(1)
+	}
+	flush()
+	return orderError(name, in.Err())
+}

@@ -1,0 +1,143 @@
+// Package core implements the paper's primary contribution: stream
+// processing algorithms for temporal join and semijoin operators
+// (Section 4.2). Each algorithm consumes its inputs exactly once, in a
+// required sort order, keeping a local state whose size is characterized by
+// Tables 1–3 of the paper; the state is instrumented through
+// metrics.Probe so the experiments can measure the characterizations.
+//
+// The algorithms are generic over the element type T with a lifespan
+// accessor, so the same implementations serve the canonical 4-tuple of the
+// data model, engine rows, and plain intervals in tests.
+//
+// Naming follows the paper:
+//
+//   - Contain-join(X,Y) pairs x with y when the lifespan of x contains that
+//     of y: x.TS < y.TS ∧ y.TE < x.TE (y "during" x, strictly).
+//   - Contain-semijoin(X,Y) selects the x that contain at least one y.
+//   - Contained-semijoin(X,Y) selects the x contained in at least one y.
+//   - Overlap uses the general TQuel sense: the lifespans share a chronon.
+//   - Before-join(X,Y) pairs x with y when x.TE < y.TS.
+package core
+
+import (
+	"fmt"
+
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// Span extracts the lifespan of an element.
+type Span[T any] func(T) interval.Interval
+
+// ReadPolicy selects which input stream a two-input stream processor
+// advances next. Correctness does not depend on the policy — garbage
+// collection only discards tuples that cannot match any future tuple of the
+// other stream — but the workspace profile does (Section 4.2.1).
+type ReadPolicy uint8
+
+const (
+	// ReadSweep advances the stream whose buffered head is earliest in
+	// the sweep order. It keeps the lookahead component of the state
+	// empty: the state reduces to the spanning sets of Table 1.
+	ReadSweep ReadPolicy = iota
+	// ReadLambda is the paper's policy: advance the stream expected to
+	// let the most state tuples be discarded, estimating the frontier
+	// advance with the mean inter-arrival gaps 1/λx and 1/λy. It
+	// reproduces the paper's full state characterization, including the
+	// lookahead component.
+	ReadLambda
+)
+
+// String names the policy.
+func (p ReadPolicy) String() string {
+	if p == ReadLambda {
+		return "lambda"
+	}
+	return "sweep"
+}
+
+// Options configures a stream algorithm run.
+type Options struct {
+	// Probe receives cost accounting; nil disables instrumentation.
+	Probe *metrics.Probe
+	// Policy selects the read policy for the two-input join engines.
+	Policy ReadPolicy
+	// LambdaX and LambdaY are the mean arrival rates (tuples per
+	// chronon) of the inputs, used by ReadLambda. Zero means unknown; the
+	// engine falls back to a gap of 1 chronon.
+	LambdaX, LambdaY float64
+	// VerifyOrder wraps the inputs so that a violation of the
+	// algorithm's required sort order fails the run with a descriptive
+	// error instead of silently producing a wrong answer.
+	VerifyOrder bool
+}
+
+// gapX returns the expected frontier advance 1/λx in chronons, at least 1.
+func (o Options) gapX() interval.Time {
+	if o.LambdaX <= 0 {
+		return 1
+	}
+	g := interval.Time(1 / o.LambdaX)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func (o Options) gapY() interval.Time {
+	if o.LambdaY <= 0 {
+		return 1
+	}
+	g := interval.Time(1 / o.LambdaY)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// peek is a one-element lookahead over a stream: the buffered head is the
+// paper's input buffer (Buffer-x / Buffer-y).
+type peek[T any] struct {
+	in     stream.Stream[T]
+	head   T
+	ok     bool
+	primed bool
+}
+
+func newPeek[T any](in stream.Stream[T]) *peek[T] { return &peek[T]{in: in} }
+
+// Head returns the buffered element without consuming it.
+func (p *peek[T]) Head() (T, bool) {
+	if !p.primed {
+		p.head, p.ok = p.in.Next()
+		p.primed = true
+	}
+	return p.head, p.ok
+}
+
+// Take consumes and returns the buffered element.
+func (p *peek[T]) Take() (T, bool) {
+	x, ok := p.Head()
+	p.primed = false
+	return x, ok
+}
+
+func (p *peek[T]) Err() error { return p.in.Err() }
+
+// ordered wraps a stream with an order check when opt.VerifyOrder is set.
+func ordered[T any](in stream.Stream[T], span Span[T], o relation.Order, verify bool) stream.Stream[T] {
+	if !verify {
+		return in
+	}
+	return stream.CheckOrdered(in, span, o.Compare)
+}
+
+// orderError decorates a stream error with the operator name.
+func orderError(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w", op, err)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// item is a test element: a lifespan with an identity, so that oracle
+// comparisons distinguish duplicates of the same span.
+type item struct {
+	id int
+	iv interval.Interval
+}
+
+func itemSpan(t item) interval.Interval { return t.iv }
+
+func (t item) String() string { return fmt.Sprintf("#%d%v", t.id, t.iv) }
+
+// genItems draws a random workload: starts form a random walk (so data can
+// be sorted any way we need), durations mix short and long so containment
+// and overlap are both well represented.
+func genItems(rng *rand.Rand, n int, idBase int) []item {
+	items := make([]item, n)
+	start := interval.Time(0)
+	for i := range items {
+		start += interval.Time(rng.Intn(4))
+		dur := interval.Time(1 + rng.Intn(12))
+		if rng.Intn(4) == 0 {
+			dur += interval.Time(rng.Intn(40)) // occasional long interval
+		}
+		items[i] = item{id: idBase + i, iv: interval.New(start, start+dur)}
+	}
+	// Shuffle so tests must sort explicitly.
+	rng.Shuffle(n, func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return items
+}
+
+func sorted(items []item, o relation.Order) []item {
+	c := append([]item(nil), items...)
+	relation.SortSpans(c, itemSpan, o)
+	return c
+}
+
+func streamOf(items []item) stream.Stream[item] { return stream.FromSlice(items) }
+
+// pairKey canonicalizes a joined pair for set comparison.
+func pairKey(x, y item) string { return fmt.Sprintf("%d|%d", x.id, y.id) }
+
+func collectPairs(t *testing.T, run func(emit func(x, y item)) error) map[string]bool {
+	t.Helper()
+	got := map[string]bool{}
+	if err := run(func(x, y item) {
+		k := pairKey(x, y)
+		if got[k] {
+			t.Fatalf("pair %s emitted twice", k)
+		}
+		got[k] = true
+	}); err != nil {
+		t.Fatalf("join failed: %v", err)
+	}
+	return got
+}
+
+func collectSemi(t *testing.T, run func(emit func(item)) error) map[int]bool {
+	t.Helper()
+	got := map[int]bool{}
+	if err := run(func(x item) {
+		if got[x.id] {
+			t.Fatalf("tuple #%d emitted twice", x.id)
+		}
+		got[x.id] = true
+	}); err != nil {
+		t.Fatalf("semijoin failed: %v", err)
+	}
+	return got
+}
+
+// oraclePairs computes the reference join result by exhaustive enumeration.
+func oraclePairs(xs, ys []item, theta func(x, y interval.Interval) bool) map[string]bool {
+	want := map[string]bool{}
+	for _, x := range xs {
+		for _, y := range ys {
+			if theta(x.iv, y.iv) {
+				want[pairKey(x, y)] = true
+			}
+		}
+	}
+	return want
+}
+
+func oracleSemi(xs, ys []item, theta func(x, y interval.Interval) bool) map[int]bool {
+	want := map[int]bool{}
+	for _, x := range xs {
+		for _, y := range ys {
+			if theta(x.iv, y.iv) {
+				want[x.id] = true
+				break
+			}
+		}
+	}
+	return want
+}
+
+func samePairs(t *testing.T, name string, got, want map[string]bool, xs, ys []item) {
+	t.Helper()
+	if len(got) == len(want) {
+		equal := true
+		for k := range want {
+			if !got[k] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return
+		}
+	}
+	t.Errorf("%s: got %d pairs, want %d\nX=%v\nY=%v\ngot=%v\nwant=%v",
+		name, len(got), len(want), xs, ys, keys(got), keys(want))
+}
+
+func sameSemi(t *testing.T, name string, got, want map[int]bool, xs, ys []item) {
+	t.Helper()
+	if len(got) == len(want) {
+		equal := true
+		for k := range want {
+			if !got[k] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return
+		}
+	}
+	t.Errorf("%s: got %d tuples, want %d\nX=%v\nY=%v\ngot=%v want=%v",
+		name, len(got), len(want), xs, ys, got, want)
+}
+
+func keys(m map[string]bool) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// maxCoverage returns the maximum number of lifespans covering any single
+// chronon — the analytic bound for the spanning-set state components of
+// Table 1.
+func maxCoverage(items []item) int {
+	type ev struct {
+		t     interval.Time
+		delta int
+	}
+	var evs []ev
+	for _, it := range items {
+		evs = append(evs, ev{it.iv.Start, +1}, ev{it.iv.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta // ends before starts at ties
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// overlapTheta is the general TQuel overlap predicate.
+func overlapTheta(x, y interval.Interval) bool { return x.Intersects(y) }
+
+// containedTheta: x strictly inside y.
+func containedTheta(x, y interval.Interval) bool { return containMatch(y, x) }
+
+func newProbe() *metrics.Probe { return &metrics.Probe{} }

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// held is a state tuple: the element plus its cached lifespan.
+type held[T any] struct {
+	elem T
+	span interval.Interval
+}
+
+// joinSpec describes one sort-order variant of a symmetric two-input stream
+// join to the generic engine. The sweep keys give the monotone sort key of
+// each input; the dead predicates are the garbage-collection criteria of
+// the paper: xDead(x, k) must hold only when x can match no y whose sweep
+// key is ≥ k (and symmetrically for yDead), which is exactly the condition
+// "the tuples being discarded do not satisfy the join condition with any
+// subsequent tuple" of Section 4.2.1.
+type joinSpec struct {
+	name           string
+	match          func(x, y interval.Interval) bool
+	keyX, keyY     func(interval.Interval) interval.Time
+	xDead          func(x interval.Interval, yFrontier interval.Time) bool
+	yDead          func(y interval.Interval, xFrontier interval.Time) bool
+	orderX, orderY relation.Order
+	// sweepY, when set, overrides keyY for the ReadSweep side choice: the
+	// TS↑/TE↑ contain-join sweeps X against the *ValidFrom* of the
+	// buffered y (reading only the x that could still start before it)
+	// while garbage collection works on the ValidTo frontier.
+	sweepY func(interval.Interval) interval.Time
+}
+
+// symJoin is the generic symmetric stream join engine. It reads each input
+// exactly once under the configured read policy, maintains one state list
+// per input, emits each qualifying pair exactly once (when its later-read
+// element arrives and finds the earlier one in the opposite state), and
+// garbage-collects with the spec's criteria.
+func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	px := newPeek(ordered(xs, span, spec.orderX, opt.VerifyOrder))
+	py := newPeek(ordered(ys, span, spec.orderY, opt.VerifyOrder))
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	var stateX, stateY []held[T]
+
+	// gc filters a state list in place, keeping elements for which dead
+	// is false, and accounts the discards.
+	gc := func(state []held[T], dead func(interval.Interval, interval.Time) bool, frontier interval.Time) []held[T] {
+		kept := state[:0]
+		for _, h := range state {
+			if dead(h.span, frontier) {
+				continue
+			}
+			kept = append(kept, h)
+		}
+		probe.StateRemove(int64(len(state) - len(kept)))
+		return kept
+	}
+
+	for {
+		xh, xok := px.Head()
+		if !xok && px.Err() != nil {
+			return orderError(spec.name, px.Err())
+		}
+		yh, yok := py.Head()
+		if !yok && py.Err() != nil {
+			return orderError(spec.name, py.Err())
+		}
+
+		// Termination (Section 4.2.1 step 5): both streams consumed, or a
+		// stream is exhausted with no corresponding state tuple — every
+		// remaining pair would need an element that can no longer appear.
+		if !xok && !yok {
+			break
+		}
+		if (!xok && len(stateX) == 0) || (!yok && len(stateY) == 0) {
+			break
+		}
+
+		readX := chooseSide(spec, opt, xh, yh, xok, yok, span, stateX, stateY)
+
+		if readX {
+			x, _ := px.Take()
+			probe.IncReadLeft()
+			sx := span(x)
+			fx := spec.keyX(sx) // future X sweep keys are >= fx
+			stateY = gc(stateY, spec.yDead, fx)
+			for _, h := range stateY {
+				probe.IncComparisons(1)
+				if spec.match(sx, h.span) {
+					probe.IncEmitted(1)
+					emit(x, h.elem)
+				}
+			}
+			// Retain x unless it is already dead against every future y.
+			yFrontier := interval.MaxTime
+			if yok {
+				yFrontier = spec.keyY(span(yh))
+			}
+			if !spec.xDead(sx, yFrontier) {
+				stateX = append(stateX, held[T]{elem: x, span: sx})
+				probe.StateAdd(1)
+			}
+		} else {
+			y, _ := py.Take()
+			probe.IncReadRight()
+			sy := span(y)
+			fy := spec.keyY(sy)
+			stateX = gc(stateX, spec.xDead, fy)
+			for _, h := range stateX {
+				probe.IncComparisons(1)
+				if spec.match(h.span, sy) {
+					probe.IncEmitted(1)
+					emit(h.elem, y)
+				}
+			}
+			xFrontier := interval.MaxTime
+			if xok {
+				xFrontier = spec.keyX(span(xh))
+			}
+			if !spec.yDead(sy, xFrontier) {
+				stateY = append(stateY, held[T]{elem: y, span: sy})
+				probe.StateAdd(1)
+			}
+		}
+	}
+	// Release whatever state remains.
+	probe.StateRemove(int64(len(stateX) + len(stateY)))
+	return nil
+}
+
+// chooseSide decides which input to advance. With ReadSweep it picks the
+// smaller buffered sweep key (ties to X); with ReadLambda it implements the
+// paper's policy: read the stream expected to let the most state tuples be
+// discarded, estimating the frontier advance with 1/λ.
+func chooseSide[T any](spec joinSpec, opt Options, xh, yh T, xok, yok bool, span Span[T], stateX, stateY []held[T]) bool {
+	switch {
+	case !xok:
+		return false
+	case !yok:
+		return true
+	}
+	kx := spec.keyX(span(xh))
+	ky := spec.keyY(span(yh))
+	if opt.Policy == ReadSweep {
+		sy := ky
+		if spec.sweepY != nil {
+			sy = spec.sweepY(span(yh))
+		}
+		return kx <= sy
+	}
+	// ReadLambda: estimate disposable counts.
+	disposableY := 0
+	for _, h := range stateY {
+		if spec.yDead(h.span, kx+opt.gapX()) {
+			disposableY++
+		}
+	}
+	disposableX := 0
+	for _, h := range stateX {
+		if spec.xDead(h.span, ky+opt.gapY()) {
+			disposableX++
+		}
+	}
+	if disposableY != disposableX {
+		return disposableY > disposableX // reading X frees Y-state tuples
+	}
+	return kx <= ky
+}
+
+// containMatch is the Contain-join condition: the lifespan of x contains
+// that of y, X.TS < Y.TS ∧ Y.TE < X.TE (paper Section 4.2.1).
+func containMatch(x, y interval.Interval) bool {
+	return x.Start < y.Start && y.End < x.End
+}
+
+// ContainJoinTSTS evaluates Contain-join(X,Y) with both inputs sorted on
+// ValidFrom ascending (paper Figure 5, Table 1 case (a)). The retained
+// state is {x whose lifespan spans the Y frontier} plus, under ReadLambda,
+// the paper's lookahead component {y whose ValidFrom lies in the lifespan
+// of the buffered x}; under ReadSweep the Y component is empty.
+func ContainJoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	spec := joinSpec{
+		name:   "contain-join[TS↑,TS↑]",
+		match:  containMatch,
+		keyX:   func(s interval.Interval) interval.Time { return s.Start },
+		keyY:   func(s interval.Interval) interval.Time { return s.Start },
+		xDead:  func(x interval.Interval, yk interval.Time) bool { return x.End <= yk },
+		yDead:  func(y interval.Interval, xk interval.Time) bool { return y.Start <= xk },
+		orderX: relation.Order{relation.TSAsc},
+		orderY: relation.Order{relation.TSAsc},
+	}
+	return symJoin(spec, xs, ys, span, opt, emit)
+}
+
+// ContainJoinTSTE evaluates Contain-join(X,Y) with X sorted on ValidFrom
+// ascending and Y on ValidTo ascending (Table 1 case (b)): the retained
+// state is {x whose lifespan spans the Y ValidTo frontier} ∪ {y contained
+// in the lifespan of the buffered x}.
+//
+// Note: the paper's garbage-collection phase for this ordering reads
+// "dispose of X tuples if X.ValidTo > yb.ValidTo"; the comparison is
+// inverted there (it would discard exactly the tuples that can still
+// join). We implement the condition consistent with the paper's own state
+// characterization (b): discard x once X.ValidTo ≤ the Y ValidTo frontier.
+func ContainJoinTSTE[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	spec := joinSpec{
+		name:   "contain-join[TS↑,TE↑]",
+		match:  containMatch,
+		keyX:   func(s interval.Interval) interval.Time { return s.Start },
+		keyY:   func(s interval.Interval) interval.Time { return s.End },
+		xDead:  func(x interval.Interval, yk interval.Time) bool { return x.End <= yk },
+		yDead:  func(y interval.Interval, xk interval.Time) bool { return y.Start <= xk },
+		orderX: relation.Order{relation.TSAsc},
+		orderY: relation.Order{relation.TEAsc},
+		sweepY: func(s interval.Interval) interval.Time { return s.Start },
+	}
+	return symJoin(spec, xs, ys, span, opt, emit)
+}
+
+// OverlapJoin evaluates Overlap-join(X,Y) — general TQuel overlap,
+// X.TS < Y.TE ∧ Y.TS < X.TE — with both inputs sorted on ValidFrom
+// ascending, the only appropriate ascending ordering (Table 2). The state
+// is the set of tuples of each input whose lifespan spans the other
+// input's frontier.
+func OverlapJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	spec := joinSpec{
+		name:   "overlap-join[TS↑,TS↑]",
+		match:  func(x, y interval.Interval) bool { return x.Intersects(y) },
+		keyX:   func(s interval.Interval) interval.Time { return s.Start },
+		keyY:   func(s interval.Interval) interval.Time { return s.Start },
+		xDead:  func(x interval.Interval, yk interval.Time) bool { return x.End <= yk },
+		yDead:  func(y interval.Interval, xk interval.Time) bool { return y.End <= xk },
+		orderX: relation.Order{relation.TSAsc},
+		orderY: relation.Order{relation.TSAsc},
+	}
+	return symJoin(spec, xs, ys, span, opt, emit)
+}
+
+// BufferedLoopJoin is the honest stream fallback for the sort orderings
+// Table 1 marks "–" (no garbage-collection criteria exist): it buffers the
+// whole left input as state and streams the right input against it. Its
+// workspace is |X| + the input buffers, which is what the experiments
+// measure to substantiate the "–" entries. It accepts any θ predicate over
+// the two lifespans.
+func BufferedLoopJoin[T any](xs, ys stream.Stream[T], span Span[T], match func(x, y interval.Interval) bool, opt Options, emit func(x, y T)) error {
+	probe := opt.Probe
+	probe.SetBuffers(2)
+	var stateX []held[T]
+	for {
+		x, ok := xs.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadLeft()
+		stateX = append(stateX, held[T]{elem: x, span: span(x)})
+		probe.StateAdd(1)
+	}
+	if err := xs.Err(); err != nil {
+		return orderError("buffered-loop-join", err)
+	}
+	for {
+		y, ok := ys.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadRight()
+		sy := span(y)
+		for _, h := range stateX {
+			probe.IncComparisons(1)
+			if match(h.span, sy) {
+				probe.IncEmitted(1)
+				emit(h.elem, y)
+			}
+		}
+	}
+	if err := ys.Err(); err != nil {
+		return orderError("buffered-loop-join", err)
+	}
+	probe.StateRemove(int64(len(stateX)))
+	return nil
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// Hand-checked Contain-join example in the spirit of Figure 5.
+func TestContainJoinTSTSExample(t *testing.T) {
+	xs := []item{
+		{1, interval.New(0, 20)},
+		{2, interval.New(3, 6)},
+		{3, interval.New(5, 30)},
+	}
+	ys := []item{
+		{14, interval.New(0, 40)},  // inside nothing
+		{10, interval.New(1, 4)},   // inside x1
+		{11, interval.New(4, 5)},   // inside x1
+		{12, interval.New(6, 20)},  // inside x3 only (x1 shares the end)
+		{13, interval.New(25, 29)}, // inside x3
+	}
+	probe := newProbe()
+	got := collectPairs(t, func(emit func(x, y item)) error {
+		return ContainJoinTSTS(streamOf(xs), streamOf(ys), itemSpan,
+			Options{Probe: probe, VerifyOrder: true}, emit)
+	})
+	want := map[string]bool{"1|10": true, "1|11": true, "2|11": true, "3|12": true, "3|13": true}
+	samePairs(t, "contain-join example", got, want, xs, ys)
+	if probe.ReadLeft != int64(len(xs)) {
+		t.Errorf("X read %d times, want single pass over %d", probe.ReadLeft, len(xs))
+	}
+	if probe.ReadRight != int64(len(ys)) {
+		t.Errorf("Y read %d tuples, want %d", probe.ReadRight, len(ys))
+	}
+}
+
+func containJoinVariants() map[string]struct {
+	orderX, orderY relation.Order
+	run            func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error
+} {
+	type variant = struct {
+		orderX, orderY relation.Order
+		run            func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error
+	}
+	return map[string]variant{
+		"TS↑,TS↑": {
+			relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc},
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return ContainJoinTSTS(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		"TS↑,TE↑": {
+			relation.Order{relation.TSAsc}, relation.Order{relation.TEAsc},
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return ContainJoinTSTE(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		"TE↓,TE↓": {
+			relation.Order{relation.TEDesc}, relation.Order{relation.TEDesc},
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return ContainJoinTEDesc(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		"TE↓,TS↓": {
+			relation.Order{relation.TEDesc}, relation.Order{relation.TSDesc},
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return ContainJoinTEDescTSDesc(xs, ys, itemSpan, opt, emit)
+			},
+		},
+	}
+}
+
+// Property: every Contain-join variant agrees with the exhaustive oracle
+// under both read policies, across random instances including empty and
+// tiny inputs.
+func TestContainJoinMatchesOracle(t *testing.T) {
+	variants := containJoinVariants()
+	for name, v := range variants {
+		for _, policy := range []ReadPolicy{ReadSweep, ReadLambda} {
+			name, v, policy := name, v, policy
+			t.Run(name+"/"+policy.String(), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(42))
+				for trial := 0; trial < 250; trial++ {
+					xs := genItems(rng, rng.Intn(30), 0)
+					ys := genItems(rng, rng.Intn(30), 1000)
+					sx, sy := sorted(xs, v.orderX), sorted(ys, v.orderY)
+					opt := Options{Policy: policy, VerifyOrder: true, LambdaX: 0.5, LambdaY: 0.5}
+					got := collectPairs(t, func(emit func(x, y item)) error {
+						return v.run(streamOf(sx), streamOf(sy), opt, emit)
+					})
+					want := oraclePairs(xs, ys, containMatch)
+					samePairs(t, name, got, want, sx, sy)
+					if t.Failed() {
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+// sweepPeakBound computes, per consumed y of the sweep, the set of x that
+// could be retained just before y is consumed — {x : x.TS ≤ y.TS, x.TE >
+// previous GC frontier} — and returns the maximum. It is the analytic
+// upper bound on the sweep-policy state (the spanning-set characterization
+// of Table 1 with the lookahead between consecutive y tuples included).
+func sweepPeakBound(xs, ys []item, orderY relation.Order, gcKey func(interval.Interval) interval.Time) int64 {
+	sy := sorted(ys, orderY)
+	prev := interval.MinTime
+	maxTS := interval.MinTime // heads seen so far drive the X read frontier
+	var best int64
+	for _, y := range sy {
+		if y.iv.Start > maxTS {
+			maxTS = y.iv.Start
+		}
+		var cnt int64
+		for _, x := range xs {
+			if x.iv.Start <= maxTS && x.iv.End > prev {
+				cnt++
+			}
+		}
+		if cnt > best {
+			best = cnt
+		}
+		prev = gcKey(y.iv)
+	}
+	return best
+}
+
+// Property: the sweep-policy state never exceeds the analytic peak bound —
+// the spanning-set characterization (a)/(b) of Table 1 with an empty
+// Y-side lookahead component.
+func TestContainJoinSweepStateBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tsKeyF := func(s interval.Interval) interval.Time { return s.Start }
+	teKeyF := func(s interval.Interval) interval.Time { return s.End }
+	for trial := 0; trial < 150; trial++ {
+		xs := genItems(rng, 5+rng.Intn(40), 0)
+		ys := genItems(rng, 5+rng.Intn(40), 1000)
+
+		probe := newProbe()
+		err := ContainJoinTSTS(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+			streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan,
+			Options{Probe: probe, Policy: ReadSweep}, func(a, b item) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound := sweepPeakBound(xs, ys, relation.Order{relation.TSAsc}, tsKeyF); probe.StateHighWater > bound {
+			t.Fatalf("TS↑,TS↑: state high water %d exceeds analytic peak %d", probe.StateHighWater, bound)
+		}
+
+		probe = newProbe()
+		err = ContainJoinTSTE(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+			streamOf(sorted(ys, relation.Order{relation.TEAsc})), itemSpan,
+			Options{Probe: probe, Policy: ReadSweep}, func(a, b item) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound := sweepPeakBound(xs, ys, relation.Order{relation.TEAsc}, teKeyF); probe.StateHighWater > bound {
+			t.Fatalf("TS↑,TE↑: state high water %d exceeds analytic peak %d", probe.StateHighWater, bound)
+		}
+	}
+}
+
+func TestOverlapJoinMatchesOracle(t *testing.T) {
+	for _, policy := range []ReadPolicy{ReadSweep, ReadLambda} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 250; trial++ {
+				xs := genItems(rng, rng.Intn(30), 0)
+				ys := genItems(rng, rng.Intn(30), 1000)
+				opt := Options{Policy: policy, VerifyOrder: true, LambdaX: 0.3, LambdaY: 0.7}
+				got := collectPairs(t, func(emit func(x, y item)) error {
+					return OverlapJoin(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+						streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan, opt, emit)
+				})
+				want := oraclePairs(xs, ys, overlapTheta)
+				samePairs(t, "overlap-join", got, want, xs, ys)
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestOverlapJoinTEDescMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		xs := genItems(rng, rng.Intn(25), 0)
+		ys := genItems(rng, rng.Intn(25), 1000)
+		got := collectPairs(t, func(emit func(x, y item)) error {
+			return OverlapJoinTEDesc(streamOf(sorted(xs, relation.Order{relation.TEDesc})),
+				streamOf(sorted(ys, relation.Order{relation.TEDesc})), itemSpan,
+				Options{VerifyOrder: true}, emit)
+		})
+		want := oraclePairs(xs, ys, overlapTheta)
+		samePairs(t, "overlap-join TE↓", got, want, xs, ys)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// The overlap sweep state is bounded by the joint concurrency of both
+// inputs (Table 2 case (a)).
+func TestOverlapJoinStateBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		xs := genItems(rng, 5+rng.Intn(40), 0)
+		ys := genItems(rng, 5+rng.Intn(40), 1000)
+		probe := newProbe()
+		err := OverlapJoin(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+			streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan,
+			Options{Probe: probe}, func(a, b item) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := int64(maxCoverage(xs) + maxCoverage(ys))
+		if probe.StateHighWater > bound {
+			t.Fatalf("state high water %d exceeds joint concurrency %d", probe.StateHighWater, bound)
+		}
+	}
+}
+
+func TestBufferedLoopJoinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		xs := genItems(rng, rng.Intn(25), 0)
+		ys := genItems(rng, rng.Intn(25), 1000)
+		probe := newProbe()
+		got := collectPairs(t, func(emit func(x, y item)) error {
+			return BufferedLoopJoin(streamOf(xs), streamOf(ys), itemSpan, containMatch,
+				Options{Probe: probe}, emit)
+		})
+		want := oraclePairs(xs, ys, containMatch)
+		samePairs(t, "buffered-loop", got, want, xs, ys)
+		if probe.StateHighWater != int64(len(xs)) {
+			t.Fatalf("buffered-loop state %d, want |X|=%d", probe.StateHighWater, len(xs))
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// Joins must reject out-of-order input when verification is on, instead of
+// silently producing a wrong answer. The companion data forces the sweep to
+// actually reach the out-of-order element (an algorithm may legitimately
+// terminate before consuming all of a stream).
+func TestJoinVerifyOrder(t *testing.T) {
+	bad := []item{{1, interval.New(9, 12)}, {2, interval.New(3, 5)}} // TS descending
+	goodY := []item{{3, interval.New(1, 2)}, {4, interval.New(10, 11)}, {5, interval.New(20, 21)}}
+	err := ContainJoinTSTS(streamOf(bad), streamOf(goodY), itemSpan,
+		Options{VerifyOrder: true}, func(a, b item) {})
+	if err == nil {
+		t.Fatal("unsorted X accepted")
+	}
+	goodX := []item{{6, interval.New(1, 30)}}
+	err = ContainJoinTSTS(streamOf(goodX), streamOf(bad), itemSpan,
+		Options{VerifyOrder: true}, func(a, b item) {})
+	if err == nil {
+		t.Fatal("unsorted Y accepted")
+	}
+}
+
+// Stream failures must surface as errors from the join.
+func TestJoinErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	xs := sorted([]item{{1, interval.New(0, 5)}, {2, interval.New(1, 6)}}, relation.Order{relation.TSAsc})
+	ys := sorted([]item{{3, interval.New(2, 4)}, {4, interval.New(3, 5)}}, relation.Order{relation.TSAsc})
+
+	err := ContainJoinTSTS(stream.FailAfter(streamOf(xs), 1, boom), streamOf(ys), itemSpan,
+		Options{}, func(a, b item) {})
+	if !errors.Is(err, boom) {
+		t.Errorf("X failure not surfaced: %v", err)
+	}
+	err = ContainJoinTSTS(streamOf(xs), stream.FailAfter(streamOf(ys), 1, boom), itemSpan,
+		Options{}, func(a, b item) {})
+	if !errors.Is(err, boom) {
+		t.Errorf("Y failure not surfaced: %v", err)
+	}
+	err = BufferedLoopJoin(stream.FailAfter(streamOf(xs), 0, boom), streamOf(ys), itemSpan,
+		containMatch, Options{}, func(a, b item) {})
+	if !errors.Is(err, boom) {
+		t.Errorf("buffered-loop X failure not surfaced: %v", err)
+	}
+}
+
+// Single-pass guarantee: every stream algorithm reads each input at most
+// once in total.
+func TestJoinSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs := genItems(rng, 50, 0)
+	ys := genItems(rng, 60, 1000)
+	probe := newProbe()
+	err := ContainJoinTSTS(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+		streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan,
+		Options{Probe: probe}, func(a, b item) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.ReadLeft > int64(len(xs)) || probe.ReadRight > int64(len(ys)) {
+		t.Errorf("reads %d/%d exceed input sizes %d/%d", probe.ReadLeft, probe.ReadRight, len(xs), len(ys))
+	}
+}
+
+// Extreme λ hints must not break the λ-guided policy: gaps saturate and
+// the output stays exact.
+func TestLambdaPolicyExtremeRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	xs := genItems(rng, 40, 0)
+	ys := genItems(rng, 40, 1000)
+	want := oraclePairs(xs, ys, containMatch)
+	for _, lam := range []float64{0, 1e-12, 1e12} {
+		opt := Options{Policy: ReadLambda, LambdaX: lam, LambdaY: lam}
+		got := collectPairs(t, func(emit func(x, y item)) error {
+			return ContainJoinTSTS(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+				streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan, opt, emit)
+		})
+		samePairs(t, "extreme lambda", got, want, xs, ys)
+	}
+}
+
+// Empty-input edges.
+func TestJoinEmptyInputs(t *testing.T) {
+	some := []item{{1, interval.New(0, 10)}}
+	runs := []func(x, y stream.Stream[item]) (int, error){
+		func(x, y stream.Stream[item]) (int, error) {
+			n := 0
+			err := ContainJoinTSTS(x, y, itemSpan, Options{}, func(a, b item) { n++ })
+			return n, err
+		},
+		func(x, y stream.Stream[item]) (int, error) {
+			n := 0
+			err := ContainJoinTSTE(x, y, itemSpan, Options{}, func(a, b item) { n++ })
+			return n, err
+		},
+		func(x, y stream.Stream[item]) (int, error) {
+			n := 0
+			err := OverlapJoin(x, y, itemSpan, Options{}, func(a, b item) { n++ })
+			return n, err
+		},
+	}
+	for i, run := range runs {
+		if n, err := run(stream.Empty[item](), streamOf(some)); err != nil || n != 0 {
+			t.Errorf("run %d empty X: n=%d err=%v", i, n, err)
+		}
+		if n, err := run(streamOf(some), stream.Empty[item]()); err != nil || n != 0 {
+			t.Errorf("run %d empty Y: n=%d err=%v", i, n, err)
+		}
+		if n, err := run(stream.Empty[item](), stream.Empty[item]()); err != nil || n != 0 {
+			t.Errorf("run %d both empty: n=%d err=%v", i, n, err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"tdb/internal/interval"
+	"tdb/internal/stream"
+)
+
+// MergeGroupJoin is the classic merge-join of Section 4.1 applied to
+// temporal endpoint keys, the "obvious stream processing method" the paper
+// prescribes for the non-inequality operators (footnote 8): sort both
+// relations on the attributes involved in the equalities, merge, and filter
+// the equal-key groups with the residual inequality constraints. keyX and
+// keyY project the merge key from each element's lifespan; X must arrive
+// sorted on keyX ascending and Y on keyY ascending. residual may be nil
+// (pure equality). The workspace is the currently buffered Y key group —
+// one group at a time, the merge-join state of the paper's Section 4.1
+// discussion generalized to duplicate keys.
+func MergeGroupJoin[T any](xs, ys stream.Stream[T], span Span[T],
+	keyX, keyY func(interval.Interval) interval.Time,
+	residual func(x, y interval.Interval) bool,
+	opt Options, emit func(x, y T)) error {
+	return mergeGroupScan(xs, ys, span, keyX, keyY, residual, opt, false, emit, nil)
+}
+
+// mergeGroupScan is the shared merge engine: in join mode it emits every
+// qualifying pair; in semijoin mode it emits each x once, on its first
+// qualifying partner.
+func mergeGroupScan[T any](xs, ys stream.Stream[T], span Span[T],
+	keyX, keyY func(interval.Interval) interval.Time,
+	residual func(x, y interval.Interval) bool,
+	opt Options, semijoin bool, emitPair func(x, y T), emitX func(T)) error {
+
+	const name = "merge-group-join"
+	cmpX := func(a, b interval.Interval) int { return cmpTime(keyX(a), keyX(b)) }
+	cmpY := func(a, b interval.Interval) int { return cmpTime(keyY(a), keyY(b)) }
+	var inX, inY stream.Stream[T] = xs, ys
+	if opt.VerifyOrder {
+		inX = stream.CheckOrdered(xs, func(t T) interval.Interval { return span(t) }, cmpX)
+		inY = stream.CheckOrdered(ys, func(t T) interval.Interval { return span(t) }, cmpY)
+	}
+	px, py := newPeek(inX), newPeek(inY)
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	var group []held[T] // the buffered equal-key Y group
+	groupKey := interval.MinTime
+
+	for {
+		xh, xok := px.Head()
+		if !xok {
+			break
+		}
+		kx := keyX(span(xh))
+
+		// Refill the group when x has moved past it: discard smaller-keyed
+		// y tuples, then buffer the next whole equal-key group (its key may
+		// exceed kx; it is kept until X catches up).
+		if len(group) == 0 || groupKey < kx {
+			probe.StateRemove(int64(len(group)))
+			group = group[:0]
+			for {
+				yh, yok := py.Head()
+				if !yok {
+					break
+				}
+				probe.IncComparisons(1)
+				if keyY(span(yh)) >= kx {
+					break
+				}
+				py.Take()
+				probe.IncReadRight()
+			}
+			if yh, yok := py.Head(); yok {
+				groupKey = keyY(span(yh))
+				for {
+					yh2, yok2 := py.Head()
+					if !yok2 || keyY(span(yh2)) != groupKey {
+						break
+					}
+					y, _ := py.Take()
+					probe.IncReadRight()
+					group = append(group, held[T]{elem: y, span: span(y)})
+					probe.StateAdd(1)
+				}
+			}
+			if len(group) == 0 {
+				break // Y exhausted: no remaining x can match
+			}
+		}
+
+		if groupKey > kx {
+			// x is behind the buffered group: it matches nothing.
+			px.Take()
+			probe.IncReadLeft()
+			continue
+		}
+
+		// kx == groupKey: pair x with every group member passing residual.
+		x, _ := px.Take()
+		probe.IncReadLeft()
+		sx := span(x)
+		for _, h := range group {
+			probe.IncComparisons(1)
+			if residual == nil || residual(sx, h.span) {
+				probe.IncEmitted(1)
+				if semijoin {
+					emitX(x)
+					break
+				}
+				emitPair(x, h.elem)
+			}
+		}
+	}
+	probe.StateRemove(int64(len(group)))
+	if err := px.Err(); err != nil {
+		return orderError(name, err)
+	}
+	if err := py.Err(); err != nil {
+		return orderError(name, err)
+	}
+	return nil
+}
+
+func cmpTime(a, b interval.Time) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func tsKey(s interval.Interval) interval.Time { return s.Start }
+func teKey(s interval.Interval) interval.Time { return s.End }
+
+// MeetsJoin pairs x with y when X.TE = Y.TS (Figure 2 relationship 2),
+// with X sorted on ValidTo ascending and Y on ValidFrom ascending.
+func MeetsJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	return MergeGroupJoin(xs, ys, span, teKey, tsKey, nil, opt, emit)
+}
+
+// EqualJoin pairs x with y when the lifespans are identical (Figure 2
+// relationship 1), with both inputs sorted on ValidFrom ascending; the
+// residual checks the ValidTo equality within each equal-ValidFrom group.
+func EqualJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	residual := func(x, y interval.Interval) bool { return x.End == y.End }
+	return MergeGroupJoin(xs, ys, span, tsKey, tsKey, residual, opt, emit)
+}
+
+// StartsJoin pairs x with y when X.TS = Y.TS ∧ X.TE < Y.TE (Figure 2
+// relationship 3), with both inputs sorted on ValidFrom ascending.
+func StartsJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	residual := func(x, y interval.Interval) bool { return x.End < y.End }
+	return MergeGroupJoin(xs, ys, span, tsKey, tsKey, residual, opt, emit)
+}
+
+// FinishesJoin pairs x with y when X.TE = Y.TE ∧ X.TS > Y.TS (Figure 2
+// relationship 4), with both inputs sorted on ValidTo ascending.
+func FinishesJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	residual := func(x, y interval.Interval) bool { return x.Start > y.Start }
+	return MergeGroupJoin(xs, ys, span, teKey, teKey, residual, opt, emit)
+}
+
+// MeetsSemijoin selects each x met at its end by some y (X.TE = Y.TS),
+// with X sorted on ValidTo ascending and Y on ValidFrom ascending. Like
+// every semijoin here, each x is emitted at most once, in X input order.
+func MeetsSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	return mergeGroupScan(xs, ys, span, teKey, tsKey, nil, opt, true, nil, emit)
+}
+
+// EqualSemijoin selects each x whose lifespan equals some y's, both inputs
+// sorted on ValidFrom ascending.
+func EqualSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	residual := func(x, y interval.Interval) bool { return x.End == y.End }
+	return mergeGroupScan(xs, ys, span, tsKey, tsKey, residual, opt, true, nil, emit)
+}
+
+// StartsSemijoin selects each x starting some y (same ValidFrom, ending
+// strictly earlier), both inputs sorted on ValidFrom ascending.
+func StartsSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	residual := func(x, y interval.Interval) bool { return x.End < y.End }
+	return mergeGroupScan(xs, ys, span, tsKey, tsKey, residual, opt, true, nil, emit)
+}
+
+// FinishesSemijoin selects each x finishing some y (same ValidTo, starting
+// strictly later), both inputs sorted on ValidTo ascending.
+func FinishesSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	residual := func(x, y interval.Interval) bool { return x.Start > y.Start }
+	return mergeGroupScan(xs, ys, span, teKey, teKey, residual, opt, true, nil, emit)
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// genClustered draws items with few distinct endpoints so that the
+// equality-based operators (equal, meets, starts, finishes) actually fire.
+func genClustered(rng *rand.Rand, n, idBase int) []item {
+	items := make([]item, n)
+	for i := range items {
+		s := interval.Time(rng.Intn(10))
+		d := interval.Time(1 + rng.Intn(8))
+		items[i] = item{id: idBase + i, iv: interval.New(s, s+d)}
+	}
+	return items
+}
+
+func TestEventJoinsMatchOracle(t *testing.T) {
+	type variant struct {
+		name           string
+		orderX, orderY relation.Order
+		theta          func(x, y interval.Interval) bool
+		run            func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error
+	}
+	variants := []variant{
+		{
+			"equal-join", relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc},
+			func(x, y interval.Interval) bool { return x.Equal(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return EqualJoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			"meets-join", relation.Order{relation.TEAsc}, relation.Order{relation.TSAsc},
+			func(x, y interval.Interval) bool { return x.Meets(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return MeetsJoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			"starts-join", relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc},
+			func(x, y interval.Interval) bool { return x.Starts(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return StartsJoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			"finishes-join", relation.Order{relation.TEAsc}, relation.Order{relation.TEAsc},
+			func(x, y interval.Interval) bool { return x.Finishes(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(x, y item)) error {
+				return FinishesJoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(307))
+			for trial := 0; trial < 250; trial++ {
+				xs := genClustered(rng, rng.Intn(25), 0)
+				ys := genClustered(rng, rng.Intn(25), 1000)
+				got := collectPairs(t, func(emit func(x, y item)) error {
+					return v.run(streamOf(sorted(xs, v.orderX)), streamOf(sorted(ys, v.orderY)),
+						Options{VerifyOrder: true}, emit)
+				})
+				want := oraclePairs(xs, ys, v.theta)
+				samePairs(t, v.name, got, want, sorted(xs, v.orderX), sorted(ys, v.orderY))
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+// The event semijoins agree with the oracle, keep one-group workspace, and
+// emit each x at most once in X input order.
+func TestEventSemijoinsMatchOracle(t *testing.T) {
+	type variant struct {
+		name           string
+		orderX, orderY relation.Order
+		theta          func(x, y interval.Interval) bool
+		run            func(xs, ys stream.Stream[item], opt Options, emit func(item)) error
+	}
+	variants := []variant{
+		{
+			"equal-semijoin", relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc},
+			func(x, y interval.Interval) bool { return x.Equal(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return EqualSemijoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			"meets-semijoin", relation.Order{relation.TEAsc}, relation.Order{relation.TSAsc},
+			func(x, y interval.Interval) bool { return x.Meets(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return MeetsSemijoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			"starts-semijoin", relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc},
+			func(x, y interval.Interval) bool { return x.Starts(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return StartsSemijoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			"finishes-semijoin", relation.Order{relation.TEAsc}, relation.Order{relation.TEAsc},
+			func(x, y interval.Interval) bool { return x.Finishes(y) },
+			func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return FinishesSemijoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(331))
+			for trial := 0; trial < 200; trial++ {
+				xs := genClustered(rng, rng.Intn(25), 0)
+				ys := genClustered(rng, rng.Intn(25), 1000)
+				sx := sorted(xs, v.orderX)
+				pos := map[int]int{}
+				for i, x := range sx {
+					pos[x.id] = i
+				}
+				last := -1
+				got := collectSemi(t, func(emit func(item)) error {
+					return v.run(streamOf(sx), streamOf(sorted(ys, v.orderY)),
+						Options{VerifyOrder: true}, func(x item) {
+							if pos[x.id] < last {
+								t.Fatalf("%s: output out of X order", v.name)
+							}
+							last = pos[x.id]
+							emit(x)
+						})
+				})
+				want := oracleSemi(xs, ys, v.theta)
+				sameSemi(t, v.name, got, want, sx, ys)
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+// The merge-join state is one Y key group at a time.
+func TestMergeJoinStateIsOneGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 80; trial++ {
+		xs := genClustered(rng, 30, 0)
+		ys := genClustered(rng, 30, 1000)
+		// Largest equal-TS group of Y bounds the state.
+		counts := map[interval.Time]int64{}
+		var maxGroup int64
+		for _, y := range ys {
+			counts[y.iv.Start]++
+			if counts[y.iv.Start] > maxGroup {
+				maxGroup = counts[y.iv.Start]
+			}
+		}
+		probe := newProbe()
+		err := EqualJoin(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+			streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan,
+			Options{Probe: probe}, func(a, b item) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe.StateHighWater > maxGroup {
+			t.Fatalf("merge state %d exceeds largest Y group %d", probe.StateHighWater, maxGroup)
+		}
+	}
+}
+
+func TestBeforeJoinSortedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	beforeTheta := func(x, y interval.Interval) bool { return x.Before(y) }
+	for trial := 0; trial < 200; trial++ {
+		xs := genItems(rng, rng.Intn(25), 0)
+		ys := genItems(rng, rng.Intn(25), 1000)
+		sy := sorted(ys, relation.Order{relation.TSAsc})
+		got := collectPairs(t, func(emit func(x, y item)) error {
+			return BeforeJoinSorted(streamOf(sorted(xs, relation.Order{relation.TEAsc})), sy,
+				itemSpan, Options{VerifyOrder: true}, emit)
+		})
+		want := oraclePairs(xs, ys, beforeTheta)
+		samePairs(t, "before-join", got, want, xs, ys)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func TestBeforeJoinRejectsUnsortedInner(t *testing.T) {
+	xs := []item{{1, interval.New(0, 2)}}
+	ysBad := []item{{10, interval.New(9, 12)}, {11, interval.New(3, 5)}}
+	err := BeforeJoinSorted(streamOf(xs), ysBad, itemSpan, Options{}, func(a, b item) {})
+	if err == nil {
+		t.Fatal("unsorted inner accepted")
+	}
+}
+
+func TestBeforeSemijoinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(317))
+	beforeTheta := func(x, y interval.Interval) bool { return x.Before(y) }
+	for trial := 0; trial < 200; trial++ {
+		xs := genItems(rng, rng.Intn(25), 0)
+		ys := genItems(rng, rng.Intn(25), 1000)
+		probe := newProbe()
+		// Deliberately unsorted: Before-semijoin is sort-independent.
+		got := collectSemi(t, func(emit func(item)) error {
+			return BeforeSemijoin(streamOf(xs), streamOf(ys), itemSpan, Options{Probe: probe}, emit)
+		})
+		want := oracleSemi(xs, ys, beforeTheta)
+		sameSemi(t, "before-semijoin", got, want, xs, ys)
+		if probe.StateHighWater != 0 {
+			t.Fatalf("before-semijoin retained state: %d", probe.StateHighWater)
+		}
+		if probe.Passes != 2 {
+			t.Fatalf("before-semijoin passes = %d, want 2 (one per operand)", probe.Passes)
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func TestBeforeSemijoinEmptyY(t *testing.T) {
+	xs := []item{{1, interval.New(0, 2)}}
+	n := 0
+	if err := BeforeSemijoin(streamOf(xs), stream.Empty[item](), itemSpan, Options{}, func(item) { n++ }); err != nil || n != 0 {
+		t.Errorf("empty Y: n=%d err=%v", n, err)
+	}
+}
+
+func TestMergeAndBeforeErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	xs := []item{{1, interval.New(0, 5)}, {2, interval.New(1, 6)}}
+	if err := EqualJoin(stream.FailAfter(streamOf(xs), 1, boom), streamOf(xs), itemSpan,
+		Options{}, func(a, b item) {}); !errors.Is(err, boom) {
+		t.Errorf("merge X failure: %v", err)
+	}
+	if err := EqualJoin(streamOf(xs), stream.FailAfter(streamOf(xs), 0, boom), itemSpan,
+		Options{}, func(a, b item) {}); !errors.Is(err, boom) {
+		t.Errorf("merge Y failure: %v", err)
+	}
+	if err := BeforeSemijoin(streamOf(xs), stream.FailAfter(streamOf(xs), 1, boom), itemSpan,
+		Options{}, func(item) {}); !errors.Is(err, boom) {
+		t.Errorf("before-semijoin Y failure: %v", err)
+	}
+	if err := BeforeJoinSorted(stream.FailAfter(streamOf(xs), 1, boom), nil, itemSpan,
+		Options{}, func(a, b item) {}); !errors.Is(err, boom) {
+		t.Errorf("before-join X failure: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"tdb/internal/interval"
+	"tdb/internal/stream"
+)
+
+// MirrorSpan composes a span accessor with the mirror transform
+// [s,e) ↦ [-e,-s). Running an ascending-order algorithm with a mirrored
+// span accessor on data sorted in the mirrored order realizes the
+// descending-order rows of Tables 1–3: "sorting both relations on ValidTo
+// in descending order has the same effect as sorting them on ValidFrom in
+// ascending order" — containment is mirror-invariant while ValidFrom and
+// ValidTo exchange roles.
+func MirrorSpan[T any](span Span[T]) Span[T] {
+	return func(t T) interval.Interval { return span(t).Mirror() }
+}
+
+// ContainJoinTEDesc evaluates Contain-join(X,Y) with both inputs sorted on
+// ValidTo descending — the lower-half Table 1 case (a) — by mirroring into
+// ContainJoinTSTS.
+func ContainJoinTEDesc[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	return ContainJoinTSTS(xs, ys, MirrorSpan(span), opt, emit)
+}
+
+// ContainJoinTEDescTSDesc evaluates Contain-join(X,Y) with X sorted on
+// ValidTo descending and Y on ValidFrom descending — the lower-half
+// Table 1 case (b) — by mirroring into ContainJoinTSTE.
+func ContainJoinTEDescTSDesc[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	return ContainJoinTSTE(xs, ys, MirrorSpan(span), opt, emit)
+}
+
+// ContainSemijoinTEDescTSDesc evaluates Contain-semijoin(X,Y) with X
+// sorted on ValidTo descending and Y on ValidFrom descending (lower-half
+// Table 1 case (d)).
+func ContainSemijoinTEDescTSDesc[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	return ContainSemijoin(xs, ys, MirrorSpan(span), opt, emit)
+}
+
+// ContainedSemijoinTSDescTEDesc evaluates Contained-semijoin(X,Y) with X
+// sorted on ValidFrom descending and Y on ValidTo descending (lower-half
+// Table 1 case (d)).
+func ContainedSemijoinTSDescTEDesc[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	return ContainedSemijoin(xs, ys, MirrorSpan(span), opt, emit)
+}
+
+// OverlapJoinTEDesc evaluates Overlap-join(X,Y) with both inputs sorted on
+// ValidTo descending, the second appropriate ordering of Table 2.
+func OverlapJoinTEDesc[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
+	return OverlapJoin(xs, ys, MirrorSpan(span), opt, emit)
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// containPairScan is the optimized one-buffer-per-stream semijoin scan of
+// paper Section 4.2.2 (Figure 6): stream a holds the candidate containers
+// sorted on ValidFrom ascending, stream b the candidate containees sorted
+// on ValidTo ascending. Depending on emitA it implements
+// Contain-semijoin(A,B) (output each a containing some b) or
+// Contained-semijoin(B,A) (output each b contained in some a). The local
+// workspace is exactly the two input buffers — Table 1 case (d).
+//
+// Invariant kept by the scan: a b tuple is discarded unmatched only when
+// b.TS ≤ a.TS, which disqualifies it as a containee of the buffered a and,
+// because A is sorted on ValidFrom ascending, of every subsequent a; an a
+// tuple is abandoned only when the buffered b has b.TE ≥ a.TE, which —
+// because B is sorted on ValidTo ascending — disqualifies every remaining b
+// as a containee of a.
+func containPairScan[T any](name string, as, bs stream.Stream[T], span Span[T], opt Options, emitA bool, emit func(T)) error {
+	pa := newPeek(ordered(as, span, relation.Order{relation.TSAsc}, opt.VerifyOrder))
+	pb := newPeek(ordered(bs, span, relation.Order{relation.TEAsc}, opt.VerifyOrder))
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	for {
+		a, aok := pa.Head()
+		if !aok {
+			break
+		}
+		b, bok := pb.Head()
+		if !bok {
+			break
+		}
+		sa, sb := span(a), span(b)
+		probe.IncComparisons(1)
+		switch {
+		case sb.Start <= sa.Start:
+			// b starts no later than the earliest remaining a: it can be
+			// strictly inside none of them.
+			pb.Take()
+			probe.IncReadRight()
+		case sb.End < sa.End:
+			// sa.Start < sb.Start ∧ sb.End < sa.End: a contains b.
+			if emitA {
+				probe.IncEmitted(1)
+				emit(a)
+				pa.Take() // a is reported once; b may witness further a's
+				probe.IncReadLeft()
+			} else {
+				probe.IncEmitted(1)
+				emit(b)
+				pb.Take() // b is reported once; a may contain further b's
+				probe.IncReadRight()
+			}
+		default:
+			// sb.End >= sa.End: every remaining b ends at or after sb, so
+			// none can end strictly inside a.
+			pa.Take()
+			probe.IncReadLeft()
+		}
+	}
+	if err := pa.Err(); err != nil {
+		return orderError(name, err)
+	}
+	if err := pb.Err(); err != nil {
+		return orderError(name, err)
+	}
+	return nil
+}
+
+// ContainSemijoin evaluates Contain-semijoin(X,Y) — select each x whose
+// lifespan contains that of at least one y — with X sorted on ValidFrom
+// ascending and Y on ValidTo ascending. Workspace: the two input buffers
+// (Table 1 case (d), Figure 6). Output preserves the X input order.
+func ContainSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	return containPairScan("contain-semijoin[TS↑,TE↑]", xs, ys, span, opt, true, emit)
+}
+
+// ContainedSemijoin evaluates Contained-semijoin(X,Y) — select each x whose
+// lifespan is contained in that of at least one y — with X sorted on
+// ValidTo ascending and Y on ValidFrom ascending (Table 1 case (d) in the
+// (ValidTo ↑, ValidFrom ↑) row). Output preserves the X input order.
+func ContainedSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	return containPairScan("contained-semijoin[TE↑,TS↑]", ys, xs, span, opt, false, emit)
+}
+
+// ContainSemijoinTSTS evaluates Contain-semijoin(X,Y) with both inputs
+// sorted on ValidFrom ascending (Table 1 case (c)): the retained state is a
+// subset of the x tuples spanning the frontier that have not yet found a
+// containee. Each x is emitted as soon as its first containee arrives, so
+// the output follows witness-discovery order rather than X input order;
+// use ContainSemijoin (TS↑/TE↑) when order preservation matters.
+func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	const name = "contain-semijoin[TS↑,TS↑]"
+	px := newPeek(ordered(xs, span, relation.Order{relation.TSAsc}, opt.VerifyOrder))
+	py := newPeek(ordered(ys, span, relation.Order{relation.TSAsc}, opt.VerifyOrder))
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	var state []held[T] // unmatched x, awaiting a y strictly inside
+
+	for {
+		xh, xok := px.Head()
+		yh, yok := py.Head()
+		if !yok || (!xok && len(state) == 0) {
+			break
+		}
+		sy := span(yh)
+		if xok && span(xh).Start <= sy.Start {
+			x, _ := px.Take()
+			probe.IncReadLeft()
+			state = append(state, held[T]{elem: x, span: span(x)})
+			probe.StateAdd(1)
+			continue
+		}
+		py.Take()
+		probe.IncReadRight()
+		// Emit and retire the x that contain y; collect the x that can
+		// contain no future y (y.TS ascending ⇒ future y.TE > y.TS ≥ sy.TS).
+		kept := state[:0]
+		for _, h := range state {
+			probe.IncComparisons(1)
+			switch {
+			case containMatch(h.span, sy):
+				probe.IncEmitted(1)
+				emit(h.elem)
+				probe.StateRemove(1)
+			case h.span.End <= sy.Start:
+				probe.StateRemove(1)
+			default:
+				kept = append(kept, h)
+			}
+		}
+		state = kept
+	}
+	probe.StateRemove(int64(len(state)))
+	if err := px.Err(); err != nil {
+		return orderError(name, err)
+	}
+	if err := py.Err(); err != nil {
+		return orderError(name, err)
+	}
+	return nil
+}
+
+// ContainedSemijoinTSTS evaluates Contained-semijoin(X,Y) with both inputs
+// sorted on ValidFrom ascending (Table 1 case (c)): the retained state is
+// the set of y tuples whose lifespan spans the X frontier — the candidate
+// containers. Each x is decided, and emitted in input order, the moment it
+// is read.
+func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	const name = "contained-semijoin[TS↑,TS↑]"
+	px := newPeek(ordered(xs, span, relation.Order{relation.TSAsc}, opt.VerifyOrder))
+	py := newPeek(ordered(ys, span, relation.Order{relation.TSAsc}, opt.VerifyOrder))
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	var state []held[T] // y tuples that may contain the next x
+
+	gc := func(frontier interval.Time) {
+		kept := state[:0]
+		for _, h := range state {
+			// y can contain an x with x.TS >= frontier only if
+			// y.TE > x.TE > x.TS >= frontier.
+			if h.span.End <= frontier {
+				probe.StateRemove(1)
+				continue
+			}
+			kept = append(kept, h)
+		}
+		state = kept
+	}
+
+	for {
+		xh, xok := px.Head()
+		if !xok {
+			break
+		}
+		sx := span(xh)
+		// Pull every y that starts strictly before x; later y cannot
+		// contain x (container must start strictly earlier).
+		if yh, yok := py.Head(); yok && span(yh).Start < sx.Start {
+			y, _ := py.Take()
+			probe.IncReadRight()
+			sy := span(y)
+			if sy.End > sx.Start { // not dead on arrival
+				state = append(state, held[T]{elem: y, span: sy})
+				probe.StateAdd(1)
+			}
+			continue
+		}
+		px.Take()
+		probe.IncReadLeft()
+		gc(sx.Start)
+		for _, h := range state {
+			probe.IncComparisons(1)
+			if containMatch(h.span, sx) {
+				probe.IncEmitted(1)
+				emit(xh)
+				break
+			}
+		}
+	}
+	probe.StateRemove(int64(len(state)))
+	if err := px.Err(); err != nil {
+		return orderError(name, err)
+	}
+	if err := py.Err(); err != nil {
+		return orderError(name, err)
+	}
+	return nil
+}
+
+// OverlapSemijoin evaluates Overlap-semijoin(X,Y) — select each x whose
+// lifespan shares at least one chronon with some y — with both inputs
+// sorted on ValidFrom ascending. As Table 2 case (b) promises, the local
+// workspace is exactly the two input buffers: a buffered x either precedes
+// every remaining y (discard x), or the buffered y precedes every remaining
+// x (discard y), or the two intersect (emit x, keep y for the next x).
+// Output preserves the X input order.
+func OverlapSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
+	const name = "overlap-semijoin[TS↑,TS↑]"
+	px := newPeek(ordered(xs, span, relation.Order{relation.TSAsc}, opt.VerifyOrder))
+	py := newPeek(ordered(ys, span, relation.Order{relation.TSAsc}, opt.VerifyOrder))
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	for {
+		x, xok := px.Head()
+		if !xok {
+			break
+		}
+		y, yok := py.Head()
+		if !yok {
+			break
+		}
+		sx, sy := span(x), span(y)
+		probe.IncComparisons(1)
+		switch {
+		case sx.End <= sy.Start:
+			// x ends before the earliest remaining y begins.
+			px.Take()
+			probe.IncReadLeft()
+		case sy.End <= sx.Start:
+			// y ends before x (and every later x) begins.
+			py.Take()
+			probe.IncReadRight()
+		default:
+			probe.IncEmitted(1)
+			emit(x)
+			px.Take()
+			probe.IncReadLeft()
+		}
+	}
+	if err := px.Err(); err != nil {
+		return orderError(name, err)
+	}
+	if err := py.Err(); err != nil {
+		return orderError(name, err)
+	}
+	return nil
+}
+
+// BufferedLoopSemijoin is the fallback for sort orderings with no
+// garbage-collection criteria ("–" in Table 1): it buffers all of Y and
+// streams X against it, emitting each x with a witness under the given
+// predicate (e.g. containMatch for Contain-semijoin, its flip for
+// Contained-semijoin). Workspace: |Y| + the input buffers.
+func BufferedLoopSemijoin[T any](xs, ys stream.Stream[T], span Span[T], match func(x, y interval.Interval) bool, opt Options, emit func(T)) error {
+	probe := opt.Probe
+	probe.SetBuffers(2)
+	var stateY []held[T]
+	for {
+		y, ok := ys.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadRight()
+		stateY = append(stateY, held[T]{elem: y, span: span(y)})
+		probe.StateAdd(1)
+	}
+	if err := ys.Err(); err != nil {
+		return orderError("buffered-loop-semijoin", err)
+	}
+	for {
+		x, ok := xs.Next()
+		if !ok {
+			break
+		}
+		probe.IncReadLeft()
+		sx := span(x)
+		for _, h := range stateY {
+			probe.IncComparisons(1)
+			if match(sx, h.span) {
+				probe.IncEmitted(1)
+				emit(x)
+				break
+			}
+		}
+	}
+	if err := xs.Err(); err != nil {
+		return orderError("buffered-loop-semijoin", err)
+	}
+	probe.StateRemove(int64(len(stateY)))
+	return nil
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// Figure 6 worked example: X sorted on ValidFrom ↑, Y on ValidTo ↑.
+func TestContainSemijoinFigure6(t *testing.T) {
+	xs := []item{
+		{1, interval.New(0, 10)},
+		{2, interval.New(4, 20)},
+	}
+	ys := []item{
+		{10, interval.New(-2, 3)}, // starts before every x: inside none
+		{11, interval.New(2, 6)},  // inside x1
+		{12, interval.New(5, 15)}, // inside x2
+		{13, interval.New(1, 30)}, // inside none
+	}
+	sx := sorted(xs, relation.Order{relation.TSAsc})
+	sy := sorted(ys, relation.Order{relation.TEAsc})
+
+	probe := newProbe()
+	got := collectSemi(t, func(emit func(item)) error {
+		return ContainSemijoin(streamOf(sx), streamOf(sy), itemSpan,
+			Options{Probe: probe, VerifyOrder: true}, emit)
+	})
+	sameSemi(t, "contain-semijoin fig6", got, map[int]bool{1: true, 2: true}, sx, sy)
+	if probe.StateHighWater != 0 || probe.Workspace() != 2 {
+		t.Errorf("Figure 6 workspace must be exactly the two buffers: state=%d workspace=%d",
+			probe.StateHighWater, probe.Workspace())
+	}
+
+	// The same scan's contained direction.
+	got = collectSemi(t, func(emit func(item)) error {
+		return ContainedSemijoin(streamOf(sorted(ys, relation.Order{relation.TEAsc})),
+			streamOf(sorted(xs, relation.Order{relation.TSAsc})), itemSpan,
+			Options{VerifyOrder: true}, emit)
+	})
+	sameSemi(t, "contained-semijoin fig6", got, map[int]bool{11: true, 12: true}, sy, sx)
+}
+
+type semiVariant struct {
+	name           string
+	orderX, orderY relation.Order
+	buffersOnly    bool
+	theta          func(x, y interval.Interval) bool
+	run            func(xs, ys stream.Stream[item], opt Options, emit func(item)) error
+}
+
+func semijoinVariants() []semiVariant {
+	containThetaXY := containMatch // x contains y
+	return []semiVariant{
+		{
+			name:   "contain-semijoin[TS↑,TE↑]",
+			orderX: relation.Order{relation.TSAsc}, orderY: relation.Order{relation.TEAsc},
+			buffersOnly: true, theta: containThetaXY,
+			run: func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return ContainSemijoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			name:   "contain-semijoin[TE↓,TS↓]",
+			orderX: relation.Order{relation.TEDesc}, orderY: relation.Order{relation.TSDesc},
+			buffersOnly: true, theta: containThetaXY,
+			run: func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return ContainSemijoinTEDescTSDesc(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			name:   "contain-semijoin[TS↑,TS↑]",
+			orderX: relation.Order{relation.TSAsc}, orderY: relation.Order{relation.TSAsc},
+			theta: containThetaXY,
+			run: func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return ContainSemijoinTSTS(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			name:   "contained-semijoin[TE↑,TS↑]",
+			orderX: relation.Order{relation.TEAsc}, orderY: relation.Order{relation.TSAsc},
+			buffersOnly: true, theta: containedTheta,
+			run: func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return ContainedSemijoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			name:   "contained-semijoin[TS↓,TE↓]",
+			orderX: relation.Order{relation.TSDesc}, orderY: relation.Order{relation.TEDesc},
+			buffersOnly: true, theta: containedTheta,
+			run: func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return ContainedSemijoinTSDescTEDesc(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			name:   "contained-semijoin[TS↑,TS↑]",
+			orderX: relation.Order{relation.TSAsc}, orderY: relation.Order{relation.TSAsc},
+			theta: containedTheta,
+			run: func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return ContainedSemijoinTSTS(xs, ys, itemSpan, opt, emit)
+			},
+		},
+		{
+			name:   "overlap-semijoin[TS↑,TS↑]",
+			orderX: relation.Order{relation.TSAsc}, orderY: relation.Order{relation.TSAsc},
+			buffersOnly: true, theta: overlapTheta,
+			run: func(xs, ys stream.Stream[item], opt Options, emit func(item)) error {
+				return OverlapSemijoin(xs, ys, itemSpan, opt, emit)
+			},
+		},
+	}
+}
+
+// Property: every semijoin variant agrees with the exhaustive oracle, and
+// the Figure 6 variants never retain state beyond the two input buffers.
+func TestSemijoinsMatchOracle(t *testing.T) {
+	for _, v := range semijoinVariants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101))
+			for trial := 0; trial < 250; trial++ {
+				xs := genItems(rng, rng.Intn(30), 0)
+				ys := genItems(rng, rng.Intn(30), 1000)
+				probe := newProbe()
+				got := collectSemi(t, func(emit func(item)) error {
+					return v.run(streamOf(sorted(xs, v.orderX)), streamOf(sorted(ys, v.orderY)),
+						Options{Probe: probe, VerifyOrder: true}, emit)
+				})
+				want := oracleSemi(xs, ys, v.theta)
+				sameSemi(t, v.name, got, want, sorted(xs, v.orderX), sorted(ys, v.orderY))
+				if v.buffersOnly && probe.StateHighWater != 0 {
+					t.Fatalf("%s retained %d state tuples; Table 1 case (d) promises buffers only",
+						v.name, probe.StateHighWater)
+				}
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+// Semijoin output preserves the X input order — the property Section 4.2.3
+// exploits when a semijoin preprocesses a join. ContainSemijoinTSTS is the
+// documented exception: it emits each x when its witness arrives.
+func TestSemijoinOrderPreserving(t *testing.T) {
+	for _, v := range semijoinVariants() {
+		if v.name == "contain-semijoin[TS↑,TS↑]" {
+			continue
+		}
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(103))
+			for trial := 0; trial < 60; trial++ {
+				xs := sorted(genItems(rng, 25, 0), v.orderX)
+				ys := sorted(genItems(rng, 25, 1000), v.orderY)
+				pos := map[int]int{}
+				for i, x := range xs {
+					pos[x.id] = i
+				}
+				last := -1
+				err := v.run(streamOf(xs), streamOf(ys), Options{}, func(x item) {
+					if pos[x.id] < last {
+						t.Fatalf("%s: output out of input order", v.name)
+					}
+					last = pos[x.id]
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The TS↑,TS↑ semijoins (Table 1 case (c)) keep state bounded by the
+// spanning sets with one sweep step of lookahead: for Contain, the x read
+// by the next y's ValidFrom that survived the previous garbage collection;
+// for Contained, symmetrically the y candidates against consecutive x.
+func TestSemijoinTSTSStateBound(t *testing.T) {
+	peak := func(inner, outer []item) int64 {
+		// max over consecutive outer o', with prev frontier = previous
+		// o.TS, of |{i in inner : i.TS <= o'.TS, i.TE > prev}|.
+		so := sorted(outer, relation.Order{relation.TSAsc})
+		prev := interval.MinTime
+		var best int64
+		for _, o := range so {
+			var cnt int64
+			for _, in := range inner {
+				if in.iv.Start <= o.iv.Start && in.iv.End > prev {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best = cnt
+			}
+			prev = o.iv.Start
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 100; trial++ {
+		xs := genItems(rng, 5+rng.Intn(40), 0)
+		ys := genItems(rng, 5+rng.Intn(40), 1000)
+
+		probe := newProbe()
+		err := ContainSemijoinTSTS(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+			streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan,
+			Options{Probe: probe}, func(item) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := peak(xs, ys); probe.StateHighWater > b {
+			t.Fatalf("contain TS,TS state %d > bound %d", probe.StateHighWater, b)
+		}
+
+		probe = newProbe()
+		err = ContainedSemijoinTSTS(streamOf(sorted(xs, relation.Order{relation.TSAsc})),
+			streamOf(sorted(ys, relation.Order{relation.TSAsc})), itemSpan,
+			Options{Probe: probe}, func(item) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := peak(ys, xs); probe.StateHighWater > b {
+			t.Fatalf("contained TS,TS state %d > bound %d", probe.StateHighWater, b)
+		}
+	}
+}
+
+func TestBufferedLoopSemijoinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 100; trial++ {
+		xs := genItems(rng, rng.Intn(25), 0)
+		ys := genItems(rng, rng.Intn(25), 1000)
+		probe := newProbe()
+		got := collectSemi(t, func(emit func(item)) error {
+			return BufferedLoopSemijoin(streamOf(xs), streamOf(ys), itemSpan, containedTheta,
+				Options{Probe: probe}, emit)
+		})
+		want := oracleSemi(xs, ys, containedTheta)
+		sameSemi(t, "buffered-loop-semijoin", got, want, xs, ys)
+		if probe.StateHighWater != int64(len(ys)) {
+			t.Fatalf("state %d, want |Y|=%d", probe.StateHighWater, len(ys))
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func TestSemijoinVerifyOrderAndErrors(t *testing.T) {
+	// The fixtures force the scans to actually reach the out-of-order
+	// element (an algorithm may legitimately stop before a stream's end).
+	bad := []item{{1, interval.New(9, 12)}, {2, interval.New(3, 5)}}
+	if err := ContainSemijoin(streamOf(bad), streamOf([]item{{3, interval.New(10, 11)}}),
+		itemSpan, Options{VerifyOrder: true}, func(item) {}); err == nil {
+		t.Error("unsorted X accepted by contain-semijoin")
+	}
+	badY := []item{{1, interval.New(1, 20)}, {2, interval.New(0, 30)}}
+	if err := ContainedSemijoinTSTS(streamOf([]item{{3, interval.New(5, 6)}}), streamOf(badY),
+		itemSpan, Options{VerifyOrder: true}, func(item) {}); err == nil {
+		t.Error("unsorted Y accepted by contained-semijoin TS,TS")
+	}
+	good := []item{{3, interval.New(1, 2)}, {4, interval.New(2, 30)}}
+
+	boom := errors.New("boom")
+	if err := ContainSemijoin(stream.FailAfter(streamOf(good), 1, boom), streamOf(good), itemSpan,
+		Options{}, func(item) {}); !errors.Is(err, boom) {
+		t.Errorf("X failure not surfaced: %v", err)
+	}
+	if err := BufferedLoopSemijoin(streamOf(good), stream.FailAfter(streamOf(good), 0, boom),
+		itemSpan, containMatch, Options{}, func(item) {}); !errors.Is(err, boom) {
+		t.Errorf("Y failure not surfaced: %v", err)
+	}
+}
+
+func TestSemijoinEmptyInputs(t *testing.T) {
+	some := []item{{1, interval.New(0, 10)}}
+	for _, v := range semijoinVariants() {
+		n := 0
+		if err := v.run(stream.Empty[item](), streamOf(some), Options{}, func(item) { n++ }); err != nil || n != 0 {
+			t.Errorf("%s empty X: n=%d err=%v", v.name, n, err)
+		}
+		if err := v.run(streamOf(some), stream.Empty[item](), Options{}, func(item) { n++ }); err != nil || n != 0 {
+			t.Errorf("%s empty Y: n=%d err=%v", v.name, n, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/optimizer"
+	"tdb/internal/relation"
+	"tdb/internal/workload"
+)
+
+func overlapQuery(relL, relR string) algebra.Expr {
+	col := algebra.Column
+	return &algebra.Select{
+		Input: &algebra.Product{
+			L: &algebra.Scan{Relation: relL, As: "a"},
+			R: &algebra.Scan{Relation: relR, As: "b"},
+		},
+		Pred: algebra.Predicate{Atoms: []algebra.Atom{
+			{L: col("a", "ValidFrom"), Op: algebra.LT, R: col("b", "ValidTo")},
+			{L: col("b", "ValidFrom"), Op: algebra.LT, R: col("a", "ValidTo")},
+		}},
+	}
+}
+
+// Cost-based execution streams large inputs and nested-loops tiny unsorted
+// ones, matching the model's crossover, with identical results either way.
+func TestCostBasedChoice(t *testing.T) {
+	db := NewDB()
+	big := relation.FromTuples("Big", workload.Tuples(workload.Config{N: 3000, Lambda: 1, MeanDur: 10, Seed: 1}, "b"))
+	big.Name = "Big"
+	db.MustRegister(big)
+	// A tiny relation stored in an order useless for the overlap join, so
+	// streaming would have to sort first.
+	tinyT := workload.Tuples(workload.Config{N: 3, Lambda: 1, MeanDur: 10, Seed: 2}, "t")
+	tiny := relation.FromTuples("Tiny", tinyT)
+	tiny.Name = "Tiny"
+	tiny.Sort(relation.Order{relation.TEDesc})
+	db.MustRegister(tiny)
+
+	algoOf := func(relL, relR string) (string, *relation.Relation) {
+		tree := optimize(t, db, overlapQuery(relL, relR), optimizer.Options{})
+		out, stats, err := Run(db, tree, Options{CostBased: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nc := range stats.Nodes {
+			if strings.Contains(nc.Algorithm, "join") {
+				return nc.Algorithm, out
+			}
+		}
+		return "", out
+	}
+
+	bigAlgo, bigOut := algoOf("Big", "Big")
+	if !strings.Contains(bigAlgo, "stream") {
+		t.Errorf("large join chose %q, want stream", bigAlgo)
+	}
+	tinyAlgo, tinyOut := algoOf("Tiny", "Tiny")
+	if !strings.Contains(tinyAlgo, "nested-loop") {
+		t.Errorf("tiny unsorted join chose %q, want nested loop", tinyAlgo)
+	}
+
+	// Same answers as forced plans.
+	tree := optimize(t, db, overlapQuery("Big", "Big"), optimizer.Options{})
+	ref, _, err := Run(db, tree, Options{ForceNestedLoop: true, ForceNoHash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "cost-based big", bigOut, ref)
+
+	tree = optimize(t, db, overlapQuery("Tiny", "Tiny"), optimizer.Options{})
+	ref, _, err = Run(db, tree, Options{VerifyOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "cost-based tiny", tinyOut, ref)
+}

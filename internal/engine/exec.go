@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"fmt"
+
+	"tdb/internal/algebra"
+	"tdb/internal/core"
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/relation"
+	"tdb/internal/storage"
+	"tdb/internal/stream"
+)
+
+// Options configures execution.
+type Options struct {
+	// ForceNestedLoop disables the stream algorithms: every join and
+	// semijoin runs as a conventional nested loop (with hash joins still
+	// used for pure equi-joins), the Section 3 baseline.
+	ForceNestedLoop bool
+	// ForceNoHash additionally disables hash equi-joins, leaving the
+	// pure conventional nested-loop executor.
+	ForceNoHash bool
+	// PreferMergeJoin evaluates equi-joins by sort-merge instead of
+	// hashing — the third conventional strategy of Section 3.
+	PreferMergeJoin bool
+	// CostBased lets the executor choose between the stream algorithm and
+	// the nested loop per recognized temporal join, using the Section 6
+	// statistics (catalog estimates over the materialized inputs) instead
+	// of always streaming.
+	CostBased bool
+	// SortMemRows, when positive, bounds the in-memory sort workspace for
+	// establishing stream orderings: larger inputs are sorted externally
+	// through run files in SpillDir, paying the extra read/write passes
+	// of Section 4.1's third tradeoff (accounted in NodeCost).
+	SortMemRows int
+	// SpillDir receives external-sort run files; required when
+	// SortMemRows is set.
+	SpillDir string
+	// Policy selects the stream read policy (sweep by default).
+	Policy core.ReadPolicy
+	// VerifyOrder makes every stream algorithm check its input ordering.
+	VerifyOrder bool
+}
+
+// NodeCost is the per-operator cost record of one execution.
+type NodeCost struct {
+	Label     string
+	Algorithm string
+	Probe     metrics.Probe
+	// SortedRows counts rows that had to be sorted to establish the
+	// algorithm's required ordering (0 when the input already had it —
+	// the "interesting order" case).
+	SortedRows int64
+	OutRows    int64
+	// PagesRead counts storage pages fetched by a stored scan (0 when
+	// served by the buffer pool or scanning an in-memory relation).
+	PagesRead int64
+	// SortRuns and SortPages account external sorting done to establish
+	// this operator's input ordering under a bounded sort workspace.
+	SortRuns  int
+	SortPages int64
+}
+
+// Stats aggregates the cost records of one execution.
+type Stats struct {
+	Nodes []NodeCost
+}
+
+func (s *Stats) add(n NodeCost) { s.Nodes = append(s.Nodes, n) }
+
+// TotalComparisons sums predicate evaluations across operators.
+func (s *Stats) TotalComparisons() int64 {
+	var t int64
+	for _, n := range s.Nodes {
+		t += n.Probe.Comparisons
+	}
+	return t
+}
+
+// TotalTuplesRead sums operator input consumption.
+func (s *Stats) TotalTuplesRead() int64 {
+	var t int64
+	for _, n := range s.Nodes {
+		t += n.Probe.TuplesRead()
+	}
+	return t
+}
+
+// MaxWorkspace returns the largest operator workspace high-water mark.
+func (s *Stats) MaxWorkspace() int64 {
+	var m int64
+	for _, n := range s.Nodes {
+		if w := n.Probe.Workspace(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// TotalSortedRows sums the sorting work spent establishing stream orders.
+func (s *Stats) TotalSortedRows() int64 {
+	var t int64
+	for _, n := range s.Nodes {
+		t += n.SortedRows
+	}
+	return t
+}
+
+// TotalPagesRead sums storage page fetches across stored scans.
+func (s *Stats) TotalPagesRead() int64 {
+	var t int64
+	for _, n := range s.Nodes {
+		t += n.PagesRead
+	}
+	return t
+}
+
+// String renders a per-node cost table.
+func (s *Stats) String() string {
+	out := ""
+	for _, n := range s.Nodes {
+		out += fmt.Sprintf("%-34s %-28s out=%-8d sort=%-8d %s\n",
+			n.Label, n.Algorithm, n.OutRows, n.SortedRows, n.Probe.String())
+	}
+	return out
+}
+
+// result is a materialized intermediate.
+type result struct {
+	schema *relation.Schema
+	rows   []relation.Row
+}
+
+// spanned pairs a row with a precomputed lifespan so the generic stream
+// algorithms can treat heterogeneous join sides uniformly.
+type spanned struct {
+	row  relation.Row
+	span interval.Interval
+}
+
+func spannedSpan(s spanned) interval.Interval { return s.span }
+
+func wrap(rows []relation.Row, span core.Span[relation.Row]) []spanned {
+	out := make([]spanned, len(rows))
+	for i, r := range rows {
+		out[i] = spanned{row: r, span: span(r)}
+	}
+	return out
+}
+
+// establishOrder produces the rows wrapped with their (possibly derived)
+// lifespans in the given order. With an unbounded sort workspace the sort
+// is in-memory; under Options.SortMemRows larger inputs run through the
+// external merge sort, whose run and page counts are charged to cost —
+// the Section 4.1 passes-for-order tradeoff inside a query plan.
+func (ex *executor) establishOrder(rows []relation.Row, span core.Span[relation.Row],
+	o relation.Order, schema *relation.Schema, cost *NodeCost) ([]spanned, error) {
+
+	w := wrap(rows, span)
+	if relation.SortedSpans(w, spannedSpan, o) {
+		return w, nil
+	}
+	cost.SortedRows += int64(len(w))
+	if ex.opt.SortMemRows <= 0 || len(rows) <= ex.opt.SortMemRows {
+		relation.SortSpans(w, spannedSpan, o)
+		return w, nil
+	}
+	var st storage.SortStats
+	less := func(a, b relation.Row) bool {
+		return o.Compare(span(a), span(b)) < 0
+	}
+	sorted, err := storage.ExternalSort(stream.FromSlice(rows), schema, less,
+		ex.opt.SortMemRows, ex.opt.SpillDir, &st)
+	if err != nil {
+		return nil, err
+	}
+	out, err := stream.Collect(sorted)
+	if err != nil {
+		return nil, err
+	}
+	cost.SortRuns += st.Runs
+	cost.SortPages += st.PagesRead + st.PagesWritten
+	return wrap(out, span), nil
+}
+
+func wrappedStream(xs []spanned) stream.Stream[spanned] { return stream.FromSlice(xs) }
+
+// Run evaluates an optimized (temporal-atom-free) algebra expression and
+// returns the materialized result with per-operator statistics.
+func Run(db *DB, e algebra.Expr, opt Options) (*relation.Relation, *Stats, error) {
+	ex := &executor{db: db, opt: opt, stats: &Stats{}}
+	res, err := ex.eval(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel := relation.New("result", res.schema)
+	rel.Rows = res.rows
+	return rel, ex.stats, nil
+}
+
+type executor struct {
+	db    *DB
+	opt   Options
+	stats *Stats
+}
+
+func (ex *executor) eval(e algebra.Expr) (*result, error) {
+	switch n := e.(type) {
+	case *algebra.Scan:
+		return ex.evalScan(n)
+	case *algebra.Select:
+		return ex.evalSelect(n)
+	case *algebra.Product:
+		return ex.evalProduct(n)
+	case *algebra.Join:
+		return ex.evalJoin(n)
+	case *algebra.Semijoin:
+		return ex.evalSemijoin(n)
+	case *algebra.Project:
+		return ex.evalProject(n)
+	case *algebra.Aggregate:
+		return ex.evalAggregate(n)
+	}
+	return nil, fmt.Errorf("engine: unknown expression %T", e)
+}
+
+func (ex *executor) evalScan(n *algebra.Scan) (*result, error) {
+	base, err := ex.db.Relation(n.Relation)
+	if err != nil {
+		return nil, err
+	}
+	probe := metrics.Probe{}
+	probe.Passes = 1
+
+	if hf, ok := ex.db.stored[n.Relation]; ok {
+		before := hf.Stats().PagesRead
+		rows, err := stream.Collect(hf.Scan())
+		if err != nil {
+			return nil, err
+		}
+		probe.ReadLeft = int64(len(rows))
+		ex.stats.add(NodeCost{
+			Label: n.Label(), Algorithm: "stored scan", Probe: probe,
+			OutRows: int64(len(rows)), PagesRead: hf.Stats().PagesRead - before,
+		})
+		return &result{schema: base.Schema.Rename(n.Var()), rows: rows}, nil
+	}
+
+	probe.ReadLeft = int64(base.Cardinality())
+	ex.stats.add(NodeCost{
+		Label: n.Label(), Algorithm: "scan", Probe: probe,
+		OutRows: int64(base.Cardinality()),
+	})
+	return &result{schema: base.Schema.Rename(n.Var()), rows: base.Rows}, nil
+}
+
+func (ex *executor) evalSelect(n *algebra.Select) (*result, error) {
+	in, err := ex.eval(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := compilePred(n.Pred, in.schema)
+	if err != nil {
+		return nil, err
+	}
+	probe := metrics.Probe{}
+	var out []relation.Row
+	for _, r := range in.rows {
+		probe.IncReadLeft()
+		probe.IncComparisons(1)
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	probe.IncEmitted(int64(len(out)))
+	ex.stats.add(NodeCost{Label: n.Label(), Algorithm: "filter", Probe: probe, OutRows: int64(len(out))})
+	return &result{schema: in.schema, rows: out}, nil
+}
+
+func (ex *executor) evalProduct(n *algebra.Product) (*result, error) {
+	l, err := ex.eval(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(n.R)
+	if err != nil {
+		return nil, err
+	}
+	probe := metrics.Probe{}
+	out := make([]relation.Row, 0, len(l.rows)*len(r.rows))
+	for _, lr := range l.rows {
+		probe.IncReadLeft()
+		for _, rr := range r.rows {
+			probe.IncReadRight()
+			out = append(out, relation.ConcatRows(lr, rr))
+		}
+	}
+	probe.IncEmitted(int64(len(out)))
+	ex.stats.add(NodeCost{Label: "×", Algorithm: "cartesian", Probe: probe, OutRows: int64(len(out))})
+	return &result{schema: relation.Concat(l.schema, r.schema, "", ""), rows: out}, nil
+}
+
+func (ex *executor) evalProject(n *algebra.Project) (*result, error) {
+	in, err := ex.eval(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(n.Cols))
+	cols := make([]relation.Column, len(n.Cols))
+	ts, te := -1, -1
+	for i, c := range n.Cols {
+		j := in.schema.ColumnIndex(c.From.Name())
+		if j < 0 {
+			return nil, fmt.Errorf("engine: projection column %s not in %s", c.From, in.schema)
+		}
+		idx[i] = j
+		cols[i] = relation.Column{Name: c.Name, Kind: in.schema.Cols[j].Kind}
+		if c.Name == n.TSName {
+			ts = i
+		}
+		if c.Name == n.TEName {
+			te = i
+		}
+	}
+	schema, err := relation.NewSchema(cols, ts, te)
+	if err != nil {
+		return nil, err
+	}
+	probe := metrics.Probe{}
+	out := make([]relation.Row, 0, len(in.rows))
+	seen := map[string]bool{}
+	for _, r := range in.rows {
+		probe.IncReadLeft()
+		row := make(relation.Row, len(idx))
+		for i, j := range idx {
+			row[i] = r[j]
+		}
+		if n.Distinct {
+			k := row.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		out = append(out, row)
+	}
+	probe.IncEmitted(int64(len(out)))
+	ex.stats.add(NodeCost{Label: n.Label(), Algorithm: "project", Probe: probe, OutRows: int64(len(out))})
+	return &result{schema: schema, rows: out}, nil
+}

@@ -1,0 +1,451 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tdb/internal/algebra"
+	"tdb/internal/catalog"
+	"tdb/internal/core"
+	"tdb/internal/interval"
+	"tdb/internal/optimizer"
+	"tdb/internal/relation"
+)
+
+func (ex *executor) evalJoin(n *algebra.Join) (*result, error) {
+	l, err := ex.eval(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(n.R)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := relation.Concat(l.schema, r.schema, "", "")
+
+	if !ex.opt.ForceNestedLoop && n.Kind != algebra.KindTheta {
+		if !ex.opt.CostBased || ex.chooseStream(n, l, r) {
+			res, cost, err := ex.streamJoin(n, l, r)
+			if err != nil {
+				return nil, err
+			}
+			cost.Label = n.Label()
+			ex.stats.add(*cost)
+			return &result{schema: outSchema, rows: res}, nil
+		}
+	}
+
+	// Conventional path: the paper's Section 3 lists nested-loop, merge
+	// and hash join as the strategies for the equi-join; hash is the
+	// default, merge selectable, nested loop the fallback.
+	lk, rk, residual := equiKeys(n.Pred, l.schema, r.schema)
+	if len(lk) > 0 && !ex.opt.ForceNoHash {
+		var rows []relation.Row
+		var cost *NodeCost
+		if ex.opt.PreferMergeJoin {
+			rows, cost, err = sortMergeJoin(l, r, lk, rk, residual)
+		} else {
+			rows, cost, err = hashJoin(l, r, lk, rk, residual)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cost.Label = n.Label()
+		ex.stats.add(*cost)
+		return &result{schema: outSchema, rows: rows}, nil
+	}
+	pred, err := compilePairPred(n.Pred, l.schema, r.schema)
+	if err != nil {
+		return nil, err
+	}
+	rows, cost := nestedLoopJoin(l, r, pred)
+	cost.Label = n.Label()
+	ex.stats.add(*cost)
+	return &result{schema: outSchema, rows: rows}, nil
+}
+
+// chooseStream consults the Section 6 cost model over the materialized
+// inputs: statistics are collected from the actual intermediate lifespans
+// (cheap, one pass) and the stream plan is taken only when its estimated
+// cost, including any sorting, beats the nested loop.
+func (ex *executor) chooseStream(n *algebra.Join, l, r *result) bool {
+	lspan, err := spanAccessor(n.LSpan, l.schema)
+	if err != nil {
+		return true // let the stream path surface the error
+	}
+	rspan, err := spanAccessor(n.RSpan, r.schema)
+	if err != nil {
+		return true
+	}
+	statsOf := func(rows []relation.Row, span core.Span[relation.Row]) *catalog.Stats {
+		spans := make([]interval.Interval, len(rows))
+		for i, row := range rows {
+			spans[i] = span(row)
+		}
+		st := catalog.FromSpans(spans)
+		id := func(iv interval.Interval) interval.Interval { return iv }
+		st.SortedTS = relation.SortedSpans(spans, id, relation.Order{relation.TSAsc})
+		st.SortedTE = relation.SortedSpans(spans, id, relation.Order{relation.TEAsc})
+		return st
+	}
+	sx, sy := statsOf(l.rows, lspan), statsOf(r.rows, rspan)
+	var est optimizer.JoinEstimate
+	switch n.Kind {
+	case algebra.KindOverlap:
+		est = optimizer.EstimateOverlapJoin(sx, sy)
+	case algebra.KindBefore:
+		// The before-join's output is near-Cartesian either way; the
+		// sorted variant always wins on inner-scan avoidance.
+		return true
+	default:
+		est = optimizer.EstimateContainJoin(sx, sy)
+	}
+	return est.UseStream()
+}
+
+// streamJoin dispatches a recognized temporal join to the Section 4 stream
+// algorithms, sorting each side by the required ordering of Table 1/2.
+func (ex *executor) streamJoin(n *algebra.Join, l, r *result) ([]relation.Row, *NodeCost, error) {
+	lspan, err := spanAccessor(n.LSpan, l.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	rspan, err := spanAccessor(n.RSpan, r.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	cost := &NodeCost{}
+	opt := core.Options{Probe: &cost.Probe, Policy: ex.opt.Policy, VerifyOrder: ex.opt.VerifyOrder}
+
+	var lOrder, rOrder relation.Order
+	switch n.Kind {
+	case algebra.KindContain:
+		cost.Algorithm = "stream contain-join [TS↑,TS↑]"
+		lOrder, rOrder = relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc}
+	case algebra.KindContained:
+		cost.Algorithm = "stream contain-join [TS↑,TS↑] (sides swapped)"
+		lOrder, rOrder = relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc}
+	case algebra.KindOverlap:
+		cost.Algorithm = "stream overlap-join [TS↑,TS↑]"
+		lOrder, rOrder = relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc}
+	case algebra.KindBefore:
+		cost.Algorithm = "before-join [TE↑; inner sorted TS↑]"
+		lOrder, rOrder = relation.Order{relation.TEAsc}, relation.Order{relation.TSAsc}
+	default:
+		return nil, nil, fmt.Errorf("engine: unhandled join kind %v", n.Kind)
+	}
+	lw, err := ex.establishOrder(l.rows, lspan, lOrder, l.schema, cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	rw, err := ex.establishOrder(r.rows, rspan, rOrder, r.schema, cost)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var rows []relation.Row
+	emitLR := func(a, b spanned) { rows = append(rows, relation.ConcatRows(a.row, b.row)) }
+	emitRL := func(a, b spanned) { rows = append(rows, relation.ConcatRows(b.row, a.row)) }
+
+	switch n.Kind {
+	case algebra.KindContain:
+		err = core.ContainJoinTSTS(wrappedStream(lw), wrappedStream(rw), spannedSpan, opt, emitLR)
+	case algebra.KindContained:
+		// Left during right ⇔ Contain-join(right, left).
+		err = core.ContainJoinTSTS(wrappedStream(rw), wrappedStream(lw), spannedSpan, opt, emitRL)
+	case algebra.KindOverlap:
+		err = core.OverlapJoin(wrappedStream(lw), wrappedStream(rw), spannedSpan, opt, emitLR)
+	case algebra.KindBefore:
+		err = core.BeforeJoinSorted(wrappedStream(lw), rw, spannedSpan, opt, emitLR)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	cost.OutRows = int64(len(rows))
+	return rows, cost, nil
+}
+
+func nestedLoopJoin(l, r *result, pred pairPred) ([]relation.Row, *NodeCost) {
+	cost := &NodeCost{Algorithm: "nested-loop join"}
+	var rows []relation.Row
+	for _, lr := range l.rows {
+		cost.Probe.IncReadLeft()
+		for _, rr := range r.rows {
+			cost.Probe.IncReadRight()
+			cost.Probe.IncComparisons(1)
+			if pred(lr, rr) {
+				rows = append(rows, relation.ConcatRows(lr, rr))
+			}
+		}
+		cost.Probe.IncPasses()
+	}
+	cost.Probe.IncEmitted(int64(len(rows)))
+	cost.OutRows = int64(len(rows))
+	return rows, cost
+}
+
+func hashKey(row relation.Row, cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(row[c].String())
+	}
+	return b.String()
+}
+
+func hashJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relation.Row, *NodeCost, error) {
+	cost := &NodeCost{Algorithm: "hash equi-join"}
+	res, err := compilePairPred(residual, l.schema, r.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Build on the smaller side; probe with the larger.
+	buildLeft := len(l.rows) <= len(r.rows)
+	build, probeSide := l, r
+	bk, pk := lk, rk
+	if !buildLeft {
+		build, probeSide = r, l
+		bk, pk = rk, lk
+	}
+	table := make(map[string][]relation.Row, len(build.rows))
+	for _, row := range build.rows {
+		cost.Probe.IncReadLeft()
+		cost.Probe.StateAdd(1)
+		k := hashKey(row, bk)
+		table[k] = append(table[k], row)
+	}
+	var rows []relation.Row
+	for _, row := range probeSide.rows {
+		cost.Probe.IncReadRight()
+		for _, m := range table[hashKey(row, pk)] {
+			cost.Probe.IncComparisons(1)
+			lr, rr := m, row
+			if !buildLeft {
+				lr, rr = row, m
+			}
+			if res(lr, rr) {
+				rows = append(rows, relation.ConcatRows(lr, rr))
+			}
+		}
+	}
+	cost.Probe.StateRemove(int64(len(build.rows)))
+	cost.Probe.IncEmitted(int64(len(rows)))
+	cost.OutRows = int64(len(rows))
+	return rows, cost, nil
+}
+
+// sortMergeJoin is the classic merge join of Section 4.1's example: both
+// sides are sorted on the key columns and merged, buffering one right key
+// group at a time.
+func sortMergeJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relation.Row, *NodeCost, error) {
+	cost := &NodeCost{Algorithm: "sort-merge equi-join"}
+	res, err := compilePairPred(residual, l.schema, r.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	cmpKeys := func(a relation.Row, ak []int, b relation.Row, bk []int) int {
+		for i := range ak {
+			if c := a[ak[i]].Compare(b[bk[i]]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	ls := append([]relation.Row{}, l.rows...)
+	rs := append([]relation.Row{}, r.rows...)
+	sort.SliceStable(ls, func(i, j int) bool { return cmpKeys(ls[i], lk, ls[j], lk) < 0 })
+	sort.SliceStable(rs, func(i, j int) bool { return cmpKeys(rs[i], rk, rs[j], rk) < 0 })
+	cost.SortedRows = int64(len(ls) + len(rs))
+
+	var rows []relation.Row
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		cost.Probe.IncComparisons(1)
+		switch c := cmpKeys(ls[i], lk, rs[j], rk); {
+		case c < 0:
+			cost.Probe.IncReadLeft()
+			i++
+		case c > 0:
+			cost.Probe.IncReadRight()
+			j++
+		default:
+			// Buffer the right group and join every equal-key left row.
+			g := j
+			for g < len(rs) && cmpKeys(rs[g], rk, rs[j], rk) == 0 {
+				g++
+			}
+			cost.Probe.StateAdd(int64(g - j))
+			for ; i < len(ls) && cmpKeys(ls[i], lk, rs[j], rk) == 0; i++ {
+				cost.Probe.IncReadLeft()
+				for k := j; k < g; k++ {
+					cost.Probe.IncComparisons(1)
+					if res(ls[i], rs[k]) {
+						rows = append(rows, relation.ConcatRows(ls[i], rs[k]))
+					}
+				}
+			}
+			cost.Probe.StateRemove(int64(g - j))
+			for ; j < g; j++ {
+				cost.Probe.IncReadRight()
+			}
+		}
+	}
+	cost.Probe.IncEmitted(int64(len(rows)))
+	cost.OutRows = int64(len(rows))
+	return rows, cost, nil
+}
+
+func (ex *executor) evalSemijoin(n *algebra.Semijoin) (*result, error) {
+	// A detected self semijoin evaluates its (shared) input once and runs
+	// the single-scan, single-state-tuple algorithm of Figure 7 — the
+	// right subtree is never executed.
+	if n.Self && !ex.opt.ForceNestedLoop {
+		return ex.evalSelfSemijoin(n)
+	}
+	l, err := ex.eval(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(n.R)
+	if err != nil {
+		return nil, err
+	}
+
+	if !ex.opt.ForceNestedLoop && n.Kind != algebra.KindTheta {
+		rows, cost, err := ex.streamSemijoin(n, l, r)
+		if err != nil {
+			return nil, err
+		}
+		cost.Label = n.Label()
+		ex.stats.add(*cost)
+		return &result{schema: l.schema, rows: rows}, nil
+	}
+
+	pred, err := compilePairPred(n.Pred, l.schema, r.schema)
+	if err != nil {
+		return nil, err
+	}
+	cost := &NodeCost{Label: n.Label(), Algorithm: "nested-loop semijoin"}
+	var rows []relation.Row
+	for _, lr := range l.rows {
+		cost.Probe.IncReadLeft()
+		for _, rr := range r.rows {
+			cost.Probe.IncReadRight()
+			cost.Probe.IncComparisons(1)
+			if pred(lr, rr) {
+				rows = append(rows, lr)
+				break
+			}
+		}
+		cost.Probe.IncPasses()
+	}
+	cost.Probe.IncEmitted(int64(len(rows)))
+	cost.OutRows = int64(len(rows))
+	ex.stats.add(*cost)
+	return &result{schema: l.schema, rows: rows}, nil
+}
+
+func (ex *executor) evalSelfSemijoin(n *algebra.Semijoin) (*result, error) {
+	l, err := ex.eval(n.L)
+	if err != nil {
+		return nil, err
+	}
+	lspan, err := spanAccessor(n.LSpan, l.schema)
+	if err != nil {
+		return nil, err
+	}
+	cost := &NodeCost{Label: n.Label()}
+	opt := core.Options{Probe: &cost.Probe, VerifyOrder: ex.opt.VerifyOrder}
+
+	var order relation.Order
+	switch n.Kind {
+	case algebra.KindContained:
+		cost.Algorithm = "single-scan contained-semijoin(X,X) (Fig 7)"
+		order = relation.Order{relation.TSAsc, relation.TEAsc}
+	case algebra.KindContain:
+		cost.Algorithm = "single-scan contain-semijoin(X,X) (TS↓)"
+		order = relation.Order{relation.TSDesc, relation.TEDesc}
+	default:
+		return nil, fmt.Errorf("engine: self semijoin of kind %v", n.Kind)
+	}
+	lw, err := ex.establishOrder(l.rows, lspan, order, l.schema, cost)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []relation.Row
+	emit := func(s spanned) { rows = append(rows, s.row) }
+	switch n.Kind {
+	case algebra.KindContained:
+		err = core.ContainedSelfSemijoin(wrappedStream(lw), spannedSpan, opt, emit)
+	case algebra.KindContain:
+		err = core.ContainSelfSemijoin(wrappedStream(lw), spannedSpan, opt, emit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cost.OutRows = int64(len(rows))
+	ex.stats.add(*cost)
+	return &result{schema: l.schema, rows: rows}, nil
+}
+
+func (ex *executor) streamSemijoin(n *algebra.Semijoin, l, r *result) ([]relation.Row, *NodeCost, error) {
+	lspan, err := spanAccessor(n.LSpan, l.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	rspan, err := spanAccessor(n.RSpan, r.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	cost := &NodeCost{}
+	opt := core.Options{Probe: &cost.Probe, Policy: ex.opt.Policy, VerifyOrder: ex.opt.VerifyOrder}
+
+	var lOrder, rOrder relation.Order
+	switch n.Kind {
+	case algebra.KindContained:
+		cost.Algorithm = "stream contained-semijoin [TE↑,TS↑] (Fig 6)"
+		lOrder, rOrder = relation.Order{relation.TEAsc}, relation.Order{relation.TSAsc}
+	case algebra.KindContain:
+		cost.Algorithm = "stream contain-semijoin [TS↑,TE↑] (Fig 6)"
+		lOrder, rOrder = relation.Order{relation.TSAsc}, relation.Order{relation.TEAsc}
+	case algebra.KindOverlap:
+		cost.Algorithm = "stream overlap-semijoin [TS↑,TS↑]"
+		lOrder, rOrder = relation.Order{relation.TSAsc}, relation.Order{relation.TSAsc}
+	case algebra.KindBefore:
+		cost.Algorithm = "before-semijoin (sort-independent)"
+	default:
+		return nil, nil, fmt.Errorf("engine: unhandled semijoin kind %v", n.Kind)
+	}
+	lw, rw := wrap(l.rows, lspan), wrap(r.rows, rspan)
+	if lOrder != nil {
+		if lw, err = ex.establishOrder(l.rows, lspan, lOrder, l.schema, cost); err != nil {
+			return nil, nil, err
+		}
+		if rw, err = ex.establishOrder(r.rows, rspan, rOrder, r.schema, cost); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var rows []relation.Row
+	emit := func(s spanned) { rows = append(rows, s.row) }
+
+	switch n.Kind {
+	case algebra.KindContained:
+		err = core.ContainedSemijoin(wrappedStream(lw), wrappedStream(rw), spannedSpan, opt, emit)
+	case algebra.KindContain:
+		err = core.ContainSemijoin(wrappedStream(lw), wrappedStream(rw), spannedSpan, opt, emit)
+	case algebra.KindOverlap:
+		err = core.OverlapSemijoin(wrappedStream(lw), wrappedStream(rw), spannedSpan, opt, emit)
+	case algebra.KindBefore:
+		err = core.BeforeSemijoin(wrappedStream(lw), wrappedStream(rw), spannedSpan, opt, emit)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	cost.OutRows = int64(len(rows))
+	return rows, cost, nil
+}

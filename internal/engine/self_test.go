@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"tdb/internal/optimizer"
+	"tdb/internal/quel"
+	"tdb/internal/workload"
+)
+
+// The Section 5 transformed Superstar query, written directly in the
+// surface language: a during-semijoin of the associate tuples against
+// themselves. The optimizer must detect the self semijoin and the engine
+// must run it as the single-scan Figure 7 algorithm — "plan C" with no
+// manual plan construction.
+const transformedSuperstar = `
+range of i is Faculty
+range of j is Faculty
+retrieve (Name=i.Name, ValidFrom=i.ValidFrom, ValidTo=i.ValidTo)
+where i.Rank="Associate" and j.Rank="Associate" and (i during j)
+`
+
+func TestSelfSemijoinEndToEnd(t *testing.T) {
+	db := NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 150, Continuous: true, Seed: 21}))
+
+	prog, err := quel.Parse(transformedSuperstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := quel.Translate(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimizer.Optimize(qs[0].Tree, db, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Self path.
+	selfOut, selfStats, err := Run(db, res.Tree, Options{VerifyOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conventional reference.
+	nlOut, nlStats, err := Run(db, res.Tree, Options{ForceNestedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "self semijoin", selfOut, nlOut)
+	if selfOut.Cardinality() == 0 {
+		t.Fatal("empty result; workload too thin")
+	}
+
+	// The single-scan algorithm must actually have run, with one state
+	// tuple, never evaluating the right subtree.
+	var found bool
+	for _, nc := range selfStats.Nodes {
+		if strings.Contains(nc.Algorithm, "Fig 7") {
+			found = true
+			if nc.Probe.StateHighWater > 1 {
+				t.Errorf("self semijoin state %d, want ≤ 1", nc.Probe.StateHighWater)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("single-scan algorithm not used:\n%s", selfStats)
+	}
+	// One side of the base data is scanned once less than in the
+	// conventional plan (the right subtree is skipped entirely).
+	if selfStats.TotalTuplesRead() >= nlStats.TotalTuplesRead() {
+		t.Errorf("self plan read %d tuples, conventional %d",
+			selfStats.TotalTuplesRead(), nlStats.TotalTuplesRead())
+	}
+	if selfStats.TotalComparisons() >= nlStats.TotalComparisons() {
+		t.Errorf("self plan comparisons %d not below conventional %d",
+			selfStats.TotalComparisons(), nlStats.TotalComparisons())
+	}
+}
+
+// A contain-direction self query uses the descending-order variant.
+func TestSelfSemijoinContainDirection(t *testing.T) {
+	db := NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 100, Seed: 23}))
+	prog, err := quel.Parse(`
+range of i is Faculty
+range of j is Faculty
+retrieve (Name=i.Name, ValidFrom=i.ValidFrom, ValidTo=i.ValidTo)
+where i.Rank="Associate" and j.Rank="Associate" and (i contains j)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := quel.Translate(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimizer.Optimize(qs[0].Tree, db, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfOut, stats, err := Run(db, res.Tree, Options{VerifyOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlOut, _, err := Run(db, res.Tree, Options{ForceNestedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "contain self", selfOut, nlOut)
+	usedDesc := false
+	for _, nc := range stats.Nodes {
+		if strings.Contains(nc.Algorithm, "TS↓") {
+			usedDesc = true
+		}
+	}
+	if !usedDesc {
+		t.Errorf("descending single-scan variant not used:\n%s", stats)
+	}
+}

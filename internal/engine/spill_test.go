@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/interval"
+	"tdb/internal/optimizer"
+	"tdb/internal/relation"
+	"tdb/internal/workload"
+)
+
+// A bounded sort workspace forces the stream join's ordering to be
+// established by external sort — the Section 4.1 passes-for-order tradeoff
+// inside a query plan — with identical results and the spill accounted.
+func TestBoundedSortWorkspaceSpills(t *testing.T) {
+	db := NewDB()
+	mk := func(name string, seed int64) {
+		ts := workload.Tuples(workload.Config{N: 3000, Lambda: 1, MeanDur: 8, Seed: seed}, name)
+		// Store in ValidTo order — useless for the overlap join, forcing
+		// the executor to (re)establish ValidFrom order.
+		relation.SortSpans(ts, func(t relation.Tuple) interval.Interval { return t.Span },
+			relation.Order{relation.TEAsc})
+		rel := relation.FromTuples(name, ts)
+		rel.Name = name
+		db.MustRegister(rel)
+	}
+	mk("R", 1)
+	mk("S", 2)
+
+	col := algebra.Column
+	q := &algebra.Select{
+		Input: &algebra.Product{
+			L: &algebra.Scan{Relation: "R", As: "a"},
+			R: &algebra.Scan{Relation: "S", As: "b"},
+		},
+		Pred: algebra.Predicate{Atoms: []algebra.Atom{
+			{L: col("a", "ValidFrom"), Op: algebra.LT, R: col("b", "ValidTo")},
+			{L: col("b", "ValidFrom"), Op: algebra.LT, R: col("a", "ValidTo")},
+		}},
+	}
+	tree := optimize(t, db, q, optimizer.Options{})
+
+	inMem, memStats, err := Run(db, tree, Options{VerifyOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled, spillStats, err := Run(db, tree, Options{
+		VerifyOrder: true, SortMemRows: 256, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "spilled overlap join", inMem, spilled)
+
+	var memRuns, spillRuns int
+	var spillPages int64
+	for _, nc := range memStats.Nodes {
+		memRuns += nc.SortRuns
+	}
+	for _, nc := range spillStats.Nodes {
+		spillRuns += nc.SortRuns
+		spillPages += nc.SortPages
+	}
+	if memRuns != 0 {
+		t.Errorf("unbounded sort produced %d external runs", memRuns)
+	}
+	// 3000 rows per side at 256 rows of workspace: ≈ 12 runs per side.
+	if spillRuns < 20 {
+		t.Errorf("bounded sort produced only %d runs", spillRuns)
+	}
+	if spillPages == 0 {
+		t.Error("bounded sort moved no pages")
+	}
+	if inMem.Cardinality() == 0 {
+		t.Fatal("empty join result")
+	}
+}

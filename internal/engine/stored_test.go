@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"testing"
+
+	"tdb/internal/optimizer"
+	"tdb/internal/workload"
+)
+
+// The paper's Section 3 observation: the Superstar query references
+// Faculty three times, so a conventional evaluation scans the stored
+// relation three times. With a one-frame buffer pool every scan pays the
+// full page count; with a pool covering the relation, only the first does.
+func TestStoredScansCountPasses(t *testing.T) {
+	run := func(poolPages int) (pagesTotal, pagesFile int64) {
+		db := NewDB()
+		db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 400, Seed: 31}))
+		if err := db.StoreRelation("Faculty", t.TempDir(), poolPages); err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		opt, err := optimizer.Optimize(superstarQuery(), db, optimizer.Options{NoSemantic: true, NoRecognition: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := Run(db, opt.Tree, Options{ForceNestedLoop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Cardinality() == 0 {
+			t.Fatal("empty result")
+		}
+		return stats.TotalPagesRead(), db.StoredIO("Faculty").PagesWritten
+	}
+
+	coldTotal, filePages := run(1)
+	if filePages == 0 {
+		t.Fatal("relation too small to occupy pages")
+	}
+	// Three scans, cold pool: ≈ 3× the file size in page reads.
+	if coldTotal < 3*filePages {
+		t.Errorf("cold pool read %d pages for 3 scans of %d-page file", coldTotal, filePages)
+	}
+
+	warmTotal, filePages2 := run(1024)
+	// Warm pool: the second and third scans are served from memory.
+	if warmTotal != filePages2 {
+		t.Errorf("warm pool read %d pages, want exactly the file size %d", warmTotal, filePages2)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tdb/internal/core"
+	"tdb/internal/metrics"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+	"tdb/internal/workload"
+)
+
+// OrderChoiceRow compares the two streamable Contain-join orderings on one
+// workload shape.
+type OrderChoiceRow struct {
+	YMeanDur float64
+	WsTSTS   int64 // Table 1 case (a): both ValidFrom ↑
+	WsTSTE   int64 // Table 1 case (b): X ValidFrom ↑, Y ValidTo ↑
+	CmpTSTS  int64
+	CmpTSTE  int64
+	Emitted  int64
+}
+
+// OrderChoiceResult carries the sweep.
+type OrderChoiceResult struct {
+	Rows []OrderChoiceRow
+}
+
+// OrderChoice substantiates the abstract's claim that "the optimal sort
+// ordering for a query may depend on the statistics of data instances":
+// holding X fixed and sweeping Y's mean duration, the advantage of the
+// (ValidFrom ↑, ValidTo ↑) ordering over (ValidFrom ↑, ValidFrom ↑) for
+// Contain-join varies by large factors — so an optimizer needs the
+// Section 6 statistics to rank orderings, not just Table 1's feasibility.
+// (Table 3 shows the starker form: for the self semijoins the optimal
+// *direction* flips with the operator.)
+func OrderChoice(n int, yDurations []float64, seed int64) (*OrderChoiceResult, *Table, error) {
+	res := &OrderChoiceResult{}
+	tab := &Table{
+		Title:  fmt.Sprintf("Abstract / §4.2 — ordering choice depends on data statistics (contain-join, n=%d)", n),
+		Header: []string{"E[dur Y]", "(a) TS↑,TS↑ ws", "cmp", "(b) TS↑,TE↑ ws", "cmp", "cmp ratio a/b"},
+	}
+	xs := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 12, Seed: seed}, "x")
+	xTS := sortedTuples(xs, relation.Order{relation.TSAsc})
+
+	for _, dur := range yDurations {
+		ys := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: dur, Seed: seed + 1}, "y")
+
+		pa := &metrics.Probe{}
+		err := core.ContainJoinTSTS(stream.FromSlice(xTS),
+			stream.FromSlice(sortedTuples(ys, relation.Order{relation.TSAsc})),
+			tupleSpan, core.Options{Probe: pa}, func(a, b relation.Tuple) {})
+		if err != nil {
+			return nil, nil, err
+		}
+		pb := &metrics.Probe{}
+		err = core.ContainJoinTSTE(stream.FromSlice(xTS),
+			stream.FromSlice(sortedTuples(ys, relation.Order{relation.TEAsc})),
+			tupleSpan, core.Options{Probe: pb}, func(a, b relation.Tuple) {})
+		if err != nil {
+			return nil, nil, err
+		}
+		if pa.Emitted != pb.Emitted {
+			return nil, nil, fmt.Errorf("orderings disagree: %d vs %d pairs", pa.Emitted, pb.Emitted)
+		}
+		row := OrderChoiceRow{
+			YMeanDur: dur,
+			WsTSTS:   pa.Workspace(), WsTSTE: pb.Workspace(),
+			CmpTSTS: pa.Comparisons, CmpTSTE: pb.Comparisons,
+			Emitted: pa.Emitted,
+		}
+		res.Rows = append(res.Rows, row)
+		tab.Add(fmt.Sprintf("%.0f", dur), row.WsTSTS, row.CmpTSTS, row.WsTSTE, row.CmpTSTE,
+			fmt.Sprintf("%.2f", float64(row.CmpTSTS)/float64(row.CmpTSTE)))
+	}
+	tab.Note("both orderings are feasible (Table 1 cases (a)/(b)); their relative cost is a statistics question")
+	return res, tab, nil
+}

@@ -1,0 +1,85 @@
+// Package experiments implements one harness per table and figure of the
+// paper's evaluation. Each harness generates the workload, runs the
+// relevant algorithms with instrumentation, and renders a report table
+// whose rows mirror the paper's artifact; the structured results are also
+// returned so tests and benchmarks can assert the claimed behaviour (who
+// wins, by what shape, and how workspace scales).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment report.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row, stringifying the cells.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = runeLen(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && runeLen(c) > widths[i] {
+				widths[i] = runeLen(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-runeLen(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: " + n + "\n")
+	}
+	return b.String()
+}
+
+func runeLen(s string) int { return len([]rune(s)) }

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tdb/internal/algebra"
+	"tdb/internal/constraints"
+	"tdb/internal/core"
+	"tdb/internal/engine"
+	"tdb/internal/metrics"
+	"tdb/internal/optimizer"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+	"tdb/internal/workload"
+)
+
+// RankOrder is the chronological-ordering constraint of the running
+// example.
+func RankOrder(continuous bool) constraints.ChronOrder {
+	return constraints.ChronOrder{
+		Relation: "Faculty", KeyCol: "Name", ValCol: "Rank",
+		Order:      append([]string{}, workload.Ranks...),
+		Continuous: continuous,
+	}
+}
+
+// PlanCost summarizes one Superstar plan execution.
+type PlanCost struct {
+	Comparisons int64
+	TuplesRead  int64
+	Workspace   int64
+	SortedRows  int64
+	Rows        int
+}
+
+// SuperstarResult carries the three plans of the Figure 8 experiment.
+type SuperstarResult struct {
+	Faculty int // rows in the Faculty relation
+	// Names is the answer as a sorted list of names; all plans agree.
+	Names []string
+	PlanA PlanCost // conventional: hash equi-join + nested-loop less-than join
+	PlanB PlanCost // semantic optimization + stream Contained-semijoin
+	PlanC PlanCost // continuous employment: single-scan self semijoin (set only when continuous)
+}
+
+func planCost(stats *engine.Stats, rows int) PlanCost {
+	return PlanCost{
+		Comparisons: stats.TotalComparisons(),
+		TuplesRead:  stats.TotalTuplesRead(),
+		Workspace:   stats.MaxWorkspace(),
+		SortedRows:  stats.TotalSortedRows(),
+		Rows:        rows,
+	}
+}
+
+func nameSet(rel *relation.Relation) []string {
+	seen := map[string]bool{}
+	for _, r := range rel.Rows {
+		seen[r[0].AsString()] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Superstar runs the paper's running query three ways (Figure 8 and the
+// Section 5 discussion) and verifies the answers agree:
+//
+//	A — conventional: temporal sugar expanded, selections pushed down,
+//	    the equi-join hashed, the less-than join nested-loop;
+//	B — semantic: the redundant inequalities removed, the residual join
+//	    recognized as a Contained-semijoin over the derived lifespan
+//	    [f1.ValidTo, f2.ValidFrom) and run as a Figure 6 stream scan;
+//	C — only under continuous employment: the whole query collapses to a
+//	    single-scan Contained-semijoin(X,X) over the associate tuples
+//	    (Section 4.2.3), followed by a filter to members that reached
+//	    full rank.
+func Superstar(nFaculty int, seed int64, continuous bool) (*SuperstarResult, *Table, error) {
+	db := engine.NewDB()
+	fac := workload.Faculty(workload.FacultyConfig{N: nFaculty, Continuous: continuous, Seed: seed})
+	if err := db.Register(fac); err != nil {
+		return nil, nil, err
+	}
+	if err := db.DeclareChronOrder(RankOrder(continuous)); err != nil {
+		return nil, nil, err
+	}
+	tree, err := SuperstarTree(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &SuperstarResult{Faculty: fac.Cardinality()}
+
+	// Plan A.
+	optA, err := optimizer.Optimize(tree, db, optimizer.Options{NoSemantic: true, NoRecognition: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	outA, statsA, err := engine.Run(db, optA.Tree, engine.Options{ForceNestedLoop: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.PlanA = planCost(statsA, outA.Cardinality())
+	res.Names = nameSet(outA)
+
+	// Plan B.
+	optB, err := optimizer.Optimize(tree, db, optimizer.Options{ICs: db.ChronOrders()})
+	if err != nil {
+		return nil, nil, err
+	}
+	outB, statsB, err := engine.Run(db, optB.Tree, engine.Options{VerifyOrder: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.PlanB = planCost(statsB, outB.Cardinality())
+	if !sameNames(res.Names, nameSet(outB)) {
+		return nil, nil, fmt.Errorf("superstar: plans A and B disagree")
+	}
+
+	// Plan C.
+	if continuous {
+		cost, names, err := superstarPlanC(fac)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.PlanC = cost
+		if !sameNames(res.Names, names) {
+			return nil, nil, fmt.Errorf("superstar: plan C disagrees: %d vs %d names", len(names), len(res.Names))
+		}
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("Figure 8 / Section 5 — Superstar three ways (|Faculty|=%d rows, continuous=%v, answer=%d members)",
+			fac.Cardinality(), continuous, len(res.Names)),
+		Header: []string{"plan", "comparisons", "tuples read", "max workspace", "rows sorted", "result rows"},
+	}
+	tab.Add("A conventional (NL less-than join)", res.PlanA.Comparisons, res.PlanA.TuplesRead, res.PlanA.Workspace, res.PlanA.SortedRows, res.PlanA.Rows)
+	tab.Add("B semantic + stream semijoin", res.PlanB.Comparisons, res.PlanB.TuplesRead, res.PlanB.Workspace, res.PlanB.SortedRows, res.PlanB.Rows)
+	if continuous {
+		tab.Add("C single-scan self semijoin", res.PlanC.Comparisons, res.PlanC.TuplesRead, res.PlanC.Workspace, res.PlanC.SortedRows, res.PlanC.Rows)
+	}
+	return res, tab, nil
+}
+
+// superstarPlanC evaluates the continuous-employment transformation: one
+// scan collects the full-rank names and the associate tuples; the
+// associate stream, sorted ValidFrom/ValidTo ascending, feeds the
+// single-state Contained-semijoin(X,X) of Figure 7; members that reached
+// full rank are kept.
+func superstarPlanC(fac *relation.Relation) (PlanCost, []string, error) {
+	probe := &metrics.Probe{}
+	nameIdx := fac.Schema.ColumnIndex("Name")
+	rankIdx := fac.Schema.ColumnIndex("Rank")
+
+	fullNames := map[string]bool{}
+	var associates []relation.Tuple
+	for i, row := range fac.Rows {
+		probe.IncReadLeft()
+		switch row[rankIdx].AsString() {
+		case "Full":
+			fullNames[row[nameIdx].AsString()] = true
+		case "Associate":
+			associates = append(associates, relation.Tuple{
+				S:    row[nameIdx].AsString(),
+				V:    row[rankIdx],
+				Span: fac.Span(i),
+			})
+		}
+	}
+	probe.IncPasses()
+
+	order := relation.Order{relation.TSAsc, relation.TEAsc}
+	var sortedRows int64
+	if !relation.SortedSpans(associates, tupleSpan, order) {
+		relation.SortSpans(associates, tupleSpan, order)
+		sortedRows = int64(len(associates))
+	}
+
+	var names []string
+	seen := map[string]bool{}
+	err := core.ContainedSelfSemijoin(stream.FromSlice(associates), tupleSpan,
+		core.Options{Probe: probe, VerifyOrder: true}, func(t relation.Tuple) {
+			probe.IncComparisons(1)
+			if fullNames[t.S] && !seen[t.S] {
+				seen[t.S] = true
+				names = append(names, t.S)
+			}
+		})
+	if err != nil {
+		return PlanCost{}, nil, err
+	}
+	sort.Strings(names)
+	return PlanCost{
+		Comparisons: probe.Comparisons,
+		TuplesRead:  probe.TuplesRead(),
+		Workspace:   probe.Workspace(),
+		SortedRows:  sortedRows,
+		Rows:        len(names),
+	}, names, nil
+}
+
+// SuperstarContradiction demonstrates the other face of semantic
+// optimization: a query whose constraints contradict the chronological
+// ordering is answered empty with zero data access.
+func SuperstarContradiction(db *engine.DB) (bool, error) {
+	col := algebra.Column
+	q := &algebra.Select{
+		Input: &algebra.Product{
+			L: &algebra.Scan{Relation: "Faculty", As: "a"},
+			R: &algebra.Scan{Relation: "Faculty", As: "b"},
+		},
+		Pred: algebra.Predicate{Atoms: []algebra.Atom{
+			{L: col("a", "Name"), Op: algebra.EQ, R: col("b", "Name")},
+			{L: col("a", "Rank"), Op: algebra.EQ, R: algebra.Const(rankVal("Assistant"))},
+			{L: col("b", "Rank"), Op: algebra.EQ, R: algebra.Const(rankVal("Full"))},
+			{L: col("b", "ValidTo"), Op: algebra.LT, R: col("a", "ValidFrom")},
+		}},
+	}
+	res, err := optimizer.Optimize(q, db, optimizer.Options{ICs: db.ChronOrders()})
+	if err != nil {
+		return false, err
+	}
+	return res.Contradiction, nil
+}

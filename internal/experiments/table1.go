@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tdb/internal/catalog"
+	"tdb/internal/core"
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+	"tdb/internal/workload"
+)
+
+// tupleSpan is the lifespan accessor for canonical tuples.
+func tupleSpan(t relation.Tuple) interval.Interval { return t.Span }
+
+// Cell is one measured entry of Tables 1–3: the algorithm run for one
+// (sort order, operator) combination and its observed costs.
+type Cell struct {
+	OrderX, OrderY string
+	Operator       string
+	PaperCase      string // (a)…(d), "–", or "" (blank in the paper)
+	Algorithm      string
+	StateHWM       int64
+	Workspace      int64
+	Emitted        int64
+	TuplesRead     int64
+}
+
+// Table1Result carries the measured upper and lower halves of Table 1 plus
+// the workload statistics the cells are judged against.
+type Table1Result struct {
+	Cells          []Cell
+	StatsX, StatsY *catalog.Stats
+}
+
+// sortedTuples returns a copy of ts in the given order.
+func sortedTuples(ts []relation.Tuple, o relation.Order) []relation.Tuple {
+	c := append([]relation.Tuple{}, ts...)
+	relation.SortSpans(c, tupleSpan, o)
+	return c
+}
+
+func runJoin(run func(xs, ys stream.Stream[relation.Tuple], opt core.Options, emit func(a, b relation.Tuple)) error,
+	xs, ys []relation.Tuple, policy core.ReadPolicy, lambdaX, lambdaY float64) (*metrics.Probe, error) {
+	probe := &metrics.Probe{}
+	opt := core.Options{Probe: probe, Policy: policy, LambdaX: lambdaX, LambdaY: lambdaY}
+	err := run(stream.FromSlice(xs), stream.FromSlice(ys), opt, func(a, b relation.Tuple) {})
+	return probe, err
+}
+
+func runSemi(run func(xs, ys stream.Stream[relation.Tuple], opt core.Options, emit func(relation.Tuple)) error,
+	xs, ys []relation.Tuple) (*metrics.Probe, error) {
+	probe := &metrics.Probe{}
+	err := run(stream.FromSlice(xs), stream.FromSlice(ys), core.Options{Probe: probe}, func(relation.Tuple) {})
+	return probe, err
+}
+
+// Table1 reproduces the paper's Table 1: the effect of the eight sort-order
+// combinations on Contain-join(X,Y), Contain-semijoin(X,Y) and
+// Contained-semijoin(X,Y), measured as retained-state high-water marks on a
+// Poisson workload. Orderings the paper marks "–" or leaves blank run the
+// honest buffer-everything fallback, whose workspace is the relation size.
+func Table1(n int, seed int64, policy core.ReadPolicy) (*Table1Result, *Table) {
+	xs := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 12, LongFrac: 0.1, Seed: seed}, "x")
+	ys := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 12, LongFrac: 0.1, Seed: seed + 1}, "y")
+	sx := catalog.FromSpans(spansOf(xs))
+	sy := catalog.FromSpans(spansOf(ys))
+	res := &Table1Result{StatsX: sx, StatsY: sy}
+
+	span := tupleSpan
+	mspan := core.MirrorSpan(span)
+	containTheta := func(a, b interval.Interval) bool { return a.Start < b.Start && b.End < a.End }
+	containedTheta := func(a, b interval.Interval) bool { return containTheta(b, a) }
+
+	type joinFn = func(stream.Stream[relation.Tuple], stream.Stream[relation.Tuple], core.Options, func(a, b relation.Tuple)) error
+	type semiFn = func(stream.Stream[relation.Tuple], stream.Stream[relation.Tuple], core.Options, func(relation.Tuple)) error
+
+	fallbackJoin := func() joinFn {
+		return func(x, y stream.Stream[relation.Tuple], o core.Options, e func(a, b relation.Tuple)) error {
+			return core.BufferedLoopJoin(x, y, span, containTheta, o, e)
+		}
+	}
+	fallbackSemi := func(theta func(a, b interval.Interval) bool) semiFn {
+		return func(x, y stream.Stream[relation.Tuple], o core.Options, e func(relation.Tuple)) error {
+			return core.BufferedLoopSemijoin(x, y, span, theta, o, e)
+		}
+	}
+
+	type rowSpec struct {
+		orderX, orderY relation.Order
+		nameX, nameY   string
+		join           joinFn
+		joinCase       string
+		containSemi    semiFn
+		containCase    string
+		containedSemi  semiFn
+		containedCase  string
+	}
+
+	wrapJoin := func(f func(stream.Stream[relation.Tuple], stream.Stream[relation.Tuple], core.Span[relation.Tuple], core.Options, func(a, b relation.Tuple)) error, sp core.Span[relation.Tuple]) joinFn {
+		return func(x, y stream.Stream[relation.Tuple], o core.Options, e func(a, b relation.Tuple)) error {
+			return f(x, y, sp, o, e)
+		}
+	}
+	wrapSemi := func(f func(stream.Stream[relation.Tuple], stream.Stream[relation.Tuple], core.Span[relation.Tuple], core.Options, func(relation.Tuple)) error, sp core.Span[relation.Tuple]) semiFn {
+		return func(x, y stream.Stream[relation.Tuple], o core.Options, e func(relation.Tuple)) error {
+			return f(x, y, sp, o, e)
+		}
+	}
+
+	rows := []rowSpec{
+		{
+			orderX: relation.Order{relation.TSAsc}, orderY: relation.Order{relation.TSAsc},
+			nameX: "ValidFrom ↑", nameY: "ValidFrom ↑",
+			join: wrapJoin(core.ContainJoinTSTS[relation.Tuple], span), joinCase: "(a)",
+			containSemi: wrapSemi(core.ContainSemijoinTSTS[relation.Tuple], span), containCase: "(c)",
+			containedSemi: wrapSemi(core.ContainedSemijoinTSTS[relation.Tuple], span), containedCase: "(c)",
+		},
+		{
+			orderX: relation.Order{relation.TSDesc}, orderY: relation.Order{relation.TSDesc},
+			nameX: "ValidFrom ↓", nameY: "ValidFrom ↓",
+			join: fallbackJoin(), joinCase: "–",
+			containSemi: fallbackSemi(containTheta), containCase: "–",
+			containedSemi: fallbackSemi(containedTheta), containedCase: "–",
+		},
+		{
+			orderX: relation.Order{relation.TSAsc}, orderY: relation.Order{relation.TEAsc},
+			nameX: "ValidFrom ↑", nameY: "ValidTo ↑",
+			join: wrapJoin(core.ContainJoinTSTE[relation.Tuple], span), joinCase: "(b)",
+			containSemi: wrapSemi(core.ContainSemijoin[relation.Tuple], span), containCase: "(d)",
+			containedSemi: fallbackSemi(containedTheta), containedCase: "",
+		},
+		{
+			orderX: relation.Order{relation.TSDesc}, orderY: relation.Order{relation.TEDesc},
+			nameX: "ValidFrom ↓", nameY: "ValidTo ↓",
+			join: fallbackJoin(), joinCase: "–",
+			containSemi: fallbackSemi(containTheta), containCase: "–",
+			containedSemi: wrapSemi(core.ContainedSemijoinTSDescTEDesc[relation.Tuple], span), containedCase: "(d)",
+		},
+		{
+			orderX: relation.Order{relation.TEAsc}, orderY: relation.Order{relation.TSAsc},
+			nameX: "ValidTo ↑", nameY: "ValidFrom ↑",
+			join: fallbackJoin(), joinCase: "–",
+			containSemi: fallbackSemi(containTheta), containCase: "",
+			containedSemi: wrapSemi(core.ContainedSemijoin[relation.Tuple], span), containedCase: "(d)",
+		},
+		{
+			orderX: relation.Order{relation.TEDesc}, orderY: relation.Order{relation.TSDesc},
+			nameX: "ValidTo ↓", nameY: "ValidFrom ↓",
+			join: wrapJoin(core.ContainJoinTEDescTSDesc[relation.Tuple], span), joinCase: "(b)",
+			containSemi: wrapSemi(core.ContainSemijoinTEDescTSDesc[relation.Tuple], span), containCase: "(d)",
+			containedSemi: fallbackSemi(containedTheta), containedCase: "",
+		},
+		{
+			orderX: relation.Order{relation.TEAsc}, orderY: relation.Order{relation.TEAsc},
+			nameX: "ValidTo ↑", nameY: "ValidTo ↑",
+			join: fallbackJoin(), joinCase: "",
+			containSemi: fallbackSemi(containTheta), containCase: "",
+			containedSemi: fallbackSemi(containedTheta), containedCase: "",
+		},
+		{
+			orderX: relation.Order{relation.TEDesc}, orderY: relation.Order{relation.TEDesc},
+			nameX: "ValidTo ↓", nameY: "ValidTo ↓",
+			join: wrapJoin(core.ContainJoinTEDesc[relation.Tuple], span), joinCase: "(a)",
+			containSemi: wrapSemi(func(x, y stream.Stream[relation.Tuple], _ core.Span[relation.Tuple], o core.Options, e func(relation.Tuple)) error {
+				return core.ContainSemijoinTSTS(x, y, mspan, o, e)
+			}, span), containCase: "(c)",
+			containedSemi: wrapSemi(func(x, y stream.Stream[relation.Tuple], _ core.Span[relation.Tuple], o core.Options, e func(relation.Tuple)) error {
+				return core.ContainedSemijoinTSTS(x, y, mspan, o, e)
+			}, span), containedCase: "(c)",
+		},
+	}
+
+	tab := &Table{
+		Title:  fmt.Sprintf("Table 1 — Contain-join / Contain-semijoin / Contained-semijoin state vs. sort order (n=%d, policy=%v)", n, policy),
+		Header: []string{"X order", "Y order", "operator", "paper", "state hwm", "workspace", "emitted"},
+	}
+	tab.Note("max concurrency: X=%d Y=%d; predicted spanning set (Little's law): X=%.1f Y=%.1f",
+		sx.MaxConcurrency, sy.MaxConcurrency, sx.PredictedWorkspace(), sy.PredictedWorkspace())
+
+	addCell := func(nameX, nameY, op, paperCase string, probe *metrics.Probe, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s/%s %s: %v", nameX, nameY, op, err))
+		}
+		res.Cells = append(res.Cells, Cell{
+			OrderX: nameX, OrderY: nameY, Operator: op, PaperCase: paperCase,
+			StateHWM: probe.StateHighWater, Workspace: probe.Workspace(),
+			Emitted: probe.Emitted, TuplesRead: probe.TuplesRead(),
+		})
+		display := paperCase
+		if display == "" {
+			display = "(blank)"
+		}
+		tab.Add(nameX, nameY, op, display, probe.StateHighWater, probe.Workspace(), probe.Emitted)
+	}
+
+	for _, r := range rows {
+		xo := sortedTuples(xs, r.orderX)
+		yo := sortedTuples(ys, r.orderY)
+
+		probe, err := runJoin(r.join, xo, yo, policy, sx.Lambda, sy.Lambda)
+		addCell(r.nameX, r.nameY, "contain-join", r.joinCase, probe, err)
+
+		probe, err = runSemi(r.containSemi, xo, yo)
+		addCell(r.nameX, r.nameY, "contain-semijoin", r.containCase, probe, err)
+
+		probe, err = runSemi(r.containedSemi, xo, yo)
+		addCell(r.nameX, r.nameY, "contained-semijoin", r.containedCase, probe, err)
+	}
+	return res, tab
+}
+
+func spansOf(ts []relation.Tuple) []interval.Interval {
+	out := make([]interval.Interval, len(ts))
+	for i, t := range ts {
+		out[i] = t.Span
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Soundness on instances far beyond the derivation grid: for random
+// (x, y, z), Classify(x, z) must be a member of
+// Compose(Classify(x,y), Classify(y,z)).
+func TestComposeSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Interval {
+			s := Time(rng.Intn(2000) - 1000)
+			return New(s, s+Time(1+rng.Intn(500)))
+		}
+		x, y, z := mk(), mk(), mk()
+		return Compose(Classify(x, y), Classify(y, z)).Has(Classify(x, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Spot checks against Allen's published table.
+func TestComposeKnownEntries(t *testing.T) {
+	cases := []struct {
+		r1, r2 Relationship
+		want   []Relationship
+	}{
+		// before ∘ before = {before}.
+		{RelBefore, RelBefore, []Relationship{RelBefore}},
+		// during ∘ before = {before}.
+		{RelDuring, RelBefore, []Relationship{RelBefore}},
+		// during ∘ during = {during}.
+		{RelDuring, RelDuring, []Relationship{RelDuring}},
+		// meets ∘ meets = {before}.
+		{RelMeets, RelMeets, []Relationship{RelBefore}},
+		// equal is the identity.
+		{RelEqual, RelOverlaps, []Relationship{RelOverlaps}},
+		{RelOverlaps, RelEqual, []Relationship{RelOverlaps}},
+		// contains ∘ during = everything except... (Allen: "full" for
+		// during∘contains is the 9 sharing + before/after/meets/met-by =
+		// all 13); check contains∘during = the five "concur" relations
+		// plus equal... verified against enumeration by construction, so
+		// here assert only the well-known singletons above and the
+		// identity row below.
+	}
+	for _, c := range cases {
+		got := Compose(c.r1, c.r2)
+		if got.Len() != len(c.want) {
+			t.Errorf("Compose(%v, %v) = %v, want %v", c.r1, c.r2, got, c.want)
+			continue
+		}
+		for _, w := range c.want {
+			if !got.Has(w) {
+				t.Errorf("Compose(%v, %v) = %v missing %v", c.r1, c.r2, got, w)
+			}
+		}
+	}
+	// Equal composed with anything is that thing, both sides.
+	for _, r := range Relationships() {
+		if got := Compose(RelEqual, r); got.Len() != 1 || !got.Has(r) {
+			t.Errorf("equal∘%v = %v", r, got)
+		}
+		if got := Compose(r, RelEqual); got.Len() != 1 || !got.Has(r) {
+			t.Errorf("%v∘equal = %v", r, got)
+		}
+	}
+	// during ∘ contains is the famous full-set entry.
+	if got := Compose(RelDuring, RelContains); got != FullSet() {
+		t.Errorf("during∘contains = %v (%d members), want all 13", got, got.Len())
+	}
+}
+
+// Every composition entry is non-empty and every claimed member has an
+// explicit witness on a slightly larger grid (completeness of the
+// derivation).
+func TestComposeCompleteOnLargerGrid(t *testing.T) {
+	const maxT = 16
+	var ivs []Interval
+	for s := Time(0); s < maxT; s++ {
+		for e := s + 1; e <= maxT; e++ {
+			ivs = append(ivs, New(s, e))
+		}
+	}
+	var witnessed [NumRelationships][NumRelationships]RelationshipSet
+	for _, x := range ivs {
+		for _, y := range ivs {
+			r1 := Classify(x, y)
+			for _, z := range ivs {
+				witnessed[r1][Classify(y, z)] =
+					witnessed[r1][Classify(y, z)].Add(Classify(x, z))
+			}
+		}
+	}
+	for i := 0; i < NumRelationships; i++ {
+		for j := 0; j < NumRelationships; j++ {
+			got := Compose(Relationship(i), Relationship(j))
+			if got.Len() == 0 {
+				t.Fatalf("empty composition %v∘%v", Relationship(i), Relationship(j))
+			}
+			if got != witnessed[i][j] {
+				t.Errorf("%v∘%v: table %v vs larger-grid %v",
+					Relationship(i), Relationship(j), got, witnessed[i][j])
+			}
+		}
+	}
+}
+
+func TestRelationshipSetOps(t *testing.T) {
+	var s RelationshipSet
+	s = s.Add(RelDuring).Add(RelBefore).Add(RelDuring)
+	if s.Len() != 2 || !s.Has(RelDuring) || s.Has(RelAfter) {
+		t.Errorf("set ops wrong: %v", s)
+	}
+	if s.String() != "{during, before}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if FullSet().Len() != 13 {
+		t.Errorf("FullSet = %d members", FullSet().Len())
+	}
+	u := ComposeSets(s, FullSet())
+	if u.Len() == 0 {
+		t.Error("ComposeSets empty")
+	}
+}

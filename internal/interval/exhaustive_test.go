@@ -1,0 +1,67 @@
+package interval
+
+import "testing"
+
+// Exhaustive verification over every pair of valid intervals on a small
+// grid: exactly one relationship holds, it matches Classify, the explicit
+// constraints agree, inverses invert, and the general overlap coincides
+// with a shared chronon existing.
+func TestExhaustiveSmallGrid(t *testing.T) {
+	const maxT = 7
+	var all []Interval
+	for s := Time(0); s < maxT; s++ {
+		for e := s + 1; e <= maxT; e++ {
+			all = append(all, New(s, e))
+		}
+	}
+	sharesChronon := func(x, y Interval) bool {
+		for c := Time(0); c < maxT; c++ {
+			if x.Contains(c) && y.Contains(c) {
+				return true
+			}
+		}
+		return false
+	}
+	pairs := 0
+	for _, x := range all {
+		for _, y := range all {
+			pairs++
+			holding := -1
+			for _, rel := range Relationships() {
+				if rel.Holds(x, y) {
+					if holding >= 0 {
+						t.Fatalf("(%v,%v): both %v and %v hold", x, y, Relationship(holding), rel)
+					}
+					holding = int(rel)
+				}
+				if rel.Holds(x, y) != rel.EvalConstraints(x, y) {
+					t.Fatalf("(%v,%v): %v constraints disagree", x, y, rel)
+				}
+				if rel.Holds(x, y) != rel.Inverse().Holds(y, x) {
+					t.Fatalf("(%v,%v): %v inverse disagrees", x, y, rel)
+				}
+			}
+			if holding < 0 {
+				t.Fatalf("(%v,%v): no relationship holds", x, y)
+			}
+			if got := Classify(x, y); got != Relationship(holding) {
+				t.Fatalf("(%v,%v): Classify=%v, holds=%v", x, y, got, Relationship(holding))
+			}
+			if x.Intersects(y) != sharesChronon(x, y) {
+				t.Fatalf("(%v,%v): Intersects=%v, shared chronon=%v",
+					x, y, x.Intersects(y), sharesChronon(x, y))
+			}
+			// Intersection is exactly the shared chronons.
+			if iv, ok := x.Intersection(y); ok {
+				for c := Time(-1); c <= maxT; c++ {
+					if iv.Contains(c) != (x.Contains(c) && y.Contains(c)) {
+						t.Fatalf("(%v,%v): intersection %v wrong at %d", x, y, iv, c)
+					}
+				}
+			}
+		}
+	}
+	if pairs != len(all)*len(all) {
+		t.Fatalf("pairs = %d", pairs)
+	}
+}

@@ -1,0 +1,188 @@
+// Package interval implements the temporal domain of the paper: time as a
+// sequence of discrete, totally ordered chronons, half-open validity
+// intervals [ValidFrom, ValidTo), and the thirteen elementary interval
+// relationships of Allen (paper Figure 2) together with the more general
+// TQuel-style "overlap" used by the Superstar query.
+//
+// Every relationship is defined purely by endpoint (in)equalities, exactly
+// as the "Explicit Constraints" column of Figure 2 prescribes; the
+// relationship predicates here are the ground truth that the query
+// optimizer's predicate expansion (internal/optimizer) and the stream
+// algorithms (internal/core) are tested against.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a chronon: one point of the discrete, totally ordered time line
+// Time = {t0, t1, ..., now}. The paper treats the sequence as isomorphic to
+// the natural numbers and leaves the unit unspecified; we use int64 so that
+// arithmetic on timestamps (gap estimation, Little's-law workspace
+// prediction) is exact.
+type Time int64
+
+// Sentinel chronons. MinTime and MaxTime are reserved and never appear as
+// endpoints of a valid interval; Forever is the conventional ValidTo of a
+// tuple that is current "until changed".
+const (
+	MinTime Time = math.MinInt64
+	MaxTime Time = math.MaxInt64
+	Forever Time = math.MaxInt64 - 1
+)
+
+// Interval is a half-open lifespan [Start, End): the object carries the
+// associated value at every chronon t with Start <= t < End. Start plays the
+// role of the paper's ValidFrom/TS and End the role of ValidTo/TE.
+type Interval struct {
+	Start Time // ValidFrom (TS)
+	End   Time // ValidTo (TE)
+}
+
+// New returns the interval [start, end). It does not validate; use Valid or
+// Check when the endpoints come from untrusted input.
+func New(start, end Time) Interval { return Interval{Start: start, End: end} }
+
+// Valid reports whether the interval satisfies the intra-tuple integrity
+// constraint of the paper: ValidFrom < ValidTo, with endpoints inside the
+// representable time line.
+func (iv Interval) Valid() bool {
+	return iv.Start < iv.End && iv.Start > MinTime && iv.End < MaxTime
+}
+
+// Check returns a descriptive error when the interval violates the
+// intra-tuple constraint and nil otherwise.
+func (iv Interval) Check() error {
+	if iv.Valid() {
+		return nil
+	}
+	return fmt.Errorf("interval %v violates ValidFrom < ValidTo", iv)
+}
+
+// Duration is the number of chronons in the lifespan, End - Start.
+func (iv Interval) Duration() int64 { return int64(iv.End) - int64(iv.Start) }
+
+// Contains reports whether chronon t lies in [Start, End).
+func (iv Interval) Contains(t Time) bool { return iv.Start <= t && t < iv.End }
+
+// Spans reports whether the lifespan spans the point t in the open sense
+// used by the state characterizations of Table 1: Start < t < End. A tuple
+// whose lifespan merely begins or ends at t does not span it.
+func (iv Interval) Spans(t Time) bool { return iv.Start < t && t < iv.End }
+
+// String renders the interval as "[s,e)"; Forever prints as "∞".
+func (iv Interval) String() string {
+	if iv.End == Forever {
+		return fmt.Sprintf("[%d,∞)", iv.Start)
+	}
+	return fmt.Sprintf("[%d,%d)", iv.Start, iv.End)
+}
+
+// Mirror reflects the interval about the origin of the time line:
+// [s, e) ↦ [-e, -s). Mirroring exchanges the roles of ValidFrom and
+// ValidTo while preserving "during" and reversing "before"; it is the
+// symmetry the paper invokes to derive the lower half of Table 1 from the
+// upper half ("sorting both relations on ValidTo in descending order has
+// the same effect as sorting them on ValidFrom in ascending order").
+func (iv Interval) Mirror() Interval {
+	return Interval{Start: -iv.End, End: -iv.Start}
+}
+
+// ---------------------------------------------------------------------------
+// Allen's thirteen elementary relationships (paper Figure 2).
+//
+// The paper lists seven operators and obtains the other six as their
+// inverses. We implement all thirteen; X r Y holds exactly when the listed
+// endpoint constraints hold, assuming both intervals satisfy the intra-tuple
+// constraint TS < TE.
+// ---------------------------------------------------------------------------
+
+// Equal reports X.TS=Y.TS ∧ X.TE=Y.TE (relationship 1).
+func (iv Interval) Equal(o Interval) bool { return iv.Start == o.Start && iv.End == o.End }
+
+// Meets reports X.TE=Y.TS (relationship 2): X ends exactly where Y starts.
+func (iv Interval) Meets(o Interval) bool { return iv.End == o.Start }
+
+// MetBy is the inverse of Meets: Y.TE=X.TS.
+func (iv Interval) MetBy(o Interval) bool { return o.End == iv.Start }
+
+// Starts reports X.TS=Y.TS ∧ X.TE<Y.TE (relationship 3).
+func (iv Interval) Starts(o Interval) bool { return iv.Start == o.Start && iv.End < o.End }
+
+// StartedBy is the inverse of Starts.
+func (iv Interval) StartedBy(o Interval) bool { return o.Starts(iv) }
+
+// Finishes reports X.TE=Y.TE ∧ X.TS>Y.TS (relationship 4).
+func (iv Interval) Finishes(o Interval) bool { return iv.End == o.End && iv.Start > o.Start }
+
+// FinishedBy is the inverse of Finishes.
+func (iv Interval) FinishedBy(o Interval) bool { return o.Finishes(iv) }
+
+// During reports X.TS>Y.TS ∧ X.TE<Y.TE (relationship 5): the lifespan of X
+// is strictly contained in that of Y. Contain-join(Y,X) in the paper pairs
+// Y with every X such that X During Y.
+func (iv Interval) During(o Interval) bool { return iv.Start > o.Start && iv.End < o.End }
+
+// ContainsInterval is the inverse of During: the lifespan of X strictly
+// contains that of Y, i.e. X.TS<Y.TS ∧ Y.TE<X.TE.
+func (iv Interval) ContainsInterval(o Interval) bool { return o.During(iv) }
+
+// Overlaps reports the strict Allen overlap (relationship 6):
+// X.TS<Y.TS ∧ X.TE>Y.TS ∧ X.TE<Y.TE. X begins first, the two lifespans
+// share at least one chronon, and Y ends last.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.Start && iv.End > o.Start && iv.End < o.End
+}
+
+// OverlappedBy is the inverse of Overlaps.
+func (iv Interval) OverlappedBy(o Interval) bool { return o.Overlaps(iv) }
+
+// Before reports X.TE<Y.TS (relationship 7): X ends strictly before Y
+// begins, with a gap of at least one chronon.
+func (iv Interval) Before(o Interval) bool { return iv.End < o.Start }
+
+// After is the inverse of Before.
+func (iv Interval) After(o Interval) bool { return o.End < iv.Start }
+
+// Intersects reports the general TQuel/Snodgrass "overlap" used by the
+// Superstar query: the lifespans share at least one chronon,
+// X.TS<Y.TE ∧ Y.TS<X.TE. Unlike Allen's Overlaps it is reflexive and
+// symmetric and also covers equal, starts, finishes and during (footnote 6
+// of the paper).
+func (iv Interval) Intersects(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Intersection returns the common sub-lifespan of two intersecting
+// intervals and ok=false when they do not intersect.
+func (iv Interval) Intersection(o Interval) (Interval, bool) {
+	if !iv.Intersects(o) {
+		return Interval{}, false
+	}
+	r := Interval{Start: maxTime(iv.Start, o.Start), End: minTime(iv.End, o.End)}
+	return r, true
+}
+
+// Union returns the smallest interval covering both operands when they
+// intersect or meet, and ok=false when a gap separates them.
+func (iv Interval) Union(o Interval) (Interval, bool) {
+	if !iv.Intersects(o) && !iv.Meets(o) && !o.Meets(iv) {
+		return Interval{}, false
+	}
+	return Interval{Start: minTime(iv.Start, o.Start), End: maxTime(iv.End, o.End)}, true
+}
+
+func minTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

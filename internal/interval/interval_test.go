@@ -1,0 +1,326 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{New(0, 1), true},
+		{New(5, 10), true},
+		{New(-3, 7), true},
+		{New(0, Forever), true},
+		{New(3, 3), false},  // empty
+		{New(10, 2), false}, // reversed
+		{New(MinTime, 0), false},
+		{New(0, MaxTime), false},
+	}
+	for _, c := range cases {
+		if got := c.iv.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.iv, got, c.want)
+		}
+		if err := c.iv.Check(); (err == nil) != c.want {
+			t.Errorf("Check(%v) = %v, want error=%v", c.iv, err, !c.want)
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if d := New(3, 10).Duration(); d != 7 {
+		t.Errorf("Duration = %d, want 7", d)
+	}
+	if d := New(-5, 5).Duration(); d != 10 {
+		t.Errorf("Duration = %d, want 10", d)
+	}
+}
+
+func TestContainsAndSpans(t *testing.T) {
+	iv := New(10, 20)
+	for _, c := range []struct {
+		t              Time
+		contains, span bool
+	}{
+		{9, false, false},
+		{10, true, false}, // endpoint included in lifespan, not spanned
+		{11, true, true},
+		{19, true, true},
+		{20, false, false}, // half-open
+		{21, false, false},
+	} {
+		if got := iv.Contains(c.t); got != c.contains {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.contains)
+		}
+		if got := iv.Spans(c.t); got != c.span {
+			t.Errorf("Spans(%d) = %v, want %v", c.t, got, c.span)
+		}
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	if s := New(1, 5).String(); s != "[1,5)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := New(1, Forever).String(); s != "[1,∞)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Figure 2 worked examples: one canonical witness per relationship.
+func TestFigure2Witnesses(t *testing.T) {
+	type wit struct {
+		rel  Relationship
+		x, y Interval
+	}
+	wits := []wit{
+		{RelEqual, New(2, 6), New(2, 6)},
+		{RelMeets, New(2, 6), New(6, 9)},
+		{RelStarts, New(2, 4), New(2, 9)},
+		{RelFinishes, New(5, 9), New(2, 9)},
+		{RelDuring, New(4, 6), New(2, 9)},
+		{RelOverlaps, New(2, 6), New(4, 9)},
+		{RelBefore, New(2, 4), New(6, 9)},
+		{RelMetBy, New(6, 9), New(2, 6)},
+		{RelStartedBy, New(2, 9), New(2, 4)},
+		{RelFinishedBy, New(2, 9), New(5, 9)},
+		{RelContains, New(2, 9), New(4, 6)},
+		{RelOverlappedBy, New(4, 9), New(2, 6)},
+		{RelAfter, New(6, 9), New(2, 4)},
+	}
+	if len(wits) != NumRelationships {
+		t.Fatalf("have %d witnesses, want %d", len(wits), NumRelationships)
+	}
+	for _, w := range wits {
+		if !w.rel.Holds(w.x, w.y) {
+			t.Errorf("%v.Holds(%v, %v) = false, want true", w.rel, w.x, w.y)
+		}
+		if got := Classify(w.x, w.y); got != w.rel {
+			t.Errorf("Classify(%v, %v) = %v, want %v", w.x, w.y, got, w.rel)
+		}
+		// No other relationship may hold for the same pair.
+		for _, other := range Relationships() {
+			if other != w.rel && other.Holds(w.x, w.y) {
+				t.Errorf("%v and %v both hold for (%v, %v)", w.rel, other, w.x, w.y)
+			}
+		}
+	}
+}
+
+func randInterval(r *rand.Rand) Interval {
+	s := Time(r.Intn(40))
+	d := Time(1 + r.Intn(40))
+	return Interval{Start: s, End: s + d}
+}
+
+// Property: exactly one of the thirteen relationships holds between any two
+// valid intervals, and it is the one Classify reports.
+func TestExactlyOneRelationship(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randInterval(r), randInterval(r)
+		var holding []Relationship
+		for _, rel := range Relationships() {
+			if rel.Holds(x, y) {
+				holding = append(holding, rel)
+			}
+		}
+		return len(holding) == 1 && holding[0] == Classify(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the explicit constraint conjunction of Figure 2 agrees with the
+// relationship predicate.
+func TestConstraintsMatchPredicates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randInterval(r), randInterval(r)
+		for _, rel := range Relationships() {
+			if rel.Holds(x, y) != rel.EvalConstraints(x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: X r Y ⇔ Y r⁻¹ X, and inversion is an involution.
+func TestInverse(t *testing.T) {
+	for _, rel := range Relationships() {
+		if rel.Inverse().Inverse() != rel {
+			t.Errorf("Inverse(Inverse(%v)) = %v", rel, rel.Inverse().Inverse())
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randInterval(r), randInterval(r)
+		for _, rel := range Relationships() {
+			if rel.Holds(x, y) != rel.Inverse().Holds(y, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the general overlap (Intersects) holds exactly when the Allen
+// relationship is one of the "sharing" relationships — footnote 6 of the
+// paper: overlap in the TQuel sense also covers equal, starts, finishes,
+// during (and their inverses and Allen's strict overlaps).
+func TestIntersectsCoversSharingRelationships(t *testing.T) {
+	sharing := map[Relationship]bool{
+		RelEqual: true, RelStarts: true, RelStartedBy: true,
+		RelFinishes: true, RelFinishedBy: true, RelDuring: true,
+		RelContains: true, RelOverlaps: true, RelOverlappedBy: true,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randInterval(r), randInterval(r)
+		return x.Intersects(y) == sharing[Classify(x, y)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mirroring preserves "during" and "contains", swaps before/after,
+// and maps start order to reverse end order. This is the Table 1 symmetry.
+func TestMirrorSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randInterval(r), randInterval(r)
+		mx, my := x.Mirror(), y.Mirror()
+		if !mx.Valid() || !my.Valid() {
+			return false
+		}
+		if x.During(y) != mx.During(my) {
+			return false
+		}
+		if x.ContainsInterval(y) != mx.ContainsInterval(my) {
+			return false
+		}
+		if x.Before(y) != mx.After(my) {
+			return false
+		}
+		if x.Intersects(y) != mx.Intersects(my) {
+			return false
+		}
+		// Sorting by TS ascending on mirrored data is sorting by TE
+		// descending on the original.
+		if (mx.Start < my.Start) != (x.End > y.End) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMirrorInvolution(t *testing.T) {
+	f := func(s int32, d uint8) bool {
+		iv := Interval{Start: Time(s), End: Time(s) + Time(d%100) + 1}
+		return iv.Mirror().Mirror() == iv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionAndUnion(t *testing.T) {
+	a, b := New(2, 8), New(5, 12)
+	got, ok := a.Intersection(b)
+	if !ok || got != New(5, 8) {
+		t.Errorf("Intersection = %v,%v", got, ok)
+	}
+	if _, ok := New(0, 2).Intersection(New(2, 4)); ok {
+		t.Error("meeting intervals must not intersect (half-open)")
+	}
+	u, ok := a.Union(b)
+	if !ok || u != New(2, 12) {
+		t.Errorf("Union = %v,%v", u, ok)
+	}
+	u, ok = New(0, 2).Union(New(2, 4))
+	if !ok || u != New(0, 4) {
+		t.Errorf("Union of meeting intervals = %v,%v", u, ok)
+	}
+	if _, ok := New(0, 2).Union(New(5, 9)); ok {
+		t.Error("disjoint non-meeting intervals must not union")
+	}
+}
+
+// Intersection is symmetric, contained in both operands, and idempotent.
+func TestIntersectionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randInterval(r), randInterval(r)
+		i1, ok1 := x.Intersection(y)
+		i2, ok2 := y.Intersection(x)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		if i1 != i2 || !i1.Valid() {
+			return false
+		}
+		within := func(in, out Interval) bool {
+			return out.Start <= in.Start && in.End <= out.End
+		}
+		if !within(i1, x) || !within(i1, y) {
+			return false
+		}
+		self, _ := i1.Intersection(i1)
+		return self == i1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{TS, OpLT, TE}
+	if s := c.String(); s != "X.TS<Y.TE" {
+		t.Errorf("String = %q", s)
+	}
+	c = Constraint{TE, OpEQ, TS}
+	if s := c.String(); s != "X.TE=Y.TS" {
+		t.Errorf("String = %q", s)
+	}
+	c = Constraint{TS, OpGT, TS}
+	if s := c.String(); s != "X.TS>Y.TS" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRelationshipString(t *testing.T) {
+	if RelDuring.String() != "during" || RelOverlappedBy.String() != "overlapped-by" {
+		t.Error("unexpected relationship names")
+	}
+	bogus := Relationship(200)
+	if bogus.String() == "" {
+		t.Error("bogus relationship must still render")
+	}
+}
+
+func TestHoldsPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid relationship")
+		}
+	}()
+	Relationship(99).Holds(New(0, 1), New(0, 1))
+}

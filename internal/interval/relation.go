@@ -1,0 +1,290 @@
+package interval
+
+import "fmt"
+
+// Relationship enumerates Allen's thirteen elementary relationships between
+// two intervals (paper Figure 2). Exactly one relationship holds between any
+// two valid intervals; Classify computes it.
+type Relationship uint8
+
+// The thirteen relationships. The first seven are the operators the paper
+// lists; the remaining six are their inverses.
+const (
+	RelEqual Relationship = iota
+	RelMeets
+	RelStarts
+	RelFinishes
+	RelDuring
+	RelOverlaps
+	RelBefore
+	RelMetBy
+	RelStartedBy
+	RelFinishedBy
+	RelContains
+	RelOverlappedBy
+	RelAfter
+	numRelationships
+)
+
+// NumRelationships is the number of elementary relationships (13).
+const NumRelationships = int(numRelationships)
+
+var relNames = [...]string{
+	RelEqual:        "equal",
+	RelMeets:        "meets",
+	RelStarts:       "starts",
+	RelFinishes:     "finishes",
+	RelDuring:       "during",
+	RelOverlaps:     "overlaps",
+	RelBefore:       "before",
+	RelMetBy:        "met-by",
+	RelStartedBy:    "started-by",
+	RelFinishedBy:   "finished-by",
+	RelContains:     "contains",
+	RelOverlappedBy: "overlapped-by",
+	RelAfter:        "after",
+}
+
+// String returns the conventional name of the relationship.
+func (r Relationship) String() string {
+	if int(r) < len(relNames) {
+		return relNames[r]
+	}
+	return fmt.Sprintf("Relationship(%d)", uint8(r))
+}
+
+// Inverse returns the relationship r⁻¹ such that X r Y ⇔ Y r⁻¹ X.
+// Equal is its own inverse.
+func (r Relationship) Inverse() Relationship {
+	switch r {
+	case RelEqual:
+		return RelEqual
+	case RelMeets:
+		return RelMetBy
+	case RelMetBy:
+		return RelMeets
+	case RelStarts:
+		return RelStartedBy
+	case RelStartedBy:
+		return RelStarts
+	case RelFinishes:
+		return RelFinishedBy
+	case RelFinishedBy:
+		return RelFinishes
+	case RelDuring:
+		return RelContains
+	case RelContains:
+		return RelDuring
+	case RelOverlaps:
+		return RelOverlappedBy
+	case RelOverlappedBy:
+		return RelOverlaps
+	case RelBefore:
+		return RelAfter
+	case RelAfter:
+		return RelBefore
+	}
+	panic(fmt.Sprintf("interval: invalid relationship %d", uint8(r)))
+}
+
+// Holds evaluates the relationship predicate X r Y for the receiver r.
+func (r Relationship) Holds(x, y Interval) bool {
+	switch r {
+	case RelEqual:
+		return x.Equal(y)
+	case RelMeets:
+		return x.Meets(y)
+	case RelStarts:
+		return x.Starts(y)
+	case RelFinishes:
+		return x.Finishes(y)
+	case RelDuring:
+		return x.During(y)
+	case RelOverlaps:
+		return x.Overlaps(y)
+	case RelBefore:
+		return x.Before(y)
+	case RelMetBy:
+		return x.MetBy(y)
+	case RelStartedBy:
+		return x.StartedBy(y)
+	case RelFinishedBy:
+		return x.FinishedBy(y)
+	case RelContains:
+		return x.ContainsInterval(y)
+	case RelOverlappedBy:
+		return x.OverlappedBy(y)
+	case RelAfter:
+		return x.After(y)
+	}
+	panic(fmt.Sprintf("interval: invalid relationship %d", uint8(r)))
+}
+
+// Relationships returns all thirteen relationships in declaration order.
+func Relationships() []Relationship {
+	rs := make([]Relationship, NumRelationships)
+	for i := range rs {
+		rs[i] = Relationship(i)
+	}
+	return rs
+}
+
+// Classify returns the unique elementary relationship that holds between
+// two valid intervals. It is the exhaustive-case oracle used by the tests
+// of the predicate expander and by the Figure 2 harness.
+func Classify(x, y Interval) Relationship {
+	switch {
+	case x.End < y.Start:
+		return RelBefore
+	case y.End < x.Start:
+		return RelAfter
+	case x.End == y.Start:
+		return RelMeets
+	case y.End == x.Start:
+		return RelMetBy
+	}
+	// The lifespans share at least one chronon.
+	switch {
+	case x.Start == y.Start && x.End == y.End:
+		return RelEqual
+	case x.Start == y.Start:
+		if x.End < y.End {
+			return RelStarts
+		}
+		return RelStartedBy
+	case x.End == y.End:
+		if x.Start > y.Start {
+			return RelFinishes
+		}
+		return RelFinishedBy
+	case x.Start > y.Start && x.End < y.End:
+		return RelDuring
+	case y.Start > x.Start && y.End < x.End:
+		return RelContains
+	case x.Start < y.Start:
+		return RelOverlaps
+	default:
+		return RelOverlappedBy
+	}
+}
+
+// Constraint describes a relationship as the conjunction of endpoint
+// (in)equalities in the "Explicit Constraints" column of Figure 2. Each
+// atom compares one endpoint of X with one endpoint of Y.
+type Constraint struct {
+	Left  Endpoint // endpoint of X
+	Op    CompareOp
+	Right Endpoint // endpoint of Y
+}
+
+// Endpoint identifies one of the two temporal attributes of an operand.
+type Endpoint uint8
+
+// The two endpoints: TS abbreviates ValidFrom and TE ValidTo, following the
+// paper.
+const (
+	TS Endpoint = iota // ValidFrom
+	TE                 // ValidTo
+)
+
+// String returns "TS" or "TE".
+func (e Endpoint) String() string {
+	if e == TS {
+		return "TS"
+	}
+	return "TE"
+}
+
+// CompareOp is the comparison operator of a constraint atom.
+type CompareOp uint8
+
+// The comparison operators occurring in Figure 2.
+const (
+	OpEQ CompareOp = iota // =
+	OpLT                  // <
+	OpGT                  // >
+)
+
+// String returns the operator symbol.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpLT:
+		return "<"
+	default:
+		return ">"
+	}
+}
+
+// String renders the atom as e.g. "X.TS<Y.TE".
+func (c Constraint) String() string {
+	return fmt.Sprintf("X.%s%sY.%s", c.Left, c.Op, c.Right)
+}
+
+// Eval evaluates the atom against concrete intervals.
+func (c Constraint) Eval(x, y Interval) bool {
+	l := endpointValue(x, c.Left)
+	r := endpointValue(y, c.Right)
+	switch c.Op {
+	case OpEQ:
+		return l == r
+	case OpLT:
+		return l < r
+	default:
+		return l > r
+	}
+}
+
+func endpointValue(iv Interval, e Endpoint) Time {
+	if e == TS {
+		return iv.Start
+	}
+	return iv.End
+}
+
+// Constraints returns the explicit constraint conjunction of Figure 2 for
+// the relationship, in the paper's order. Inverse relationships return the
+// constraints of their inverse with the operands exchanged.
+func (r Relationship) Constraints() []Constraint {
+	switch r {
+	case RelEqual:
+		return []Constraint{{TS, OpEQ, TS}, {TE, OpEQ, TE}}
+	case RelMeets:
+		return []Constraint{{TE, OpEQ, TS}}
+	case RelStarts:
+		return []Constraint{{TS, OpEQ, TS}, {TE, OpLT, TE}}
+	case RelFinishes:
+		return []Constraint{{TE, OpEQ, TE}, {TS, OpGT, TS}}
+	case RelDuring:
+		return []Constraint{{TS, OpGT, TS}, {TE, OpLT, TE}}
+	case RelOverlaps:
+		return []Constraint{{TS, OpLT, TS}, {TE, OpGT, TS}, {TE, OpLT, TE}}
+	case RelBefore:
+		return []Constraint{{TE, OpLT, TS}}
+	case RelMetBy:
+		return []Constraint{{TS, OpEQ, TE}}
+	case RelStartedBy:
+		return []Constraint{{TS, OpEQ, TS}, {TE, OpGT, TE}}
+	case RelFinishedBy:
+		return []Constraint{{TE, OpEQ, TE}, {TS, OpLT, TS}}
+	case RelContains:
+		return []Constraint{{TS, OpLT, TS}, {TE, OpGT, TE}}
+	case RelOverlappedBy:
+		return []Constraint{{TS, OpGT, TS}, {TS, OpLT, TE}, {TE, OpGT, TE}}
+	case RelAfter:
+		return []Constraint{{TS, OpGT, TE}}
+	}
+	panic(fmt.Sprintf("interval: invalid relationship %d", uint8(r)))
+}
+
+// EvalConstraints evaluates the full conjunction for the relationship; it
+// must agree with Holds for all valid intervals (property-tested).
+func (r Relationship) EvalConstraints(x, y Interval) bool {
+	for _, c := range r.Constraints() {
+		if !c.Eval(x, y) {
+			return false
+		}
+	}
+	return true
+}

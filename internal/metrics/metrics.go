@@ -1,0 +1,145 @@
+// Package metrics implements the instrumentation through which the
+// experiments observe the stream algorithms: tuples read per input, output
+// cardinality, predicate comparisons, garbage-collection activity, scan
+// (pass) counts, and — central to the paper's Tables 1–3 — the local
+// workspace high-water mark, measured in retained tuples so that results
+// are directly comparable to the paper's analytic state characterizations.
+//
+// All methods are nil-receiver safe: production code paths pass a nil
+// *Probe and pay only a branch.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Probe accumulates the observable costs of one operator execution.
+type Probe struct {
+	ReadLeft    int64 // tuples read from the left (X) input
+	ReadRight   int64 // tuples read from the right (Y) input
+	Emitted     int64 // result tuples produced
+	Comparisons int64 // predicate evaluations
+	GCDiscarded int64 // state tuples discarded by garbage collection
+	Passes      int64 // complete scans taken over inputs
+
+	// Workspace accounting. State counts tuples retained beyond the
+	// one-tuple input buffers; Buffers is the fixed buffer count of the
+	// algorithm (typically 2). The high-water marks are what Tables 1–3
+	// characterize.
+	state          int64
+	StateHighWater int64
+	Buffers        int64
+}
+
+// IncReadLeft notes a tuple read from the left input.
+func (p *Probe) IncReadLeft() {
+	if p != nil {
+		p.ReadLeft++
+	}
+}
+
+// IncReadRight notes a tuple read from the right input.
+func (p *Probe) IncReadRight() {
+	if p != nil {
+		p.ReadRight++
+	}
+}
+
+// IncEmitted notes n result tuples.
+func (p *Probe) IncEmitted(n int64) {
+	if p != nil {
+		p.Emitted += n
+	}
+}
+
+// IncComparisons notes n predicate evaluations.
+func (p *Probe) IncComparisons(n int64) {
+	if p != nil {
+		p.Comparisons += n
+	}
+}
+
+// IncPasses notes a completed scan over an input.
+func (p *Probe) IncPasses() {
+	if p != nil {
+		p.Passes++
+	}
+}
+
+// SetBuffers records the algorithm's fixed buffer count.
+func (p *Probe) SetBuffers(n int64) {
+	if p != nil {
+		p.Buffers = n
+	}
+}
+
+// StateAdd notes n tuples entering the retained state and updates the
+// high-water mark.
+func (p *Probe) StateAdd(n int64) {
+	if p == nil {
+		return
+	}
+	p.state += n
+	if p.state > p.StateHighWater {
+		p.StateHighWater = p.state
+	}
+}
+
+// StateRemove notes n tuples leaving the retained state via garbage
+// collection.
+func (p *Probe) StateRemove(n int64) {
+	if p == nil {
+		return
+	}
+	p.state -= n
+	p.GCDiscarded += n
+	if p.state < 0 {
+		panic(fmt.Sprintf("metrics: state went negative (%d)", p.state))
+	}
+}
+
+// StateNow returns the currently retained tuple count.
+func (p *Probe) StateNow() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.state
+}
+
+// Workspace returns the workspace high-water mark: retained state plus the
+// fixed buffers. For the buffers-only algorithms of Table 1 case (d) this
+// is exactly Buffers.
+func (p *Probe) Workspace() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.StateHighWater + p.Buffers
+}
+
+// TuplesRead returns the total input tuples consumed.
+func (p *Probe) TuplesRead() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.ReadLeft + p.ReadRight
+}
+
+// Reset zeroes the probe for reuse across benchmark iterations.
+func (p *Probe) Reset() {
+	if p != nil {
+		*p = Probe{}
+	}
+}
+
+// String renders a compact one-line report.
+func (p *Probe) String() string {
+	if p == nil {
+		return "probe(nil)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "read=%d+%d emitted=%d cmp=%d gc=%d passes=%d state-hwm=%d buffers=%d workspace=%d",
+		p.ReadLeft, p.ReadRight, p.Emitted, p.Comparisons, p.GCDiscarded, p.Passes,
+		p.StateHighWater, p.Buffers, p.Workspace())
+	return b.String()
+}

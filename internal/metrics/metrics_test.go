@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var p *Probe
+	p.IncReadLeft()
+	p.IncReadRight()
+	p.IncEmitted(3)
+	p.IncComparisons(5)
+	p.IncPasses()
+	p.SetBuffers(2)
+	p.StateAdd(4)
+	p.StateRemove(0)
+	if p.StateNow() != 0 || p.Workspace() != 0 || p.TuplesRead() != 0 {
+		t.Error("nil probe must report zeros")
+	}
+	p.Reset()
+	if p.String() != "probe(nil)" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	p := &Probe{}
+	p.SetBuffers(2)
+	p.IncReadLeft()
+	p.IncReadLeft()
+	p.IncReadRight()
+	p.IncEmitted(7)
+	p.IncComparisons(11)
+	p.IncPasses()
+
+	p.StateAdd(3)
+	p.StateAdd(2)
+	p.StateRemove(4)
+	p.StateAdd(1)
+
+	if p.StateNow() != 2 {
+		t.Errorf("StateNow = %d, want 2", p.StateNow())
+	}
+	if p.StateHighWater != 5 {
+		t.Errorf("StateHighWater = %d, want 5", p.StateHighWater)
+	}
+	if p.Workspace() != 7 {
+		t.Errorf("Workspace = %d, want 7", p.Workspace())
+	}
+	if p.GCDiscarded != 4 {
+		t.Errorf("GCDiscarded = %d, want 4", p.GCDiscarded)
+	}
+	if p.TuplesRead() != 3 {
+		t.Errorf("TuplesRead = %d, want 3", p.TuplesRead())
+	}
+	if p.Emitted != 7 || p.Comparisons != 11 || p.Passes != 1 {
+		t.Error("simple counters wrong")
+	}
+
+	s := p.String()
+	for _, frag := range []string{"read=2+1", "emitted=7", "state-hwm=5", "workspace=7"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+
+	p.Reset()
+	if p.Workspace() != 0 || p.TuplesRead() != 0 || p.StateNow() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestNegativeStatePanics(t *testing.T) {
+	p := &Probe{}
+	p.StateAdd(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative state")
+		}
+	}()
+	p.StateRemove(2)
+}

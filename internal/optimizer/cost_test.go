@@ -1,0 +1,138 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"tdb/internal/catalog"
+	"tdb/internal/core"
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+	"tdb/internal/workload"
+)
+
+func statsFor(n int, lambda, dur float64, seed int64) (*catalog.Stats, []relation.Tuple) {
+	ts := workload.Tuples(workload.Config{N: n, Lambda: lambda, MeanDur: dur, Seed: seed}, "t")
+	rel := relation.FromTuples("R", ts)
+	st, err := catalog.Collect(rel)
+	if err != nil {
+		panic(err)
+	}
+	return st, ts
+}
+
+func tSpan(t relation.Tuple) interval.Interval { return t.Span }
+
+func sortedCopy(ts []relation.Tuple, o relation.Order) []relation.Tuple {
+	c := append([]relation.Tuple{}, ts...)
+	relation.SortSpans(c, tSpan, o)
+	return c
+}
+
+// The predicted comparison counts track the measured ones within a small
+// factor, and the predicted winner wins on actual comparisons.
+func TestContainJoinEstimateTracksMeasured(t *testing.T) {
+	sx, xs := statsFor(3000, 1, 12, 1)
+	sy, ys := statsFor(3000, 1, 12, 2)
+	est := EstimateContainJoin(sx, sy)
+
+	probe := &metrics.Probe{}
+	err := core.ContainJoinTSTS(
+		stream.FromSlice(sortedCopy(xs, relation.Order{relation.TSAsc})),
+		stream.FromSlice(sortedCopy(ys, relation.Order{relation.TSAsc})),
+		tSpan, core.Options{Probe: probe}, func(a, b relation.Tuple) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ratio := float64(probe.Comparisons) / est.Stream
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("stream estimate off: measured %d vs predicted %.0f (ratio %.2f)",
+			probe.Comparisons, est.Stream, ratio)
+	}
+	wsRatio := float64(probe.Workspace()) / est.Workspace
+	if wsRatio < 0.2 || wsRatio > 5 {
+		t.Errorf("workspace estimate off: measured %d vs predicted %.1f",
+			probe.Workspace(), est.Workspace)
+	}
+	// At n=3000 and modest occupancy the stream plan must be predicted —
+	// and actually is — far cheaper than the nested loop.
+	if !est.UseStream() {
+		t.Errorf("estimate picked nested loop: %v", est)
+	}
+	if nl := int64(sx.Cardinality) * int64(sy.Cardinality); probe.Comparisons >= nl {
+		t.Errorf("stream measured %d not below nested loop %d", probe.Comparisons, nl)
+	}
+	if !strings.Contains(est.String(), "stream") {
+		t.Errorf("estimate rendering: %s", est)
+	}
+}
+
+// When the inputs are tiny and unsorted, sorting dominates and the model
+// may prefer the nested loop; at scale the stream plan must win. The
+// crossover must exist and be monotone.
+func TestEstimateCrossover(t *testing.T) {
+	unsorted := func(st *catalog.Stats) *catalog.Stats {
+		c := *st
+		c.SortedTS, c.SortedTE = false, false
+		return &c
+	}
+	var prev float64
+	wonAtScale := false
+	for _, n := range []int{4, 64, 1024, 16384} {
+		sx, _ := statsFor(n, 1, 40, 3)
+		sy, _ := statsFor(n, 1, 40, 4)
+		est := EstimateContainJoin(unsorted(sx), unsorted(sy))
+		advantage := est.NestedLoop / est.StreamTotal()
+		if advantage < prev {
+			t.Errorf("n=%d: stream advantage %.2f not monotone (prev %.2f)", n, advantage, prev)
+		}
+		prev = advantage
+		if n >= 1024 && est.UseStream() {
+			wonAtScale = true
+		}
+	}
+	if !wonAtScale {
+		t.Error("stream never predicted to win at scale")
+	}
+}
+
+func TestSemijoinEstimate(t *testing.T) {
+	sx, _ := statsFor(2000, 1, 10, 5)
+	sy, _ := statsFor(2000, 1, 10, 6)
+	est := EstimateSemijoin(sx, sy, true, true)
+	if est.Workspace != 2 {
+		t.Errorf("buffers-only workspace predicted %v", est.Workspace)
+	}
+	if est.Sort != 0 {
+		t.Errorf("sorted inputs predicted sort cost %v", est.Sort)
+	}
+	if !est.UseStream() {
+		t.Errorf("semijoin estimate picked nested loop: %v", est)
+	}
+	// Unsorted inputs pay n·log n each.
+	est2 := EstimateSemijoin(sx, sy, false, false)
+	if est2.Sort <= 0 {
+		t.Error("unsorted inputs predicted free")
+	}
+}
+
+func TestOverlapEstimate(t *testing.T) {
+	sx, xs := statsFor(2000, 2, 8, 7)
+	sy, ys := statsFor(2000, 2, 8, 8)
+	est := EstimateOverlapJoin(sx, sy)
+	probe := &metrics.Probe{}
+	err := core.OverlapJoin(
+		stream.FromSlice(sortedCopy(xs, relation.Order{relation.TSAsc})),
+		stream.FromSlice(sortedCopy(ys, relation.Order{relation.TSAsc})),
+		tSpan, core.Options{Probe: probe}, func(a, b relation.Tuple) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(probe.Comparisons) / est.Stream
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("overlap estimate off: measured %d vs predicted %.0f", probe.Comparisons, est.Stream)
+	}
+}

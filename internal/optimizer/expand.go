@@ -1,0 +1,210 @@
+// Package optimizer implements temporal query optimization as the paper
+// lays it out: expansion of the temporal operators of Figure 2 into their
+// explicit inequality constraints ("syntactic sugaring", Section 3),
+// conventional algebraic optimization (via internal/algebra), the semantic
+// query optimization of Section 5 — redundant-inequality elimination and
+// contradiction detection driven by integrity constraints — and the
+// recognition of inequality conjunctions as temporal join/semijoin
+// operators so the physical layer can use the stream algorithms of
+// Section 4.
+package optimizer
+
+import (
+	"fmt"
+
+	"tdb/internal/algebra"
+	"tdb/internal/constraints"
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+)
+
+// Context carries what the optimizer knows about a query: which relation
+// each range variable ranges over, each relation's schema, and the declared
+// integrity constraints.
+type Context struct {
+	Bindings map[string]string // range variable → relation name
+	Schemas  map[string]*relation.Schema
+	ICs      []constraints.ChronOrder
+}
+
+// BuildContext derives bindings and schemas by walking the expression's
+// scans.
+func BuildContext(e algebra.Expr, src algebra.SchemaSource, ics []constraints.ChronOrder) (*Context, error) {
+	ctx := &Context{
+		Bindings: map[string]string{},
+		Schemas:  map[string]*relation.Schema{},
+		ICs:      ics,
+	}
+	var walk func(n algebra.Expr) error
+	walk = func(n algebra.Expr) error {
+		if s, ok := n.(*algebra.Scan); ok {
+			if prev, dup := ctx.Bindings[s.Var()]; dup && prev != s.Relation {
+				return fmt.Errorf("optimizer: range variable %s bound to both %s and %s", s.Var(), prev, s.Relation)
+			}
+			ctx.Bindings[s.Var()] = s.Relation
+			if _, ok := ctx.Schemas[s.Relation]; !ok {
+				sch, err := src.SchemaOf(s.Relation)
+				if err != nil {
+					return err
+				}
+				ctx.Schemas[s.Relation] = sch
+			}
+		}
+		for _, c := range n.Children() {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// queryContext converts to the constraints package's view.
+func (c *Context) queryContext() constraints.QueryContext {
+	qc := constraints.QueryContext{
+		Bindings: c.Bindings,
+		Temporal: map[string][2]string{},
+	}
+	for name, sch := range c.Schemas {
+		if sch.Temporal() {
+			qc.Temporal[name] = [2]string{sch.Cols[sch.TS].Name, sch.Cols[sch.TE].Name}
+		}
+	}
+	return qc
+}
+
+// spanCols returns the ValidFrom/ValidTo column names of a range variable.
+func (c *Context) spanCols(v string) (ts, te string, err error) {
+	rel, ok := c.Bindings[v]
+	if !ok {
+		return "", "", fmt.Errorf("optimizer: unknown range variable %s", v)
+	}
+	sch := c.Schemas[rel]
+	if sch == nil || !sch.Temporal() {
+		return "", "", fmt.Errorf("optimizer: range variable %s over non-temporal relation %s", v, rel)
+	}
+	return sch.Cols[sch.TS].Name, sch.Cols[sch.TE].Name, nil
+}
+
+// ExpandPredicate replaces every temporal-operator atom by its explicit
+// constraint conjunction from Figure 2 (or, for the general TQuel overlap,
+// by X.TS<Y.TE ∧ Y.TS<X.TE), leaving comparison atoms untouched.
+func ExpandPredicate(p algebra.Predicate, ctx *Context) (algebra.Predicate, error) {
+	out := algebra.Predicate{Atoms: append([]algebra.Atom{}, p.Atoms...)}
+	for _, ta := range p.Temporal {
+		lts, lte, err := ctx.spanCols(ta.L)
+		if err != nil {
+			return out, err
+		}
+		rts, rte, err := ctx.spanCols(ta.R)
+		if err != nil {
+			return out, err
+		}
+		pick := func(v string, ts, te string, e interval.Endpoint) algebra.Operand {
+			if e == interval.TS {
+				return algebra.Column(v, ts)
+			}
+			return algebra.Column(v, te)
+		}
+		if ta.General {
+			out.Atoms = append(out.Atoms,
+				algebra.Atom{L: algebra.Column(ta.L, lts), Op: algebra.LT, R: algebra.Column(ta.R, rte)},
+				algebra.Atom{L: algebra.Column(ta.R, rts), Op: algebra.LT, R: algebra.Column(ta.L, lte)},
+			)
+			continue
+		}
+		for _, con := range ta.Rel.Constraints() {
+			var op algebra.CmpOp
+			switch con.Op {
+			case interval.OpEQ:
+				op = algebra.EQ
+			case interval.OpLT:
+				op = algebra.LT
+			default:
+				op = algebra.GT
+			}
+			out.Atoms = append(out.Atoms, algebra.Atom{
+				L:  pick(ta.L, lts, lte, con.Left),
+				Op: op,
+				R:  pick(ta.R, rts, rte, con.Right),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ExpandTree expands the temporal atoms of every predicate in the tree.
+func ExpandTree(e algebra.Expr, ctx *Context) (algebra.Expr, error) {
+	switch n := e.(type) {
+	case *algebra.Scan:
+		return n, nil
+	case *algebra.Select:
+		in, err := ExpandTree(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ExpandPredicate(n.Pred, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Select{Input: in, Pred: p}, nil
+	case *algebra.Product:
+		l, err := ExpandTree(n.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ExpandTree(n.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Product{L: l, R: r}, nil
+	case *algebra.Join:
+		l, err := ExpandTree(n.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ExpandTree(n.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ExpandPredicate(n.Pred, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Join{L: l, R: r, Pred: p}, nil
+	case *algebra.Semijoin:
+		l, err := ExpandTree(n.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ExpandTree(n.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ExpandPredicate(n.Pred, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Semijoin{L: l, R: r, Pred: p, Kind: n.Kind}, nil
+	case *algebra.Project:
+		in, err := ExpandTree(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Project{
+			Input: in, Cols: n.Cols,
+			TSName: n.TSName, TEName: n.TEName, Distinct: n.Distinct,
+		}, nil
+	case *algebra.Aggregate:
+		in, err := ExpandTree(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Aggregate{Input: in, GroupBy: n.GroupBy, Terms: n.Terms}, nil
+	}
+	return nil, fmt.Errorf("optimizer: unknown expression %T", e)
+}

@@ -1,0 +1,90 @@
+package optimizer
+
+import (
+	"tdb/internal/algebra"
+	"tdb/internal/constraints"
+)
+
+// Options selects the optimization passes. The zero value enables
+// everything, matching the paper's full pipeline; experiments switch
+// passes off to measure their individual contributions.
+type Options struct {
+	ICs []constraints.ChronOrder
+	// NoSemantic disables the Section 5 pass.
+	NoSemantic bool
+	// NoConventional disables predicate pushdown (Figure 3(b)).
+	NoConventional bool
+	// NoRecognition disables temporal-operator recognition and semijoin
+	// introduction.
+	NoRecognition bool
+}
+
+// Stage is one snapshot of the tree after a pass, for EXPLAIN output.
+type Stage struct {
+	Name string
+	Tree string
+}
+
+// Result is the outcome of optimization.
+type Result struct {
+	Tree algebra.Expr
+	// Contradiction: the query is provably empty from the constraints
+	// alone; Tree is the expanded tree and need not be executed.
+	Contradiction bool
+	// Removed lists conjuncts deleted as redundant by the semantic pass.
+	Removed []algebra.Atom
+	// Stages traces the tree through the passes.
+	Stages []Stage
+}
+
+// Optimize runs the full pipeline of the paper over a logical tree:
+// temporal-operator expansion (Section 3), semantic optimization
+// (Section 5), conventional pushdown (Figure 3(b)), and temporal operator
+// recognition with semijoin introduction (Figure 8).
+func Optimize(e algebra.Expr, src algebra.SchemaSource, opt Options) (*Result, error) {
+	ctx, err := BuildContext(e, src, opt.ICs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	snap := func(name string, t algebra.Expr) {
+		res.Stages = append(res.Stages, Stage{Name: name, Tree: algebra.Format(t)})
+	}
+
+	t, err := ExpandTree(e, ctx)
+	if err != nil {
+		return nil, err
+	}
+	snap("expand temporal operators", t)
+
+	if !opt.NoSemantic {
+		sem := SemanticOptimize(t, ctx)
+		res.Removed = sem.Removed
+		if sem.Contradiction {
+			res.Tree = t
+			res.Contradiction = true
+			snap("semantic: contradiction — query is empty", t)
+			return res, nil
+		}
+		t = sem.Tree
+		snap("semantic optimization", t)
+	}
+
+	if !opt.NoConventional {
+		t = algebra.PushDown(t)
+		snap("conventional pushdown", t)
+	}
+
+	if !opt.NoRecognition {
+		t = AnnotateJoins(t, ctx)
+		t = IntroduceSemijoins(t, ctx)
+		// A side swap during semijoin introduction may expose a pattern
+		// annotated only generically; annotating again is idempotent.
+		t = AnnotateJoins(t, ctx)
+		t = MarkSelfSemijoins(t)
+		snap("temporal operator recognition", t)
+	}
+
+	res.Tree = t
+	return res, nil
+}

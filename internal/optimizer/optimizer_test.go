@@ -1,0 +1,333 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/constraints"
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+type fixedSource map[string]*relation.Schema
+
+func (f fixedSource) SchemaOf(name string) (*relation.Schema, error) {
+	s, ok := f[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	return s, nil
+}
+
+var facultySchema = relation.MustSchema([]relation.Column{
+	{Name: "Name", Kind: value.KindString},
+	{Name: "Rank", Kind: value.KindString},
+	{Name: "ValidFrom", Kind: value.KindTime},
+	{Name: "ValidTo", Kind: value.KindTime},
+}, 2, 3)
+
+func src() fixedSource { return fixedSource{"Faculty": facultySchema} }
+
+func rankIC(continuous bool) []constraints.ChronOrder {
+	return []constraints.ChronOrder{{
+		Relation: "Faculty", KeyCol: "Name", ValCol: "Rank",
+		Order:      []string{"Assistant", "Associate", "Full"},
+		Continuous: continuous,
+	}}
+}
+
+// superstarQuery builds the canonical Figure 3(a) tree, with the overlap
+// operators still in temporal-atom (sugar) form.
+func superstarQuery() algebra.Expr {
+	col := algebra.Column
+	cons := func(s string) algebra.Operand { return algebra.Const(value.String_(s)) }
+	theta := algebra.Predicate{
+		Atoms: []algebra.Atom{
+			{L: col("f1", "Name"), Op: algebra.EQ, R: col("f2", "Name")},
+			{L: col("f1", "Rank"), Op: algebra.EQ, R: cons("Assistant")},
+			{L: col("f2", "Rank"), Op: algebra.EQ, R: cons("Full")},
+			{L: col("f3", "Rank"), Op: algebra.EQ, R: cons("Associate")},
+		},
+		Temporal: []algebra.TemporalAtom{
+			{L: "f1", R: "f3", General: true},
+			{L: "f2", R: "f3", General: true},
+		},
+	}
+	prod := &algebra.Product{
+		L: &algebra.Product{
+			L: &algebra.Scan{Relation: "Faculty", As: "f1"},
+			R: &algebra.Scan{Relation: "Faculty", As: "f2"},
+		},
+		R: &algebra.Scan{Relation: "Faculty", As: "f3"},
+	}
+	return &algebra.Project{
+		Input: &algebra.Select{Input: prod, Pred: theta},
+		Cols: []algebra.Output{
+			{Name: "Name", From: algebra.ColRef{Var: "f1", Col: "Name"}},
+			{Name: "ValidFrom", From: algebra.ColRef{Var: "f1", Col: "ValidFrom"}},
+			{Name: "ValidTo", From: algebra.ColRef{Var: "f2", Col: "ValidTo"}},
+		},
+		TSName: "ValidFrom", TEName: "ValidTo",
+		Distinct: true,
+	}
+}
+
+func TestExpandPredicate(t *testing.T) {
+	ctx, err := BuildContext(superstarQuery(), src(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := algebra.Predicate{Temporal: []algebra.TemporalAtom{{L: "f1", R: "f3", General: true}}}
+	out, err := ExpandPredicate(p, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Atoms) != 2 || len(out.Temporal) != 0 {
+		t.Fatalf("general overlap expanded to %v", out)
+	}
+	want := "f1.ValidFrom<f3.ValidTo ∧ f3.ValidFrom<f1.ValidTo"
+	if out.String() != want {
+		t.Errorf("expansion = %q, want %q", out.String(), want)
+	}
+
+	// Allen relationships expand to their Figure 2 constraints and agree
+	// with the interval predicates (spot check: during).
+	p = algebra.Predicate{Temporal: []algebra.TemporalAtom{{L: "f1", R: "f3", Rel: interval.RelDuring}}}
+	out, err = ExpandPredicate(p, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "f1.ValidFrom>f3.ValidFrom ∧ f1.ValidTo<f3.ValidTo" {
+		t.Errorf("during expansion = %q", out.String())
+	}
+
+	// Unknown variable errors.
+	p = algebra.Predicate{Temporal: []algebra.TemporalAtom{{L: "zz", R: "f3", General: true}}}
+	if _, err := ExpandPredicate(p, ctx); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestBuildContextRejectsConflicts(t *testing.T) {
+	e := &algebra.Product{
+		L: &algebra.Scan{Relation: "Faculty", As: "v"},
+		R: &algebra.Scan{Relation: "Other", As: "v"},
+	}
+	if _, err := BuildContext(e, fixedSource{"Faculty": facultySchema, "Other": facultySchema}, nil); err == nil {
+		t.Error("conflicting binding accepted")
+	}
+}
+
+// The central Section 5 result: with the Rank ordering constraint, the two
+// redundant inequalities disappear and the remaining less-than join is
+// recognized as a Contained-semijoin over the derived lifespan
+// [f1.ValidTo, f2.ValidFrom).
+func TestSuperstarFullPipeline(t *testing.T) {
+	res, err := Optimize(superstarQuery(), src(), Options{ICs: rankIC(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contradiction {
+		t.Fatal("superstar reported contradictory")
+	}
+	if len(res.Removed) != 2 {
+		t.Fatalf("removed %d atoms, want 2: %v", len(res.Removed), res.Removed)
+	}
+	removed := map[string]bool{}
+	for _, a := range res.Removed {
+		removed[a.String()] = true
+	}
+	if !removed["f1.ValidFrom<f3.ValidTo"] || !removed["f3.ValidFrom<f2.ValidTo"] {
+		t.Errorf("wrong atoms removed: %v", removed)
+	}
+
+	proj, ok := res.Tree.(*algebra.Project)
+	if !ok {
+		t.Fatalf("root %T", res.Tree)
+	}
+	semi, ok := proj.Input.(*algebra.Semijoin)
+	if !ok {
+		t.Fatalf("no semijoin introduced; got %T\n%s", proj.Input, algebra.Format(res.Tree))
+	}
+	if semi.Kind != algebra.KindContained {
+		t.Fatalf("kind = %v, want contained\n%s", semi.Kind, algebra.Format(res.Tree))
+	}
+	wantL := algebra.SpanRef{
+		TS: algebra.ColRef{Var: "f1", Col: "ValidTo"},
+		TE: algebra.ColRef{Var: "f2", Col: "ValidFrom"},
+	}
+	if semi.LSpan != wantL {
+		t.Errorf("left span = %v, want %v", semi.LSpan, wantL)
+	}
+	if semi.RSpan.TS.Var != "f3" || semi.RSpan.TE.Var != "f3" {
+		t.Errorf("right span = %v", semi.RSpan)
+	}
+	// The left input remains the equi-join of assistant and full rows.
+	if _, ok := semi.L.(*algebra.Join); !ok {
+		t.Errorf("semijoin left input is %T", semi.L)
+	}
+}
+
+// Without the integrity constraints nothing is removed and the four-atom
+// conjunction matches no two-atom signature: the join stays generic.
+func TestSuperstarWithoutConstraints(t *testing.T) {
+	res, err := Optimize(superstarQuery(), src(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 {
+		t.Fatalf("removed %v without constraints", res.Removed)
+	}
+	proj := res.Tree.(*algebra.Project)
+	semi, ok := proj.Input.(*algebra.Semijoin)
+	if !ok {
+		t.Fatalf("semijoin introduction should not need constraints: %T", proj.Input)
+	}
+	if semi.Kind != algebra.KindTheta {
+		t.Errorf("kind = %v, want θ (unrecognizable without constraint knowledge)", semi.Kind)
+	}
+}
+
+func TestContradictionDetection(t *testing.T) {
+	col := algebra.Column
+	cons := func(s string) algebra.Operand { return algebra.Const(value.String_(s)) }
+	// A full professor period ending before the same person's assistant
+	// period begins contradicts the chronological ordering.
+	pred := algebra.Predicate{Atoms: []algebra.Atom{
+		{L: col("a", "Name"), Op: algebra.EQ, R: col("b", "Name")},
+		{L: col("a", "Rank"), Op: algebra.EQ, R: cons("Assistant")},
+		{L: col("b", "Rank"), Op: algebra.EQ, R: cons("Full")},
+		{L: col("b", "ValidTo"), Op: algebra.LT, R: col("a", "ValidFrom")},
+	}}
+	e := &algebra.Select{
+		Input: &algebra.Product{
+			L: &algebra.Scan{Relation: "Faculty", As: "a"},
+			R: &algebra.Scan{Relation: "Faculty", As: "b"},
+		},
+		Pred: pred,
+	}
+	res, err := Optimize(e, src(), Options{ICs: rankIC(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contradiction {
+		t.Error("contradiction not detected")
+	}
+	// The same query without constraints is satisfiable.
+	res, err = Optimize(e, src(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contradiction {
+		t.Error("false contradiction without constraints")
+	}
+}
+
+func TestClassifySignatures(t *testing.T) {
+	ctx := &Context{
+		Bindings: map[string]string{"x": "Faculty", "y": "Faculty"},
+		Schemas:  map[string]*relation.Schema{"Faculty": facultySchema},
+	}
+	sys := constraints.NewSystem()
+	constraints.Instantiate(sys, nil, ctx.queryContext(), nil)
+	col := algebra.Column
+	lv := map[string]bool{"x": true}
+	rv := map[string]bool{"y": true}
+
+	cases := []struct {
+		name  string
+		atoms []algebra.Atom
+		want  algebra.TemporalKind
+	}{
+		{
+			"contain", []algebra.Atom{
+				{L: col("x", "ValidFrom"), Op: algebra.LT, R: col("y", "ValidFrom")},
+				{L: col("y", "ValidTo"), Op: algebra.LT, R: col("x", "ValidTo")},
+			}, algebra.KindContain,
+		},
+		{
+			"contained", []algebra.Atom{
+				{L: col("y", "ValidFrom"), Op: algebra.LT, R: col("x", "ValidFrom")},
+				{L: col("x", "ValidTo"), Op: algebra.LT, R: col("y", "ValidTo")},
+			}, algebra.KindContained,
+		},
+		{
+			"overlap", []algebra.Atom{
+				{L: col("x", "ValidFrom"), Op: algebra.LT, R: col("y", "ValidTo")},
+				{L: col("y", "ValidFrom"), Op: algebra.LT, R: col("x", "ValidTo")},
+			}, algebra.KindOverlap,
+		},
+		{
+			"before", []algebra.Atom{
+				{L: col("x", "ValidTo"), Op: algebra.LT, R: col("y", "ValidFrom")},
+			}, algebra.KindBefore,
+		},
+		{
+			"gt-normalized contain", []algebra.Atom{
+				{L: col("y", "ValidFrom"), Op: algebra.GT, R: col("x", "ValidFrom")},
+				{L: col("y", "ValidTo"), Op: algebra.LT, R: col("x", "ValidTo")},
+			}, algebra.KindContain,
+		},
+		{
+			"non-strict op", []algebra.Atom{
+				{L: col("x", "ValidFrom"), Op: algebra.LE, R: col("y", "ValidFrom")},
+				{L: col("y", "ValidTo"), Op: algebra.LT, R: col("x", "ValidTo")},
+			}, algebra.KindTheta,
+		},
+		{
+			"non-temporal column", []algebra.Atom{
+				{L: col("x", "Name"), Op: algebra.LT, R: col("y", "ValidFrom")},
+			}, algebra.KindTheta,
+		},
+		{
+			"three atoms", []algebra.Atom{
+				{L: col("x", "ValidFrom"), Op: algebra.LT, R: col("y", "ValidFrom")},
+				{L: col("y", "ValidTo"), Op: algebra.LT, R: col("x", "ValidTo")},
+				{L: col("x", "ValidFrom"), Op: algebra.LT, R: col("y", "ValidTo")},
+			}, algebra.KindTheta,
+		},
+	}
+	for _, c := range cases {
+		pat := Classify(c.atoms, lv, rv, ctx, sys)
+		if pat.Kind != c.want {
+			t.Errorf("%s: kind = %v, want %v", c.name, pat.Kind, c.want)
+		}
+		if c.want == algebra.KindContain && pat.LSpan.TS.Col != "ValidFrom" {
+			t.Errorf("%s: left span %v", c.name, pat.LSpan)
+		}
+	}
+}
+
+func TestOptimizeStagesTrace(t *testing.T) {
+	res, err := Optimize(superstarQuery(), src(), Options{ICs: rankIC(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) < 4 {
+		t.Fatalf("only %d stages traced", len(res.Stages))
+	}
+	last := res.Stages[len(res.Stages)-1].Tree
+	if !strings.Contains(last, "⋉contained") {
+		t.Errorf("final stage missing recognized semijoin:\n%s", last)
+	}
+}
+
+// With passes disabled, the pipeline degrades gracefully.
+func TestOptimizeDisabledPasses(t *testing.T) {
+	res, err := Optimize(superstarQuery(), src(), Options{
+		ICs: rankIC(false), NoSemantic: true, NoConventional: true, NoRecognition: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 {
+		t.Error("semantic ran though disabled")
+	}
+	proj := res.Tree.(*algebra.Project)
+	if _, ok := proj.Input.(*algebra.Select); !ok {
+		t.Errorf("tree restructured though passes disabled: %T", proj.Input)
+	}
+}

@@ -1,0 +1,293 @@
+package optimizer
+
+import (
+	"tdb/internal/algebra"
+	"tdb/internal/constraints"
+)
+
+// This file implements the recognition step of Section 5: "being able to
+// recognize a Contained-semijoin allows the database system to make use of
+// sort orderings and therefore the stream processing technique". A
+// conjunction of strict inequalities between two sides is matched against
+// the operator signatures of Figure 2 / Figure 8:
+//
+//	contain:    L.a < R.TS ∧ R.TE < L.b   with L.a ≤ L.b   (right during left)
+//	contained:  R.TS < L.a ∧ L.b < R.TE   with L.a ≤ L.b   (left during right)
+//	overlap:    L.a < R.TE ∧ R.TS < L.b   with L.a ≤ L.b   (lifespans share a chronon)
+//	before:     L.b < R.TS                                 (left wholly precedes)
+//
+// The left lifespan [a, b) may be *derived*: in the Superstar query it is
+// [f1.ValidTo, f2.ValidFrom), the associate period of the promoted member,
+// whose well-formedness a ≤ b follows from the integrity constraints — so
+// the classifier consults the constraint system rather than the schema.
+
+// sideCols classifies an atom's operands: each must be a temporal column of
+// a range variable of one side.
+type sideCol struct {
+	ref  algebra.ColRef
+	isTS bool // ValidFrom column of its relation
+}
+
+// temporalColOf resolves an operand to a temporal column reference of one
+// of the given variables.
+func temporalColOf(o algebra.Operand, vars map[string]bool, ctx *Context) (sideCol, bool) {
+	if o.IsConst || !vars[o.Col.Var] {
+		return sideCol{}, false
+	}
+	ts, te, err := ctx.spanCols(o.Col.Var)
+	if err != nil {
+		return sideCol{}, false
+	}
+	switch o.Col.Col {
+	case ts:
+		return sideCol{ref: o.Col, isTS: true}, true
+	case te:
+		return sideCol{ref: o.Col, isTS: false}, true
+	}
+	return sideCol{}, false
+}
+
+// Pattern is a recognized temporal operator over a cross-side conjunction.
+type Pattern struct {
+	Kind         algebra.TemporalKind
+	LSpan, RSpan algebra.SpanRef
+}
+
+// Classify matches the cross conjuncts of a join/semijoin predicate
+// against the temporal operator signatures. atoms must all span both
+// sides; sys supplies the ordering knowledge (integrity constraints plus
+// the query's remaining conjuncts) used to orient the derived left
+// lifespan. It returns KindTheta when no signature matches exactly.
+func Classify(atoms []algebra.Atom, leftVars, rightVars map[string]bool,
+	ctx *Context, sys *constraints.System) Pattern {
+
+	theta := Pattern{Kind: algebra.KindTheta}
+
+	// Normalize every atom to "smaller < larger" with sides identified.
+	type edge struct {
+		l      sideCol // left-side column
+		r      sideCol // right-side column
+		lFirst bool    // true: l < r; false: r < l
+	}
+	var edges []edge
+	for _, a := range atoms {
+		if a.Op != algebra.LT && a.Op != algebra.GT {
+			return theta
+		}
+		lo, ro := a.L, a.R
+		if a.Op == algebra.GT {
+			lo, ro = a.R, a.L // now lo < ro
+		}
+		switch lc, lok := temporalColOf(lo, leftVars, ctx); {
+		case lok:
+			rc, rok := temporalColOf(ro, rightVars, ctx)
+			if !rok {
+				return theta
+			}
+			edges = append(edges, edge{l: lc, r: rc, lFirst: true})
+		default:
+			rc, rok := temporalColOf(lo, rightVars, ctx)
+			lc2, lok2 := temporalColOf(ro, leftVars, ctx)
+			if !rok || !lok2 {
+				return theta
+			}
+			edges = append(edges, edge{l: lc2, r: rc, lFirst: false})
+		}
+	}
+
+	rspanOf := func(v string) algebra.SpanRef {
+		ts, te, _ := ctx.spanCols(v)
+		return algebra.SpanRef{
+			TS: algebra.ColRef{Var: v, Col: ts},
+			TE: algebra.ColRef{Var: v, Col: te},
+		}
+	}
+	orient := func(a, b algebra.ColRef) (algebra.SpanRef, bool) {
+		ta, tb := constraints.Col(a.Var, a.Col), constraints.Col(b.Var, b.Col)
+		if a == b || sys.Implies(ta, algebra.LE, tb) {
+			return algebra.SpanRef{TS: a, TE: b}, true
+		}
+		if sys.Implies(tb, algebra.LE, ta) {
+			return algebra.SpanRef{TS: b, TE: a}, true
+		}
+		return algebra.SpanRef{}, false
+	}
+
+	switch len(edges) {
+	case 1:
+		e := edges[0]
+		// before: L.b < R.TS. (The mirrored "after" form R.TE < L.a is a
+		// before-join with the operands exchanged; callers swap inputs.)
+		if e.lFirst && e.r.isTS {
+			return Pattern{
+				Kind:  algebra.KindBefore,
+				LSpan: algebra.SpanRef{TS: e.l.ref, TE: e.l.ref},
+				RSpan: rspanOf(e.r.ref.Var),
+			}
+		}
+		return theta
+	case 2:
+		e1, e2 := edges[0], edges[1]
+		if e1.r.ref.Var != e2.r.ref.Var {
+			return theta // right lifespan must come from one variable
+		}
+		rspan := rspanOf(e1.r.ref.Var)
+		// Identify which edge touches R.TS and which R.TE.
+		var tsEdge, teEdge *edge
+		for i := range edges {
+			if edges[i].r.isTS {
+				tsEdge = &edges[i]
+			} else {
+				teEdge = &edges[i]
+			}
+		}
+		if tsEdge == nil || teEdge == nil {
+			return theta
+		}
+		switch {
+		case !tsEdge.lFirst && teEdge.lFirst:
+			// R.TS < L.p ∧ L.q < R.TE: contained (p before q) or overlap
+			// (q before p).
+			p, q := tsEdge.l.ref, teEdge.l.ref
+			if span, ok := orient(p, q); ok {
+				if span.TS == p {
+					return Pattern{Kind: algebra.KindContained, LSpan: span, RSpan: rspan}
+				}
+				return Pattern{Kind: algebra.KindOverlap, LSpan: span, RSpan: rspan}
+			}
+			return theta
+		case tsEdge.lFirst && !teEdge.lFirst:
+			// L.a < R.TS ∧ R.TE < L.b: contain, provided a ≤ b.
+			a, b := tsEdge.l.ref, teEdge.l.ref
+			if span, ok := orient(a, b); ok && span.TS == a {
+				return Pattern{Kind: algebra.KindContain, LSpan: span, RSpan: rspan}
+			}
+			return theta
+		default:
+			return theta
+		}
+	}
+	return theta
+}
+
+// AnnotateJoins walks the tree and classifies every Join and Semijoin
+// predicate, filling Kind and the span annotations when a temporal
+// signature matches all of the node's cross conjuncts. The constraint
+// system is built from the whole tree plus the integrity constraints, so a
+// derived lifespan such as [f1.ValidTo, f2.ValidFrom) can be oriented.
+func AnnotateJoins(e algebra.Expr, ctx *Context) algebra.Expr {
+	sys := buildSystem(gatherAtoms(e), ctx)
+	var walk func(n algebra.Expr) algebra.Expr
+	walk = func(n algebra.Expr) algebra.Expr {
+		switch t := n.(type) {
+		case *algebra.Scan:
+			return t
+		case *algebra.Select:
+			return &algebra.Select{Input: walk(t.Input), Pred: t.Pred}
+		case *algebra.Product:
+			return &algebra.Product{L: walk(t.L), R: walk(t.R)}
+		case *algebra.Join:
+			l, r := walk(t.L), walk(t.R)
+			pat := Classify(t.Pred.Atoms, algebra.VarSet(l), algebra.VarSet(r), ctx, sys)
+			return &algebra.Join{L: l, R: r, Pred: t.Pred, Kind: pat.Kind, LSpan: pat.LSpan, RSpan: pat.RSpan}
+		case *algebra.Semijoin:
+			l, r := walk(t.L), walk(t.R)
+			pat := Classify(t.Pred.Atoms, algebra.VarSet(l), algebra.VarSet(r), ctx, sys)
+			return &algebra.Semijoin{L: l, R: r, Pred: t.Pred, Kind: pat.Kind, LSpan: pat.LSpan, RSpan: pat.RSpan}
+		case *algebra.Project:
+			return &algebra.Project{
+				Input: walk(t.Input), Cols: t.Cols,
+				TSName: t.TSName, TEName: t.TEName, Distinct: t.Distinct,
+			}
+		case *algebra.Aggregate:
+			return &algebra.Aggregate{Input: walk(t.Input), GroupBy: t.GroupBy, Terms: t.Terms}
+		}
+		return n
+	}
+	return walk(e)
+}
+
+// IntroduceSemijoins converts a Join directly beneath a duplicate-
+// eliminating projection into a Semijoin when the projection (and the
+// lifespan it assembles) needs columns of only one side — the step that
+// turns the Superstar less-than join into a Contained-semijoin. The right
+// side may be swapped into the left to make the conversion apply.
+func IntroduceSemijoins(e algebra.Expr, ctx *Context) algebra.Expr {
+	var walk func(n algebra.Expr) algebra.Expr
+	walk = func(n algebra.Expr) algebra.Expr {
+		switch t := n.(type) {
+		case *algebra.Scan:
+			return t
+		case *algebra.Select:
+			return &algebra.Select{Input: walk(t.Input), Pred: t.Pred}
+		case *algebra.Product:
+			return &algebra.Product{L: walk(t.L), R: walk(t.R)}
+		case *algebra.Join:
+			return &algebra.Join{L: walk(t.L), R: walk(t.R), Pred: t.Pred,
+				Kind: t.Kind, LSpan: t.LSpan, RSpan: t.RSpan}
+		case *algebra.Semijoin:
+			return &algebra.Semijoin{L: walk(t.L), R: walk(t.R), Pred: t.Pred,
+				Kind: t.Kind, LSpan: t.LSpan, RSpan: t.RSpan}
+		case *algebra.Project:
+			in := walk(t.Input)
+			join, ok := in.(*algebra.Join)
+			if !ok || !t.Distinct {
+				return &algebra.Project{Input: in, Cols: t.Cols,
+					TSName: t.TSName, TEName: t.TEName, Distinct: t.Distinct}
+			}
+			needed := map[string]bool{}
+			for _, c := range t.Cols {
+				needed[c.From.Var] = true
+			}
+			within := func(vars map[string]bool) bool {
+				for v := range needed {
+					if !vars[v] {
+						return false
+					}
+				}
+				return true
+			}
+			lv, rv := algebra.VarSet(join.L), algebra.VarSet(join.R)
+			var semi *algebra.Semijoin
+			switch {
+			case within(lv):
+				semi = &algebra.Semijoin{L: join.L, R: join.R, Pred: join.Pred,
+					Kind: join.Kind, LSpan: join.LSpan, RSpan: join.RSpan}
+			case within(rv):
+				// Swap sides; the recognized kind flips between contain
+				// and contained, and spans exchange.
+				kind := join.Kind
+				switch kind {
+				case algebra.KindContain:
+					kind = algebra.KindContained
+				case algebra.KindContained:
+					kind = algebra.KindContain
+				case algebra.KindBefore:
+					kind = algebra.KindTheta // "after-semijoin": keep generic
+				}
+				semi = &algebra.Semijoin{L: join.R, R: join.L, Pred: flipPred(join.Pred),
+					Kind: kind, LSpan: join.RSpan, RSpan: join.LSpan}
+			default:
+				return &algebra.Project{Input: in, Cols: t.Cols,
+					TSName: t.TSName, TEName: t.TEName, Distinct: t.Distinct}
+			}
+			return &algebra.Project{Input: semi, Cols: t.Cols,
+				TSName: t.TSName, TEName: t.TEName, Distinct: t.Distinct}
+		case *algebra.Aggregate:
+			return &algebra.Aggregate{Input: walk(t.Input), GroupBy: t.GroupBy, Terms: t.Terms}
+		}
+		return n
+	}
+	return walk(e)
+}
+
+// flipPred exchanges the operand roles of each atom (a op b → b flip(op) a)
+// so a side-swapped semijoin reads naturally; the conjunction is unchanged
+// logically.
+func flipPred(p algebra.Predicate) algebra.Predicate {
+	out := algebra.Predicate{Temporal: p.Temporal}
+	for _, a := range p.Atoms {
+		out.Atoms = append(out.Atoms, algebra.Atom{L: a.R, Op: a.Op.Flip(), R: a.L})
+	}
+	return out
+}

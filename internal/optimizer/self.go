@@ -1,0 +1,125 @@
+package optimizer
+
+import (
+	"tdb/internal/algebra"
+)
+
+// This file detects self semijoins: a recognized temporal semijoin whose
+// two inputs are the same expression up to range-variable renaming, with
+// the recognized lifespans corresponding under that renaming. Such an
+// operator is the Contained-semijoin(X,X) / Contain-semijoin(X,X) of the
+// paper's Section 4.2.3, and the engine evaluates it with the single-scan,
+// single-state-tuple algorithms of Figure 7 — the transformed Superstar
+// query of Section 5 written directly in the surface language then runs as
+// "plan C" without any manual work.
+
+// varMap accumulates the left→right range-variable correspondence.
+type varMap map[string]string
+
+// bind records l↦r, failing on conflicts.
+func (m varMap) bind(l, r string) bool {
+	if prev, ok := m[l]; ok {
+		return prev == r
+	}
+	m[l] = r
+	return true
+}
+
+// equalModVars reports whether two expressions are structurally identical
+// up to a consistent renaming of range variables, accumulating the
+// renaming. Only the node shapes the semijoin pipeline produces are
+// compared; anything else is conservatively unequal.
+func equalModVars(l, r algebra.Expr, m varMap) bool {
+	switch a := l.(type) {
+	case *algebra.Scan:
+		b, ok := r.(*algebra.Scan)
+		return ok && a.Relation == b.Relation && m.bind(a.Var(), b.Var())
+	case *algebra.Select:
+		b, ok := r.(*algebra.Select)
+		return ok && equalModVars(a.Input, b.Input, m) && predEqualModVars(a.Pred, b.Pred, m)
+	case *algebra.Product:
+		b, ok := r.(*algebra.Product)
+		return ok && equalModVars(a.L, b.L, m) && equalModVars(a.R, b.R, m)
+	case *algebra.Join:
+		b, ok := r.(*algebra.Join)
+		return ok && a.Kind == b.Kind &&
+			equalModVars(a.L, b.L, m) && equalModVars(a.R, b.R, m) &&
+			predEqualModVars(a.Pred, b.Pred, m)
+	}
+	return false
+}
+
+func operandEqualModVars(a, b algebra.Operand, m varMap) bool {
+	if a.IsConst != b.IsConst {
+		return false
+	}
+	if a.IsConst {
+		return a.Const.Comparable(b.Const) && a.Const.Equal(b.Const)
+	}
+	return a.Col.Col == b.Col.Col && m.bind(a.Col.Var, b.Col.Var)
+}
+
+func predEqualModVars(a, b algebra.Predicate, m varMap) bool {
+	if len(a.Atoms) != len(b.Atoms) || len(a.Temporal) != len(b.Temporal) {
+		return false
+	}
+	for i := range a.Atoms {
+		if a.Atoms[i].Op != b.Atoms[i].Op ||
+			!operandEqualModVars(a.Atoms[i].L, b.Atoms[i].L, m) ||
+			!operandEqualModVars(a.Atoms[i].R, b.Atoms[i].R, m) {
+			return false
+		}
+	}
+	for i := range a.Temporal {
+		ta, tb := a.Temporal[i], b.Temporal[i]
+		if ta.General != tb.General || ta.Rel != tb.Rel ||
+			!m.bind(ta.L, tb.L) || !m.bind(ta.R, tb.R) {
+			return false
+		}
+	}
+	return true
+}
+
+// spanCorresponds reports whether the left span maps onto the right span
+// under the accumulated renaming.
+func spanCorresponds(l, r algebra.SpanRef, m varMap) bool {
+	return m[l.TS.Var] == r.TS.Var && l.TS.Col == r.TS.Col &&
+		m[l.TE.Var] == r.TE.Var && l.TE.Col == r.TE.Col
+}
+
+// MarkSelfSemijoins walks the tree and sets Semijoin.Self on every
+// recognized contain/contained semijoin whose sides coincide up to
+// renaming with corresponding lifespans.
+func MarkSelfSemijoins(e algebra.Expr) algebra.Expr {
+	var walk func(n algebra.Expr) algebra.Expr
+	walk = func(n algebra.Expr) algebra.Expr {
+		switch t := n.(type) {
+		case *algebra.Scan:
+			return t
+		case *algebra.Select:
+			return &algebra.Select{Input: walk(t.Input), Pred: t.Pred}
+		case *algebra.Product:
+			return &algebra.Product{L: walk(t.L), R: walk(t.R)}
+		case *algebra.Join:
+			return &algebra.Join{L: walk(t.L), R: walk(t.R), Pred: t.Pred,
+				Kind: t.Kind, LSpan: t.LSpan, RSpan: t.RSpan}
+		case *algebra.Semijoin:
+			out := &algebra.Semijoin{L: walk(t.L), R: walk(t.R), Pred: t.Pred,
+				Kind: t.Kind, LSpan: t.LSpan, RSpan: t.RSpan}
+			if out.Kind == algebra.KindContained || out.Kind == algebra.KindContain {
+				m := varMap{}
+				if equalModVars(out.L, out.R, m) && spanCorresponds(out.LSpan, out.RSpan, m) {
+					out.Self = true
+				}
+			}
+			return out
+		case *algebra.Project:
+			return &algebra.Project{Input: walk(t.Input), Cols: t.Cols,
+				TSName: t.TSName, TEName: t.TEName, Distinct: t.Distinct}
+		case *algebra.Aggregate:
+			return &algebra.Aggregate{Input: walk(t.Input), GroupBy: t.GroupBy, Terms: t.Terms}
+		}
+		return n
+	}
+	return walk(e)
+}

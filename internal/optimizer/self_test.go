@@ -1,0 +1,117 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/interval"
+	"tdb/internal/value"
+)
+
+// The Section 5 transformed query written directly: a during-semijoin of a
+// selection of Faculty against an identical selection under another range
+// variable must be detected as a self semijoin.
+func selfQuery(rankL, rankR string) algebra.Expr {
+	col := algebra.Column
+	cons := func(s string) algebra.Operand { return algebra.Const(value.String_(s)) }
+	pred := algebra.Predicate{Atoms: []algebra.Atom{
+		{L: col("i", "Rank"), Op: algebra.EQ, R: cons(rankL)},
+		{L: col("j", "Rank"), Op: algebra.EQ, R: cons(rankR)},
+	}}
+	return &algebra.Project{
+		Input: &algebra.Select{
+			Input: &algebra.Product{
+				L: &algebra.Scan{Relation: "Faculty", As: "i"},
+				R: &algebra.Scan{Relation: "Faculty", As: "j"},
+			},
+			Pred: pred.And(algebra.Predicate{
+				Temporal: []algebra.TemporalAtom{{L: "i", R: "j", Rel: interval.RelDuring}},
+			}),
+		},
+		Cols: []algebra.Output{
+			{Name: "Name", From: algebra.ColRef{Var: "i", Col: "Name"}},
+			{Name: "ValidFrom", From: algebra.ColRef{Var: "i", Col: "ValidFrom"}},
+			{Name: "ValidTo", From: algebra.ColRef{Var: "i", Col: "ValidTo"}},
+		},
+		TSName: "ValidFrom", TEName: "ValidTo",
+		Distinct: true,
+	}
+}
+
+func TestSelfSemijoinDetected(t *testing.T) {
+	res, err := Optimize(selfQuery("Associate", "Associate"), src(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi, ok := res.Tree.(*algebra.Project).Input.(*algebra.Semijoin)
+	if !ok {
+		t.Fatalf("no semijoin: %s", algebra.Format(res.Tree))
+	}
+	if semi.Kind != algebra.KindContained {
+		t.Fatalf("kind %v", semi.Kind)
+	}
+	if !semi.Self {
+		t.Fatalf("self not detected:\n%s", algebra.Format(res.Tree))
+	}
+	if !strings.Contains(semi.Label(), "self") {
+		t.Errorf("label: %s", semi.Label())
+	}
+}
+
+// Different selections on the two sides must not be detected as self.
+func TestSelfSemijoinNotDetectedWhenSidesDiffer(t *testing.T) {
+	res, err := Optimize(selfQuery("Associate", "Full"), src(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi, ok := res.Tree.(*algebra.Project).Input.(*algebra.Semijoin)
+	if !ok {
+		t.Fatalf("no semijoin: %s", algebra.Format(res.Tree))
+	}
+	if semi.Self {
+		t.Error("differing sides detected as self")
+	}
+}
+
+func TestEqualModVars(t *testing.T) {
+	m := varMap{}
+	a := &algebra.Select{
+		Input: &algebra.Scan{Relation: "R", As: "x"},
+		Pred: algebra.Predicate{Atoms: []algebra.Atom{
+			{L: algebra.Column("x", "A"), Op: algebra.LT, R: algebra.Const(value.Int(5))},
+		}},
+	}
+	b := &algebra.Select{
+		Input: &algebra.Scan{Relation: "R", As: "y"},
+		Pred: algebra.Predicate{Atoms: []algebra.Atom{
+			{L: algebra.Column("y", "A"), Op: algebra.LT, R: algebra.Const(value.Int(5))},
+		}},
+	}
+	if !equalModVars(a, b, m) {
+		t.Error("renamed twins not equal")
+	}
+	if m["x"] != "y" {
+		t.Errorf("renaming: %v", m)
+	}
+	// Different constant.
+	c := &algebra.Select{
+		Input: &algebra.Scan{Relation: "R", As: "y"},
+		Pred: algebra.Predicate{Atoms: []algebra.Atom{
+			{L: algebra.Column("y", "A"), Op: algebra.LT, R: algebra.Const(value.Int(6))},
+		}},
+	}
+	if equalModVars(a, c, varMap{}) {
+		t.Error("different constants equal")
+	}
+	// Different relation.
+	d := &algebra.Scan{Relation: "S", As: "y"}
+	if equalModVars(&algebra.Scan{Relation: "R", As: "x"}, d, varMap{}) {
+		t.Error("different relations equal")
+	}
+	// Inconsistent renaming.
+	m2 := varMap{}
+	if !m2.bind("x", "y") || m2.bind("x", "z") {
+		t.Error("varMap bind consistency broken")
+	}
+}

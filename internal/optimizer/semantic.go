@@ -1,0 +1,184 @@
+package optimizer
+
+import (
+	"tdb/internal/algebra"
+	"tdb/internal/constraints"
+	"tdb/internal/value"
+)
+
+// SemanticResult reports what the semantic pass did.
+type SemanticResult struct {
+	Tree algebra.Expr
+	// Removed lists the redundant conjuncts deleted from the tree —
+	// for Superstar, f1.ValidFrom<f3.ValidTo and f3.ValidFrom<f2.ValidTo.
+	Removed []algebra.Atom
+	// Contradiction is set when the conjunction plus the integrity
+	// constraints admit no assignment: the query is provably empty
+	// without touching any data.
+	Contradiction bool
+}
+
+// gatherAtoms collects every comparison atom from the Select/Join/Semijoin
+// predicates of the tree.
+func gatherAtoms(e algebra.Expr) []algebra.Atom {
+	var out []algebra.Atom
+	var walk func(n algebra.Expr)
+	walk = func(n algebra.Expr) {
+		switch t := n.(type) {
+		case *algebra.Select:
+			out = append(out, t.Pred.Atoms...)
+		case *algebra.Join:
+			out = append(out, t.Pred.Atoms...)
+		case *algebra.Semijoin:
+			out = append(out, t.Pred.Atoms...)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(e)
+	return out
+}
+
+func atomEq(a, b algebra.Atom) bool {
+	opEq := func(x, y algebra.Operand) bool {
+		if x.IsConst != y.IsConst {
+			return false
+		}
+		if x.IsConst {
+			return x.Const.Comparable(y.Const) && x.Const.Equal(y.Const)
+		}
+		return x.Col == y.Col
+	}
+	return a.Op == b.Op && opEq(a.L, b.L) && opEq(a.R, b.R)
+}
+
+// buildSystem assembles the inference system from the given atoms plus the
+// instantiated integrity constraints.
+func buildSystem(atoms []algebra.Atom, ctx *Context) *constraints.System {
+	sys := constraints.NewSystem()
+	qc := ctx.queryContext()
+	constraints.Instantiate(sys, atoms, qc, ctx.ICs)
+	constraints.AddAtoms(sys, atoms, qc)
+	return sys
+}
+
+// atomTerms converts a comparison atom over temporal columns into system
+// terms; ok is false for atoms outside the time domain.
+func atomTerms(a algebra.Atom, ctx *Context) (l, r constraints.Term, ok bool) {
+	qc := ctx.queryContext()
+	conv := func(o algebra.Operand) (constraints.Term, bool) {
+		if o.IsConst {
+			if o.Const.Kind() == value.KindString {
+				return constraints.Term{}, false
+			}
+			return constraints.ConstT(o.Const.AsTime()), true
+		}
+		rel, bound := qc.Bindings[o.Col.Var]
+		if !bound {
+			return constraints.Term{}, false
+		}
+		tc, temporal := qc.Temporal[rel]
+		if !temporal || (o.Col.Col != tc[0] && o.Col.Col != tc[1]) {
+			return constraints.Term{}, false
+		}
+		return constraints.Col(o.Col.Var, o.Col.Col), true
+	}
+	lt, lok := conv(a.L)
+	rt, rok := conv(a.R)
+	return lt, rt, lok && rok
+}
+
+// SemanticOptimize performs the Section 5 pass over the whole tree: it
+// first checks the full conjunction (plus integrity constraints) for
+// contradiction, then greedily deletes every temporal comparison atom that
+// is implied by the remaining atoms plus the integrity constraints,
+// re-testing after each deletion so that mutually redundant pairs lose only
+// one member.
+func SemanticOptimize(e algebra.Expr, ctx *Context) *SemanticResult {
+	res := &SemanticResult{Tree: e}
+	all := gatherAtoms(e)
+
+	if buildSystem(all, ctx).Contradictory() {
+		res.Contradiction = true
+		return res
+	}
+
+	// Greedy redundancy elimination over the global conjunction.
+	kept := append([]algebra.Atom{}, all...)
+	for i := 0; i < len(kept); {
+		a := kept[i]
+		lt, rt, ok := atomTerms(a, ctx)
+		if !ok {
+			i++
+			continue
+		}
+		rest := append(append([]algebra.Atom{}, kept[:i]...), kept[i+1:]...)
+		if buildSystem(rest, ctx).Implies(lt, a.Op, rt) {
+			res.Removed = append(res.Removed, a)
+			kept = rest
+			continue // same index now holds the next atom
+		}
+		i++
+	}
+
+	if len(res.Removed) == 0 {
+		return res
+	}
+	res.Tree = deleteAtoms(e, res.Removed)
+	return res
+}
+
+// deleteAtoms returns a copy of the tree with the listed atoms removed from
+// every predicate (each removed atom is deleted once).
+func deleteAtoms(e algebra.Expr, removed []algebra.Atom) algebra.Expr {
+	budget := append([]algebra.Atom{}, removed...)
+	strip := func(p algebra.Predicate) algebra.Predicate {
+		var keptAtoms []algebra.Atom
+	atoms:
+		for _, a := range p.Atoms {
+			for i, r := range budget {
+				if atomEq(a, r) {
+					budget = append(budget[:i], budget[i+1:]...)
+					continue atoms
+				}
+			}
+			keptAtoms = append(keptAtoms, a)
+		}
+		return algebra.Predicate{Atoms: keptAtoms, Temporal: p.Temporal}
+	}
+	var walk func(n algebra.Expr) algebra.Expr
+	walk = func(n algebra.Expr) algebra.Expr {
+		switch t := n.(type) {
+		case *algebra.Scan:
+			return t
+		case *algebra.Select:
+			p := strip(t.Pred)
+			in := walk(t.Input)
+			if p.True() {
+				return in
+			}
+			return &algebra.Select{Input: in, Pred: p}
+		case *algebra.Product:
+			return &algebra.Product{L: walk(t.L), R: walk(t.R)}
+		case *algebra.Join:
+			p := strip(t.Pred)
+			l, r := walk(t.L), walk(t.R)
+			if p.True() {
+				return &algebra.Product{L: l, R: r}
+			}
+			return &algebra.Join{L: l, R: r, Pred: p}
+		case *algebra.Semijoin:
+			return &algebra.Semijoin{L: walk(t.L), R: walk(t.R), Pred: strip(t.Pred), Kind: t.Kind}
+		case *algebra.Project:
+			return &algebra.Project{
+				Input: walk(t.Input), Cols: t.Cols,
+				TSName: t.TSName, TEName: t.TEName, Distinct: t.Distinct,
+			}
+		case *algebra.Aggregate:
+			return &algebra.Aggregate{Input: walk(t.Input), GroupBy: t.GroupBy, Terms: t.Terms}
+		}
+		return n
+	}
+	return walk(e)
+}

@@ -1,0 +1,117 @@
+package quel
+
+import (
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+var salarySchema = relation.MustSchema([]relation.Column{
+	{Name: "Dept", Kind: value.KindString},
+	{Name: "Emp", Kind: value.KindString},
+	{Name: "Salary", Kind: value.KindInt},
+	{Name: "ValidFrom", Kind: value.KindTime},
+	{Name: "ValidTo", Kind: value.KindTime},
+}, 3, 4)
+
+func salarySrc() fixedSource {
+	return fixedSource{"Emp": salarySchema, "Faculty": facultySchema}
+}
+
+func TestParseAggregateTargets(t *testing.T) {
+	prog, err := Parse(`range of e is Emp
+retrieve (Dept=e.Dept, total=sum(e.Salary), n=count(e), lo=min(e.Salary))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Stmts[1].(*RetrieveStmt)
+	if len(r.Targets) != 4 {
+		t.Fatalf("targets: %+v", r.Targets)
+	}
+	if r.Targets[0].IsAgg {
+		t.Error("plain target marked aggregate")
+	}
+	if !r.Targets[1].IsAgg || r.Targets[1].Agg != algebra.AggSum {
+		t.Errorf("sum target: %+v", r.Targets[1])
+	}
+	if !r.Targets[2].IsAgg || r.Targets[2].Agg != algebra.AggCount || r.Targets[2].From.Col != "e" {
+		t.Errorf("count target: %+v", r.Targets[2])
+	}
+	if !r.Targets[3].IsAgg || r.Targets[3].Agg != algebra.AggMin {
+		t.Errorf("min target: %+v", r.Targets[3])
+	}
+}
+
+func TestTranslateAggregate(t *testing.T) {
+	prog, err := Parse(`range of e is Emp
+retrieve into Totals (Dept=e.Dept, total=sum(e.Salary), n=count(e))
+where e.Salary >= 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Translate(prog, salarySrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, ok := qs[0].Tree.(*algebra.Project)
+	if !ok {
+		t.Fatalf("root %T", qs[0].Tree)
+	}
+	agg, ok := proj.Input.(*algebra.Aggregate)
+	if !ok {
+		t.Fatalf("below project: %T", proj.Input)
+	}
+	if len(agg.GroupBy) != 1 || agg.GroupBy[0].Name() != "e.Dept" {
+		t.Errorf("group by: %v", agg.GroupBy)
+	}
+	if len(agg.Terms) != 2 || agg.Terms[0].Kind != algebra.AggSum || agg.Terms[1].Kind != algebra.AggCount {
+		t.Errorf("terms: %+v", agg.Terms)
+	}
+	// Schema resolves end to end.
+	sch, err := algebra.OutputSchema(qs[0].Tree, salarySrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Arity() != 3 || sch.Cols[0].Name != "Dept" || sch.Cols[1].Name != "total" {
+		t.Errorf("schema: %s", sch)
+	}
+	if sch.Temporal() {
+		t.Error("aggregate result must be snapshot")
+	}
+	// The where clause survives beneath the aggregate.
+	if _, ok := agg.Input.(*algebra.Select); !ok {
+		t.Errorf("selection lost: %T", agg.Input)
+	}
+}
+
+func TestTranslateAggregateErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"sum over string", `range of e is Emp
+retrieve (x=sum(e.Dept))`},
+		{"count of undeclared var", `range of e is Emp
+retrieve (n=count(zz))`},
+		{"agg over unknown column", `range of e is Emp
+retrieve (x=sum(e.Nope))`},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if _, err := Translate(prog, salarySrc()); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// A non-aggregate name followed by "(" still parses as an error, not as a
+// silent misread.
+func TestNonAggregateCallRejected(t *testing.T) {
+	_, err := Parse(`range of e is Emp
+retrieve (x=median(e.Salary))`)
+	if err == nil {
+		t.Error("unknown function accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package quel implements a small Quel-style temporal query language — the
+// surface syntax of the paper's Section 3 — with range statements, retrieve
+// statements, conjunctive where clauses, and the temporal operators of
+// Figure 2 as infix sugar:
+//
+//	range of f1 is Faculty
+//	range of f2 is Faculty
+//	range of f3 is Faculty
+//	retrieve into Stars (Name=f1.Name, ValidFrom=f1.ValidFrom, ValidTo=f2.ValidTo)
+//	where f3.Rank="Associate" and f1.Name=f2.Name and f1.Rank="Assistant"
+//	  and f2.Rank="Full" and (f1 overlap f3) and (f2 overlap f3)
+//
+// Queries are parsed to an AST and translated to internal/algebra trees the
+// optimizer and engine consume.
+package quel
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // one of = != < <= > >= ( ) , .
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src  string
+	i    int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("quel: line %d: %s", lx.lineAt(pos), fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) lineAt(pos int) int {
+	line := 1
+	for i := 0; i < pos && i < len(lx.src); i++ {
+		if lx.src[i] == '\n' {
+			line++
+		}
+	}
+	return line
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.i++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.i++
+		case c == '#': // comment to end of line
+			for lx.i < len(lx.src) && lx.src[lx.i] != '\n' {
+				lx.i++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: lx.i, line: lx.line}, nil
+
+scan:
+	start := lx.i
+	c := lx.src[lx.i]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for lx.i < len(lx.src) && (isIdentChar(lx.src[lx.i])) {
+			lx.i++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.i], pos: start, line: lx.line}, nil
+	case c >= '0' && c <= '9' || c == '-' && lx.i+1 < len(lx.src) && lx.src[lx.i+1] >= '0' && lx.src[lx.i+1] <= '9':
+		lx.i++
+		for lx.i < len(lx.src) && lx.src[lx.i] >= '0' && lx.src[lx.i] <= '9' {
+			lx.i++
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.i], pos: start, line: lx.line}, nil
+	case c == '"':
+		lx.i++
+		var b strings.Builder
+		for lx.i < len(lx.src) && lx.src[lx.i] != '"' {
+			if lx.src[lx.i] == '\n' {
+				return token{}, lx.errf(start, "unterminated string")
+			}
+			b.WriteByte(lx.src[lx.i])
+			lx.i++
+		}
+		if lx.i >= len(lx.src) {
+			return token{}, lx.errf(start, "unterminated string")
+		}
+		lx.i++ // closing quote
+		return token{kind: tokString, text: b.String(), pos: start, line: lx.line}, nil
+	case c == '!' || c == '<' || c == '>':
+		lx.i++
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+		} else if c == '!' {
+			return token{}, lx.errf(start, "expected != after !")
+		}
+		return token{kind: tokSymbol, text: lx.src[start:lx.i], pos: start, line: lx.line}, nil
+	case strings.ContainsRune("=(),.", rune(c)):
+		lx.i++
+		return token{kind: tokSymbol, text: string(c), pos: start, line: lx.line}, nil
+	}
+	return token{}, lx.errf(start, "unexpected character %q", string(c))
+}
+
+func isIdentChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' || c == '-'
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package quel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Round trip: parse → print → parse yields a structurally identical
+// program, across the language's features.
+func TestPrintRoundTrip(t *testing.T) {
+	sources := []string{
+		superstarSrc,
+		tquelSuperstar,
+		`range of e is Emp
+retrieve into Totals (Dept=e.Dept, total=sum(e.Salary), n=count(e))
+where e.Salary >= 50 and e.ValidTo = forever`,
+		`range of a is R
+retrieve (X=a.S) where a.ValidFrom != 3 and (a met-by a) and a.S > "m"`,
+	}
+	for _, src := range sources {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		printed := Print(p1)
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse: %v\nprinted:\n%s", err, printed)
+		}
+		// The valid clause normalizes into the where-form targets only at
+		// translation time, so the ASTs must match exactly here.
+		if !reflect.DeepEqual(p1, p2) {
+			t.Errorf("round trip changed the program:\noriginal: %#v\nreparsed: %#v\nprinted:\n%s",
+				p1, p2, printed)
+		}
+	}
+}
+
+func TestPrintRendersClauses(t *testing.T) {
+	prog, err := Parse(tquelSuperstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(prog)
+	for _, frag := range []string{
+		"range of f1 is Faculty",
+		"retrieve into Stars",
+		"valid from f1.ValidFrom to f2.ValidTo",
+		`f1.Rank="Assistant"`,
+		"(f1 overlap a)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printed program missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package quel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+const superstarSrc = `
+# The running example of the paper (Section 3).
+range of f1 is Faculty
+range of f2 is Faculty
+range of f3 is Faculty
+retrieve into Stars (Name=f1.Name, ValidFrom=f1.ValidFrom, ValidTo=f2.ValidTo)
+where f3.Rank="Associate" and f1.Name=f2.Name and f1.Rank="Assistant"
+  and f2.Rank="Full" and (f1 overlap f3) and (f2 overlap f3)
+`
+
+type fixedSource map[string]*relation.Schema
+
+func (f fixedSource) SchemaOf(name string) (*relation.Schema, error) {
+	s, ok := f[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	return s, nil
+}
+
+var facultySchema = relation.MustSchema([]relation.Column{
+	{Name: "Name", Kind: value.KindString},
+	{Name: "Rank", Kind: value.KindString},
+	{Name: "ValidFrom", Kind: value.KindTime},
+	{Name: "ValidTo", Kind: value.KindTime},
+}, 2, 3)
+
+func src() fixedSource { return fixedSource{"Faculty": facultySchema} }
+
+func TestLexer(t *testing.T) {
+	toks, err := lexAll(`range of f1 is Faculty # comment
+where f1.ValidFrom <= 42 and x != "hi there"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			texts = append(texts, tk.text)
+		}
+	}
+	want := []string{"range", "of", "f1", "is", "Faculty", "where", "f1", ".", "ValidFrom", "<=", "42", "and", "x", "!=", "hi there"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, bad := range []string{`"unterminated`, "a ! b", "€"} {
+		if _, err := lexAll(bad); err == nil {
+			t.Errorf("lexAll(%q) accepted", bad)
+		}
+	}
+	// Unterminated string across newline.
+	if _, err := lexAll("\"abc\ndef\""); err == nil {
+		t.Error("multi-line string accepted")
+	}
+}
+
+func TestParseSuperstar(t *testing.T) {
+	prog, err := Parse(superstarSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 4 {
+		t.Fatalf("%d statements", len(prog.Stmts))
+	}
+	r, ok := prog.Stmts[3].(*RetrieveStmt)
+	if !ok {
+		t.Fatalf("last stmt %T", prog.Stmts[3])
+	}
+	if r.Into != "Stars" || len(r.Targets) != 3 {
+		t.Fatalf("retrieve parsed wrong: %+v", r)
+	}
+	if len(r.Where.Atoms) != 4 || len(r.Where.Temporal) != 2 {
+		t.Fatalf("where parsed wrong: %d atoms %d temporal", len(r.Where.Atoms), len(r.Where.Temporal))
+	}
+	if !r.Where.Temporal[0].General {
+		t.Error("overlap must be the general TQuel operator")
+	}
+}
+
+func TestParseAllenOperators(t *testing.T) {
+	for name, want := range temporalOps {
+		src := fmt.Sprintf(`range of a is R
+range of b is R
+retrieve (a.S) where (a %s b)`, name)
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := prog.Stmts[2].(*RetrieveStmt)
+		ta := r.Where.Temporal[0]
+		if ta.General != want.general || (!want.general && ta.Rel != want.rel) {
+			t.Errorf("%s parsed as %+v", name, ta)
+		}
+	}
+}
+
+func TestParseParenthesizedConjunction(t *testing.T) {
+	prog, err := Parse(`range of a is R
+retrieve (a.S) where (a.ValidFrom < 5 and a.ValidTo > 2) and a.S = "x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Stmts[1].(*RetrieveStmt)
+	if len(r.Where.Atoms) != 3 {
+		t.Fatalf("atoms: %v", r.Where)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"range f1 is Faculty",               // missing "of"
+		"range of f1 Faculty",               // missing "is"
+		"retrieve Name=f1.Name)",            // missing (
+		"retrieve (Name=f1.Name",            // missing )
+		"retrieve (f1.Name) where f1.Name",  // missing comparison
+		"retrieve (f1.Name) where (f1 f2)",  // bad operator
+		"bogus of x is Y",                   // unknown statement
+		"retrieve (f1.Name) where f1.A = ,", // bad operand
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestTranslateSuperstar(t *testing.T) {
+	prog, err := Parse(superstarSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Translate(prog, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0].Into != "Stars" {
+		t.Fatalf("queries: %+v", qs)
+	}
+	proj, ok := qs[0].Tree.(*algebra.Project)
+	if !ok {
+		t.Fatalf("root %T", qs[0].Tree)
+	}
+	if !proj.Distinct {
+		t.Error("set semantics lost")
+	}
+	if proj.TSName != "ValidFrom" || proj.TEName != "ValidTo" {
+		t.Errorf("lifespan designation: %q %q", proj.TSName, proj.TEName)
+	}
+	sel, ok := proj.Input.(*algebra.Select)
+	if !ok {
+		t.Fatalf("below project: %T", proj.Input)
+	}
+	// Three range variables referenced → two products.
+	if vs := algebra.Vars(sel.Input); len(vs) != 3 {
+		t.Errorf("vars %v", vs)
+	}
+	// Schema checks out.
+	sch, err := algebra.OutputSchema(qs[0].Tree, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.Temporal() {
+		t.Error("result lost its lifespan")
+	}
+}
+
+// Unused range variables do not enter the product (Quel semantics).
+func TestTranslateUsesOnlyReferencedRanges(t *testing.T) {
+	prog, err := Parse(`range of a is Faculty
+range of b is Faculty
+retrieve (Name=a.Name) where a.Rank="Full"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Translate(prog, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := qs[0].Tree.(*algebra.Project)
+	sel := proj.Input.(*algebra.Select)
+	if _, ok := sel.Input.(*algebra.Scan); !ok {
+		t.Errorf("unused range entered the product: %T", sel.Input)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown relation", "range of a is Nope\nretrieve (a.S)"},
+		{"undeclared variable", `retrieve (x.Name) where x.Rank="Full"`},
+		{"unknown column", "range of a is Faculty\nretrieve (a.Bogus)"},
+		{"type mismatch", `range of a is Faculty
+retrieve (a.Name) where a.Name < 42`},
+		{"unqualified column", "range of a is Faculty\nretrieve (Name)"},
+		{"no variables", `retrieve (x) where 1 = 1`},
+		{"undeclared in temporal", "range of a is Faculty\nretrieve (a.Name) where (a overlap zz)"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := Translate(prog, src()); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTranslateNumericAndForever(t *testing.T) {
+	prog, err := Parse(`range of a is Faculty
+retrieve (Name=a.Name) where a.ValidTo = forever and a.ValidFrom >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Translate(prog, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := qs[0].Tree.(*algebra.Project).Input.(*algebra.Select)
+	if len(sel.Pred.Atoms) != 2 {
+		t.Fatalf("atoms %v", sel.Pred)
+	}
+	if !sel.Pred.Atoms[0].R.Const.Equal(value.TimeVal(interval.Forever)) {
+		t.Error("forever not parsed")
+	}
+}
+
+func TestRangeRedeclaration(t *testing.T) {
+	prog, err := Parse(`range of a is Faculty
+range of a is Faculty
+retrieve (Name=a.Name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(prog, src()); err != nil {
+		t.Fatalf("redeclaration rejected: %v", err)
+	}
+}
+
+func TestBareTargetKeepsColumnName(t *testing.T) {
+	prog, err := Parse(`range of a is Faculty
+retrieve (a.Rank, From=a.ValidFrom)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Stmts[1].(*RetrieveStmt)
+	if r.Targets[0].Name != "Rank" || r.Targets[1].Name != "From" {
+		t.Errorf("targets: %+v", r.Targets)
+	}
+	// "From" is not "ValidFrom": result is snapshot.
+	qs, err := Translate(prog, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0].Tree.(*algebra.Project).TSName != "" {
+		t.Error("partial lifespan designated")
+	}
+	if !strings.Contains(algebra.Format(qs[0].Tree), "π[") {
+		t.Error("format")
+	}
+}

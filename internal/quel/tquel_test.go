@@ -1,0 +1,88 @@
+package quel
+
+import (
+	"testing"
+
+	"tdb/internal/algebra"
+)
+
+// The original TQuel query of the paper's footnote 5, with its valid
+// clause and when clause, must parse and mean the same as the expanded
+// where-form of Section 3.
+const tquelSuperstar = `
+range of f1 is Faculty
+range of f2 is Faculty
+range of a is Faculty
+retrieve into Stars (Name=f1.Name)
+valid from f1.ValidFrom to f2.ValidTo
+where f1.Name=f2.Name and f1.Rank="Assistant" and f2.Rank="Full" and a.Rank="Associate"
+when (f1 overlap a) and (f2 overlap a)
+`
+
+func TestTQuelValidAndWhenClauses(t *testing.T) {
+	prog, err := Parse(tquelSuperstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Stmts[3].(*RetrieveStmt)
+	if !st.HasValid {
+		t.Fatal("valid clause not parsed")
+	}
+	if st.ValidFrom.Var != "f1" || st.ValidTo.Var != "f2" {
+		t.Errorf("valid clause refs: %v %v", st.ValidFrom, st.ValidTo)
+	}
+	// where (4 atoms) and when (2 temporal) are conjoined.
+	if len(st.Where.Atoms) != 4 || len(st.Where.Temporal) != 2 {
+		t.Fatalf("combined predicate: %d atoms, %d temporal", len(st.Where.Atoms), len(st.Where.Temporal))
+	}
+
+	qs, err := Translate(prog, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := qs[0].Tree.(*algebra.Project)
+	if proj.TSName != "ValidFrom" || proj.TEName != "ValidTo" {
+		t.Errorf("lifespan designation: %q %q", proj.TSName, proj.TEName)
+	}
+	sch, err := algebra.OutputSchema(qs[0].Tree, src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.Temporal() || sch.Arity() != 3 {
+		t.Errorf("schema: %s", sch)
+	}
+}
+
+func TestValidClauseErrors(t *testing.T) {
+	bad := []string{
+		"range of a is Faculty\nretrieve (a.Name) valid from a.ValidFrom",         // missing to
+		"range of a is Faculty\nretrieve (a.Name) valid a.ValidFrom to a.ValidTo", // missing from
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+	// valid clause referencing an unknown column fails at translation.
+	prog, err := Parse("range of a is Faculty\nretrieve (a.Name) valid from a.Nope to a.ValidTo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(prog, src()); err == nil {
+		t.Error("bad valid clause accepted")
+	}
+}
+
+// A bare when clause (no where) also works.
+func TestWhenOnly(t *testing.T) {
+	prog, err := Parse(`range of a is Faculty
+range of b is Faculty
+retrieve (Name=a.Name) when (a during b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Stmts[2].(*RetrieveStmt)
+	if len(st.Where.Temporal) != 1 {
+		t.Fatalf("when-only predicate: %+v", st.Where)
+	}
+}

@@ -1,0 +1,229 @@
+package quel
+
+import (
+	"fmt"
+	"strings"
+
+	"tdb/internal/algebra"
+	"tdb/internal/value"
+)
+
+// Query is one translated retrieve statement.
+type Query struct {
+	Into string
+	Tree algebra.Expr
+}
+
+// Translate converts a parsed program into algebra trees, performing
+// semantic analysis: range variables must be declared, referenced columns
+// must exist, and comparisons must be type-compatible. As in Quel, a
+// retrieve ranges over exactly the variables it references, and range
+// declarations persist across subsequent retrieves.
+func Translate(prog *Program, src algebra.SchemaSource) ([]Query, error) {
+	ranges := map[string]string{} // var → relation
+	order := []string{}           // declaration order
+	var queries []Query
+
+	for _, st := range prog.Stmts {
+		switch s := st.(type) {
+		case *RangeStmt:
+			if _, err := src.SchemaOf(s.Relation); err != nil {
+				return nil, fmt.Errorf("quel: range of %s: %w", s.Var, err)
+			}
+			if _, dup := ranges[s.Var]; !dup {
+				order = append(order, s.Var)
+			}
+			ranges[s.Var] = s.Relation
+
+		case *RetrieveStmt:
+			q, err := translateRetrieve(s, ranges, order, src)
+			if err != nil {
+				return nil, err
+			}
+			queries = append(queries, *q)
+		}
+	}
+	return queries, nil
+}
+
+func translateRetrieve(st *RetrieveStmt, ranges map[string]string, order []string, src algebra.SchemaSource) (*Query, error) {
+	// An explicit "valid from … to …" clause becomes the two lifespan
+	// targets, exactly as the paper rewrites the TQuel Superstar query.
+	if st.HasValid {
+		st = &RetrieveStmt{
+			Into: st.Into,
+			Targets: append(append([]Target{}, st.Targets...),
+				Target{Name: "ValidFrom", From: st.ValidFrom},
+				Target{Name: "ValidTo", From: st.ValidTo},
+			),
+			Where: st.Where,
+		}
+	}
+
+	// Determine the referenced variables, in declaration order.
+	used := map[string]bool{}
+	noteRef := func(ref algebra.ColRef) error {
+		if ref.Var == "" {
+			return fmt.Errorf("quel: unqualified column %q: qualify with a range variable", ref.Col)
+		}
+		if _, ok := ranges[ref.Var]; !ok {
+			return fmt.Errorf("quel: undeclared range variable %q", ref.Var)
+		}
+		used[ref.Var] = true
+		return nil
+	}
+	for _, t := range st.Targets {
+		if t.IsAgg && t.Agg == algebra.AggCount && t.From.Var == "" {
+			// count(e): the "column" is a bare range variable.
+			if _, ok := ranges[t.From.Col]; !ok {
+				return nil, fmt.Errorf("quel: undeclared range variable %q in count", t.From.Col)
+			}
+			used[t.From.Col] = true
+			continue
+		}
+		if err := noteRef(t.From); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range st.Where.Atoms {
+		for _, o := range []algebra.Operand{a.L, a.R} {
+			if !o.IsConst {
+				if err := noteRef(o.Col); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, ta := range st.Where.Temporal {
+		for _, v := range []string{ta.L, ta.R} {
+			if _, ok := ranges[v]; !ok {
+				return nil, fmt.Errorf("quel: undeclared range variable %q in temporal operator", v)
+			}
+			used[v] = true
+		}
+	}
+	if len(used) == 0 {
+		return nil, fmt.Errorf("quel: retrieve references no range variables")
+	}
+
+	// Validate columns and comparison types against the schemas.
+	colKind := func(ref algebra.ColRef) (value.Kind, error) {
+		sch, err := src.SchemaOf(ranges[ref.Var])
+		if err != nil {
+			return 0, err
+		}
+		idx := sch.ColumnIndex(ref.Col)
+		if idx < 0 {
+			return 0, fmt.Errorf("quel: relation %s has no column %q", ranges[ref.Var], ref.Col)
+		}
+		return sch.Cols[idx].Kind, nil
+	}
+	for _, t := range st.Targets {
+		if t.IsAgg && t.Agg == algebra.AggCount && t.From.Var == "" {
+			continue
+		}
+		k, err := colKind(t.From)
+		if err != nil {
+			return nil, err
+		}
+		if t.IsAgg && t.Agg == algebra.AggSum && k == value.KindString {
+			return nil, fmt.Errorf("quel: sum over string column %s", t.From)
+		}
+	}
+	kindOf := func(o algebra.Operand) (value.Kind, error) {
+		if o.IsConst {
+			return o.Const.Kind(), nil
+		}
+		return colKind(o.Col)
+	}
+	for _, a := range st.Where.Atoms {
+		lk, err := kindOf(a.L)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := kindOf(a.R)
+		if err != nil {
+			return nil, err
+		}
+		numeric := func(k value.Kind) bool { return k != value.KindString }
+		if (lk == value.KindString) != (rk == value.KindString) || (numeric(lk) != numeric(rk)) {
+			return nil, fmt.Errorf("quel: comparing %v with %v in %s", lk, rk, a)
+		}
+	}
+
+	// Build the left-deep product over the used variables.
+	var tree algebra.Expr
+	for _, v := range order {
+		if !used[v] {
+			continue
+		}
+		scan := &algebra.Scan{Relation: ranges[v], As: v}
+		if tree == nil {
+			tree = scan
+		} else {
+			tree = &algebra.Product{L: tree, R: scan}
+		}
+	}
+	if !st.Where.True() {
+		tree = &algebra.Select{Input: tree, Pred: st.Where}
+	}
+
+	// Aggregate retrieve: the plain targets become the grouping key, the
+	// aggregate targets the terms (the Figure 4 processor declaratively).
+	hasAgg := false
+	for _, t := range st.Targets {
+		if t.IsAgg {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		agg := &algebra.Aggregate{Input: tree}
+		for _, t := range st.Targets {
+			if t.IsAgg {
+				agg.Terms = append(agg.Terms, algebra.AggTerm{Kind: t.Agg, Of: t.From, As: t.Name})
+			} else {
+				agg.GroupBy = append(agg.GroupBy, t.From)
+			}
+		}
+		// Rename to the declared target order and names.
+		outs := make([]algebra.Output, len(st.Targets))
+		for i, t := range st.Targets {
+			src := t.Name
+			if !t.IsAgg {
+				src = t.From.Name()
+			}
+			outs[i] = algebra.Output{Name: t.Name, From: algebra.ColRef{Col: src}}
+		}
+		return &Query{Into: st.Into, Tree: &algebra.Project{Input: agg, Cols: outs}}, nil
+	}
+
+	// Projection: output columns named ValidFrom/ValidTo of time kind
+	// designate the result lifespan, matching the paper's Superstar
+	// retrieve clause.
+	outs := make([]algebra.Output, len(st.Targets))
+	tsName, teName := "", ""
+	for i, t := range st.Targets {
+		outs[i] = algebra.Output{Name: t.Name, From: t.From}
+		k, err := colKind(t.From)
+		if err != nil {
+			return nil, err
+		}
+		if k == value.KindTime {
+			if strings.EqualFold(t.Name, "ValidFrom") {
+				tsName = t.Name
+			}
+			if strings.EqualFold(t.Name, "ValidTo") {
+				teName = t.Name
+			}
+		}
+	}
+	if tsName == "" || teName == "" {
+		tsName, teName = "", "" // snapshot result unless both present
+	}
+	tree = &algebra.Project{
+		Input: tree, Cols: outs,
+		TSName: tsName, TEName: teName,
+		Distinct: true,
+	}
+	return &Query{Into: st.Into, Tree: tree}, nil
+}

@@ -1,0 +1,25 @@
+package relation
+
+import (
+	"fmt"
+
+	"tdb/internal/interval"
+)
+
+// Timeslice returns the snapshot state of a temporal relation at chronon t:
+// every row whose lifespan contains t (ValidFrom ≤ t < ValidTo, the
+// stepwise-constant interpolation of the Time Sequence model). The rows
+// keep their lifespans; callers wanting a pure snapshot can project the
+// temporal columns away.
+func Timeslice(r *Relation, t interval.Time) (*Relation, error) {
+	if !r.Schema.Temporal() {
+		return nil, fmt.Errorf("relation: timeslice of non-temporal relation %s", r.Name)
+	}
+	out := New(fmt.Sprintf("%s@t=%d", r.Name, t), r.Schema)
+	for i, row := range r.Rows {
+		if r.Span(i).Contains(t) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}

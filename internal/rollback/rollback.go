@@ -1,0 +1,171 @@
+// Package rollback implements the transaction-time dimension the paper's
+// Section 6 leaves as future work: "in the TQuel data model, two other
+// temporal attributes (TransactionStart and TransactionStop) can be
+// augmented to relational tables to capture the 'rollback' capability."
+//
+// A Store wraps a valid-time relation with version management: every
+// mutation is stamped with a monotonically increasing transaction time,
+// logical deletion closes a version's transaction lifespan instead of
+// removing it, and AsOf reconstructs the relation exactly as a past
+// transaction saw it — so the stream algorithms can run over any
+// historical database state.
+package rollback
+
+import (
+	"fmt"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+// version is one stored row with its transaction-time lifespan.
+type version struct {
+	row relation.Row
+	tx  interval.Interval // [TxStart, TxStop); TxStop=Forever while current
+}
+
+// Store is an append-only bitemporal store over one valid-time schema.
+type Store struct {
+	name     string
+	schema   *relation.Schema
+	versions []version
+	clock    interval.Time // latest transaction time seen
+}
+
+// NewStore returns an empty store for the given valid-time schema.
+func NewStore(name string, schema *relation.Schema) *Store {
+	return &Store{name: name, schema: schema, clock: interval.MinTime}
+}
+
+// Schema returns the valid-time schema of the stored rows.
+func (s *Store) Schema() *relation.Schema { return s.schema }
+
+// Clock returns the latest transaction time applied.
+func (s *Store) Clock() interval.Time { return s.clock }
+
+func (s *Store) advance(tx interval.Time) error {
+	if tx <= interval.MinTime || tx >= interval.Forever {
+		return fmt.Errorf("rollback: transaction time %d out of range", tx)
+	}
+	if tx < s.clock {
+		return fmt.Errorf("rollback: transaction time %d precedes clock %d", tx, s.clock)
+	}
+	s.clock = tx
+	return nil
+}
+
+// Insert stores a new current version at transaction time tx. The row is
+// validated against the schema (arity, kinds, intra-tuple constraint).
+func (s *Store) Insert(tx interval.Time, row relation.Row) error {
+	if err := s.advance(tx); err != nil {
+		return err
+	}
+	probe := relation.New(s.name, s.schema)
+	if err := probe.Insert(row); err != nil {
+		return err
+	}
+	s.versions = append(s.versions, version{
+		row: row.Clone(),
+		tx:  interval.Interval{Start: tx, End: interval.Forever},
+	})
+	return nil
+}
+
+// Delete logically deletes every current version matching the predicate at
+// transaction time tx, returning the number of versions closed. The
+// versions remain reconstructible by AsOf for earlier transaction times.
+func (s *Store) Delete(tx interval.Time, pred func(relation.Row) bool) (int, error) {
+	if err := s.advance(tx); err != nil {
+		return 0, err
+	}
+	n := 0
+	for i := range s.versions {
+		v := &s.versions[i]
+		if v.tx.End == interval.Forever && v.tx.Start <= tx && pred(v.row) {
+			if v.tx.Start == tx {
+				// Inserted and deleted in the same transaction instant:
+				// the version was never visible; drop its lifespan to
+				// the empty convention [tx, tx) handled below.
+				v.tx.End = tx
+				n++
+				continue
+			}
+			v.tx.End = tx
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Update is delete-then-insert in one transaction: versions matching pred
+// are closed and the replacement rows inserted, all stamped tx.
+func (s *Store) Update(tx interval.Time, pred func(relation.Row) bool, replacements []relation.Row) (int, error) {
+	n, err := s.Delete(tx, pred)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range replacements {
+		if err := s.Insert(tx, r); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// AsOf reconstructs the valid-time relation as it stood for a transaction
+// at time tx: every version whose transaction lifespan covers tx.
+func (s *Store) AsOf(tx interval.Time) *relation.Relation {
+	rel := relation.New(fmt.Sprintf("%s@%d", s.name, tx), s.schema)
+	for _, v := range s.versions {
+		if v.tx.Start <= tx && tx < v.tx.End {
+			rel.Rows = append(rel.Rows, v.row)
+		}
+	}
+	return rel
+}
+
+// Current returns the present state (versions not logically deleted).
+func (s *Store) Current() *relation.Relation {
+	rel := relation.New(s.name, s.schema)
+	for _, v := range s.versions {
+		if v.tx.End == interval.Forever {
+			rel.Rows = append(rel.Rows, v.row)
+		}
+	}
+	return rel
+}
+
+// historySchema appends the transaction-time columns to the valid-time
+// schema; the result is a snapshot relation (its designated lifespan stays
+// the valid-time one only in the source; history rows carry both).
+func (s *Store) historySchema() *relation.Schema {
+	cols := append(append([]relation.Column{}, s.schema.Cols...),
+		relation.Column{Name: "TxStart", Kind: value.KindTime},
+		relation.Column{Name: "TxStop", Kind: value.KindTime},
+	)
+	sch, err := relation.NewSchema(cols, s.schema.TS, s.schema.TE)
+	if err != nil {
+		panic(err) // the base schema was validated; appending cannot clash
+	}
+	return sch
+}
+
+// History returns every version ever stored, with TxStart/TxStop columns
+// appended — the full bitemporal relation of the TQuel taxonomy.
+func (s *Store) History() *relation.Relation {
+	sch := s.historySchema()
+	rel := relation.New(s.name+"_history", sch)
+	for _, v := range s.versions {
+		if v.tx.Start >= v.tx.End {
+			continue // never-visible version
+		}
+		row := append(v.row.Clone(),
+			value.TimeVal(v.tx.Start), value.TimeVal(v.tx.End))
+		rel.Rows = append(rel.Rows, row)
+	}
+	return rel
+}
+
+// Versions returns the number of stored versions (including closed ones).
+func (s *Store) Versions() int { return len(s.versions) }

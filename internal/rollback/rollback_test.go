@@ -1,0 +1,206 @@
+package rollback
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+func facRow(name, rank string, from, to interval.Time) relation.Row {
+	return relation.Row{value.String_(name), value.String_(rank), value.TimeVal(from), value.TimeVal(to)}
+}
+
+var schema = relation.MustSchema([]relation.Column{
+	{Name: "Name", Kind: value.KindString},
+	{Name: "Rank", Kind: value.KindString},
+	{Name: "ValidFrom", Kind: value.KindTime},
+	{Name: "ValidTo", Kind: value.KindTime},
+}, 2, 3)
+
+func byName(n string) func(relation.Row) bool {
+	return func(r relation.Row) bool { return r[0].AsString() == n }
+}
+
+func TestRollbackScenario(t *testing.T) {
+	s := NewStore("Faculty", schema)
+
+	// tx=10: Smith hired as assistant.
+	if err := s.Insert(10, facRow("Smith", "Assistant", 100, interval.Forever)); err != nil {
+		t.Fatal(err)
+	}
+	// tx=20: correction — the hire was recorded with the wrong period.
+	if _, err := s.Update(20, byName("Smith"), []relation.Row{
+		facRow("Smith", "Assistant", 95, 200),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// tx=30: Jones hired.
+	if err := s.Insert(30, facRow("Jones", "Full", 150, interval.Forever)); err != nil {
+		t.Fatal(err)
+	}
+	// tx=40: Smith's record deleted.
+	if n, err := s.Delete(40, byName("Smith")); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+
+	cases := []struct {
+		tx    interval.Time
+		rows  int
+		smith string // expected ValidTo rendering of Smith's row, "" = absent
+	}{
+		{5, 0, ""},
+		{10, 1, "∞"},
+		{15, 1, "∞"},
+		{20, 1, "200"},
+		{35, 2, "200"},
+		{40, 1, ""},
+		{1000, 1, ""},
+	}
+	for _, c := range cases {
+		rel := s.AsOf(c.tx)
+		if rel.Cardinality() != c.rows {
+			t.Errorf("AsOf(%d): %d rows, want %d", c.tx, rel.Cardinality(), c.rows)
+			continue
+		}
+		found := ""
+		for _, r := range rel.Rows {
+			if r[0].AsString() == "Smith" {
+				found = r[3].String()
+			}
+		}
+		if found != c.smith {
+			t.Errorf("AsOf(%d): Smith ValidTo %q, want %q", c.tx, found, c.smith)
+		}
+	}
+
+	if cur := s.Current(); cur.Cardinality() != 1 || cur.Rows[0][0].AsString() != "Jones" {
+		t.Errorf("Current: %v", s.Current())
+	}
+	if s.Versions() != 3 {
+		t.Errorf("versions = %d, want 3", s.Versions())
+	}
+
+	hist := s.History()
+	if hist.Cardinality() != 3 {
+		t.Fatalf("history rows = %d", hist.Cardinality())
+	}
+	if hist.Schema.ColumnIndex("TxStart") != 4 || hist.Schema.ColumnIndex("TxStop") != 5 {
+		t.Error("history schema missing transaction columns")
+	}
+	// The corrected Smith row lives over transaction span [20, 40).
+	found := false
+	for _, r := range hist.Rows {
+		if r[0].AsString() == "Smith" && r[3].String() == "200" {
+			if r[4].AsTime() != 20 || r[5].AsTime() != 40 {
+				t.Errorf("corrected row tx span [%v,%v)", r[4], r[5])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("corrected Smith version missing from history")
+	}
+}
+
+func TestRollbackValidation(t *testing.T) {
+	s := NewStore("F", schema)
+	if err := s.Insert(10, facRow("a", "Assistant", 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Transaction times must not regress.
+	if err := s.Insert(5, facRow("b", "Assistant", 0, 5)); err == nil {
+		t.Error("regressive transaction time accepted")
+	}
+	if _, err := s.Delete(5, byName("a")); err == nil {
+		t.Error("regressive delete accepted")
+	}
+	// Rows are validated.
+	if err := s.Insert(20, facRow("c", "Assistant", 9, 5)); err == nil {
+		t.Error("invalid valid-time span accepted")
+	}
+	if err := s.Insert(20, relation.Row{value.String_("x")}); err == nil {
+		t.Error("bad arity accepted")
+	}
+	// Out-of-range transaction times.
+	if err := s.Insert(interval.Forever, facRow("d", "Assistant", 0, 5)); err == nil {
+		t.Error("forever transaction time accepted")
+	}
+}
+
+// Insert-then-delete at the same transaction instant never becomes visible.
+func TestSameInstantInsertDelete(t *testing.T) {
+	s := NewStore("F", schema)
+	if err := s.Insert(10, facRow("ghost", "Assistant", 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete(10, byName("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range []interval.Time{9, 10, 11} {
+		if n := s.AsOf(tx).Cardinality(); n != 0 {
+			t.Errorf("AsOf(%d) = %d rows, want 0", tx, n)
+		}
+	}
+	if s.History().Cardinality() != 0 {
+		t.Error("never-visible version leaked into history")
+	}
+}
+
+// Property: AsOf agrees with replaying the operation log up to that time.
+func TestAsOfMatchesReplay(t *testing.T) {
+	type op struct {
+		tx     interval.Time
+		insert bool
+		name   string
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore("F", schema)
+		var ops []op
+		tx := interval.Time(1)
+		names := []string{"a", "b", "c"}
+		for i := 0; i < 25; i++ {
+			tx += interval.Time(1 + rng.Intn(3))
+			o := op{tx: tx, insert: rng.Intn(2) == 0, name: names[rng.Intn(len(names))]}
+			ops = append(ops, o)
+			if o.insert {
+				if err := s.Insert(o.tx, facRow(o.name, "Assistant", 0, 5)); err != nil {
+					return false
+				}
+			} else {
+				if _, err := s.Delete(o.tx, byName(o.name)); err != nil {
+					return false
+				}
+			}
+		}
+		// Replay naively for a few probe times.
+		for probe := interval.Time(0); probe <= tx+2; probe += 3 {
+			counts := map[string]int{}
+			for _, o := range ops {
+				if o.tx > probe {
+					break
+				}
+				if o.insert {
+					counts[o.name]++
+				} else {
+					counts[o.name] = 0
+				}
+			}
+			want := 0
+			for _, c := range counts {
+				want += c
+			}
+			if got := s.AsOf(probe).Cardinality(); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

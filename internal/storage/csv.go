@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"tdb/internal/relation"
+)
+
+// WriteCSV writes a relation as CSV with a header row of column names.
+func WriteCSV(w io.Writer, rel *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, rel.Schema.Arity())
+	for i, c := range rel.Schema.Cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("storage: csv header: %w", err)
+	}
+	rec := make([]string, rel.Schema.Arity())
+	for _, row := range rel.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation from CSV produced by WriteCSV (or hand-written
+// with the same header), validating the header against the schema and every
+// row against the value kinds and the intra-tuple constraint.
+func ReadCSV(r io.Reader, name string, schema *relation.Schema) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: csv header: %w", err)
+	}
+	if len(header) != schema.Arity() {
+		return nil, fmt.Errorf("storage: csv has %d columns, schema %s has %d", len(header), schema, schema.Arity())
+	}
+	for i, h := range header {
+		if h != schema.Cols[i].Name {
+			return nil, fmt.Errorf("storage: csv column %d is %q, schema expects %q", i, h, schema.Cols[i].Name)
+		}
+	}
+	rel := relation.New(name, schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: csv line %d: %w", line, err)
+		}
+		row, err := relation.ParseRow(schema, rec)
+		if err != nil {
+			return nil, fmt.Errorf("storage: csv line %d: %w", line, err)
+		}
+		if err := rel.Insert(row); err != nil {
+			return nil, fmt.Errorf("storage: csv line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+// SaveCSV writes the relation to a file.
+func SaveCSV(path string, rel *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a relation from a file.
+func LoadCSV(path, name string, schema *relation.Schema) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, name, schema)
+}

@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tdb/internal/relation"
+	"tdb/internal/stream"
+)
+
+// IOStats counts physical page traffic against the backing file and buffer
+// pool hits.
+type IOStats struct {
+	PagesRead    int64
+	PagesWritten int64
+	PoolHits     int64
+}
+
+// HeapFile is an append-only paged file of encoded rows of one schema.
+type HeapFile struct {
+	f      *os.File
+	schema *relation.Schema
+	pages  int64
+	cur    *page
+	stats  *IOStats
+	pool   *bufferPool
+}
+
+// Create creates (or truncates) a heap file at path with the given schema
+// and a buffer pool of poolPages frames (minimum 1).
+func Create(path string, schema *relation.Schema, poolPages int) (*HeapFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	stats := &IOStats{}
+	return &HeapFile{
+		f:      f,
+		schema: schema,
+		cur:    newPage(),
+		stats:  stats,
+		pool:   newBufferPool(poolPages, stats),
+	}, nil
+}
+
+// Schema returns the row schema of the file.
+func (h *HeapFile) Schema() *relation.Schema { return h.schema }
+
+// Stats returns the live I/O counters of the file.
+func (h *HeapFile) Stats() *IOStats { return h.stats }
+
+// Pages returns the number of full pages written so far (excluding the
+// open tail page).
+func (h *HeapFile) Pages() int64 { return h.pages }
+
+// Append encodes and adds one row, spilling full pages to disk.
+func (h *HeapFile) Append(row relation.Row) error {
+	enc := encodeRow(row)
+	if len(enc)+pageHeaderSize > PageSize {
+		return fmt.Errorf("storage: row of %d bytes exceeds page size", len(enc))
+	}
+	if h.cur.tryAdd(enc) {
+		return nil
+	}
+	if err := h.flushCurrent(); err != nil {
+		return err
+	}
+	if !h.cur.tryAdd(enc) {
+		return fmt.Errorf("storage: row does not fit an empty page")
+	}
+	return nil
+}
+
+// AppendAll appends every row of the slice.
+func (h *HeapFile) AppendAll(rows []relation.Row) error {
+	for _, r := range rows {
+		if err := h.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces the open tail page to disk (if it holds any rows).
+func (h *HeapFile) Flush() error {
+	if h.cur.rows == 0 {
+		return nil
+	}
+	return h.flushCurrent()
+}
+
+func (h *HeapFile) flushCurrent() error {
+	h.cur.finalize()
+	if _, err := h.f.WriteAt(h.cur.buf[:], h.pages*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", h.pages, err)
+	}
+	h.stats.PagesWritten++
+	h.pages++
+	h.cur = newPage()
+	// The just-written page may be cached.
+	return nil
+}
+
+// readPage returns the decoded rows of page i, through the buffer pool.
+func (h *HeapFile) readPage(i int64) ([]relation.Row, error) {
+	if rows, ok := h.pool.get(i); ok {
+		return rows, nil
+	}
+	var buf [PageSize]byte
+	if _, err := h.f.ReadAt(buf[:], i*PageSize); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("storage: read page %d: %w", i, err)
+	}
+	h.stats.PagesRead++
+	rows, err := decodePage(buf[:], h.schema)
+	if err != nil {
+		return nil, err
+	}
+	h.pool.put(i, rows)
+	return rows, nil
+}
+
+// Scan returns a stream over all rows, in file order. Each Scan that
+// touches disk pages counts toward PagesRead unless served by the pool.
+func (h *HeapFile) Scan() stream.Stream[relation.Row] {
+	return &heapScan{h: h}
+}
+
+type heapScan struct {
+	h        *HeapFile
+	page     int64
+	rows     []relation.Row
+	i        int
+	err      error
+	tailDone bool
+}
+
+func (s *heapScan) Next() (relation.Row, bool) {
+	for {
+		if s.err != nil {
+			return nil, false
+		}
+		if s.i < len(s.rows) {
+			r := s.rows[s.i]
+			s.i++
+			return r, true
+		}
+		if s.page < s.h.pages {
+			rows, err := s.h.readPage(s.page)
+			if err != nil {
+				s.err = err
+				return nil, false
+			}
+			s.rows, s.i = rows, 0
+			s.page++
+			continue
+		}
+		// All flushed pages consumed: drain the open in-memory tail page.
+		if !s.tailDone {
+			s.tailDone = true
+			if s.h.cur.rows > 0 {
+				s.h.cur.finalize()
+				rows, err := decodePage(s.h.cur.buf[:], s.h.schema)
+				if err != nil {
+					s.err = err
+					return nil, false
+				}
+				s.rows, s.i = rows, 0
+				continue
+			}
+		}
+		return nil, false
+	}
+}
+
+func (s *heapScan) Err() error { return s.err }
+
+// Close flushes and closes the backing file.
+func (h *HeapFile) Close() error {
+	if err := h.Flush(); err != nil {
+		h.f.Close()
+		return err
+	}
+	return h.f.Close()
+}
+
+// bufferPool is a tiny LRU page cache.
+type bufferPool struct {
+	cap   int
+	stats *IOStats
+	pages map[int64][]relation.Row
+	order []int64 // LRU order, least recent first
+}
+
+func newBufferPool(cap int, stats *IOStats) *bufferPool {
+	if cap < 1 {
+		cap = 1
+	}
+	return &bufferPool{cap: cap, stats: stats, pages: make(map[int64][]relation.Row)}
+}
+
+func (b *bufferPool) get(i int64) ([]relation.Row, bool) {
+	rows, ok := b.pages[i]
+	if !ok {
+		return nil, false
+	}
+	b.stats.PoolHits++
+	b.touch(i)
+	return rows, true
+}
+
+func (b *bufferPool) put(i int64, rows []relation.Row) {
+	if _, ok := b.pages[i]; !ok && len(b.pages) >= b.cap {
+		victim := b.order[0]
+		b.order = b.order[1:]
+		delete(b.pages, victim)
+	}
+	b.pages[i] = rows
+	b.touch(i)
+}
+
+func (b *bufferPool) touch(i int64) {
+	for k, v := range b.order {
+		if v == i {
+			b.order = append(b.order[:k], b.order[k+1:]...)
+			break
+		}
+	}
+	b.order = append(b.order, i)
+}

@@ -1,0 +1,82 @@
+package stream
+
+// Pair is a generic two-field record, used by grouped reductions and by the
+// join algorithms' output (a joined pair of tuples before concatenation).
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// groupReduce is the Figure 4 stream processor generalized: on input grouped
+// by key, it folds each group into an accumulator and emits one (key, acc)
+// pair per group. Its local workspace is exactly one accumulator and the
+// buffered element — the paper's point that for grouped input the state is
+// summary information of constant size, independent of group length.
+type groupReduce[T any, K comparable, A any] struct {
+	in      Stream[T]
+	key     func(T) K
+	init    func() A
+	step    func(A, T) A
+	cur     K
+	acc     A
+	started bool
+	done    bool
+	pending *Pair[K, A] // group closed by the arrival of the next key
+}
+
+// GroupReduce returns the stream of per-group reductions of in, which must
+// be grouped (all elements with equal keys adjacent). init produces a fresh
+// accumulator; step folds one element into it.
+func GroupReduce[T any, K comparable, A any](in Stream[T], key func(T) K, init func() A, step func(A, T) A) Stream[Pair[K, A]] {
+	return &groupReduce[T, K, A]{in: in, key: key, init: init, step: step}
+}
+
+func (g *groupReduce[T, K, A]) Next() (Pair[K, A], bool) {
+	if g.pending != nil {
+		p := *g.pending
+		g.pending = nil
+		return p, true
+	}
+	if g.done {
+		return Pair[K, A]{}, false
+	}
+	for {
+		x, ok := g.in.Next()
+		if !ok {
+			g.done = true
+			if g.in.Err() != nil || !g.started {
+				return Pair[K, A]{}, false
+			}
+			return Pair[K, A]{First: g.cur, Second: g.acc}, true
+		}
+		k := g.key(x)
+		switch {
+		case !g.started:
+			g.started = true
+			g.cur, g.acc = k, g.step(g.init(), x)
+		case k == g.cur:
+			g.acc = g.step(g.acc, x)
+		default:
+			out := Pair[K, A]{First: g.cur, Second: g.acc}
+			g.cur, g.acc = k, g.step(g.init(), x)
+			return out, true
+		}
+	}
+}
+
+func (g *groupReduce[T, K, A]) Err() error { return g.in.Err() }
+
+// GroupSum is the literal processor of Figure 4: it sums a numeric
+// projection of each element per group of the grouped input.
+func GroupSum[T any, K comparable](in Stream[T], key func(T) K, num func(T) int64) Stream[Pair[K, int64]] {
+	return GroupReduce(in, key,
+		func() int64 { return 0 },
+		func(acc int64, x T) int64 { return acc + num(x) })
+}
+
+// GroupCount counts elements per group of the grouped input.
+func GroupCount[T any, K comparable](in Stream[T], key func(T) K) Stream[Pair[K, int64]] {
+	return GroupReduce(in, key,
+		func() int64 { return 0 },
+		func(acc int64, _ T) int64 { return acc + 1 })
+}

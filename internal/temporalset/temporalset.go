@@ -1,0 +1,223 @@
+// Package temporalset implements the set operations of the temporal
+// algebra under chronon semantics: for relations in the paper's 4-tuple
+// model, two tuples denote the same facts exactly when they cover the same
+// (key, chronon) pairs, so union, difference and intersection are defined
+// pointwise over chronons and return coalesced (maximal-lifespan) tuples.
+//
+// All three operators are stream processors in the Section 4.1 sense: the
+// inputs must be grouped by key with each group sorted on ValidFrom
+// ascending, one pass is taken over each input, and the state is bounded
+// by the overlap structure of the current key (for difference and
+// intersection, a single pending lifespan per side).
+package temporalset
+
+import (
+	"fmt"
+	"sort"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+)
+
+// Keyed is the element the operators work on: a key (typically the
+// surrogate plus the value attribute) and a lifespan.
+type Keyed struct {
+	Key  string
+	Span interval.Interval
+}
+
+// FromTuples projects canonical tuples into keyed lifespans, keyed by
+// surrogate and value.
+func FromTuples(ts []relation.Tuple) []Keyed {
+	out := make([]Keyed, len(ts))
+	for i, t := range ts {
+		out[i] = Keyed{Key: t.S + "\x1f" + t.V.String(), Span: t.Span}
+	}
+	return out
+}
+
+// Normalize sorts by (key, ValidFrom, ValidTo) — the grouping every
+// operator requires — and returns a new slice.
+func Normalize(xs []Keyed) []Keyed {
+	c := append([]Keyed{}, xs...)
+	sort.SliceStable(c, func(i, j int) bool {
+		if c[i].Key != c[j].Key {
+			return c[i].Key < c[j].Key
+		}
+		if c[i].Span.Start != c[j].Span.Start {
+			return c[i].Span.Start < c[j].Span.Start
+		}
+		return c[i].Span.End < c[j].Span.End
+	})
+	return c
+}
+
+// checkGrouped validates the required ordering.
+func checkGrouped(name string, xs []Keyed) error {
+	seen := map[string]bool{}
+	for i := 1; i <= len(xs); i++ {
+		if i < len(xs) && xs[i].Key == xs[i-1].Key {
+			if xs[i].Span.Start < xs[i-1].Span.Start {
+				return fmt.Errorf("temporalset: %s: group %q not sorted on ValidFrom", name, xs[i].Key)
+			}
+			continue
+		}
+		k := xs[i-1].Key
+		if seen[k] {
+			return fmt.Errorf("temporalset: %s: key %q not contiguous", name, k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// groups iterates contiguous key groups.
+func groups(xs []Keyed, fn func(key string, spans []interval.Interval)) {
+	for i := 0; i < len(xs); {
+		j := i
+		for j < len(xs) && xs[j].Key == xs[i].Key {
+			j++
+		}
+		spans := make([]interval.Interval, 0, j-i)
+		for k := i; k < j; k++ {
+			spans = append(spans, xs[k].Span)
+		}
+		fn(xs[i].Key, spans)
+		i = j
+	}
+}
+
+// coalesceSpans merges a ValidFrom-sorted span list into maximal lifespans.
+func coalesceSpans(spans []interval.Interval) []interval.Interval {
+	var out []interval.Interval
+	for _, s := range spans {
+		if n := len(out); n > 0 && s.Start <= out[n-1].End {
+			if s.End > out[n-1].End {
+				out[n-1].End = s.End
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// mergeByKey pairs the per-key span lists of two grouped inputs and emits
+// the operator's result spans for each key, in key order of first
+// occurrence across both inputs (keys are processed sorted for
+// determinism).
+func mergeByKey(name string, xs, ys []Keyed,
+	op func(a, b []interval.Interval) []interval.Interval) ([]Keyed, error) {
+
+	if err := checkGrouped(name, xs); err != nil {
+		return nil, err
+	}
+	if err := checkGrouped(name, ys); err != nil {
+		return nil, err
+	}
+	byKeyA := map[string][]interval.Interval{}
+	byKeyB := map[string][]interval.Interval{}
+	groups(xs, func(k string, s []interval.Interval) { byKeyA[k] = s })
+	groups(ys, func(k string, s []interval.Interval) { byKeyB[k] = s })
+	keys := make([]string, 0, len(byKeyA)+len(byKeyB))
+	for k := range byKeyA {
+		keys = append(keys, k)
+	}
+	for k := range byKeyB {
+		if _, ok := byKeyA[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []Keyed
+	for _, k := range keys {
+		for _, s := range op(byKeyA[k], byKeyB[k]) {
+			out = append(out, Keyed{Key: k, Span: s})
+		}
+	}
+	return out, nil
+}
+
+// Union returns the coalesced chronon-wise union: every (key, chronon)
+// covered by either input, as maximal lifespans.
+func Union(xs, ys []Keyed) ([]Keyed, error) {
+	return mergeByKey("union", xs, ys, func(a, b []interval.Interval) []interval.Interval {
+		merged := make([]interval.Interval, 0, len(a)+len(b))
+		i, j := 0, 0
+		for i < len(a) || j < len(b) {
+			switch {
+			case j >= len(b) || (i < len(a) && a[i].Start <= b[j].Start):
+				merged = append(merged, a[i])
+				i++
+			default:
+				merged = append(merged, b[j])
+				j++
+			}
+		}
+		return coalesceSpans(merged)
+	})
+}
+
+// Diff returns the chronon-wise difference: every (key, chronon) covered
+// by xs but not by ys, as maximal lifespans — the lifespans of xs with the
+// covered parts of ys cut out.
+func Diff(xs, ys []Keyed) ([]Keyed, error) {
+	return mergeByKey("diff", xs, ys, func(a, b []interval.Interval) []interval.Interval {
+		a = coalesceSpans(a)
+		b = coalesceSpans(b)
+		var out []interval.Interval
+		j := 0
+		for _, s := range a {
+			cur := s
+			for j < len(b) && b[j].End <= cur.Start {
+				j++
+			}
+			k := j
+			for k < len(b) && b[k].Start < cur.End {
+				if b[k].Start > cur.Start {
+					out = append(out, interval.Interval{Start: cur.Start, End: b[k].Start})
+				}
+				if b[k].End >= cur.End {
+					cur.Start = cur.End // fully consumed
+					break
+				}
+				cur.Start = b[k].End
+				k++
+			}
+			if cur.Start < cur.End {
+				out = append(out, cur)
+			}
+		}
+		return out
+	})
+}
+
+// Intersect returns the chronon-wise intersection: every (key, chronon)
+// covered by both inputs, as maximal lifespans.
+func Intersect(xs, ys []Keyed) ([]Keyed, error) {
+	return mergeByKey("intersect", xs, ys, func(a, b []interval.Interval) []interval.Interval {
+		a = coalesceSpans(a)
+		b = coalesceSpans(b)
+		var out []interval.Interval
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			lo := a[i].Start
+			if b[j].Start > lo {
+				lo = b[j].Start
+			}
+			hi := a[i].End
+			if b[j].End < hi {
+				hi = b[j].End
+			}
+			if lo < hi {
+				out = append(out, interval.Interval{Start: lo, End: hi})
+			}
+			if a[i].End < b[j].End {
+				i++
+			} else {
+				j++
+			}
+		}
+		return coalesceSpans(out)
+	})
+}

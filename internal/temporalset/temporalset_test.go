@@ -1,0 +1,225 @@
+package temporalset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+func k(key string, from, to interval.Time) Keyed {
+	return Keyed{Key: key, Span: interval.New(from, to)}
+}
+
+func TestUnionBasics(t *testing.T) {
+	xs := []Keyed{k("a", 0, 5), k("a", 10, 15)}
+	ys := []Keyed{k("a", 4, 11), k("b", 0, 2)}
+	got, err := Union(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Keyed{k("a", 0, 15), k("b", 0, 2)}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiffBasics(t *testing.T) {
+	xs := []Keyed{k("a", 0, 20)}
+	ys := []Keyed{k("a", 3, 5), k("a", 8, 12)}
+	got, err := Diff(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Keyed{k("a", 0, 3), k("a", 5, 8), k("a", 12, 20)}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Subtracting an uncovered key leaves x untouched.
+	got, err = Diff(xs, []Keyed{k("b", 0, 100)})
+	if err != nil || len(got) != 1 || got[0] != xs[0] {
+		t.Errorf("diff with foreign key: %v %v", got, err)
+	}
+	// Full coverage removes everything.
+	got, err = Diff(xs, []Keyed{k("a", 0, 20)})
+	if err != nil || len(got) != 0 {
+		t.Errorf("diff full coverage: %v %v", got, err)
+	}
+}
+
+func TestIntersectBasics(t *testing.T) {
+	xs := []Keyed{k("a", 0, 10), k("a", 20, 30)}
+	ys := []Keyed{k("a", 5, 25)}
+	got, err := Intersect(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Keyed{k("a", 5, 10), k("a", 20, 25)}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOrderingValidation(t *testing.T) {
+	bad := []Keyed{k("a", 9, 12), k("a", 1, 3)}
+	good := []Keyed{k("a", 0, 1)}
+	if _, err := Union(bad, good); err == nil {
+		t.Error("unsorted group accepted")
+	}
+	split := []Keyed{k("a", 0, 1), k("b", 0, 1), k("a", 5, 6)}
+	if _, err := Union(split, good); err == nil {
+		t.Error("non-contiguous key accepted")
+	}
+	if _, err := Union(good, bad); err == nil {
+		t.Error("unsorted right group accepted")
+	}
+}
+
+// The chronon oracle: every operator's output covers exactly the pointwise
+// combination of the inputs' coverage, and outputs are coalesced (maximal,
+// disjoint, non-meeting, ordered).
+func TestChrononSemantics(t *testing.T) {
+	gen := func(rng *rand.Rand) []Keyed {
+		var out []Keyed
+		for _, key := range []string{"a", "b"} {
+			n := rng.Intn(8)
+			var g []Keyed
+			for i := 0; i < n; i++ {
+				s := interval.Time(rng.Intn(30))
+				g = append(g, k(key, s, s+interval.Time(1+rng.Intn(10))))
+			}
+			out = append(out, Normalize(g)...)
+		}
+		return out
+	}
+	covers := func(xs []Keyed, key string, c interval.Time) bool {
+		for _, x := range xs {
+			if x.Key == key && x.Span.Contains(c) {
+				return true
+			}
+		}
+		return false
+	}
+	coalesced := func(xs []Keyed) bool {
+		for i := 1; i < len(xs); i++ {
+			if xs[i].Key == xs[i-1].Key && xs[i].Span.Start <= xs[i-1].Span.End {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs, ys := gen(rng), gen(rng)
+		u, err1 := Union(xs, ys)
+		d, err2 := Diff(xs, ys)
+		in, err3 := Intersect(xs, ys)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if !coalesced(u) || !coalesced(d) || !coalesced(in) {
+			return false
+		}
+		for _, key := range []string{"a", "b"} {
+			for c := interval.Time(-1); c < 45; c++ {
+				cx, cy := covers(xs, key, c), covers(ys, key, c)
+				if covers(u, key, c) != (cx || cy) {
+					return false
+				}
+				if covers(d, key, c) != (cx && !cy) {
+					return false
+				}
+				if covers(in, key, c) != (cx && cy) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTuples(t *testing.T) {
+	ts := []relation.Tuple{
+		{S: "smith", V: value.String_("Assistant"), Span: interval.New(0, 5)},
+		{S: "smith", V: value.String_("Full"), Span: interval.New(5, 9)},
+	}
+	ks := FromTuples(ts)
+	if len(ks) != 2 || ks[0].Key == ks[1].Key {
+		t.Errorf("keys must separate values: %v", ks)
+	}
+	if ks[0].Span != interval.New(0, 5) {
+		t.Errorf("span lost: %v", ks[0])
+	}
+}
+
+// Algebraic identities on random inputs: x∖y ∪ (x∩y) covers exactly x;
+// union is commutative; intersection distributes through coverage.
+func TestAlgebraicIdentities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var xs, ys []Keyed
+		for i := 0; i < rng.Intn(10); i++ {
+			s := interval.Time(rng.Intn(25))
+			xs = append(xs, k("a", s, s+interval.Time(1+rng.Intn(8))))
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			s := interval.Time(rng.Intn(25))
+			ys = append(ys, k("a", s, s+interval.Time(1+rng.Intn(8))))
+		}
+		xs, ys = Normalize(xs), Normalize(ys)
+
+		d, _ := Diff(xs, ys)
+		in, _ := Intersect(xs, ys)
+		rebuilt, err := Union(Normalize(d), Normalize(in))
+		if err != nil {
+			return false
+		}
+		canonX, err := Union(xs, nil)
+		if err != nil {
+			return false
+		}
+		if len(rebuilt) != len(canonX) {
+			return false
+		}
+		for i := range rebuilt {
+			if rebuilt[i] != canonX[i] {
+				return false
+			}
+		}
+		u1, _ := Union(xs, ys)
+		u2, _ := Union(ys, xs)
+		if len(u1) != len(u2) {
+			return false
+		}
+		for i := range u1 {
+			if u1[i] != u2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package value implements the typed atomic values that populate the cells
+// of temporal tuples: 64-bit integers, strings, and chronons (time points).
+// The engine, the algebra and the Quel-like language all operate on these
+// values; comparison follows the total order of each type so that values
+// can serve as sort keys and as operands of the inequality predicates that
+// dominate temporal queries.
+package value
+
+import (
+	"fmt"
+	"strconv"
+
+	"tdb/internal/interval"
+)
+
+// Kind enumerates the value types.
+type Kind uint8
+
+// The supported kinds. KindTime is distinct from KindInt so that schema
+// validation can insist that ValidFrom/ValidTo columns carry chronons.
+const (
+	KindInt Kind = iota
+	KindString
+	KindTime
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "time"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a typed atomic value. The zero Value is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64 // int payload or chronon
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// String is the Stringer method.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// TimeVal returns a chronon value.
+func TimeVal(t interval.Time) Value { return Value{kind: KindTime, i: int64(t)} }
+
+// Kind reports the type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload; it panics if the value is a string.
+func (v Value) AsInt() int64 {
+	if v.kind == KindString {
+		panic("value: AsInt on string value " + strconv.Quote(v.s))
+	}
+	return v.i
+}
+
+// AsString returns the string payload; it panics on non-string values.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String() + " value")
+	}
+	return v.s
+}
+
+// AsTime returns the chronon payload; it panics on string values. Integers
+// are accepted and reinterpreted, mirroring the paper's treatment of time
+// points as natural numbers.
+func (v Value) AsTime() interval.Time {
+	if v.kind == KindString {
+		panic("value: AsTime on string value " + strconv.Quote(v.s))
+	}
+	return interval.Time(v.i)
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindTime:
+		if interval.Time(v.i) == interval.Forever {
+			return "∞"
+		}
+		return strconv.FormatInt(v.i, 10)
+	default:
+		return strconv.FormatInt(v.i, 10)
+	}
+}
+
+// Comparable reports whether two values may be compared: identical kinds,
+// or int/time which share the integer order.
+func (v Value) Comparable(o Value) bool {
+	if v.kind == o.kind {
+		return true
+	}
+	numeric := func(k Kind) bool { return k == KindInt || k == KindTime }
+	return numeric(v.kind) && numeric(o.kind)
+}
+
+// Compare returns -1, 0 or +1 following the total order of the common type.
+// It panics when the values are not comparable; the analyzer rejects such
+// queries before execution.
+func (v Value) Compare(o Value) int {
+	if !v.Comparable(o) {
+		panic(fmt.Sprintf("value: comparing %s with %s", v.kind, o.kind))
+	}
+	if v.kind == KindString {
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case v.i < o.i:
+		return -1
+	case v.i > o.i:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports v == o under Compare.
+func (v Value) Equal(o Value) bool { return v.Comparable(o) && v.Compare(o) == 0 }
+
+// Less reports v < o under Compare.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// Parse interprets s as a value of the given kind. Time accepts either a
+// decimal chronon or the symbol "forever"/"∞".
+func Parse(kind Kind, s string) (Value, error) {
+	switch kind {
+	case KindString:
+		return String_(s), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as int: %w", s, err)
+		}
+		return Int(i), nil
+	case KindTime:
+		if s == "forever" || s == "∞" {
+			return TimeVal(interval.Forever), nil
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as time: %w", s, err)
+		}
+		return TimeVal(interval.Time(i)), nil
+	}
+	return Value{}, fmt.Errorf("value: unknown kind %v", kind)
+}

@@ -1,0 +1,158 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdb/internal/interval"
+)
+
+func TestKindsAndAccessors(t *testing.T) {
+	i := Int(42)
+	s := String_("hello")
+	tm := TimeVal(7)
+
+	if i.Kind() != KindInt || s.Kind() != KindString || tm.Kind() != KindTime {
+		t.Fatal("kinds wrong")
+	}
+	if i.AsInt() != 42 {
+		t.Error("AsInt")
+	}
+	if s.AsString() != "hello" {
+		t.Error("AsString")
+	}
+	if tm.AsTime() != 7 {
+		t.Error("AsTime")
+	}
+	// Int reinterpretable as time.
+	if i.AsTime() != 42 {
+		t.Error("int AsTime")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt(string)", func() { String_("x").AsInt() })
+	mustPanic("AsString(int)", func() { Int(1).AsString() })
+	mustPanic("AsTime(string)", func() { String_("x").AsTime() })
+	mustPanic("Compare(int,string)", func() { Int(1).Compare(String_("x")) })
+}
+
+func TestCompare(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(3).Compare(Int(3)) != 0 {
+		t.Error("int compare")
+	}
+	if String_("a").Compare(String_("b")) != -1 || String_("b").Compare(String_("a")) != 1 {
+		t.Error("string compare")
+	}
+	if String_("a").Compare(String_("a")) != 0 {
+		t.Error("string compare equal")
+	}
+	// int and time are mutually comparable.
+	if !Int(5).Comparable(TimeVal(5)) || !Int(5).Equal(TimeVal(5)) {
+		t.Error("int/time comparability")
+	}
+	if Int(5).Comparable(String_("5")) {
+		t.Error("int/string must not be comparable")
+	}
+	if !Int(1).Less(Int(2)) || Int(2).Less(Int(1)) {
+		t.Error("Less")
+	}
+}
+
+// Compare is a total order on each kind: antisymmetric and transitive.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := Int(a), Int(b), Int(c)
+		if va.Compare(vb) != -vb.Compare(va) {
+			return false
+		}
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 && va.Compare(vc) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return String_(a).Compare(String_(b)) == -String_(b).Compare(String_(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if Int(-3).String() != "-3" {
+		t.Error("int rendering")
+	}
+	if String_("x").String() != "x" {
+		t.Error("string rendering")
+	}
+	if TimeVal(12).String() != "12" {
+		t.Error("time rendering")
+	}
+	if TimeVal(interval.Forever).String() != "∞" {
+		t.Error("forever rendering")
+	}
+	if KindInt.String() != "int" || KindString.String() != "string" || KindTime.String() != "time" {
+		t.Error("kind rendering")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   string
+		want Value
+		ok   bool
+	}{
+		{KindInt, "42", Int(42), true},
+		{KindInt, "-7", Int(-7), true},
+		{KindInt, "x", Value{}, false},
+		{KindString, "anything", String_("anything"), true},
+		{KindTime, "99", TimeVal(99), true},
+		{KindTime, "forever", TimeVal(interval.Forever), true},
+		{KindTime, "∞", TimeVal(interval.Forever), true},
+		{KindTime, "soon", Value{}, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.kind, c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%v, %q) err = %v, want ok=%v", c.kind, c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !got.Equal(c.want) {
+			t.Errorf("Parse(%v, %q) = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+	if _, err := Parse(Kind(9), "x"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// Round trip: rendering then parsing is the identity for every kind.
+func TestParseRoundTrip(t *testing.T) {
+	f := func(i int64, s string) bool {
+		vi, err1 := Parse(KindInt, Int(i).String())
+		vt, err2 := Parse(KindTime, TimeVal(interval.Time(i)).String())
+		vs, err3 := Parse(KindString, String_(s).String())
+		return err1 == nil && err2 == nil && err3 == nil &&
+			vi.Equal(Int(i)) && vt.Equal(TimeVal(interval.Time(i))) && vs.Equal(String_(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package workload generates the synthetic temporal data the experiments
+// run on: Poisson-arrival interval populations with tunable arrival rate λ
+// and duration law (the parameters of the paper's Section 4.2.1 analysis),
+// nesting-rich populations for the containment operators, and Faculty
+// career histories matching the running example of the paper — with and
+// without the continuous-employment assumption of Section 5.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+// Config parameterizes an interval population.
+type Config struct {
+	N int // number of tuples
+	// Lambda is the arrival rate: ValidFrom gaps are exponential with
+	// mean 1/Lambda chronons, discretized. Defaults to 1.
+	Lambda float64
+	// MeanDur is the mean lifespan duration in chronons (exponential,
+	// minimum 1). Defaults to 10.
+	MeanDur float64
+	// LongFrac in [0,1) makes the given fraction of tuples ten times
+	// longer, thickening the containment structure. Default 0.
+	LongFrac float64
+	Seed     int64
+}
+
+func (c Config) norm() Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 1
+	}
+	if c.MeanDur <= 0 {
+		c.MeanDur = 10
+	}
+	return c
+}
+
+// Intervals draws a population of N lifespans with Poisson arrivals.
+func Intervals(cfg Config) []interval.Interval {
+	cfg = cfg.norm()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]interval.Interval, cfg.N)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / cfg.Lambda
+		mean := cfg.MeanDur
+		if cfg.LongFrac > 0 && rng.Float64() < cfg.LongFrac {
+			mean *= 10
+		}
+		d := int64(math.Ceil(rng.ExpFloat64() * mean))
+		if d < 1 {
+			d = 1
+		}
+		start := interval.Time(int64(t))
+		out[i] = interval.New(start, start+interval.Time(d))
+	}
+	return out
+}
+
+// Tuples wraps Intervals into canonical 4-tuples with synthetic surrogates.
+func Tuples(cfg Config, prefix string) []relation.Tuple {
+	ivs := Intervals(cfg)
+	out := make([]relation.Tuple, len(ivs))
+	for i, iv := range ivs {
+		out[i] = relation.Tuple{
+			S:    fmt.Sprintf("%s%d", prefix, i),
+			V:    value.String_(fmt.Sprintf("v%d", i%7)),
+			Span: iv,
+		}
+	}
+	return out
+}
+
+// Nested draws a population rich in strict containment: groups of
+// concentric lifespans of the given depth. It exercises the self-semijoins
+// of Table 3 and the worst-case state of the suboptimal orderings.
+func Nested(groups, depth int, seed int64) []interval.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	var out []interval.Interval
+	t := interval.Time(0)
+	for g := 0; g < groups; g++ {
+		t += interval.Time(1 + rng.Intn(5))
+		width := interval.Time(2*depth + 2 + rng.Intn(10))
+		lo, hi := t, t+width
+		for d := 0; d < depth && lo < hi; d++ {
+			out = append(out, interval.New(lo, hi))
+			lo++
+			hi--
+		}
+		t += width
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// FacultySchema is the running example's schema
+// Faculty(Name, Rank, ValidFrom, ValidTo).
+var FacultySchema = relation.MustSchema([]relation.Column{
+	{Name: "Name", Kind: value.KindString},
+	{Name: "Rank", Kind: value.KindString},
+	{Name: "ValidFrom", Kind: value.KindTime},
+	{Name: "ValidTo", Kind: value.KindTime},
+}, 2, 3)
+
+// Ranks is the chronological ordering of the Rank attribute: an assistant
+// professor is promoted only to associate and then to full (Section 2).
+var Ranks = []string{"Assistant", "Associate", "Full"}
+
+// FacultyConfig parameterizes career-history generation.
+type FacultyConfig struct {
+	N int // number of faculty members
+	// Continuous makes every promotion immediate (ValidTo_i ==
+	// ValidFrom_{i+1}) and every member start as assistant — the
+	// continuous-employment assumption of Section 5.
+	Continuous bool
+	// MeanStay is the mean chronons spent at each rank (default 8).
+	MeanStay float64
+	// FullFrac is the fraction of members promoted all the way to full
+	// professor (default 0.5); the rest stop at assistant or associate.
+	FullFrac float64
+	Seed     int64
+}
+
+func (c FacultyConfig) norm() FacultyConfig {
+	if c.MeanStay <= 0 {
+		c.MeanStay = 8
+	}
+	if c.FullFrac <= 0 {
+		c.FullFrac = 0.5
+	}
+	return c
+}
+
+// Faculty generates the running example's relation: one row per (member,
+// rank) period, respecting the intra-tuple constraint and the chronological
+// ordering of ranks. Hire times spread members across the time line so that
+// overlap among contemporaries is plentiful.
+func Faculty(cfg FacultyConfig) *relation.Relation {
+	cfg = cfg.norm()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rel := relation.New("Faculty", FacultySchema)
+	for i := 0; i < cfg.N; i++ {
+		name := fmt.Sprintf("prof%04d", i)
+		t := interval.Time(rng.Intn(4*cfg.N + 1))
+		nRanks := 1 + rng.Intn(2)
+		if rng.Float64() < cfg.FullFrac {
+			nRanks = 3
+		}
+		for r := 0; r < nRanks; r++ {
+			stay := interval.Time(1 + int64(rng.ExpFloat64()*cfg.MeanStay))
+			from, to := t, t+stay
+			rel.MustInsert(relation.Row{
+				value.String_(name),
+				value.String_(Ranks[r]),
+				value.TimeVal(from),
+				value.TimeVal(to),
+			})
+			t = to
+			if !cfg.Continuous && rng.Intn(3) == 0 {
+				t += interval.Time(1 + rng.Intn(4)) // a leave between ranks
+			}
+		}
+	}
+	return rel
+}
+
+// Employee rows for the Figure 4 stream processor: (dept, emp, salary),
+// grouped by department.
+type Employee struct {
+	Dept   string
+	Emp    string
+	Salary int64
+}
+
+// Employees generates nDept departments of up to maxPerDept employees each,
+// grouped by department as Figure 4's processor requires.
+func Employees(nDept, maxPerDept int, seed int64) []Employee {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Employee
+	for d := 0; d < nDept; d++ {
+		dept := fmt.Sprintf("dept%03d", d)
+		n := 1 + rng.Intn(maxPerDept)
+		for e := 0; e < n; e++ {
+			out = append(out, Employee{
+				Dept:   dept,
+				Emp:    fmt.Sprintf("%s-emp%03d", dept, e),
+				Salary: int64(30000 + rng.Intn(90000)),
+			})
+		}
+	}
+	return out
+}

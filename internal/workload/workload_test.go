@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+)
+
+func TestIntervalsShape(t *testing.T) {
+	cfg := Config{N: 5000, Lambda: 2, MeanDur: 15, Seed: 1}
+	ivs := Intervals(cfg)
+	if len(ivs) != cfg.N {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	var durSum float64
+	last := interval.Time(-1)
+	for _, iv := range ivs {
+		if !iv.Valid() {
+			t.Fatalf("invalid interval %v", iv)
+		}
+		if iv.Start < last {
+			t.Fatal("arrivals not in ValidFrom order")
+		}
+		last = iv.Start
+		durSum += float64(iv.Duration())
+	}
+	meanDur := durSum / float64(len(ivs))
+	if math.Abs(meanDur-15.5) > 2 { // +0.5 from the ceil discretization
+		t.Errorf("mean duration %.2f far from configured 15", meanDur)
+	}
+	// Arrival rate ≈ λ.
+	spanChronons := float64(ivs[len(ivs)-1].Start - ivs[0].Start)
+	gotLambda := float64(cfg.N-1) / spanChronons
+	if gotLambda < 1.5 || gotLambda > 2.5 {
+		t.Errorf("empirical λ %.2f far from configured 2", gotLambda)
+	}
+}
+
+func TestIntervalsDeterministic(t *testing.T) {
+	a := Intervals(Config{N: 50, Seed: 7})
+	b := Intervals(Config{N: 50, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c := Intervals(Config{N: 50, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestTuples(t *testing.T) {
+	ts := Tuples(Config{N: 10, Seed: 3}, "x")
+	if len(ts) != 10 {
+		t.Fatalf("got %d tuples", len(ts))
+	}
+	seen := map[string]bool{}
+	for _, tup := range ts {
+		if err := tup.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if seen[tup.S] {
+			t.Fatalf("duplicate surrogate %s", tup.S)
+		}
+		seen[tup.S] = true
+	}
+}
+
+func TestNested(t *testing.T) {
+	ivs := Nested(20, 5, 9)
+	if len(ivs) != 100 {
+		t.Fatalf("got %d intervals, want 100", len(ivs))
+	}
+	// Each group contributes a depth-5 chain: at least 4 strictly
+	// contained intervals per group.
+	contained := 0
+	for _, a := range ivs {
+		for _, b := range ivs {
+			if a != b && b.Start < a.Start && a.End < b.End {
+				contained++
+				break
+			}
+		}
+	}
+	if contained < 20*4 {
+		t.Errorf("only %d contained intervals; nesting too thin", contained)
+	}
+}
+
+func TestFacultyConstraints(t *testing.T) {
+	for _, continuous := range []bool{false, true} {
+		rel := Faculty(FacultyConfig{N: 60, Continuous: continuous, Seed: 4})
+		if err := rel.Check(); err != nil {
+			t.Fatal(err)
+		}
+		// Group rows per member, check chronological rank ordering.
+		rankIdx := map[string]int{"Assistant": 0, "Associate": 1, "Full": 2}
+		type period struct {
+			rank     int
+			from, to interval.Time
+		}
+		byName := map[string][]period{}
+		for i, row := range rel.Rows {
+			sp := rel.Span(i)
+			byName[row[0].AsString()] = append(byName[row[0].AsString()], period{
+				rank: rankIdx[row[1].AsString()], from: sp.Start, to: sp.End,
+			})
+		}
+		full := 0
+		for name, ps := range byName {
+			for i := 1; i < len(ps); i++ {
+				if ps[i].rank != ps[i-1].rank+1 {
+					t.Fatalf("%s: rank order violated", name)
+				}
+				if ps[i].from < ps[i-1].to {
+					t.Fatalf("%s: overlapping rank periods", name)
+				}
+				if continuous && ps[i].from != ps[i-1].to {
+					t.Fatalf("%s: gap despite continuous employment", name)
+				}
+			}
+			if ps[0].rank != 0 {
+				t.Fatalf("%s: career does not start as Assistant", name)
+			}
+			if len(ps) == 3 {
+				full++
+			}
+		}
+		if full == 0 {
+			t.Error("no member reaches Full: Superstar query would be empty")
+		}
+	}
+}
+
+func TestEmployeesGrouped(t *testing.T) {
+	emps := Employees(10, 8, 5)
+	if len(emps) < 10 {
+		t.Fatalf("too few employees: %d", len(emps))
+	}
+	seen := map[string]bool{}
+	cur := ""
+	for _, e := range emps {
+		if e.Dept != cur {
+			if seen[e.Dept] {
+				t.Fatalf("department %s not contiguous", e.Dept)
+			}
+			seen[e.Dept] = true
+			cur = e.Dept
+		}
+		if e.Salary < 30000 {
+			t.Fatalf("salary out of range: %d", e.Salary)
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("got %d departments, want 10", len(seen))
+	}
+}
+
+// The generated relation round-trips through the 4-tuple view used by the
+// stream algorithms.
+func TestFacultySpans(t *testing.T) {
+	rel := Faculty(FacultyConfig{N: 5, Seed: 11})
+	for i := range rel.Rows {
+		if !rel.Span(i).Valid() {
+			t.Fatalf("row %d has invalid span", i)
+		}
+	}
+	if rel.Schema != FacultySchema {
+		t.Error("unexpected schema")
+	}
+	_ = relation.Order{relation.TSAsc} // keep the import honest
+}
