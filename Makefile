@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench report cover fmt
+.PHONY: all build vet fmt-check lint test race bench report cover fmt
 
-all: build vet test
+all: build vet fmt-check lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails (listing the files) when anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The repo-specific static-analysis pass (see internal/lint and the
+# "Static analysis" section of DESIGN.md). Nonzero exit on findings.
+lint:
+	$(GO) run ./cmd/tdblint ./...
+
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure (see DESIGN.md's experiment index).
 bench:
@@ -25,7 +37,8 @@ report:
 	$(GO) run ./cmd/tdbbench -n 4000 -faculty 200
 
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 fmt:
 	gofmt -w .

@@ -155,6 +155,20 @@ type shell struct {
 	out     io.Writer
 }
 
+// printf writes best-effort shell output; a broken pipe on interactive
+// output is not worth propagating through every display path.
+func (sh *shell) printf(format string, args ...any) {
+	_, _ = fmt.Fprintf(sh.out, format, args...)
+}
+
+func (sh *shell) println(args ...any) {
+	_, _ = fmt.Fprintln(sh.out, args...)
+}
+
+func (sh *shell) print(args ...any) {
+	_, _ = fmt.Fprint(sh.out, args...)
+}
+
 func (sh *shell) repl() {
 	fmt.Println(`tdb — temporal query shell. End statements with a line "go"; \q quits.`)
 	sc := bufio.NewScanner(os.Stdin)
@@ -199,16 +213,16 @@ func (sh *shell) describe() {
 		if err != nil {
 			continue
 		}
-		fmt.Fprintf(sh.out, "%s%s  [%d rows]\n", name, rel.Schema, rel.Cardinality())
+		sh.printf("%s%s  [%d rows]\n", name, rel.Schema, rel.Cardinality())
 	}
 }
 
 func (sh *shell) statsOf(name string) {
 	if st := sh.db.Stats(name); st != nil {
-		fmt.Fprintln(sh.out, st)
+		sh.println(st)
 		return
 	}
-	fmt.Fprintf(sh.out, "no statistics for %q\n", name)
+	sh.printf("no statistics for %q\n", name)
 }
 
 func (sh *shell) runStatements(src string) error {
@@ -221,7 +235,7 @@ func (sh *shell) runStatements(src string) error {
 		return err
 	}
 	if sh.explain {
-		fmt.Fprintf(sh.out, "-- normalized --\n%s", quel.Print(prog))
+		sh.printf("-- normalized --\n%s", quel.Print(prog))
 	}
 	for _, q := range queries {
 		res, err := optimizer.Optimize(q.Tree, sh.db, optimizer.Options{ICs: sh.db.ChronOrders()})
@@ -230,14 +244,14 @@ func (sh *shell) runStatements(src string) error {
 		}
 		if sh.explain {
 			for _, st := range res.Stages {
-				fmt.Fprintf(sh.out, "-- %s --\n%s", st.Name, st.Tree)
+				sh.printf("-- %s --\n%s", st.Name, st.Tree)
 			}
 			for _, a := range res.Removed {
-				fmt.Fprintf(sh.out, "semantic: removed redundant conjunct %s\n", a)
+				sh.printf("semantic: removed redundant conjunct %s\n", a)
 			}
 		}
 		if res.Contradiction {
-			fmt.Fprintln(sh.out, "semantic: query is contradictory — empty result without data access")
+			sh.println("semantic: query is contradictory — empty result without data access")
 			continue
 		}
 		out, stats, err := engine.Run(sh.db, res.Tree, engine.Options{ForceNestedLoop: !sh.streams})
@@ -250,9 +264,9 @@ func (sh *shell) runStatements(src string) error {
 				return err
 			}
 		}
-		fmt.Fprint(sh.out, out)
+		sh.print(out)
 		if sh.explain {
-			fmt.Fprint(sh.out, stats)
+			sh.print(stats)
 		}
 	}
 	return nil

@@ -28,6 +28,13 @@ func main() {
 	policyName := flag.String("policy", "sweep", "stream read policy: sweep or lambda")
 	flag.Parse()
 
+	if *n < 1 {
+		fail(fmt.Errorf("-n must be at least 1, got %d", *n))
+	}
+	if *faculty < 0 {
+		fail(fmt.Errorf("-faculty must not be negative, got %d", *faculty))
+	}
+
 	policy := core.ReadSweep
 	if *policyName == "lambda" {
 		policy = core.ReadLambda
@@ -44,17 +51,29 @@ func main() {
 	_, tab4 := experiments.Figure4(100, 50, *seed)
 	fmt.Println(tab4)
 
-	_, tab1 := experiments.Table1(*n, *seed, policy)
-	fmt.Println(tab1)
+	if _, tab, err := experiments.Table1(*n, *seed, policy); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
 
-	_, tab2 := experiments.Table2(*n, *seed, policy)
-	fmt.Println(tab2)
+	if _, tab, err := experiments.Table2(*n, *seed, policy); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
 
-	_, tab3 := experiments.Table3(*n, *seed)
-	fmt.Println(tab3)
+	if _, tab, err := experiments.Table3(*n, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
 
-	_, tabB := experiments.Before(*n/2, *seed)
-	fmt.Println(tabB)
+	if _, tab, err := experiments.Before(*n/2, *seed); err != nil {
+		fail(err)
+	} else {
+		fmt.Println(tab)
+	}
 
 	if _, tab, err := experiments.Prefilter(*n, *seed); err != nil {
 		fail(err)

@@ -58,7 +58,7 @@ func main() {
 	nl := &metrics.Probe{}
 	count := 0
 	baseline.NestedLoopJoin(projects, tasks, span,
-		func(p, t interval.Interval) bool { return p.Start < t.Start && t.End < p.End },
+		func(p, t interval.Interval) bool { return p.ContainsInterval(t) },
 		nl, func(p, t relation.Tuple) { count++ })
 	fmt.Printf("nested-loop baseline found %d pairs with %d comparisons (stream: %d)\n",
 		count, nl.Comparisons, probe.Comparisons)

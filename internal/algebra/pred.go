@@ -95,6 +95,7 @@ func (op CmpOp) Eval(cmp int) bool {
 	case GE:
 		return cmp >= 0
 	}
+	// lint:allow panic — unreachable: CmpOp is a closed enum, the switch is exhaustive
 	panic(fmt.Sprintf("algebra: invalid CmpOp %d", uint8(op)))
 }
 

@@ -11,11 +11,19 @@ import (
 // emissions over a channel. It is the glue that lets the join processors
 // participate in stream processor networks (paper Section 4.1: function
 // composition as connecting processors through which data objects flow).
+//
+// Synchronization: err is guarded by mu and written before ch is closed,
+// so Err observes the final error both when called after Next returns
+// ok=false and when polled concurrently. Stop closes quit, which unblocks
+// any pending producer send (the emit select below) and makes subsequent
+// Next calls return ok=false deterministically.
 type Async[T any] struct {
 	ch   chan T
-	err  error // set before ch is closed; read after ch is drained
 	quit chan struct{}
 	once sync.Once
+
+	mu  sync.Mutex
+	err error
 }
 
 // GoRun starts run in a goroutine; every value passed to the algorithm's
@@ -31,7 +39,9 @@ func GoRun[T any](run func(emit func(T)) error) *Async[T] {
 			case <-a.quit:
 			}
 		})
+		a.mu.Lock()
 		a.err = err
+		a.mu.Unlock()
 		close(a.ch)
 	}()
 	return a
@@ -45,23 +55,35 @@ func GoRunPairs[T any](run func(emit func(x, y T)) error) *Async[stream.Pair[T, 
 	})
 }
 
-// Next implements stream.Stream.
+// Next implements stream.Stream. Once Stop has returned, Next returns
+// ok=false: Stop abandons the stream, including elements still buffered.
 func (a *Async[T]) Next() (T, bool) {
-	t, ok := <-a.ch
-	return t, ok
+	select {
+	case <-a.quit:
+		var zero T
+		return zero, false
+	default:
+	}
+	select {
+	case t, ok := <-a.ch:
+		return t, ok
+	case <-a.quit:
+		var zero T
+		return zero, false
+	}
 }
 
 // Err implements stream.Stream. It is meaningful once Next has returned
-// ok=false (the channel close happens after err is set).
-func (a *Async[T]) Err() error { return a.err }
+// ok=false; it is safe to call from any goroutine at any time.
+func (a *Async[T]) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
 
 // Stop abandons the stream: the producer's remaining emissions are dropped
-// and its goroutine finishes in the background. Stop is idempotent.
+// (closing quit unblocks any emit blocked on a full channel) and its
+// goroutine finishes in the background. Stop is idempotent.
 func (a *Async[T]) Stop() {
 	a.once.Do(func() { close(a.quit) })
-	// Drain so the producer is never blocked on a full channel.
-	go func() {
-		for range a.ch {
-		}
-	}()
 }

@@ -76,3 +76,54 @@ func TestGoRunStop(t *testing.T) {
 	s.Stop() // idempotent
 	<-done   // producer ran to completion
 }
+
+func TestGoRunStopThenNext(t *testing.T) {
+	// Once Stop has returned, every subsequent Next reports ok=false even
+	// while buffered elements remain: Stop abandons the stream.
+	s := GoRun(func(emit func(int)) error {
+		for i := 0; i < 50; i++ {
+			emit(i)
+		}
+		return nil
+	})
+	if _, ok := s.Next(); !ok {
+		t.Fatal("no first element")
+	}
+	s.Stop()
+	for i := 0; i < 10; i++ {
+		if v, ok := s.Next(); ok {
+			t.Fatalf("Next after Stop returned %v, want ok=false", v)
+		}
+	}
+}
+
+func TestGoRunErrConcurrent(t *testing.T) {
+	// Err may be polled from another goroutine while the producer is still
+	// running and writing its final error; the race detector verifies the
+	// happens-before edge.
+	boom := errors.New("boom")
+	s := GoRun(func(emit func(int)) error {
+		for i := 0; i < 1000; i++ {
+			emit(i)
+		}
+		return boom
+	})
+	probing := make(chan struct{})
+	go func() {
+		defer close(probing)
+		for i := 0; i < 100; i++ {
+			_ = s.Err()
+		}
+	}()
+	var n int
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	<-probing
+	if n != 1000 || !errors.Is(s.Err(), boom) {
+		t.Fatalf("drained %d err %v", n, s.Err())
+	}
+}

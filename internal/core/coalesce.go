@@ -47,12 +47,12 @@ func Coalesce[T any, K comparable](in stream.Stream[T], key func(T) K, span Span
 		probe.IncReadLeft()
 		k, s := key(x), span(x)
 		if open && k == curKey {
-			if s.Start < curSpan.Start {
+			if interval.CmpStart(s, curSpan) < 0 {
 				return fmt.Errorf("%s: group not sorted on ValidFrom: %v after %v", name, s, curSpan)
 			}
 			probe.IncComparisons(1)
-			if s.Start <= curSpan.End { // meets or overlaps: extend
-				if s.End > curSpan.End {
+			if !curSpan.Before(s) { // meets or overlaps: extend
+				if interval.CmpEnd(s, curSpan) > 0 {
 					curSpan.End = s.End
 				}
 				continue

@@ -174,7 +174,7 @@ func chooseSide[T any](spec joinSpec, opt Options, xh, yh T, xok, yok bool, span
 // containMatch is the Contain-join condition: the lifespan of x contains
 // that of y, X.TS < Y.TS ∧ Y.TE < X.TE (paper Section 4.2.1).
 func containMatch(x, y interval.Interval) bool {
-	return x.Start < y.Start && y.End < x.End
+	return x.ContainsInterval(y)
 }
 
 // ContainJoinTSTS evaluates Contain-join(X,Y) with both inputs sorted on

@@ -144,21 +144,21 @@ func MeetsJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit f
 // relationship 1), with both inputs sorted on ValidFrom ascending; the
 // residual checks the ValidTo equality within each equal-ValidFrom group.
 func EqualJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
-	residual := func(x, y interval.Interval) bool { return x.End == y.End }
+	residual := func(x, y interval.Interval) bool { return interval.CmpEnd(x, y) == 0 }
 	return MergeGroupJoin(xs, ys, span, tsKey, tsKey, residual, opt, emit)
 }
 
 // StartsJoin pairs x with y when X.TS = Y.TS ∧ X.TE < Y.TE (Figure 2
 // relationship 3), with both inputs sorted on ValidFrom ascending.
 func StartsJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
-	residual := func(x, y interval.Interval) bool { return x.End < y.End }
+	residual := func(x, y interval.Interval) bool { return interval.CmpEnd(x, y) < 0 }
 	return MergeGroupJoin(xs, ys, span, tsKey, tsKey, residual, opt, emit)
 }
 
 // FinishesJoin pairs x with y when X.TE = Y.TE ∧ X.TS > Y.TS (Figure 2
 // relationship 4), with both inputs sorted on ValidTo ascending.
 func FinishesJoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(x, y T)) error {
-	residual := func(x, y interval.Interval) bool { return x.Start > y.Start }
+	residual := func(x, y interval.Interval) bool { return interval.CmpStart(x, y) > 0 }
 	return MergeGroupJoin(xs, ys, span, teKey, teKey, residual, opt, emit)
 }
 
@@ -172,20 +172,20 @@ func MeetsSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, em
 // EqualSemijoin selects each x whose lifespan equals some y's, both inputs
 // sorted on ValidFrom ascending.
 func EqualSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
-	residual := func(x, y interval.Interval) bool { return x.End == y.End }
+	residual := func(x, y interval.Interval) bool { return interval.CmpEnd(x, y) == 0 }
 	return mergeGroupScan(xs, ys, span, tsKey, tsKey, residual, opt, true, nil, emit)
 }
 
 // StartsSemijoin selects each x starting some y (same ValidFrom, ending
 // strictly earlier), both inputs sorted on ValidFrom ascending.
 func StartsSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
-	residual := func(x, y interval.Interval) bool { return x.End < y.End }
+	residual := func(x, y interval.Interval) bool { return interval.CmpEnd(x, y) < 0 }
 	return mergeGroupScan(xs, ys, span, tsKey, tsKey, residual, opt, true, nil, emit)
 }
 
 // FinishesSemijoin selects each x finishing some y (same ValidTo, starting
 // strictly later), both inputs sorted on ValidTo ascending.
 func FinishesSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, emit func(T)) error {
-	residual := func(x, y interval.Interval) bool { return x.Start > y.Start }
+	residual := func(x, y interval.Interval) bool { return interval.CmpStart(x, y) > 0 }
 	return mergeGroupScan(xs, ys, span, teKey, teKey, residual, opt, true, nil, emit)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tdb/internal/interval"
 	"tdb/internal/relation"
 	"tdb/internal/stream"
 )
@@ -40,11 +41,11 @@ func ContainedSelfSemijoin[T any](xs stream.Stream[T], span Span[T], opt Options
 		ss, sb := span(xState), span(xb)
 		probe.IncComparisons(1)
 		switch {
-		case ss.Start == sb.Start:
+		case interval.CmpStart(ss, sb) == 0:
 			// Same ValidFrom: neither strictly contains the other; x_b has
 			// the larger ValidTo (secondary order) so it supersedes x_s.
 			xState = xb
-		case ss.End <= sb.End:
+		case interval.CmpEnd(ss, sb) <= 0:
 			// x_s starts earlier but does not outlast x_b: x_b becomes the
 			// new best container candidate.
 			xState = xb
@@ -92,11 +93,11 @@ func ContainSelfSemijoin[T any](xs stream.Stream[T], span Span[T], opt Options, 
 		ss, sb := span(xState), span(xb)
 		probe.IncComparisons(1)
 		switch {
-		case ss.Start == sb.Start:
+		case interval.CmpStart(ss, sb) == 0:
 			// Same ValidFrom: x_b has the smaller ValidTo (secondary
 			// descending order) and supersedes x_s as witness.
 			xState = xb
-		case sb.End <= ss.End:
+		case interval.CmpEnd(sb, ss) <= 0:
 			// x_b starts earlier but does not outlast x_s: x_b is the new
 			// best (smallest-ValidTo) containee witness.
 			xState = xb

@@ -38,12 +38,12 @@ func containPairScan[T any](name string, as, bs stream.Stream[T], span Span[T], 
 		sa, sb := span(a), span(b)
 		probe.IncComparisons(1)
 		switch {
-		case sb.Start <= sa.Start:
+		case interval.CmpStart(sb, sa) <= 0:
 			// b starts no later than the earliest remaining a: it can be
 			// strictly inside none of them.
 			pb.Take()
 			probe.IncReadRight()
-		case sb.End < sa.End:
+		case interval.CmpEnd(sb, sa) < 0:
 			// sa.Start < sb.Start ∧ sb.End < sa.End: a contains b.
 			if emitA {
 				probe.IncEmitted(1)
@@ -110,7 +110,7 @@ func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Optio
 			break
 		}
 		sy := span(yh)
-		if xok && span(xh).Start <= sy.Start {
+		if xok && interval.CmpStart(span(xh), sy) <= 0 {
 			x, _ := px.Take()
 			probe.IncReadLeft()
 			state = append(state, held[T]{elem: x, span: span(x)})
@@ -129,7 +129,7 @@ func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Optio
 				probe.IncEmitted(1)
 				emit(h.elem)
 				probe.StateRemove(1)
-			case h.span.End <= sy.Start:
+			case h.span.BeforeOrMeets(sy):
 				probe.StateRemove(1)
 			default:
 				kept = append(kept, h)
@@ -183,11 +183,11 @@ func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Opt
 		sx := span(xh)
 		// Pull every y that starts strictly before x; later y cannot
 		// contain x (container must start strictly earlier).
-		if yh, yok := py.Head(); yok && span(yh).Start < sx.Start {
+		if yh, yok := py.Head(); yok && interval.CmpStart(span(yh), sx) < 0 {
 			y, _ := py.Take()
 			probe.IncReadRight()
 			sy := span(y)
-			if sy.End > sx.Start { // not dead on arrival
+			if !sy.BeforeOrMeets(sx) { // not dead on arrival
 				state = append(state, held[T]{elem: y, span: sy})
 				probe.StateAdd(1)
 			}
@@ -241,11 +241,11 @@ func OverlapSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, 
 		sx, sy := span(x), span(y)
 		probe.IncComparisons(1)
 		switch {
-		case sx.End <= sy.Start:
+		case sx.BeforeOrMeets(sy):
 			// x ends before the earliest remaining y begins.
 			px.Take()
 			probe.IncReadLeft()
-		case sy.End <= sx.Start:
+		case sy.BeforeOrMeets(sx):
 			// y ends before x (and every later x) begins.
 			py.Take()
 			probe.IncReadRight()

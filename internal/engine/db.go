@@ -55,11 +55,11 @@ func (db *DB) StoreRelation(name, dir string, poolPages int) error {
 		return err
 	}
 	if err := hf.AppendAll(rel.Rows); err != nil {
-		hf.Close()
+		_ = hf.Close() // best-effort cleanup; the append error wins
 		return err
 	}
 	if err := hf.Flush(); err != nil {
-		hf.Close()
+		_ = hf.Close() // best-effort cleanup; the flush error wins
 		return err
 	}
 	db.stored[name] = hf
@@ -103,7 +103,7 @@ func (db *DB) Register(rel *relation.Relation) error {
 // MustRegister is Register that panics, for fixtures and examples.
 func (db *DB) MustRegister(rel *relation.Relation) {
 	if err := db.Register(rel); err != nil {
-		panic(err)
+		panic(err) // lint:allow panic — Must* constructor for statically known fixtures
 	}
 }
 
@@ -202,11 +202,11 @@ func validateChronOrder(rel *relation.Relation, ic constraints.ChronOrder) error
 					continue
 				}
 				loSpan, hiSpan := rel.Span(lo.row), rel.Span(hi.row)
-				if loSpan.End > hiSpan.Start {
+				if !loSpan.BeforeOrMeets(hiSpan) {
 					return fmt.Errorf("engine: key %s violates %s ordering: %v at %s not before %v at %s",
 						k, ic.ValCol, rel.Rows[lo.row][val], loSpan, rel.Rows[hi.row][val], hiSpan)
 				}
-				if ic.Continuous && hi.rank == lo.rank+1 && loSpan.End != hiSpan.Start {
+				if ic.Continuous && hi.rank == lo.rank+1 && !loSpan.Meets(hiSpan) {
 					return fmt.Errorf("engine: key %s violates continuity: %v ends %v, %v starts %v",
 						k, rel.Rows[lo.row][val], loSpan.End, rel.Rows[hi.row][val], hiSpan.Start)
 				}

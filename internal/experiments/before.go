@@ -27,7 +27,7 @@ type BeforeResult struct {
 // but sorting still pays — the nested loop stops scanning the inner
 // relation early — and Before-semijoin needs one scan of each operand
 // regardless of order.
-func Before(n int, seed int64) (*BeforeResult, *Table) {
+func Before(n int, seed int64) (*BeforeResult, *Table, error) {
 	xs := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 6, Seed: seed}, "x")
 	ys := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 6, Seed: seed + 1}, "y")
 	beforeTheta := func(a, b interval.Interval) bool { return a.Before(b) }
@@ -42,7 +42,7 @@ func Before(n int, seed int64) (*BeforeResult, *Table) {
 	yo := sortedTuples(ys, relation.Order{relation.TSAsc})
 	if err := core.BeforeJoinSorted(stream.FromSlice(xo), yo, tupleSpan,
 		core.Options{Probe: probe}, func(a, b relation.Tuple) {}); err != nil {
-		panic(fmt.Sprintf("experiments: before-join: %v", err))
+		return nil, nil, fmt.Errorf("experiments: before-join: %w", err)
 	}
 	res.SortedJoin = Cell{Operator: "before-join sorted+binary search", StateHWM: probe.StateHighWater,
 		Workspace: probe.Workspace(), Emitted: probe.Emitted, TuplesRead: probe.TuplesRead()}
@@ -50,7 +50,7 @@ func Before(n int, seed int64) (*BeforeResult, *Table) {
 	probe = &metrics.Probe{}
 	if err := core.BeforeSemijoin(stream.FromSlice(xs), stream.FromSlice(ys), tupleSpan,
 		core.Options{Probe: probe}, func(relation.Tuple) {}); err != nil {
-		panic(fmt.Sprintf("experiments: before-semijoin: %v", err))
+		return nil, nil, fmt.Errorf("experiments: before-semijoin: %w", err)
 	}
 	res.Semijoin = Cell{Operator: "before-semijoin single scan", StateHWM: probe.StateHighWater,
 		Workspace: probe.Workspace(), Emitted: probe.Emitted, TuplesRead: probe.TuplesRead()}
@@ -63,5 +63,5 @@ func Before(n int, seed int64) (*BeforeResult, *Table) {
 		tab.Add(c.Operator, c.TuplesRead, c.StateHWM, c.Workspace, c.Emitted)
 	}
 	tab.Note("the sorted variant reads the inner suffix only; the semijoin reads each operand once in any order")
-	return res, tab
+	return res, tab, nil
 }

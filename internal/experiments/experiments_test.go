@@ -15,7 +15,10 @@ import (
 // relation.
 func TestTable1Claims(t *testing.T) {
 	const n = 2000
-	res, tab := Table1(n, 11, core.ReadSweep)
+	res, tab, err := Table1(n, 11, core.ReadSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Cells) != 24 {
 		t.Fatalf("cells = %d, want 24 (8 orders × 3 operators)", len(res.Cells))
 	}
@@ -75,8 +78,14 @@ func TestTable1Claims(t *testing.T) {
 // The λ-guided policy matches the sweep policy's output and keeps the same
 // state regime (both reproduce Table 1's characterization).
 func TestTable1PolicyAblation(t *testing.T) {
-	sweep, _ := Table1(1200, 13, core.ReadSweep)
-	lambda, _ := Table1(1200, 13, core.ReadLambda)
+	sweep, _, err := Table1(1200, 13, core.ReadSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, _, err := Table1(1200, 13, core.ReadLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range sweep.Cells {
 		s, l := sweep.Cells[i], lambda.Cells[i]
 		if s.Emitted != l.Emitted {
@@ -88,7 +97,10 @@ func TestTable1PolicyAblation(t *testing.T) {
 
 func TestTable2Claims(t *testing.T) {
 	const n = 2000
-	res, tab := Table2(n, 17, core.ReadSweep)
+	res, tab, err := Table2(n, 17, core.ReadSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(tab.String(), "Table 2") {
 		t.Error("title")
 	}
@@ -116,7 +128,10 @@ func TestTable2Claims(t *testing.T) {
 }
 
 func TestTable3Claims(t *testing.T) {
-	res, tab := Table3(1500, 19)
+	res, tab, err := Table3(1500, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(tab.String(), "Table 3") {
 		t.Error("title")
 	}
@@ -325,7 +340,10 @@ func TestStatisticsClaim(t *testing.T) {
 }
 
 func TestBeforeClaims(t *testing.T) {
-	res, tab := Before(1500, 43)
+	res, tab, err := Before(1500, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(tab.String(), "4.2.4") {
 		t.Error("title")
 	}

@@ -56,12 +56,12 @@ func planCost(stats *engine.Stats, rows int) PlanCost {
 
 func nameSet(rel *relation.Relation) []string {
 	seen := map[string]bool{}
+	var out []string
 	for _, r := range rel.Rows {
-		seen[r[0].AsString()] = true
-	}
-	out := make([]string, 0, len(seen))
-	for n := range seen {
-		out = append(out, n)
+		if n := r[0].AsString(); !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out

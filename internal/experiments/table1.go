@@ -62,7 +62,7 @@ func runSemi(run func(xs, ys stream.Stream[relation.Tuple], opt core.Options, em
 // Contained-semijoin(X,Y), measured as retained-state high-water marks on a
 // Poisson workload. Orderings the paper marks "–" or leaves blank run the
 // honest buffer-everything fallback, whose workspace is the relation size.
-func Table1(n int, seed int64, policy core.ReadPolicy) (*Table1Result, *Table) {
+func Table1(n int, seed int64, policy core.ReadPolicy) (*Table1Result, *Table, error) {
 	xs := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 12, LongFrac: 0.1, Seed: seed}, "x")
 	ys := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 12, LongFrac: 0.1, Seed: seed + 1}, "y")
 	sx := catalog.FromSpans(spansOf(xs))
@@ -71,7 +71,7 @@ func Table1(n int, seed int64, policy core.ReadPolicy) (*Table1Result, *Table) {
 
 	span := tupleSpan
 	mspan := core.MirrorSpan(span)
-	containTheta := func(a, b interval.Interval) bool { return a.Start < b.Start && b.End < a.End }
+	containTheta := func(a, b interval.Interval) bool { return a.ContainsInterval(b) }
 	containedTheta := func(a, b interval.Interval) bool { return containTheta(b, a) }
 
 	type joinFn = func(stream.Stream[relation.Tuple], stream.Stream[relation.Tuple], core.Options, func(a, b relation.Tuple)) error
@@ -180,9 +180,14 @@ func Table1(n int, seed int64, policy core.ReadPolicy) (*Table1Result, *Table) {
 	tab.Note("max concurrency: X=%d Y=%d; predicted spanning set (Little's law): X=%.1f Y=%.1f",
 		sx.MaxConcurrency, sy.MaxConcurrency, sx.PredictedWorkspace(), sy.PredictedWorkspace())
 
+	var firstErr error
 	addCell := func(nameX, nameY, op, paperCase string, probe *metrics.Probe, err error) {
+		if firstErr != nil {
+			return
+		}
 		if err != nil {
-			panic(fmt.Sprintf("experiments: %s/%s %s: %v", nameX, nameY, op, err))
+			firstErr = fmt.Errorf("experiments: %s/%s %s: %w", nameX, nameY, op, err)
+			return
 		}
 		res.Cells = append(res.Cells, Cell{
 			OrderX: nameX, OrderY: nameY, Operator: op, PaperCase: paperCase,
@@ -209,7 +214,10 @@ func Table1(n int, seed int64, policy core.ReadPolicy) (*Table1Result, *Table) {
 		probe, err = runSemi(r.containedSemi, xo, yo)
 		addCell(r.nameX, r.nameY, "contained-semijoin", r.containedCase, probe, err)
 	}
-	return res, tab
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return res, tab, nil
 }
 
 func spansOf(ts []relation.Tuple) []interval.Interval {

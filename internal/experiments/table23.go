@@ -23,7 +23,7 @@ type Table2Result struct {
 // ascending (or the mirrored ValidTo descending); the join's state is the
 // pair of spanning sets (a) and the semijoin needs the input buffers only
 // (b). An inappropriate ordering is shown via the fallback.
-func Table2(n int, seed int64, policy core.ReadPolicy) (*Table2Result, *Table) {
+func Table2(n int, seed int64, policy core.ReadPolicy) (*Table2Result, *Table, error) {
 	xs := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 10, Seed: seed}, "x")
 	ys := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 10, Seed: seed + 1}, "y")
 	sx := catalog.FromSpans(spansOf(xs))
@@ -39,9 +39,14 @@ func Table2(n int, seed int64, policy core.ReadPolicy) (*Table2Result, *Table) {
 	}
 	tab.Note("max concurrency: X=%d Y=%d", sx.MaxConcurrency, sy.MaxConcurrency)
 
+	var firstErr error
 	add := func(nameX, nameY, op, paperCase string, probe *metrics.Probe, err error) {
+		if firstErr != nil {
+			return
+		}
 		if err != nil {
-			panic(fmt.Sprintf("experiments: table2 %s: %v", op, err))
+			firstErr = fmt.Errorf("experiments: table2 %s: %w", op, err)
+			return
 		}
 		res.Cells = append(res.Cells, Cell{
 			OrderX: nameX, OrderY: nameY, Operator: op, PaperCase: paperCase,
@@ -79,7 +84,10 @@ func Table2(n int, seed int64, policy core.ReadPolicy) (*Table2Result, *Table) {
 		core.Options{Probe: probe}, func(a, b relation.Tuple) {})
 	add("ValidTo ↑", "ValidFrom ↑", "overlap-join", "(*)", probe, err)
 
-	return res, tab
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return res, tab, nil
 }
 
 // Table3Result carries the measured Table 3 cells.
@@ -94,13 +102,13 @@ type Table3Result struct {
 // Figure 7); with ValidFrom ascending the Contain direction needs the
 // overlapping-successor state (case (b)); the remaining combination is
 // inappropriate and runs the fallback.
-func Table3(n int, seed int64) (*Table3Result, *Table) {
+func Table3(n int, seed int64) (*Table3Result, *Table, error) {
 	ts := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 15, LongFrac: 0.15, Seed: seed}, "x")
 	st := catalog.FromSpans(spansOf(ts))
 	res := &Table3Result{Stats: st}
 
 	span := tupleSpan
-	containTheta := func(a, b ivl.Interval) bool { return a.Start < b.Start && b.End < a.End }
+	containTheta := func(a, b ivl.Interval) bool { return a.ContainsInterval(b) }
 	containedTheta := func(a, b ivl.Interval) bool { return containTheta(b, a) }
 
 	tab := &Table{
@@ -109,9 +117,14 @@ func Table3(n int, seed int64) (*Table3Result, *Table) {
 	}
 	tab.Note("max concurrency=%d", st.MaxConcurrency)
 
+	var firstErr error
 	add := func(order, op, paperCase string, probe *metrics.Probe, err error) {
+		if firstErr != nil {
+			return
+		}
 		if err != nil {
-			panic(fmt.Sprintf("experiments: table3 %s: %v", op, err))
+			firstErr = fmt.Errorf("experiments: table3 %s: %w", op, err)
+			return
 		}
 		res.Cells = append(res.Cells, Cell{
 			OrderX: order, Operator: op, PaperCase: paperCase,
@@ -142,5 +155,8 @@ func Table3(n int, seed int64) (*Table3Result, *Table) {
 		containedTheta, core.Options{Probe: probe}, func(relation.Tuple) {})
 	add("ValidFrom ↓", "contained-semijoin(X,X)", "–", probe, err)
 
-	return res, tab
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return res, tab, nil
 }

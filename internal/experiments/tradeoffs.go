@@ -48,7 +48,7 @@ func Tradeoffs(sizes []int, memRows int, dir string, seed int64) (*TradeoffsResu
 		Title:  fmt.Sprintf("Section 4.1 — sort order vs. workspace vs. passes (external-sort memory = %d rows)", memRows),
 		Header: []string{"n", "strategy", "comparisons", "tuples read", "workspace", "sort runs", "pages moved"},
 	}
-	containTheta := func(a, b interval.Interval) bool { return a.Start < b.Start && b.End < a.End }
+	containTheta := func(a, b interval.Interval) bool { return a.ContainsInterval(b) }
 
 	for _, n := range sizes {
 		xs := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 10, LongFrac: 0.1, Seed: seed}, "x")
@@ -87,7 +87,7 @@ func Tradeoffs(sizes []int, memRows int, dir string, seed int64) (*TradeoffsResu
 			var st storage.SortStats
 			sorted, err := storage.ExternalSort(stream.FromSlice(rel.Rows), rel.Schema,
 				func(a, b relation.Row) bool {
-					return a.Span(rel.Schema).Start < b.Span(rel.Schema).Start
+					return interval.CmpStart(a.Span(rel.Schema), b.Span(rel.Schema)) < 0
 				}, memRows, dir, &st)
 			if err != nil {
 				return nil, err

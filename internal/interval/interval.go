@@ -145,6 +145,13 @@ func (iv Interval) Before(o Interval) bool { return iv.End < o.Start }
 // After is the inverse of Before.
 func (iv Interval) After(o Interval) bool { return o.End < iv.Start }
 
+// BeforeOrMeets reports X.TE<=Y.TS: X is entirely over, with no shared
+// chronon, by the time Y begins. It is the disjunction of Before and Meets
+// and the negation of "Y starts strictly inside or before X's lifespan end";
+// the sweep algorithms use it to decide when a state tuple can never again
+// find a partner.
+func (iv Interval) BeforeOrMeets(o Interval) bool { return iv.End <= o.Start }
+
 // Intersects reports the general TQuel/Snodgrass "overlap" used by the
 // Superstar query: the lifespans share at least one chronon,
 // X.TS<Y.TE ∧ Y.TS<X.TE. Unlike Allen's Overlaps it is reflexive and
@@ -171,6 +178,45 @@ func (iv Interval) Union(o Interval) (Interval, bool) {
 		return Interval{}, false
 	}
 	return Interval{Start: minTime(iv.Start, o.Start), End: maxTime(iv.End, o.End)}, true
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint comparators.
+//
+// Code outside this package must not compare Start/End fields of two
+// different intervals directly (the tdblint interval-encapsulation rule
+// enforces this): an endpoint inequality between two lifespans is an Allen
+// relationship fragment, and spreading raw fragments through the tree is
+// how a reproduction drifts from Figure 2. Sort orders and merge sweeps
+// express their endpoint logic through these comparators instead.
+// ---------------------------------------------------------------------------
+
+// CmpStart three-way-compares the ValidFrom endpoints: -1 when a starts
+// first, +1 when b starts first, 0 on equal starts.
+func CmpStart(a, b Interval) int { return cmp(a.Start, b.Start) }
+
+// CmpEnd three-way-compares the ValidTo endpoints: -1 when a ends first,
+// +1 when b ends first, 0 on equal ends.
+func CmpEnd(a, b Interval) int { return cmp(a.End, b.End) }
+
+// Compare orders intervals lexicographically by (Start, End) — the
+// canonical ValidFrom-ascending sort order of the paper's stream
+// algorithms, with ValidTo as tiebreaker.
+func Compare(a, b Interval) int {
+	if c := cmp(a.Start, b.Start); c != 0 {
+		return c
+	}
+	return cmp(a.End, b.End)
+}
+
+func cmp(a, b Time) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
 }
 
 func minTime(a, b Time) Time {

@@ -84,6 +84,7 @@ func (r Relationship) Inverse() Relationship {
 	case RelAfter:
 		return RelBefore
 	}
+	// lint:allow panic — unreachable: Relationship is a closed enum, the switch is exhaustive
 	panic(fmt.Sprintf("interval: invalid relationship %d", uint8(r)))
 }
 
@@ -117,6 +118,7 @@ func (r Relationship) Holds(x, y Interval) bool {
 	case RelAfter:
 		return x.After(y)
 	}
+	// lint:allow panic — unreachable: Relationship is a closed enum, the switch is exhaustive
 	panic(fmt.Sprintf("interval: invalid relationship %d", uint8(r)))
 }
 
@@ -275,6 +277,7 @@ func (r Relationship) Constraints() []Constraint {
 	case RelAfter:
 		return []Constraint{{TS, OpGT, TE}}
 	}
+	// lint:allow panic — unreachable: Relationship is a closed enum, the switch is exhaustive
 	panic(fmt.Sprintf("interval: invalid relationship %d", uint8(r)))
 }
 

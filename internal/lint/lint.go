@@ -1,0 +1,247 @@
+// Package lint implements tdblint, the repo-specific static-analysis
+// pass. The paper's guarantees are invariants — half-open [TS, TE)
+// lifespans compared only through package interval's Allen predicates,
+// nil-safe metrics.Probe workspace accounting, deterministic experiment
+// oracles, quit-guarded processor goroutines — and go vet cannot see any
+// of them. Each rule here encodes one such invariant over the type-checked
+// syntax trees of the whole module and reports findings as
+//
+//	file:line: [rule] message
+//
+// A finding is suppressed by a justification comment on the same line or
+// the line directly above:
+//
+//	// lint:allow <rule> <why this site is exempt>
+//
+// The driver (cmd/tdblint) loads the module with only the standard
+// library — go/parser for syntax, go/types with the stdlib source
+// importer for semantics — so the pass runs offline with zero
+// dependencies, exactly like the rest of the repo.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one rule.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the canonical file:line: [rule] message
+// form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Rule, d.Message)
+}
+
+// Rule is one invariant check. Check inspects a single package and
+// reports findings through the Reporter.
+type Rule struct {
+	Name  string
+	Doc   string
+	Check func(p *Package, r *Reporter)
+}
+
+// Rules returns every registered rule, in fixed order.
+func Rules() []Rule {
+	return []Rule{
+		probeNilSafetyRule,
+		intervalEncapsulationRule,
+		noPanicRule,
+		determinismRule,
+		goroutineHygieneRule,
+		errorDisciplineRule,
+	}
+}
+
+// ruleAliases maps alternative lint:allow tokens to rule names, so the
+// natural comment "lint:allow panic" addresses the no-panic rule.
+var ruleAliases = map[string]string{
+	"panic": "no-panic",
+}
+
+// SelectRules filters the registry by a comma-separated name list; the
+// empty filter selects everything.
+func SelectRules(filter string) ([]Rule, error) {
+	all := Rules()
+	if filter == "" {
+		return all, nil
+	}
+	byName := map[string]Rule{}
+	for _, r := range all {
+		byName[r.Name] = r
+	}
+	var out []Rule
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if canon, ok := ruleAliases[name]; ok {
+			name = canon
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %s)", name, ruleNames(all))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func ruleNames(rs []Rule) string {
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// Reporter collects diagnostics for one (package, rule) pair, applying
+// lint:allow suppressions.
+type Reporter struct {
+	pkg   *Package
+	rule  string
+	allow map[string]map[int]map[string]bool // file -> line -> rules
+	out   *[]Diagnostic
+}
+
+// Reportf files a diagnostic at pos unless a lint:allow comment covers it.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.pkg.Fset.Position(pos)
+	if lines := r.allow[p.Filename]; lines != nil {
+		// A suppression applies to findings on its own line and on the
+		// line directly below (comment-above style).
+		for _, line := range []int{p.Line, p.Line - 1} {
+			if lines[line][r.rule] {
+				return
+			}
+		}
+	}
+	*r.out = append(*r.out, Diagnostic{
+		File: p.Filename, Line: p.Line, Col: p.Column,
+		Rule: r.rule, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressions scans a package's comments for lint:allow directives and
+// returns file -> line -> allowed-rule-set.
+func suppressions(p *Package) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "lint:allow ")
+				if idx < 0 {
+					continue
+				}
+				fields := strings.Fields(c.Text[idx+len("lint:allow "):])
+				if len(fields) == 0 {
+					continue
+				}
+				rule := fields[0]
+				if canon, ok := ruleAliases[rule]; ok {
+					rule = canon
+				}
+				pos := p.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]map[string]bool{}
+				}
+				if out[pos.Filename][pos.Line] == nil {
+					out[pos.Filename][pos.Line] = map[string]bool{}
+				}
+				out[pos.Filename][pos.Line][rule] = true
+			}
+		}
+	}
+	return out
+}
+
+// Check runs the given rules over the given packages and returns the
+// sorted findings.
+func Check(pkgs []*Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		allow := suppressions(p)
+		for _, rule := range rules {
+			rep := &Reporter{pkg: p, rule: rule.Name, allow: allow, out: &diags}
+			rule.Check(p, rep)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// Run loads the module at dir, applies the filtered rules, and writes the
+// findings to w (one line each, or a JSON array with jsonOut). It returns
+// the number of findings.
+func Run(dir, ruleFilter string, jsonOut bool, w io.Writer) (int, error) {
+	rules, err := SelectRules(ruleFilter)
+	if err != nil {
+		return 0, err
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return 0, err
+	}
+	diags := Check(pkgs, rules)
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return len(diags), err
+		}
+		return len(diags), nil
+	}
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return len(diags), err
+		}
+	}
+	return len(diags), nil
+}
+
+// inScope reports whether the package's module-relative directory is the
+// given prefix or nested below it — the unit rules use to scope
+// themselves to subsystems like internal/core.
+func inScope(p *Package, prefixes ...string) bool {
+	for _, pre := range prefixes {
+		if p.RelDir == pre || strings.HasPrefix(p.RelDir, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// inspect walks every file of the package.
+func inspect(p *Package, fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

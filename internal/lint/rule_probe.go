@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// probeNilSafetyRule enforces the metrics.Probe contract: production code
+// paths pass a nil *Probe and pay only a branch, so every method with a
+// pointer Probe receiver must begin with a nil-receiver guard — either
+//
+//	if p == nil { return ... }   (early return)
+//	if p != nil { ... }          (guarded body)
+//
+// as its first statement. Without the guard, instrumented operators crash
+// the un-instrumented production path.
+var probeNilSafetyRule = Rule{
+	Name: "probe-nil-safety",
+	Doc:  "methods on *Probe must begin with a nil-receiver guard",
+	Check: func(p *Package, r *Reporter) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Body.List) == 0 {
+					continue
+				}
+				recvName, ok := pointerProbeReceiver(p, fn)
+				if !ok {
+					continue
+				}
+				if recvName == "" {
+					r.Reportf(fn.Pos(), "method %s has an unnamed *Probe receiver and cannot nil-guard it", fn.Name.Name)
+					continue
+				}
+				if !startsWithNilGuard(fn.Body.List[0], recvName) {
+					r.Reportf(fn.Pos(), "method %s on *Probe must begin with an %q nil-receiver guard", fn.Name.Name, "if "+recvName+" != nil")
+				}
+			}
+		}
+	},
+}
+
+// pointerProbeReceiver reports whether fn's receiver is *Probe and
+// returns the receiver's name.
+func pointerProbeReceiver(p *Package, fn *ast.FuncDecl) (name string, ok bool) {
+	obj, _ := p.Info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return "", false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Probe" {
+		return "", false
+	}
+	if len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		n := fn.Recv.List[0].Names[0].Name
+		if n != "_" {
+			return n, true
+		}
+	}
+	return "", true
+}
+
+// startsWithNilGuard reports whether stmt is `if recv == nil ...` or
+// `if recv != nil ...` (either operand order).
+func startsWithNilGuard(stmt ast.Stmt, recv string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+}

@@ -1,0 +1,10 @@
+// Command app shows the no-panic exemption: top-of-stack commands may
+// panic freely (the rule only protects library packages).
+package main
+
+func main() {
+	if len([]string{}) > 0 {
+		panic("unreachable in the fixture") // cmd/ is exempt: no finding
+	}
+	println("ok")
+}

@@ -1,0 +1,55 @@
+// Package core is the determinism and goroutine-hygiene fixture: it
+// sits in a path the oracle rules scope to (internal/core).
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadClock consults the wall clock inside an oracle package.
+func BadClock() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+// BadGlobalRand draws from the globally seeded source.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want determinism
+}
+
+// BadMapRange iterates a map in emission order.
+func BadMapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want determinism
+		total += v
+	}
+	return total
+}
+
+// GoodSeededRand builds a deterministic generator: rand.New and
+// rand.NewSource are sanctioned, and methods on the seeded *rand.Rand
+// are fine.
+func GoodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodSortedKeys materializes and sorts the keys before iterating.
+func GoodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // lint:allow determinism — keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSliceRange ranges over a slice, which is ordered.
+func GoodSliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

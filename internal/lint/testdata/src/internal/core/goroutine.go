@@ -1,0 +1,39 @@
+package core
+
+// BadProducer sends with a bare `ch <- v` inside a goroutine: once the
+// consumer walks away, the goroutine blocks forever.
+func BadProducer(xs []int) (<-chan int, chan struct{}) {
+	ch := make(chan int)
+	quit := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for _, x := range xs {
+			ch <- x // want goroutine-hygiene
+		}
+	}()
+	return ch, quit
+}
+
+// GoodProducer follows the Async.GoRun pattern: every send is a select
+// case next to a quit receive, so closing quit always unblocks it.
+func GoodProducer(xs []int) (<-chan int, chan struct{}) {
+	ch := make(chan int)
+	quit := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for _, x := range xs {
+			select {
+			case ch <- x:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return ch, quit
+}
+
+// sends outside goroutines are not the rule's business: the caller owns
+// its own blocking behavior.
+func SynchronousSend(ch chan int, v int) {
+	ch <- v
+}

@@ -1,0 +1,24 @@
+// Package interval is the interval-encapsulation fixture: it owns the
+// Interval type, so direct endpoint comparisons here are the rule's one
+// sanctioned home and must NOT be reported.
+package interval
+
+// Time is a discrete chronon index.
+type Time int64
+
+// Interval is a half-open lifespan [Start, End).
+type Interval struct {
+	Start, End Time
+}
+
+// Before is X before Y: X.TE < Y.TS. The defining package may touch
+// endpoints of two different intervals freely.
+func (iv Interval) Before(o Interval) bool { return iv.End < o.Start }
+
+// Meets is X meets Y: X.TE == Y.TS.
+func (iv Interval) Meets(o Interval) bool { return iv.End == o.Start }
+
+// Overlaps is the paper's symmetric overlap test.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}

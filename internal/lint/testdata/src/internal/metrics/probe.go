@@ -1,0 +1,56 @@
+// Package metrics is the probe-nil-safety fixture: methods on *Probe
+// must begin with a nil-receiver guard.
+package metrics
+
+// Probe mirrors tdb's cost probe: a nil *Probe is a valid no-op sink.
+type Probe struct {
+	tuples int
+	state  int
+}
+
+// Tuple is the negative case: the guard comes first.
+func (p *Probe) Tuple() {
+	if p == nil {
+		return
+	}
+	p.tuples++
+}
+
+// GuardReversed is also fine: either operand order is a guard.
+func (p *Probe) GuardReversed() {
+	if nil == p {
+		return
+	}
+	p.tuples++
+}
+
+// NonNilGuard inverts the test but still guards the receiver first.
+func (p *Probe) NonNilGuard() {
+	if p != nil {
+		p.tuples++
+	}
+}
+
+// BadNoGuard dereferences the receiver with no guard at all.
+func (p *Probe) BadNoGuard() { // want probe-nil-safety
+	p.tuples++
+}
+
+// BadLateGuard guards, but only after other work.
+func (p *Probe) BadLateGuard() { // want probe-nil-safety
+	x := 1
+	if p == nil {
+		return
+	}
+	p.state += x
+}
+
+// BadUnnamed cannot guard: the receiver has no name. (Empty bodies are
+// skipped, so the body must do something to be checked.)
+func (*Probe) BadUnnamed() { // want probe-nil-safety
+	println("side effect")
+}
+
+// value receivers are out of scope: a nil *Probe cannot reach them
+// without the caller dereferencing first.
+func (p Probe) Value() int { return p.tuples }

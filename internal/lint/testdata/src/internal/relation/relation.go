@@ -1,0 +1,49 @@
+// Package relation is the no-panic fixture: library code must return
+// errors; panic survives only at sites justified with // lint:allow.
+package relation
+
+import "errors"
+
+// Row is a minimal row for the fixture.
+type Row []string
+
+// Get panics on a bad index — untrusted input reaching a library panic
+// is exactly what the rule exists to catch.
+func Get(r Row, i int) string {
+	if i < 0 || i >= len(r) {
+		panic("index out of range") // want no-panic
+	}
+	return r[i]
+}
+
+// GetChecked is the corrected shape: the same contract, as an error.
+func GetChecked(r Row, i int) (string, error) {
+	if i < 0 || i >= len(r) {
+		return "", errors.New("relation: index out of range")
+	}
+	return r[i], nil
+}
+
+// MustGet is a justified panic: a documented Must* helper whose inputs
+// are statically known. Same-line directive form.
+func MustGet(r Row, i int) string {
+	s, err := GetChecked(r, i)
+	if err != nil {
+		panic(err) // lint:allow panic — Must* helper for fixtures
+	}
+	return s
+}
+
+// kindName demonstrates the directive on the line above the panic.
+func kindName(k int) string {
+	switch k {
+	case 0:
+		return "snapshot"
+	case 1:
+		return "temporal"
+	}
+	// lint:allow panic — unreachable: k is a closed enum
+	panic("invalid kind")
+}
+
+var _ = kindName

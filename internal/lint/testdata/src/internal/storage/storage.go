@@ -1,0 +1,59 @@
+// Package storage is the error-discipline fixture: calls whose error
+// results vanish as bare statements hide I/O failures.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ErrFull is the fixture's stand-in failure.
+var ErrFull = errors.New("storage: full")
+
+type sink struct{}
+
+func (sink) Flush() error { return ErrFull }
+
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+
+// BadDrop discards Flush's error as a bare statement.
+func BadDrop(s sink) {
+	s.Flush() // want error-discipline
+}
+
+// BadDropMulti drops an (int, error) pair the same way.
+func BadDropMulti(s sink) {
+	fmt.Fprintf(s, "page %d\n", 7) // want error-discipline
+}
+
+// GoodHandled propagates the error.
+func GoodHandled(s sink) error {
+	return s.Flush()
+}
+
+// GoodExplicitDiscard makes the drop visible at the call site.
+func GoodExplicitDiscard(s sink) {
+	_ = s.Flush()
+}
+
+// GoodJustified keeps the bare call but owns the decision.
+func GoodJustified(s sink) {
+	s.Flush() // lint:allow error-discipline — best-effort flush on shutdown
+}
+
+// GoodInfallible writes to strings.Builder and the terminal, both of
+// which the rule exempts.
+func GoodInfallible() {
+	var b strings.Builder
+	b.WriteString("hello")
+	fmt.Fprintln(&b, "world")
+	fmt.Println(b.String())
+	fmt.Fprintln(os.Stderr, "status")
+}
+
+// GoodDeferred cleanup is conventional and is not flagged.
+func GoodDeferred(s sink) {
+	defer s.Flush()
+}

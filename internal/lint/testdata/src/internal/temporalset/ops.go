@@ -1,0 +1,28 @@
+// Package temporalset is the interval-encapsulation consumer fixture:
+// outside the defining package, relating two Intervals by raw endpoint
+// arithmetic must go through the named Allen relationship methods.
+package temporalset
+
+import "fix/internal/interval"
+
+// BadBefore re-derives Before from raw endpoints of two intervals.
+func BadBefore(a, b interval.Interval) bool {
+	return a.End < b.Start // want interval-encapsulation
+}
+
+// BadOverlap compares endpoints of distinct intervals twice.
+func BadOverlap(a, b interval.Interval) bool {
+	return a.Start < b.End && // want interval-encapsulation
+		b.Start < a.End // want interval-encapsulation
+}
+
+// GoodBefore uses the named relationship.
+func GoodBefore(a, b interval.Interval) bool { return a.Before(b) }
+
+// GoodWellFormed compares endpoints of the SAME interval — an
+// intra-tuple sanity constraint, not a cross-interval relationship.
+func GoodWellFormed(a interval.Interval) bool { return a.Start < a.End }
+
+// GoodScalar compares an endpoint against a scalar instant, which no
+// relationship method expresses.
+func GoodScalar(a interval.Interval, t interval.Time) bool { return a.Start <= t }

@@ -95,6 +95,7 @@ func (p *Probe) StateRemove(n int64) {
 	p.state -= n
 	p.GCDiscarded += n
 	if p.state < 0 {
+		// lint:allow panic — accounting invariant: an operator removed state it never added
 		panic(fmt.Sprintf("metrics: state went negative (%d)", p.state))
 	}
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -21,6 +22,33 @@ func TestNilSafety(t *testing.T) {
 	p.Reset()
 	if p.String() != "probe(nil)" {
 		t.Errorf("String = %q", p.String())
+	}
+}
+
+// TestNilSafetyExhaustive enumerates the pointer method set by
+// reflection and calls every exported method on a nil receiver with
+// zero-valued arguments, so a method added without the nil guard fails
+// this test even if TestNilSafety's hand-written list lags behind.
+func TestNilSafetyExhaustive(t *testing.T) {
+	typ := reflect.TypeOf((*Probe)(nil))
+	nilProbe := reflect.Zero(typ)
+	if typ.NumMethod() == 0 {
+		t.Fatal("no exported methods on *Probe")
+	}
+	for i := 0; i < typ.NumMethod(); i++ {
+		m := typ.Method(i)
+		args := []reflect.Value{nilProbe}
+		for a := 1; a < m.Func.Type().NumIn(); a++ {
+			args = append(args, reflect.Zero(m.Func.Type().In(a)))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("(*Probe)(nil).%s panicked: %v", m.Name, r)
+				}
+			}()
+			m.Func.Call(args)
+		}()
 	}
 }
 

@@ -69,7 +69,7 @@ func (r *Relation) Insert(row Row) error {
 // MustInsert is Insert that panics, for test fixtures and examples.
 func (r *Relation) MustInsert(row Row) {
 	if err := r.Insert(row); err != nil {
-		panic(err)
+		panic(err) // lint:allow panic — Must* helper for test fixtures and examples
 	}
 }
 

@@ -23,6 +23,7 @@ func (r Row) Clone() Row {
 // It panics on snapshot schemas; callers guard with Schema.Temporal.
 func (r Row) Span(s *Schema) interval.Interval {
 	if !s.Temporal() {
+		// lint:allow panic — documented contract: callers guard with Schema.Temporal
 		panic("relation: Span on snapshot schema " + s.String())
 	}
 	return interval.Interval{Start: r[s.TS].AsTime(), End: r[s.TE].AsTime()}

@@ -65,7 +65,7 @@ func NewSchema(cols []Column, ts, te int) (*Schema, error) {
 func MustSchema(cols []Column, ts, te int) *Schema {
 	s, err := NewSchema(cols, ts, te)
 	if err != nil {
-		panic(err)
+		panic(err) // lint:allow panic — Must* constructor for statically known schemas
 	}
 	return s
 }

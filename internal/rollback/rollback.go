@@ -146,7 +146,8 @@ func (s *Store) historySchema() *relation.Schema {
 	)
 	sch, err := relation.NewSchema(cols, s.schema.TS, s.schema.TE)
 	if err != nil {
-		panic(err) // the base schema was validated; appending cannot clash
+		// lint:allow panic — unreachable: the base schema was validated; appending cannot clash
+		panic(err)
 	}
 	return sch
 }

@@ -76,7 +76,7 @@ func SaveCSV(path string, rel *relation.Relation) error {
 		return err
 	}
 	if err := WriteCSV(f, rel); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; the write error wins
 		return err
 	}
 	return f.Close()

@@ -37,7 +37,7 @@ func ExternalSort(in stream.Stream[relation.Row], schema *relation.Schema,
 	var runs []*HeapFile
 	cleanup := func() {
 		for _, r := range runs {
-			r.Close()
+			_ = r.Close() // best-effort teardown of temporary runs
 		}
 	}
 
@@ -53,11 +53,11 @@ func ExternalSort(in stream.Stream[relation.Row], schema *relation.Schema,
 			return err
 		}
 		if err := hf.AppendAll(buf); err != nil {
-			hf.Close()
+			_ = hf.Close() // best-effort cleanup; the append error wins
 			return err
 		}
 		if err := hf.Flush(); err != nil {
-			hf.Close()
+			_ = hf.Close() // best-effort cleanup; the flush error wins
 			return err
 		}
 		runs = append(runs, hf)
@@ -234,8 +234,8 @@ func (m *mergeStream) finish() {
 			m.stats.PagesRead += r.Stats().PagesRead
 		}
 		name := r.f.Name()
-		r.Close()
-		os.Remove(name)
+		_ = r.Close()       // temporary run files; deletion below is the real cleanup
+		_ = os.Remove(name) // best-effort: the OS reclaims temp dirs regardless
 	}
 	m.runs = nil
 }

@@ -178,7 +178,7 @@ func (s *heapScan) Err() error { return s.err }
 // Close flushes and closes the backing file.
 func (h *HeapFile) Close() error {
 	if err := h.Flush(); err != nil {
-		h.f.Close()
+		_ = h.f.Close() // best-effort cleanup; the flush error wins
 		return err
 	}
 	return h.f.Close()

@@ -44,10 +44,7 @@ func Normalize(xs []Keyed) []Keyed {
 		if c[i].Key != c[j].Key {
 			return c[i].Key < c[j].Key
 		}
-		if c[i].Span.Start != c[j].Span.Start {
-			return c[i].Span.Start < c[j].Span.Start
-		}
-		return c[i].Span.End < c[j].Span.End
+		return interval.Compare(c[i].Span, c[j].Span) < 0
 	})
 	return c
 }
@@ -57,7 +54,7 @@ func checkGrouped(name string, xs []Keyed) error {
 	seen := map[string]bool{}
 	for i := 1; i <= len(xs); i++ {
 		if i < len(xs) && xs[i].Key == xs[i-1].Key {
-			if xs[i].Span.Start < xs[i-1].Span.Start {
+			if interval.CmpStart(xs[i].Span, xs[i-1].Span) < 0 {
 				return fmt.Errorf("temporalset: %s: group %q not sorted on ValidFrom", name, xs[i].Key)
 			}
 			continue
@@ -91,8 +88,8 @@ func groups(xs []Keyed, fn func(key string, spans []interval.Interval)) {
 func coalesceSpans(spans []interval.Interval) []interval.Interval {
 	var out []interval.Interval
 	for _, s := range spans {
-		if n := len(out); n > 0 && s.Start <= out[n-1].End {
-			if s.End > out[n-1].End {
+		if n := len(out); n > 0 && !out[n-1].Before(s) {
+			if interval.CmpEnd(s, out[n-1]) > 0 {
 				out[n-1].End = s.End
 			}
 			continue
@@ -146,7 +143,7 @@ func Union(xs, ys []Keyed) ([]Keyed, error) {
 		i, j := 0, 0
 		for i < len(a) || j < len(b) {
 			switch {
-			case j >= len(b) || (i < len(a) && a[i].Start <= b[j].Start):
+			case j >= len(b) || (i < len(a) && interval.CmpStart(a[i], b[j]) <= 0):
 				merged = append(merged, a[i])
 				i++
 			default:
@@ -169,15 +166,15 @@ func Diff(xs, ys []Keyed) ([]Keyed, error) {
 		j := 0
 		for _, s := range a {
 			cur := s
-			for j < len(b) && b[j].End <= cur.Start {
+			for j < len(b) && b[j].BeforeOrMeets(cur) {
 				j++
 			}
 			k := j
-			for k < len(b) && b[k].Start < cur.End {
-				if b[k].Start > cur.Start {
+			for k < len(b) && !cur.BeforeOrMeets(b[k]) {
+				if interval.CmpStart(b[k], cur) > 0 {
 					out = append(out, interval.Interval{Start: cur.Start, End: b[k].Start})
 				}
-				if b[k].End >= cur.End {
+				if interval.CmpEnd(b[k], cur) >= 0 {
 					cur.Start = cur.End // fully consumed
 					break
 				}
@@ -212,7 +209,7 @@ func Intersect(xs, ys []Keyed) ([]Keyed, error) {
 			if lo < hi {
 				out = append(out, interval.Interval{Start: lo, End: hi})
 			}
-			if a[i].End < b[j].End {
+			if interval.CmpEnd(a[i], b[j]) < 0 {
 				i++
 			} else {
 				j++

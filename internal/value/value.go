@@ -60,6 +60,7 @@ func (v Value) Kind() Kind { return v.kind }
 // AsInt returns the integer payload; it panics if the value is a string.
 func (v Value) AsInt() int64 {
 	if v.kind == KindString {
+		// lint:allow panic — documented accessor contract, like a failed type assertion
 		panic("value: AsInt on string value " + strconv.Quote(v.s))
 	}
 	return v.i
@@ -68,6 +69,7 @@ func (v Value) AsInt() int64 {
 // AsString returns the string payload; it panics on non-string values.
 func (v Value) AsString() string {
 	if v.kind != KindString {
+		// lint:allow panic — documented accessor contract, like a failed type assertion
 		panic("value: AsString on " + v.kind.String() + " value")
 	}
 	return v.s
@@ -78,6 +80,7 @@ func (v Value) AsString() string {
 // points as natural numbers.
 func (v Value) AsTime() interval.Time {
 	if v.kind == KindString {
+		// lint:allow panic — documented accessor contract, like a failed type assertion
 		panic("value: AsTime on string value " + strconv.Quote(v.s))
 	}
 	return interval.Time(v.i)
@@ -113,6 +116,7 @@ func (v Value) Comparable(o Value) bool {
 // queries before execution.
 func (v Value) Compare(o Value) int {
 	if !v.Comparable(o) {
+		// lint:allow panic — unreachable at runtime: the semantic analyzer rejects mixed-kind comparisons before execution
 		panic(fmt.Sprintf("value: comparing %s with %s", v.kind, o.kind))
 	}
 	if v.kind == KindString {
