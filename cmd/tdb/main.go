@@ -9,8 +9,14 @@
 // Usage:
 //
 //	tdb -load Faculty=faculty.csv [-rankorder Faculty:Name:Rank=Assistant,Associate,Full[:continuous]] [-e query.quel]
+//	    [-listen 127.0.0.1:8080] [-trace trace.jsonl]
 //
-// Shell commands: \d (relations), \stats R, \explain on|off, \streams on|off, \q.
+// With -listen the process serves /metrics (Prometheus text), /debug/vars
+// (expvar) and /debug/pprof while queries run. With -trace every traced
+// query appends its per-operator spans to the given JSONL file.
+//
+// Shell commands: \d (relations), \stats R, \explain on|off,
+// \streams on|off, \trace on|off, \metrics, \q.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"tdb/internal/constraints"
 	"tdb/internal/engine"
+	"tdb/internal/obs"
 	"tdb/internal/optimizer"
 	"tdb/internal/quel"
 	"tdb/internal/relation"
@@ -40,6 +47,8 @@ func main() {
 	flag.Var(&loads, "load", "NAME=path.csv — load a temporal relation (repeatable)")
 	rankOrder := flag.String("rankorder", "", "REL:KEY:VAL=v1,v2,...[:continuous] — declare a chronological ordering")
 	script := flag.String("e", "", "execute statements from this file and exit")
+	listen := flag.String("listen", "", "serve /metrics, expvar and pprof on this address (e.g. 127.0.0.1:8080)")
+	traceFile := flag.String("trace", "", "append per-query JSONL trace spans to this file (also enables \\trace on)")
 	flag.Parse()
 
 	db := engine.NewDB()
@@ -72,7 +81,26 @@ func main() {
 		fmt.Printf("declared chronological ordering on %s.%s\n", ic.Relation, ic.ValCol)
 	}
 
-	sh := &shell{db: db, explain: true, streams: true, out: os.Stdout}
+	sh := &shell{db: db, explain: true, streams: true, out: os.Stdout, reg: obs.NewRegistry()}
+	db.SetMetrics(sh.reg)
+	defer storage.ObserveIO(nil)
+	if *listen != "" {
+		srv, addr, err := obs.Serve(*listen, sh.reg)
+		if err != nil {
+			fatal("listen %s: %v", *listen, err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("metrics on http://%s/metrics (expvar /debug/vars, profiles /debug/pprof/)\n", addr)
+	}
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("open trace file: %v", err)
+		}
+		defer func() { _ = f.Close() }()
+		sh.trace = true
+		sh.traceOut = f
+	}
 	if *script != "" {
 		data, err := os.ReadFile(*script)
 		if err != nil {
@@ -152,7 +180,12 @@ type shell struct {
 	db      *engine.DB
 	explain bool
 	streams bool
+	trace   bool
 	out     io.Writer
+	// reg accumulates metrics across queries; traceOut, when set, receives
+	// every traced query's spans as JSONL.
+	reg      *obs.Registry
+	traceOut io.Writer
 }
 
 // printf writes best-effort shell output; a broken pipe on interactive
@@ -195,6 +228,12 @@ func (sh *shell) repl() {
 		case trimmed == `\streams on`, trimmed == `\streams off`:
 			sh.streams = trimmed == `\streams on`
 			continue
+		case trimmed == `\trace on`, trimmed == `\trace off`:
+			sh.trace = trimmed == `\trace on`
+			continue
+		case trimmed == `\metrics`:
+			sh.metrics()
+			continue
 		case strings.EqualFold(trimmed, "go"):
 			if err := sh.runStatements(buf.String()); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -214,6 +253,13 @@ func (sh *shell) describe() {
 			continue
 		}
 		sh.printf("%s%s  [%d rows]\n", name, rel.Schema, rel.Cardinality())
+	}
+}
+
+// metrics renders the registry in the Prometheus text format.
+func (sh *shell) metrics() {
+	if err := sh.reg.WritePrometheus(sh.out); err != nil {
+		sh.printf("metrics: %v\n", err)
 	}
 }
 
@@ -254,7 +300,13 @@ func (sh *shell) runStatements(src string) error {
 			sh.println("semantic: query is contradictory — empty result without data access")
 			continue
 		}
-		out, stats, err := engine.Run(sh.db, res.Tree, engine.Options{ForceNestedLoop: !sh.streams})
+		opt := engine.Options{ForceNestedLoop: !sh.streams, Registry: sh.reg}
+		var tracer *obs.Tracer
+		if sh.trace {
+			tracer = obs.NewTracer()
+			opt.Tracer = tracer
+		}
+		out, stats, err := engine.Run(sh.db, res.Tree, opt)
 		if err != nil {
 			return err
 		}
@@ -267,6 +319,14 @@ func (sh *shell) runStatements(src string) error {
 		sh.print(out)
 		if sh.explain {
 			sh.print(stats)
+		}
+		if tracer != nil {
+			sh.print(tracer.Tree())
+			if sh.traceOut != nil {
+				if err := tracer.WriteJSONL(sh.traceOut); err != nil {
+					return fmt.Errorf("writing trace: %w", err)
+				}
+			}
 		}
 	}
 	return nil

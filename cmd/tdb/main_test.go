@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"tdb/internal/engine"
+	"tdb/internal/obs"
 	"tdb/internal/storage"
 	"tdb/internal/workload"
 )
@@ -134,5 +138,144 @@ where f3.Rank="Associate" and f1.Name=f2.Name and f1.Rank="Assistant"
 	sh.statsOf("nope")
 	if !strings.Contains(buf3.String(), "no statistics") {
 		t.Errorf("missing-stats output: %q", buf3.String())
+	}
+}
+
+// TestShellObservability is the end-to-end acceptance check: a query run
+// with tracing on while the metrics endpoint is listening produces a JSONL
+// span per plan node whose probe totals roll up to the query root, the
+// shell prints the trace tree and serves \metrics, and the HTTP endpoint
+// answers /metrics, /debug/vars and /debug/pprof/.
+func TestShellObservability(t *testing.T) {
+	db := engine.NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 40, Seed: 5}))
+	ic, err := parseRankOrder("Faculty:Name:Rank=Assistant,Associate,Full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeclareChronOrder(ic); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	db.SetMetrics(reg)
+	defer storage.ObserveIO(nil)
+	srv, addr, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	var out, trace bytes.Buffer
+	sh := &shell{db: db, explain: true, streams: true, trace: true,
+		out: &out, reg: reg, traceOut: &trace}
+	err = sh.runStatements(`
+range of f1 is Faculty
+range of f2 is Faculty
+range of f3 is Faculty
+retrieve into Stars (Name=f1.Name, ValidFrom=f1.ValidFrom, ValidTo=f2.ValidTo)
+where f3.Rank="Associate" and f1.Name=f2.Name and f1.Rank="Assistant"
+  and f2.Rank="Full" and (f1 overlap f3) and (f2 overlap f3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "query #1") {
+		t.Errorf("shell output missing trace tree:\n%s", out.String())
+	}
+
+	// The JSONL trace: one well-formed line per span, exactly one root,
+	// and the root probe is the sum of the per-operator probes.
+	type line struct {
+		Parent  int64  `json:"parent"`
+		Label   string `json:"label"`
+		OutRows int64  `json:"out_rows"`
+		Probe   struct {
+			ReadLeft    int64 `json:"read_left"`
+			ReadRight   int64 `json:"read_right"`
+			Emitted     int64 `json:"emitted"`
+			Comparisons int64 `json:"comparisons"`
+		} `json:"probe"`
+	}
+	var root *line
+	var nodes []line
+	for i, raw := range strings.Split(strings.TrimSuffix(trace.String(), "\n"), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("bad JSONL line %d: %v\n%s", i+1, err, raw)
+		}
+		if l.Parent == 0 {
+			if root != nil {
+				t.Fatal("two root spans in trace")
+			}
+			root = new(line)
+			*root = l
+			continue
+		}
+		nodes = append(nodes, l)
+	}
+	if root == nil || len(nodes) == 0 {
+		t.Fatalf("trace has root=%v with %d operator spans:\n%s", root, len(nodes), trace.String())
+	}
+	stars, err := db.Relation("Stars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.OutRows != int64(stars.Cardinality()) {
+		t.Errorf("root out_rows = %d, result rows = %d", root.OutRows, stars.Cardinality())
+	}
+	var sum line
+	for _, n := range nodes {
+		sum.Probe.ReadLeft += n.Probe.ReadLeft
+		sum.Probe.ReadRight += n.Probe.ReadRight
+		sum.Probe.Emitted += n.Probe.Emitted
+		sum.Probe.Comparisons += n.Probe.Comparisons
+	}
+	if sum.Probe != root.Probe {
+		t.Errorf("operator probes %+v do not sum to root %+v", sum.Probe, root.Probe)
+	}
+
+	// \metrics renders the registry the run just populated.
+	var mbuf bytes.Buffer
+	sh.out = &mbuf
+	sh.metrics()
+	for _, frag := range []string{"tdb_queries_total 1", "tdb_db_relations"} {
+		if !strings.Contains(mbuf.String(), frag) {
+			t.Errorf("\\metrics output missing %q:\n%s", frag, mbuf.String())
+		}
+	}
+
+	// The HTTP endpoint serves the same registry plus expvar and pprof.
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	prom := get("/metrics")
+	for _, frag := range []string{
+		"# TYPE tdb_query_duration_seconds histogram",
+		"tdb_queries_total 1",
+		"tdb_db_relations",
+	} {
+		if !strings.Contains(prom, frag) {
+			t.Errorf("/metrics missing %q", frag)
+		}
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Errorf("/debug/vars is not JSON: %v", err)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%.200s", idx)
 	}
 }

@@ -10,22 +10,53 @@
 // Usage:
 //
 //	tdbbench [-n 4000] [-faculty 200] [-seed 1] [-policy sweep|lambda]
+//	         [-json results.json] [-listen 127.0.0.1:8080]
+//
+// The human-readable tables always go to stdout; -json additionally writes
+// the same tables (plus per-experiment wall time) as a machine-readable
+// JSON document. -listen serves /metrics and /debug/pprof while the suite
+// runs, so long benchmarks can be profiled live.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tdb/internal/core"
 	"tdb/internal/experiments"
+	"tdb/internal/obs"
+	"tdb/internal/storage"
 )
+
+// benchResult is the -json document: the run configuration plus every
+// experiment table with its wall time.
+type benchResult struct {
+	N       int          `json:"n"`
+	Faculty int          `json:"faculty"`
+	Seed    int64        `json:"seed"`
+	Policy  string       `json:"policy"`
+	Tables  []benchTable `json:"tables"`
+}
+
+type benchTable struct {
+	Name      string     `json:"name"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedNS int64      `json:"elapsed_ns"`
+}
 
 func main() {
 	n := flag.Int("n", 4000, "tuples per operand for the table experiments")
 	faculty := flag.Int("faculty", 200, "faculty members for the Superstar experiments")
 	seed := flag.Int64("seed", 1, "workload seed")
 	policyName := flag.String("policy", "sweep", "stream read policy: sweep or lambda")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
+	listen := flag.String("listen", "", "serve /metrics and /debug/pprof on this address while running")
 	flag.Parse()
 
 	if *n < 1 {
@@ -40,56 +71,16 @@ func main() {
 		policy = core.ReadLambda
 	}
 
-	fmt.Println(experiments.Figure2())
-
-	if _, tab, err := experiments.Figure3(25, *seed); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
-	}
-
-	_, tab4 := experiments.Figure4(100, 50, *seed)
-	fmt.Println(tab4)
-
-	if _, tab, err := experiments.Table1(*n, *seed, policy); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
-	}
-
-	if _, tab, err := experiments.Table2(*n, *seed, policy); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
-	}
-
-	if _, tab, err := experiments.Table3(*n, *seed); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
-	}
-
-	if _, tab, err := experiments.Before(*n/2, *seed); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
-	}
-
-	if _, tab, err := experiments.Prefilter(*n, *seed); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
-	}
-
-	if _, tab, err := experiments.Superstar(*faculty, *seed, true); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
-	}
-	if _, tab, err := experiments.Superstar(*faculty, *seed, false); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
+	if *listen != "" {
+		reg := obs.NewRegistry()
+		storage.ObserveIO(reg)
+		defer storage.ObserveIO(nil)
+		srv, addr, err := obs.Serve(*listen, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("metrics on http://%s/metrics (profiles /debug/pprof/)\n", addr)
 	}
 
 	dir, err := os.MkdirTemp("", "tdbbench")
@@ -98,34 +89,81 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	if _, tab, err := experiments.ScanPasses(*faculty*2, *seed, dir); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
+	// The suite, in report order. Each entry produces one table; drop is
+	// the structured result, which the CLI does not need.
+	drop := func(_ any, tab *experiments.Table, err error) (*experiments.Table, error) {
+		return tab, err
 	}
-	if _, tab, err := experiments.Tradeoffs([]int{*n / 16, *n / 4, *n}, 256, dir, *seed); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
+	suite := []struct {
+		name string
+		run  func() (*experiments.Table, error)
+	}{
+		{"figure2", func() (*experiments.Table, error) { return experiments.Figure2(), nil }},
+		{"figure3", func() (*experiments.Table, error) { return drop(experiments.Figure3(25, *seed)) }},
+		{"figure4", func() (*experiments.Table, error) {
+			_, tab := experiments.Figure4(100, 50, *seed)
+			return tab, nil
+		}},
+		{"table1", func() (*experiments.Table, error) { return drop(experiments.Table1(*n, *seed, policy)) }},
+		{"table2", func() (*experiments.Table, error) { return drop(experiments.Table2(*n, *seed, policy)) }},
+		{"table3", func() (*experiments.Table, error) { return drop(experiments.Table3(*n, *seed)) }},
+		{"before", func() (*experiments.Table, error) { return drop(experiments.Before(*n/2, *seed)) }},
+		{"prefilter", func() (*experiments.Table, error) { return drop(experiments.Prefilter(*n, *seed)) }},
+		{"superstar-continuous", func() (*experiments.Table, error) { return drop(experiments.Superstar(*faculty, *seed, true)) }},
+		{"superstar-gaps", func() (*experiments.Table, error) { return drop(experiments.Superstar(*faculty, *seed, false)) }},
+		{"scan-passes", func() (*experiments.Table, error) { return drop(experiments.ScanPasses(*faculty*2, *seed, dir)) }},
+		{"tradeoffs", func() (*experiments.Table, error) {
+			return drop(experiments.Tradeoffs([]int{*n / 16, *n / 4, *n}, 256, dir, *seed))
+		}},
+		{"statistics", func() (*experiments.Table, error) {
+			return drop(experiments.Statistics(*n, []float64{0.1, 0.5, 1, 5, 10}, 12, *seed))
+		}},
+		{"cost-model", func() (*experiments.Table, error) {
+			return drop(experiments.CostModel([]int{*n / 16, *n / 4, *n}, *seed))
+		}},
+		{"order-choice", func() (*experiments.Table, error) {
+			return drop(experiments.OrderChoice(*n, []float64{2, 12, 60}, *seed))
+		}},
 	}
 
-	if _, tab, err := experiments.Statistics(*n, []float64{0.1, 0.5, 1, 5, 10}, 12, *seed); err != nil {
-		fail(err)
-	} else {
+	result := benchResult{N: *n, Faculty: *faculty, Seed: *seed, Policy: *policyName}
+	for _, exp := range suite {
+		start := time.Now()
+		tab, err := exp.run()
+		if err != nil {
+			fail(err)
+		}
 		fmt.Println(tab)
+		result.Tables = append(result.Tables, benchTable{
+			Name:      exp.name,
+			Title:     tab.Title,
+			Header:    tab.Header,
+			Rows:      tab.Rows,
+			Notes:     tab.Notes,
+			ElapsedNS: time.Since(start).Nanoseconds(),
+		})
 	}
 
-	if _, tab, err := experiments.CostModel([]int{*n / 16, *n / 4, *n}, *seed); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, &result); err != nil {
+			fail(err)
+		}
 	}
+}
 
-	if _, tab, err := experiments.OrderChoice(*n, []float64{2, 12, 60}, *seed); err != nil {
-		fail(err)
-	} else {
-		fmt.Println(tab)
+// writeJSON writes the result document, indented for diffability.
+func writeJSON(path string, result *benchResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error wins
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

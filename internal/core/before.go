@@ -24,6 +24,7 @@ func BeforeJoinSorted[T any](xs stream.Stream[T], ys []T, span Span[T], opt Opti
 	probe.SetBuffers(1)
 	// The materialized inner relation is workspace.
 	probe.StateAdd(int64(len(ys)))
+	opt.observe()
 
 	if err := relation.CheckSortedSpans(ys, func(t T) interval.Interval { return span(t) }, relation.Order{relation.TSAsc}); err != nil {
 		probe.StateRemove(int64(len(ys)))
@@ -50,8 +51,10 @@ func BeforeJoinSorted[T any](xs stream.Stream[T], ys []T, span Span[T], opt Opti
 			probe.IncEmitted(1)
 			emit(x, ys[i])
 		}
+		opt.observe()
 	}
 	probe.StateRemove(int64(len(ys)))
+	opt.observe()
 	return orderError(name, in.Err())
 }
 
@@ -77,6 +80,7 @@ func BeforeSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, e
 		if ts := span(y).Start; !sawY || ts > maxTS {
 			maxTS, sawY = ts, true
 		}
+		opt.observe()
 	}
 	if err := ys.Err(); err != nil {
 		return orderError(name, err)
@@ -94,6 +98,7 @@ func BeforeSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, e
 			probe.IncEmitted(1)
 			emit(x)
 		}
+		opt.observe()
 	}
 	probe.IncPasses()
 	return orderError(name, xs.Err())

@@ -61,7 +61,9 @@ func Coalesce[T any, K comparable](in stream.Stream[T], key func(T) K, span Span
 		flush()
 		curKey, rep, curSpan, open = k, x, s, true
 		probe.StateAdd(1)
+		opt.observe()
 	}
 	flush()
+	opt.observe()
 	return orderError(name, in.Err())
 }

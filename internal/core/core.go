@@ -24,6 +24,7 @@ import (
 
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
+	"tdb/internal/obs"
 	"tdb/internal/relation"
 	"tdb/internal/stream"
 )
@@ -72,6 +73,22 @@ type Options struct {
 	// algorithm's required sort order fails the run with a descriptive
 	// error instead of silently producing a wrong answer.
 	VerifyOrder bool
+	// Sampler, when non-nil, receives state(t) observations — the
+	// retained-state level against the operator's logical clock (input
+	// tuples consumed) — turning the paper's Table 1–3 state
+	// characterizations into observable trajectories. Nil disables
+	// curve collection, same discipline as Probe.
+	Sampler *obs.StateSampler
+}
+
+// observe records the probe's current retained state against its logical
+// clock. Operators call it after every state transition; with a nil
+// sampler or nil probe it costs only a branch.
+func (o Options) observe() {
+	if o.Sampler == nil {
+		return
+	}
+	o.Sampler.Observe(o.Probe.TuplesRead(), o.Probe.StateNow())
 }
 
 // gapX returns the expected frontier advance 1/λx in chronons, at least 1.

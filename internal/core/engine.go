@@ -104,6 +104,7 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 				stateX = append(stateX, held[T]{elem: x, span: sx})
 				probe.StateAdd(1)
 			}
+			opt.observe()
 		} else {
 			y, _ := py.Take()
 			probe.IncReadRight()
@@ -125,10 +126,12 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 				stateY = append(stateY, held[T]{elem: y, span: sy})
 				probe.StateAdd(1)
 			}
+			opt.observe()
 		}
 	}
 	// Release whatever state remains.
 	probe.StateRemove(int64(len(stateX) + len(stateY)))
+	opt.observe()
 	return nil
 }
 
@@ -258,6 +261,7 @@ func BufferedLoopJoin[T any](xs, ys stream.Stream[T], span Span[T], match func(x
 		probe.IncReadLeft()
 		stateX = append(stateX, held[T]{elem: x, span: span(x)})
 		probe.StateAdd(1)
+		opt.observe()
 	}
 	if err := xs.Err(); err != nil {
 		return orderError("buffered-loop-join", err)
@@ -281,5 +285,6 @@ func BufferedLoopJoin[T any](xs, ys stream.Stream[T], span Span[T], match func(x
 		return orderError("buffered-loop-join", err)
 	}
 	probe.StateRemove(int64(len(stateX)))
+	opt.observe()
 	return nil
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/obs"
+)
+
+// TestSamplerRecordsStateCurve runs a join with a StateSampler hooked in and
+// checks that the recorded state(t) trajectory matches the probe's own
+// accounting: the curve peak equals the state high-water mark, the logical
+// clock covers the whole input, and the final sample shows the drained state.
+func TestSamplerRecordsStateCurve(t *testing.T) {
+	var xs, ys []item
+	for i := 0; i < 50; i++ {
+		xs = append(xs, item{id: i, iv: interval.New(interval.Time(i), interval.Time(i+20))})
+		ys = append(ys, item{id: 100 + i, iv: interval.New(interval.Time(i+1), interval.Time(i+3))})
+	}
+	probe := newProbe()
+	sam := obs.NewStateSampler(obs.DefaultSamples)
+	opt := Options{Probe: probe, Sampler: sam, VerifyOrder: true}
+	err := ContainJoinTSTS(streamOf(xs), streamOf(ys), itemSpan, opt, func(x, y item) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sam.Seen() == 0 {
+		t.Fatal("sampler saw no observations")
+	}
+	if got, want := sam.MaxState(), probe.StateHighWater; got != want {
+		t.Errorf("curve peak = %d, probe high-water = %d", got, want)
+	}
+	samples := sam.Samples()
+	last := samples[len(samples)-1]
+	if last.Tick != probe.TuplesRead() {
+		t.Errorf("final tick = %d, tuples read = %d", last.Tick, probe.TuplesRead())
+	}
+	if last.State != 0 {
+		t.Errorf("final state = %d, want drained (0)", last.State)
+	}
+}
+
+// TestSamplerNilIsFree checks the nil-sampler path: running with and without
+// a sampler must produce identical probe accounting.
+func TestSamplerNilIsFree(t *testing.T) {
+	xs := []item{{1, interval.New(0, 10)}, {2, interval.New(2, 8)}}
+	ys := []item{{3, interval.New(1, 5)}, {4, interval.New(3, 7)}}
+
+	run := func(opt Options) string {
+		if err := OverlapJoin(streamOf(xs), streamOf(ys), itemSpan, opt, func(x, y item) {}); err != nil {
+			t.Fatal(err)
+		}
+		return opt.Probe.String()
+	}
+	without := run(Options{Probe: newProbe()})
+	with := run(Options{Probe: newProbe(), Sampler: obs.NewStateSampler(8)})
+	if without != with {
+		t.Errorf("sampler changed accounting:\nwithout: %s\nwith:    %s", without, with)
+	}
+}

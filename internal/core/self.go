@@ -36,6 +36,7 @@ func ContainedSelfSemijoin[T any](xs stream.Stream[T], span Span[T], opt Options
 		if !haveState {
 			xState, haveState = xb, true
 			probe.StateAdd(1)
+			opt.observe()
 			continue
 		}
 		ss, sb := span(xState), span(xb)
@@ -58,6 +59,7 @@ func ContainedSelfSemijoin[T any](xs stream.Stream[T], span Span[T], opt Options
 	if haveState {
 		probe.StateRemove(1)
 	}
+	opt.observe()
 	return orderError(name, in.Err())
 }
 
@@ -88,6 +90,7 @@ func ContainSelfSemijoin[T any](xs stream.Stream[T], span Span[T], opt Options, 
 		if !haveState {
 			xState, haveState = xb, true
 			probe.StateAdd(1)
+			opt.observe()
 			continue
 		}
 		ss, sb := span(xState), span(xb)
@@ -110,6 +113,7 @@ func ContainSelfSemijoin[T any](xs stream.Stream[T], span Span[T], opt Options, 
 	if haveState {
 		probe.StateRemove(1)
 	}
+	opt.observe()
 	return orderError(name, in.Err())
 }
 
@@ -153,8 +157,10 @@ func ContainSelfSemijoinTSAsc[T any](xs stream.Stream[T], span Span[T], opt Opti
 		state = kept
 		state = append(state, held[T]{elem: xb, span: sb})
 		probe.StateAdd(1)
+		opt.observe()
 	}
 	probe.StateRemove(int64(len(state)))
+	opt.observe()
 	return orderError(name, in.Err())
 }
 
@@ -199,9 +205,11 @@ func ContainedSelfSemijoinTSDesc[T any](xs stream.Stream[T], span Span[T], opt O
 		state = kept
 		state = append(state, pending[T]{h: held[T]{elem: xb, span: sb}, order: pos})
 		probe.StateAdd(1)
+		opt.observe()
 		pos++
 	}
 	probe.StateRemove(int64(len(state)))
+	opt.observe()
 	// Restore input order for the reported tuples.
 	for i := 1; i < len(outs); i++ {
 		for j := i; j > 0 && outs[j-1].order > outs[j].order; j-- {

@@ -62,6 +62,7 @@ func containPairScan[T any](name string, as, bs stream.Stream[T], span Span[T], 
 			pa.Take()
 			probe.IncReadLeft()
 		}
+		opt.observe()
 	}
 	if err := pa.Err(); err != nil {
 		return orderError(name, err)
@@ -115,6 +116,7 @@ func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Optio
 			probe.IncReadLeft()
 			state = append(state, held[T]{elem: x, span: span(x)})
 			probe.StateAdd(1)
+			opt.observe()
 			continue
 		}
 		py.Take()
@@ -136,8 +138,10 @@ func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Optio
 			}
 		}
 		state = kept
+		opt.observe()
 	}
 	probe.StateRemove(int64(len(state)))
+	opt.observe()
 	if err := px.Err(); err != nil {
 		return orderError(name, err)
 	}
@@ -191,6 +195,7 @@ func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Opt
 				state = append(state, held[T]{elem: y, span: sy})
 				probe.StateAdd(1)
 			}
+			opt.observe()
 			continue
 		}
 		px.Take()
@@ -204,8 +209,10 @@ func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Opt
 				break
 			}
 		}
+		opt.observe()
 	}
 	probe.StateRemove(int64(len(state)))
+	opt.observe()
 	if err := px.Err(); err != nil {
 		return orderError(name, err)
 	}
@@ -255,6 +262,7 @@ func OverlapSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, 
 			px.Take()
 			probe.IncReadLeft()
 		}
+		opt.observe()
 	}
 	if err := px.Err(); err != nil {
 		return orderError(name, err)
@@ -282,6 +290,7 @@ func BufferedLoopSemijoin[T any](xs, ys stream.Stream[T], span Span[T], match fu
 		probe.IncReadRight()
 		stateY = append(stateY, held[T]{elem: y, span: span(y)})
 		probe.StateAdd(1)
+		opt.observe()
 	}
 	if err := ys.Err(); err != nil {
 		return orderError("buffered-loop-semijoin", err)
@@ -306,5 +315,6 @@ func BufferedLoopSemijoin[T any](xs, ys stream.Stream[T], span Span[T], match fu
 		return orderError("buffered-loop-semijoin", err)
 	}
 	probe.StateRemove(int64(len(stateY)))
+	opt.observe()
 	return nil
 }

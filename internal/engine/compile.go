@@ -29,6 +29,13 @@ func operandLoader(o algebra.Operand, s *relation.Schema) (func(relation.Row) va
 	return func(r relation.Row) value.Value { return r[idx] }, nil
 }
 
+// predAtoms counts the atoms of a conjunction — comparison atoms plus any
+// not-yet-expanded temporal atoms — the predicate-shape figure reported in
+// trace notes.
+func predAtoms(p algebra.Predicate) int {
+	return len(p.Atoms) + len(p.Temporal)
+}
+
 // compilePred compiles the conjunction against one schema. Temporal atoms
 // must have been expanded by the optimizer before execution.
 func compilePred(p algebra.Predicate, s *relation.Schema) (rowPred, error) {

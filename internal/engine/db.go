@@ -16,6 +16,7 @@ import (
 
 	"tdb/internal/catalog"
 	"tdb/internal/constraints"
+	"tdb/internal/obs"
 	"tdb/internal/relation"
 	"tdb/internal/storage"
 )
@@ -31,6 +32,29 @@ type DB struct {
 	stored map[string]*storage.HeapFile
 	cat    *catalog.Catalog
 	ics    []constraints.ChronOrder
+	reg    *obs.Registry
+}
+
+// SetMetrics publishes database-shape gauges (relation count, total rows,
+// stored files) to reg, refreshed on every Register/StoreRelation, and
+// routes storage-layer page counters there too. Pass nil to disconnect.
+func (db *DB) SetMetrics(reg *obs.Registry) {
+	db.reg = reg
+	storage.ObserveIO(reg)
+	db.refreshGauges()
+}
+
+func (db *DB) refreshGauges() {
+	if db.reg == nil {
+		return
+	}
+	var rows int64
+	for _, r := range db.rels {
+		rows += int64(r.Cardinality())
+	}
+	db.reg.Gauge("tdb_db_relations", "registered relations").Set(int64(len(db.rels)))
+	db.reg.Gauge("tdb_db_rows", "total rows across in-memory relations").Set(rows)
+	db.reg.Gauge("tdb_db_stored_files", "relations backed by heap files").Set(int64(len(db.stored)))
 }
 
 // NewDB returns an empty database.
@@ -64,6 +88,7 @@ func (db *DB) StoreRelation(name, dir string, poolPages int) error {
 	}
 	db.stored[name] = hf
 	rel.Rows = nil // scans now come from disk
+	db.refreshGauges()
 	return nil
 }
 
@@ -97,6 +122,7 @@ func (db *DB) Register(rel *relation.Relation) error {
 			return err
 		}
 	}
+	db.refreshGauges()
 	return nil
 }
 

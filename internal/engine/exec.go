@@ -2,11 +2,13 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"tdb/internal/algebra"
 	"tdb/internal/core"
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
+	"tdb/internal/obs"
 	"tdb/internal/relation"
 	"tdb/internal/storage"
 	"tdb/internal/stream"
@@ -41,6 +43,13 @@ type Options struct {
 	Policy core.ReadPolicy
 	// VerifyOrder makes every stream algorithm check its input ordering.
 	VerifyOrder bool
+	// Tracer, when non-nil, receives one span per plan node: timestamps,
+	// the algorithm chosen, sort/spill decisions, the node's final Probe
+	// snapshot, and (for stream operators) the sampled state(t) curve.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives execution metrics: query and row
+	// counters, per-operator workspace and duration histograms.
+	Registry *obs.Registry
 }
 
 // NodeCost is the per-operator cost record of one execution.
@@ -60,6 +69,10 @@ type NodeCost struct {
 	// this operator's input ordering under a bounded sort workspace.
 	SortRuns  int
 	SortPages int64
+	// Notes record qualitative execution decisions (sort avoided via an
+	// interesting order, spill to run files, predicate shape) for the
+	// EXPLAIN ANALYZE tree and the JSONL trace.
+	Notes []string
 }
 
 // Stats aggregates the cost records of one execution.
@@ -68,6 +81,16 @@ type Stats struct {
 }
 
 func (s *Stats) add(n NodeCost) { s.Nodes = append(s.Nodes, n) }
+
+// Total merges every operator probe into plan-level totals: additive
+// counters sum, workspace marks combine by maximum.
+func (s *Stats) Total() metrics.Probe {
+	var t metrics.Probe
+	for i := range s.Nodes {
+		t.Merge(&s.Nodes[i].Probe)
+	}
+	return t
+}
 
 // TotalComparisons sums predicate evaluations across operators.
 func (s *Stats) TotalComparisons() int64 {
@@ -159,11 +182,13 @@ func (ex *executor) establishOrder(rows []relation.Row, span core.Span[relation.
 
 	w := wrap(rows, span)
 	if relation.SortedSpans(w, spannedSpan, o) {
+		cost.Notes = append(cost.Notes, fmt.Sprintf("order %v already established (interesting order)", o))
 		return w, nil
 	}
 	cost.SortedRows += int64(len(w))
 	if ex.opt.SortMemRows <= 0 || len(rows) <= ex.opt.SortMemRows {
 		relation.SortSpans(w, spannedSpan, o)
+		cost.Notes = append(cost.Notes, fmt.Sprintf("sorted %d rows in memory for order %v", len(w), o))
 		return w, nil
 	}
 	var st storage.SortStats
@@ -181,31 +206,107 @@ func (ex *executor) establishOrder(rows []relation.Row, span core.Span[relation.
 	}
 	cost.SortRuns += st.Runs
 	cost.SortPages += st.PagesRead + st.PagesWritten
+	cost.Notes = append(cost.Notes, fmt.Sprintf(
+		"external sort for order %v: %d rows spilled to %d runs, %d pages", o, len(rows), st.Runs, st.PagesRead+st.PagesWritten))
 	return wrap(out, span), nil
 }
 
 func wrappedStream(xs []spanned) stream.Stream[spanned] { return stream.FromSlice(xs) }
 
 // Run evaluates an optimized (temporal-atom-free) algebra expression and
-// returns the materialized result with per-operator statistics.
+// returns the materialized result with per-operator statistics. When
+// Options.Tracer is set, every plan node emits a span; when
+// Options.Registry is set, plan-level metrics are published after the run.
 func Run(db *DB, e algebra.Expr, opt Options) (*relation.Relation, *Stats, error) {
 	ex := &executor{db: db, opt: opt, stats: &Stats{}}
+	start := time.Now()
+	if opt.Tracer != nil {
+		ex.cur = opt.Tracer.BeginQuery(e.Label())
+	}
+	root := ex.cur
 	res, err := ex.eval(e)
 	if err != nil {
+		root.Fail(opt.Tracer, err)
+		ex.publish(start, 0, err)
 		return nil, nil, err
 	}
+	total := ex.stats.Total()
+	root.Finish(opt.Tracer, total, obs.NodeStats{
+		Algorithm: "query",
+		OutRows:   int64(len(res.rows)),
+	})
+	ex.publish(start, int64(len(res.rows)), nil)
 	rel := relation.New("result", res.schema)
 	rel.Rows = res.rows
 	return rel, ex.stats, nil
+}
+
+// publish pushes the run's plan-level metrics into the configured registry.
+func (ex *executor) publish(start time.Time, outRows int64, runErr error) {
+	reg := ex.opt.Registry
+	if reg == nil {
+		return
+	}
+	reg.Counter("tdb_queries_total", "queries executed").Inc()
+	if runErr != nil {
+		reg.Counter("tdb_query_errors_total", "queries that failed").Inc()
+	}
+	reg.Counter("tdb_rows_out_total", "result rows returned by queries").Add(outRows)
+	reg.Histogram("tdb_query_duration_seconds", "wall-clock query latency",
+		obs.ExpBuckets(0.0001, 10, 7)).Observe(time.Since(start).Seconds())
+	ws := reg.Histogram("tdb_operator_workspace_tuples", "per-operator workspace high-water marks",
+		obs.ExpBuckets(1, 4, 10))
+	for i := range ex.stats.Nodes {
+		n := &ex.stats.Nodes[i]
+		ws.Observe(float64(n.Probe.Workspace()))
+		reg.Counter("tdb_operator_comparisons_total", "predicate evaluations across operators").Add(n.Probe.Comparisons)
+		reg.Counter("tdb_operator_gc_discarded_total", "state tuples discarded by operator GC").Add(n.Probe.GCDiscarded)
+		reg.Counter("tdb_sort_rows_total", "rows sorted to establish stream orderings").Add(n.SortedRows)
+	}
 }
 
 type executor struct {
 	db    *DB
 	opt   Options
 	stats *Stats
+	// cur is the span of the plan node currently being evaluated; nil when
+	// tracing is off.
+	cur *obs.Span
 }
 
+// eval dispatches a plan node, wrapping it in a trace span. Every evalX
+// appends exactly one NodeCost for itself as the last stats entry (children
+// append theirs first during recursion), which is what lets this wrapper
+// attach the correct cost record to the node's span.
 func (ex *executor) eval(e algebra.Expr) (*result, error) {
+	if ex.opt.Tracer == nil {
+		return ex.evalNode(e)
+	}
+	parent := ex.cur
+	span := ex.opt.Tracer.Begin(parent, e.Label())
+	ex.cur = span
+	res, err := ex.evalNode(e)
+	ex.cur = parent
+	if err != nil {
+		span.Fail(ex.opt.Tracer, err)
+		return nil, err
+	}
+	if n := len(ex.stats.Nodes); n > 0 {
+		own := &ex.stats.Nodes[n-1]
+		span.Finish(ex.opt.Tracer, own.Probe, obs.NodeStats{
+			Algorithm:  own.Algorithm,
+			OutRows:    own.OutRows,
+			SortedRows: own.SortedRows,
+			SortRuns:   own.SortRuns,
+			SortPages:  own.SortPages,
+			PagesRead:  own.PagesRead,
+			Notes:      own.Notes,
+		})
+	}
+	return res, nil
+}
+
+func (ex *executor) evalNode(e algebra.Expr) (*result, error) {
 	switch n := e.(type) {
 	case *algebra.Scan:
 		return ex.evalScan(n)
@@ -274,7 +375,10 @@ func (ex *executor) evalSelect(n *algebra.Select) (*result, error) {
 		}
 	}
 	probe.IncEmitted(int64(len(out)))
-	ex.stats.add(NodeCost{Label: n.Label(), Algorithm: "filter", Probe: probe, OutRows: int64(len(out))})
+	ex.stats.add(NodeCost{
+		Label: n.Label(), Algorithm: "filter", Probe: probe, OutRows: int64(len(out)),
+		Notes: []string{fmt.Sprintf("%d-atom conjunction over %d rows", predAtoms(n.Pred), len(in.rows))},
+	})
 	return &result{schema: in.schema, rows: out}, nil
 }
 

@@ -116,7 +116,8 @@ func (ex *executor) streamJoin(n *algebra.Join, l, r *result) ([]relation.Row, *
 		return nil, nil, err
 	}
 	cost := &NodeCost{}
-	opt := core.Options{Probe: &cost.Probe, Policy: ex.opt.Policy, VerifyOrder: ex.opt.VerifyOrder}
+	opt := core.Options{Probe: &cost.Probe, Policy: ex.opt.Policy,
+		VerifyOrder: ex.opt.VerifyOrder, Sampler: ex.cur.Sampler()}
 
 	var lOrder, rOrder relation.Order
 	switch n.Kind {
@@ -358,7 +359,7 @@ func (ex *executor) evalSelfSemijoin(n *algebra.Semijoin) (*result, error) {
 		return nil, err
 	}
 	cost := &NodeCost{Label: n.Label()}
-	opt := core.Options{Probe: &cost.Probe, VerifyOrder: ex.opt.VerifyOrder}
+	opt := core.Options{Probe: &cost.Probe, VerifyOrder: ex.opt.VerifyOrder, Sampler: ex.cur.Sampler()}
 
 	var order relation.Order
 	switch n.Kind {
@@ -402,7 +403,8 @@ func (ex *executor) streamSemijoin(n *algebra.Semijoin, l, r *result) ([]relatio
 		return nil, nil, err
 	}
 	cost := &NodeCost{}
-	opt := core.Options{Probe: &cost.Probe, Policy: ex.opt.Policy, VerifyOrder: ex.opt.VerifyOrder}
+	opt := core.Options{Probe: &cost.Probe, Policy: ex.opt.Policy,
+		VerifyOrder: ex.opt.VerifyOrder, Sampler: ex.cur.Sampler()}
 
 	var lOrder, rOrder relation.Order
 	switch n.Kind {

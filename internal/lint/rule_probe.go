@@ -6,6 +6,19 @@ import (
 	"go/types"
 )
 
+// obsNilSafeTypes are the internal/obs hook types that follow the Probe
+// discipline: production code holds nil pointers when observability is
+// off, so every pointer-receiver method must be a no-op on nil.
+var obsNilSafeTypes = map[string]bool{
+	"Span":         true,
+	"Tracer":       true,
+	"StateSampler": true,
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"Registry":     true,
+}
+
 // probeNilSafetyRule enforces the metrics.Probe contract: production code
 // paths pass a nil *Probe and pay only a branch, so every method with a
 // pointer Probe receiver must begin with a nil-receiver guard — either
@@ -14,10 +27,12 @@ import (
 //	if p != nil { ... }          (guarded body)
 //
 // as its first statement. Without the guard, instrumented operators crash
-// the un-instrumented production path.
+// the un-instrumented production path. The internal/obs hook types
+// (Tracer, Span, StateSampler and the registry instruments) follow the
+// same discipline and get the same check.
 var probeNilSafetyRule = Rule{
 	Name: "probe-nil-safety",
-	Doc:  "methods on *Probe must begin with a nil-receiver guard",
+	Doc:  "methods on *Probe and the obs hook types must begin with a nil-receiver guard",
 	Check: func(p *Package, r *Reporter) {
 		for _, f := range p.Files {
 			for _, decl := range f.Decls {
@@ -25,48 +40,57 @@ var probeNilSafetyRule = Rule{
 				if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Body.List) == 0 {
 					continue
 				}
-				recvName, ok := pointerProbeReceiver(p, fn)
+				recvName, typeName, ok := nilSafeReceiver(p, fn)
 				if !ok {
 					continue
 				}
 				if recvName == "" {
-					r.Reportf(fn.Pos(), "method %s has an unnamed *Probe receiver and cannot nil-guard it", fn.Name.Name)
+					r.Reportf(fn.Pos(), "method %s has an unnamed *%s receiver and cannot nil-guard it", fn.Name.Name, typeName)
 					continue
 				}
 				if !startsWithNilGuard(fn.Body.List[0], recvName) {
-					r.Reportf(fn.Pos(), "method %s on *Probe must begin with an %q nil-receiver guard", fn.Name.Name, "if "+recvName+" != nil")
+					r.Reportf(fn.Pos(), "method %s on *%s must begin with an %q nil-receiver guard", fn.Name.Name, typeName, "if "+recvName+" != nil")
 				}
 			}
 		}
 	},
 }
 
-// pointerProbeReceiver reports whether fn's receiver is *Probe and
-// returns the receiver's name.
-func pointerProbeReceiver(p *Package, fn *ast.FuncDecl) (name string, ok bool) {
+// nilSafeReceiver reports whether fn's receiver is a pointer to a type
+// bound by the nil-safety discipline — *Probe anywhere, or one of the
+// internal/obs hook types inside that package — and returns the
+// receiver's name and type name.
+func nilSafeReceiver(p *Package, fn *ast.FuncDecl) (name, typeName string, ok bool) {
 	obj, _ := p.Info.Defs[fn.Name].(*types.Func)
 	if obj == nil {
-		return "", false
+		return "", "", false
 	}
 	recv := obj.Type().(*types.Signature).Recv()
 	if recv == nil {
-		return "", false
+		return "", "", false
 	}
 	ptr, ok := recv.Type().(*types.Pointer)
 	if !ok {
-		return "", false
+		return "", "", false
 	}
 	named, ok := ptr.Elem().(*types.Named)
-	if !ok || named.Obj().Name() != "Probe" {
-		return "", false
+	if !ok {
+		return "", "", false
+	}
+	typeName = named.Obj().Name()
+	switch {
+	case typeName == "Probe":
+	case obsNilSafeTypes[typeName] && inScope(p, "internal/obs"):
+	default:
+		return "", "", false
 	}
 	if len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
 		n := fn.Recv.List[0].Names[0].Name
 		if n != "_" {
-			return n, true
+			return n, typeName, true
 		}
 	}
-	return "", true
+	return "", typeName, true
 }
 
 // startsWithNilGuard reports whether stmt is `if recv == nil ...` or

@@ -1,0 +1,14 @@
+// Package notobs checks the probe-nil-safety scoping: types that merely
+// share the obs hook names outside internal/obs are not bound by the
+// nil-receiver discipline.
+package notobs
+
+// Tracer happens to share a name with obs.Tracer but is unrelated.
+type Tracer struct {
+	n int
+}
+
+// Bump needs no guard: this Tracer is not an observability hook.
+func (t *Tracer) Bump() {
+	t.n++
+}

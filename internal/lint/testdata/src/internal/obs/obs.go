@@ -1,0 +1,81 @@
+// Package obs is the probe-nil-safety fixture for the observability hook
+// types: pointer-receiver methods on the tracer, sampler and registry
+// instruments must begin with a nil-receiver guard, exactly like *Probe.
+package obs
+
+// Tracer mirrors tdb's span collector: nil means tracing is off.
+type Tracer struct {
+	spans int
+}
+
+// Span mirrors one traced operator.
+type Span struct {
+	label string
+}
+
+// StateSampler mirrors the state(t) curve collector.
+type StateSampler struct {
+	seen int64
+}
+
+// Counter mirrors the registry's counter instrument.
+type Counter struct {
+	v int64
+}
+
+// Registry mirrors the instrument registry.
+type Registry struct {
+	names []string
+}
+
+// Begin is the negative case: the guard comes first.
+func (t *Tracer) Begin(label string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.spans++
+	return &Span{label: label}
+}
+
+// BadBegin touches the receiver with no guard.
+func (t *Tracer) BadBegin() { // want probe-nil-safety
+	t.spans++
+}
+
+// Finish guards with the inverted test, which is also fine.
+func (s *Span) Finish() {
+	if s != nil {
+		s.label = ""
+	}
+}
+
+// BadFinish guards only after other work.
+func (s *Span) BadFinish() { // want probe-nil-safety
+	x := "done"
+	if s == nil {
+		return
+	}
+	s.label = x
+}
+
+// Observe is guarded with the operands reversed.
+func (s *StateSampler) Observe(tick int64) {
+	if nil == s {
+		return
+	}
+	s.seen = tick
+}
+
+// BadInc on the counter instrument has no guard.
+func (c *Counter) BadInc() { // want probe-nil-safety
+	c.v++
+}
+
+// BadUnnamed cannot guard: the receiver has no name. (Empty bodies are
+// skipped, so the body must do something to be checked.)
+func (*Registry) BadUnnamed() { // want probe-nil-safety
+	println("side effect")
+}
+
+// value receivers are out of scope.
+func (c Counter) Value() int64 { return c.v }

@@ -126,6 +126,44 @@ func (p *Probe) TuplesRead() int64 {
 	return p.ReadLeft + p.ReadRight
 }
 
+// Merge folds another probe's totals into p, for aggregating per-operator
+// probes into plan-level totals. Additive counters sum; the workspace
+// marks combine by maximum, since child operators run as one pipeline and
+// the plan's workspace is bounded by its largest resident operator.
+func (p *Probe) Merge(other *Probe) {
+	if p == nil {
+		return
+	}
+	if other == nil {
+		return
+	}
+	p.ReadLeft += other.ReadLeft
+	p.ReadRight += other.ReadRight
+	p.Emitted += other.Emitted
+	p.Comparisons += other.Comparisons
+	p.GCDiscarded += other.GCDiscarded
+	p.Passes += other.Passes
+	if other.StateHighWater > p.StateHighWater {
+		p.StateHighWater = other.StateHighWater
+	}
+	if other.Buffers > p.Buffers {
+		p.Buffers = other.Buffers
+	}
+}
+
+// Snapshot returns a copy of the probe's current totals. The copy carries
+// the exported counters and high-water marks only — the live retained-state
+// level stays with the original, so a snapshot is a value safe to store in
+// cost records and trace spans.
+func (p *Probe) Snapshot() Probe {
+	if p == nil {
+		return Probe{}
+	}
+	c := *p
+	c.state = 0
+	return c
+}
+
 // Reset zeroes the probe for reuse across benchmark iterations.
 func (p *Probe) Reset() {
 	if p != nil {

@@ -109,3 +109,60 @@ func TestNegativeStatePanics(t *testing.T) {
 	}()
 	p.StateRemove(2)
 }
+
+func TestMerge(t *testing.T) {
+	var a, b Probe
+	a.IncReadLeft()
+	a.IncEmitted(2)
+	a.StateAdd(5) // hwm 5
+	a.SetBuffers(2)
+	b.IncReadRight()
+	b.IncComparisons(7)
+	b.IncPasses()
+	b.StateAdd(3) // hwm 3
+	b.SetBuffers(4)
+	b.StateRemove(3)
+
+	a.Merge(&b)
+	if a.ReadLeft != 1 || a.ReadRight != 1 || a.Emitted != 2 || a.Comparisons != 7 {
+		t.Errorf("additive counters wrong after merge: %s", a.String())
+	}
+	if a.GCDiscarded != 3 || a.Passes != 1 {
+		t.Errorf("gc/passes wrong after merge: %s", a.String())
+	}
+	if a.StateHighWater != 5 || a.Buffers != 4 {
+		t.Errorf("workspace marks must combine by max: hwm=%d buffers=%d",
+			a.StateHighWater, a.Buffers)
+	}
+
+	// Nil receiver and nil argument are both inert.
+	var nilP *Probe
+	nilP.Merge(&b)
+	before := a.Snapshot()
+	a.Merge(nil)
+	if a.Snapshot() != before {
+		t.Error("Merge(nil) must not change the probe")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var p Probe
+	p.IncReadLeft()
+	p.StateAdd(4)
+	s := p.Snapshot()
+	if s.ReadLeft != 1 || s.StateHighWater != 4 {
+		t.Errorf("snapshot = %s", s.String())
+	}
+	if s.StateNow() != 0 {
+		t.Errorf("snapshot must not carry live state, got %d", s.StateNow())
+	}
+	// The snapshot is detached from the original.
+	p.IncReadLeft()
+	if s.ReadLeft != 1 {
+		t.Error("snapshot aliased the original")
+	}
+	var nilP *Probe
+	if nilP.Snapshot() != (Probe{}) {
+		t.Error("nil snapshot must be zero")
+	}
+}

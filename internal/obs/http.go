@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication of the registry
+// snapshot: expvar.Publish panics on duplicate names, and tests may build
+// several muxes in one process.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarReg  *Registry
+)
+
+// NewMux returns an http.ServeMux exposing the registry:
+//
+//	/metrics          Prometheus text exposition (format 0.0.4)
+//	/debug/vars       expvar JSON (includes the registry snapshot as "tdb")
+//	/debug/pprof/...  net/http/pprof profiles
+//	/                 a plain-text index of the above
+//
+// The handlers are registered on an explicit mux — nothing touches
+// http.DefaultServeMux — so embedding applications stay in control.
+func NewMux(reg *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("tdb", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			return expvarReg.Snapshot()
+		}))
+	})
+	expvarMu.Lock()
+	expvarReg = reg
+	expvarMu.Unlock()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprint(w, "tdb observability endpoint\n",
+			"  /metrics          Prometheus text exposition\n",
+			"  /debug/vars       expvar JSON\n",
+			"  /debug/pprof/     runtime profiles\n")
+	})
+	return mux
+}
+
+// Serve starts the exposition endpoint on addr (e.g. ":8080" or
+// "127.0.0.1:0") and returns the running server together with the bound
+// address. The caller shuts it down with srv.Close or srv.Shutdown.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,140 @@
+package obs
+
+// Sample is one observation of an operator's retained state: the state
+// level at a point of the operator's logical clock (input tuples consumed
+// so far). Using the logical clock rather than wall time keeps traces
+// deterministic — the same query over the same data yields the same curve.
+type Sample struct {
+	Tick  int64 // input tuples consumed when observed
+	State int64 // retained state tuples at that point
+}
+
+// MarshalJSON renders the sample as the compact pair [tick, state].
+func (s Sample) MarshalJSON() ([]byte, error) {
+	return []byte("[" + itoa(s.Tick) + "," + itoa(s.State) + "]"), nil
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	var buf [21]byte
+	i := len(buf)
+	for n != 0 {
+		i--
+		d := n % 10
+		if d < 0 {
+			d = -d
+		}
+		buf[i] = byte('0' + d)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// StateSampler records a bounded, deterministic downsampling of an
+// operator's state(t) curve — the quantity the paper's Tables 1–3
+// characterize analytically. It keeps every stride-th observation; when the
+// buffer fills it discards every other retained sample and doubles the
+// stride, so memory stays bounded at maxSamples while the curve keeps its
+// overall shape. The final observation is always retained.
+//
+// A StateSampler belongs to one operator on one goroutine (the Probe
+// discipline); a nil *StateSampler is a no-op sink.
+type StateSampler struct {
+	max     int
+	stride  int64
+	seen    int64
+	samples []Sample
+	last    Sample
+	haveEnd bool
+}
+
+// DefaultSamples is the per-operator curve capacity used by the tracer.
+const DefaultSamples = 512
+
+// NewStateSampler returns a sampler retaining at most max points
+// (minimum 2: the curve must keep its first and last observation).
+func NewStateSampler(max int) *StateSampler {
+	if max < 2 {
+		max = 2
+	}
+	return &StateSampler{max: max, stride: 1}
+}
+
+// Observe records one state observation at the given logical tick.
+func (s *StateSampler) Observe(tick, state int64) {
+	if s == nil {
+		return
+	}
+	s.last = Sample{Tick: tick, State: state}
+	s.haveEnd = true
+	if s.seen%s.stride == 0 {
+		if len(s.samples) >= s.max {
+			s.compact()
+		}
+		s.samples = append(s.samples, s.last)
+		s.haveEnd = false
+	}
+	s.seen++
+}
+
+// compact drops every other retained sample and doubles the stride.
+func (s *StateSampler) compact() {
+	if s == nil {
+		return
+	}
+	kept := s.samples[:0]
+	for i, x := range s.samples {
+		if i%2 == 0 {
+			kept = append(kept, x)
+		}
+	}
+	s.samples = kept
+	s.stride *= 2
+}
+
+// Seen returns the total number of observations made.
+func (s *StateSampler) Seen() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.seen
+}
+
+// Samples returns the retained curve, always ending with the most recent
+// observation. The returned slice is a copy.
+func (s *StateSampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	out := append([]Sample{}, s.samples...)
+	if s.haveEnd {
+		out = append(out, s.last)
+	}
+	return out
+}
+
+// MaxState returns the largest state level among the retained samples — a
+// lower bound on the true high-water mark (downsampling can drop the exact
+// peak; metrics.Probe.StateHighWater holds the exact value).
+func (s *StateSampler) MaxState() int64 {
+	if s == nil {
+		return 0
+	}
+	var m int64
+	for _, x := range s.samples {
+		if x.State > m {
+			m = x.State
+		}
+	}
+	if s.haveEnd && s.last.State > m {
+		m = s.last.State
+	}
+	return m
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"tdb/internal/metrics"
+)
+
+// NodeStats carries a plan node's execution outcome into its span — the
+// fields of the engine's per-operator cost record that are not part of the
+// probe itself.
+type NodeStats struct {
+	Algorithm  string
+	OutRows    int64
+	SortedRows int64
+	SortRuns   int
+	SortPages  int64
+	PagesRead  int64
+	Notes      []string
+}
+
+// Span is one traced plan-node execution. Fields are written by the query
+// goroutine between Begin and Finish and read only afterwards.
+type Span struct {
+	QueryID  int64
+	ID       int64
+	ParentID int64 // 0 for a query root
+	Label    string
+	StartNS  int64
+	EndNS    int64
+	Probe    metrics.Probe
+	Node     NodeStats
+	Curve    []Sample
+	Err      string
+
+	sampler *StateSampler
+	done    bool
+}
+
+// Tracer collects the spans of one or more queries. Spans are appended
+// under a lock so a tracer may outlive many queries; the spans themselves
+// follow the single-goroutine Probe discipline. A nil *Tracer hands out
+// nil spans, making tracing free when disabled.
+type Tracer struct {
+	mu      sync.Mutex
+	nextID  int64
+	queries int64
+	spans   []*Span
+	clock   func() int64
+}
+
+// NewTracer returns an empty tracer stamping spans with wall-clock
+// nanoseconds.
+func NewTracer() *Tracer {
+	return &Tracer{clock: func() int64 { return time.Now().UnixNano() }}
+}
+
+// BeginQuery opens a new query and returns its root span.
+func (t *Tracer) BeginQuery(label string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queries++
+	return t.beginLocked(0, t.queries, label)
+}
+
+// Begin opens a span under parent (nil parent attaches to the most recent
+// query as a root-level span).
+func (t *Tracer) Begin(parent *Span, label string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	qid, pid := t.queries, int64(0)
+	if parent != nil {
+		qid, pid = parent.QueryID, parent.ID
+	}
+	return t.beginLocked(pid, qid, label)
+}
+
+// beginLocked allocates a span; the caller holds the tracer lock.
+func (t *Tracer) beginLocked(parent, query int64, label string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.nextID++
+	s := &Span{
+		QueryID:  query,
+		ID:       t.nextID,
+		ParentID: parent,
+		Label:    label,
+		StartNS:  t.clock(),
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// now reads the tracer clock.
+func (t *Tracer) now() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock()
+}
+
+// Sampler returns the span's state sampler, allocating it on first use so
+// only traced operators pay for curve collection.
+func (s *Span) Sampler() *StateSampler {
+	if s == nil {
+		return nil
+	}
+	if s.sampler == nil {
+		s.sampler = NewStateSampler(DefaultSamples)
+	}
+	return s.sampler
+}
+
+// Finish stamps the end time and records the node outcome: the final probe
+// snapshot, the cost fields, and the sampled state curve. Finishing twice
+// keeps the first outcome.
+func (s *Span) Finish(t *Tracer, probe metrics.Probe, node NodeStats) {
+	if s == nil {
+		return
+	}
+	if s.done {
+		return
+	}
+	s.done = true
+	s.EndNS = t.now()
+	s.Probe = probe
+	s.Node = node
+	s.Curve = s.sampler.Samples()
+}
+
+// Fail stamps the end time and records the error that aborted the node.
+func (s *Span) Fail(t *Tracer, err error) {
+	if s == nil {
+		return
+	}
+	if s.done {
+		return
+	}
+	s.done = true
+	s.EndNS = t.now()
+	if err != nil {
+		s.Err = err.Error()
+	}
+	s.Curve = s.sampler.Samples()
+}
+
+// spanJSON is the JSONL wire form of a span.
+type spanJSON struct {
+	Query      int64     `json:"query"`
+	Span       int64     `json:"span"`
+	Parent     int64     `json:"parent,omitempty"`
+	Label      string    `json:"label"`
+	Algorithm  string    `json:"algorithm,omitempty"`
+	StartNS    int64     `json:"start_ns"`
+	DurNS      int64     `json:"dur_ns"`
+	OutRows    int64     `json:"out_rows"`
+	SortedRows int64     `json:"sorted_rows,omitempty"`
+	SortRuns   int       `json:"sort_runs,omitempty"`
+	SortPages  int64     `json:"sort_pages,omitempty"`
+	PagesRead  int64     `json:"pages_read,omitempty"`
+	Notes      []string  `json:"notes,omitempty"`
+	Err        string    `json:"error,omitempty"`
+	Probe      probeJSON `json:"probe"`
+	Curve      []Sample  `json:"state_curve,omitempty"`
+}
+
+// probeJSON mirrors the metrics.Probe totals of the printed cost tables.
+type probeJSON struct {
+	ReadLeft    int64 `json:"read_left"`
+	ReadRight   int64 `json:"read_right"`
+	Emitted     int64 `json:"emitted"`
+	Comparisons int64 `json:"comparisons"`
+	GCDiscarded int64 `json:"gc_discarded"`
+	Passes      int64 `json:"passes"`
+	StateHWM    int64 `json:"state_hwm"`
+	Buffers     int64 `json:"buffers"`
+	Workspace   int64 `json:"workspace"`
+}
+
+func (s *Span) wire() spanJSON {
+	if s == nil {
+		return spanJSON{}
+	}
+	p := &s.Probe
+	return spanJSON{
+		Query:      s.QueryID,
+		Span:       s.ID,
+		Parent:     s.ParentID,
+		Label:      s.Label,
+		Algorithm:  s.Node.Algorithm,
+		StartNS:    s.StartNS,
+		DurNS:      s.EndNS - s.StartNS,
+		OutRows:    s.Node.OutRows,
+		SortedRows: s.Node.SortedRows,
+		SortRuns:   s.Node.SortRuns,
+		SortPages:  s.Node.SortPages,
+		PagesRead:  s.Node.PagesRead,
+		Notes:      s.Node.Notes,
+		Err:        s.Err,
+		Curve:      s.Curve,
+		Probe: probeJSON{
+			ReadLeft:    p.ReadLeft,
+			ReadRight:   p.ReadRight,
+			Emitted:     p.Emitted,
+			Comparisons: p.Comparisons,
+			GCDiscarded: p.GCDiscarded,
+			Passes:      p.Passes,
+			StateHWM:    p.StateHighWater,
+			Buffers:     p.Buffers,
+			Workspace:   p.Workspace(),
+		},
+	}
+}
+
+// Spans returns the collected spans in begin order.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span{}, t.spans...)
+}
+
+// WriteJSONL writes every span as one JSON object per line, in begin
+// order — the machine-readable trace export.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s.wire()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tree renders every traced query as a human EXPLAIN ANALYZE-style tree:
+// one line per span with its algorithm, duration, output cardinality and
+// probe totals, children indented under parents, notes beneath.
+func (t *Tracer) Tree() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	children := map[int64][]*Span{}
+	var roots []*Span
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			roots = append(roots, s)
+			continue
+		}
+		children[s.ParentID] = append(children[s.ParentID], s)
+	}
+	var b strings.Builder
+	var walk func(s *Span, prefix string, last bool)
+	walk = func(s *Span, prefix string, last bool) {
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		if s.ParentID == 0 {
+			branch, childPrefix = "", ""
+			fmt.Fprintf(&b, "query #%d  %s  (%.3fms)\n", s.QueryID, s.Label, ms(s))
+		} else {
+			fmt.Fprintf(&b, "%s%s%s", prefix, branch, s.Label)
+			if s.Node.Algorithm != "" {
+				fmt.Fprintf(&b, "  [%s]", s.Node.Algorithm)
+			}
+			fmt.Fprintf(&b, "  %.3fms out=%d %s", ms(s), s.Node.OutRows, s.Probe.String())
+			if n := len(s.Curve); n > 0 {
+				fmt.Fprintf(&b, " curve=%dpt", n)
+			}
+			b.WriteString("\n")
+			for _, note := range s.Node.Notes {
+				fmt.Fprintf(&b, "%s   · %s\n", childPrefix, note)
+			}
+			if s.Err != "" {
+				fmt.Fprintf(&b, "%s   ! %s\n", childPrefix, s.Err)
+			}
+		}
+		kids := children[s.ID]
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, "", true)
+	}
+	return b.String()
+}
+
+func ms(s *Span) float64 {
+	if s == nil {
+		return 0
+	}
+	return float64(s.EndNS-s.StartNS) / 1e6
+}

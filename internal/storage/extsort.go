@@ -61,6 +61,7 @@ func ExternalSort(in stream.Stream[relation.Row], schema *relation.Schema,
 			return err
 		}
 		runs = append(runs, hf)
+		obsSortRun()
 		buf = buf[:0]
 		return nil
 	}

@@ -96,6 +96,7 @@ func (h *HeapFile) flushCurrent() error {
 		return fmt.Errorf("storage: write page %d: %w", h.pages, err)
 	}
 	h.stats.PagesWritten++
+	obsPageWritten()
 	h.pages++
 	h.cur = newPage()
 	// The just-written page may be cached.
@@ -112,6 +113,7 @@ func (h *HeapFile) readPage(i int64) ([]relation.Row, error) {
 		return nil, fmt.Errorf("storage: read page %d: %w", i, err)
 	}
 	h.stats.PagesRead++
+	obsPageRead()
 	rows, err := decodePage(buf[:], h.schema)
 	if err != nil {
 		return nil, err
@@ -205,6 +207,7 @@ func (b *bufferPool) get(i int64) ([]relation.Row, bool) {
 		return nil, false
 	}
 	b.stats.PoolHits++
+	obsPoolHit()
 	b.touch(i)
 	return rows, true
 }

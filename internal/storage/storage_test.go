@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"tdb/internal/interval"
+	"tdb/internal/obs"
 	"tdb/internal/relation"
 	"tdb/internal/stream"
 	"tdb/internal/value"
@@ -278,5 +279,79 @@ func TestCSVValidation(t *testing.T) {
 		if _, err := ReadCSV(strings.NewReader(c.csv), "R", schema); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
+	}
+}
+
+func TestObserveIOCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	ObserveIO(reg)
+	defer ObserveIO(nil)
+
+	dir := t.TempDir()
+	schema := testSchema(t)
+	hf, err := Create(filepath.Join(dir, "obs.tdb"), schema, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hf.Close() }()
+	for i := 0; i < 500; i++ {
+		s := interval.Time(i)
+		if err := hf.Append(makeRow("S", "v", s, s+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for s := hf.Scan(); ; {
+		if _, ok := s.Next(); !ok {
+			if err := s.Err(); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+
+	read := reg.Counter("tdb_storage_pages_read_total", "").Value()
+	written := reg.Counter("tdb_storage_pages_written_total", "").Value()
+	if read != hf.Stats().PagesRead || read == 0 {
+		t.Errorf("live pages-read = %d, file stats = %d", read, hf.Stats().PagesRead)
+	}
+	if written != hf.Stats().PagesWritten || written == 0 {
+		t.Errorf("live pages-written = %d, file stats = %d", written, hf.Stats().PagesWritten)
+	}
+
+	// External sort with a tiny memory budget produces counted run files.
+	lessTS := func(a, b relation.Row) bool {
+		return a.Span(schema).Start < b.Span(schema).Start
+	}
+	var stats SortStats
+	out, err := ExternalSort(hf.Scan(), schema, lessTS, 50, dir, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := out.Next(); !ok {
+			if err := out.Err(); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	runs := reg.Counter("tdb_storage_sort_runs_total", "").Value()
+	if runs != int64(stats.Runs) || runs == 0 {
+		t.Errorf("live sort-runs = %d, sort stats = %d", runs, stats.Runs)
+	}
+
+	// Turning observation off stops the counters.
+	ObserveIO(nil)
+	before := reg.Counter("tdb_storage_pages_read_total", "").Value()
+	for s := hf.Scan(); ; {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if after := reg.Counter("tdb_storage_pages_read_total", "").Value(); after != before {
+		t.Errorf("counters moved after ObserveIO(nil): %d -> %d", before, after)
 	}
 }

@@ -21,7 +21,6 @@ type groupReduce[T any, K comparable, A any] struct {
 	acc     A
 	started bool
 	done    bool
-	pending *Pair[K, A] // group closed by the arrival of the next key
 }
 
 // GroupReduce returns the stream of per-group reductions of in, which must
@@ -32,11 +31,6 @@ func GroupReduce[T any, K comparable, A any](in Stream[T], key func(T) K, init f
 }
 
 func (g *groupReduce[T, K, A]) Next() (Pair[K, A], bool) {
-	if g.pending != nil {
-		p := *g.pending
-		g.pending = nil
-		return p, true
-	}
 	if g.done {
 		return Pair[K, A]{}, false
 	}

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+)
+
+type kv struct {
+	k string
+	v int64
+}
+
+// TestGroupReduceBoundaries covers the group-closure cases: a group closed
+// by the arrival of the next key, the final group closed by exhaustion, and
+// singleton groups in between.
+func TestGroupReduceBoundaries(t *testing.T) {
+	in := FromSlice([]kv{
+		{"a", 1}, {"a", 2}, {"a", 3}, // closed by the arrival of "b"
+		{"b", 10},          // singleton, closed by "c"
+		{"c", 5}, {"c", 5}, // closed by exhaustion
+	})
+	got, err := Collect(GroupSum(in, func(x kv) string { return x.k }, func(x kv) int64 { return x.v }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair[string, int64]{{"a", 6}, {"b", 10}, {"c", 10}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("group %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGroupReduceSingleGroup checks input that is one long group: exactly
+// one pair, emitted at exhaustion.
+func TestGroupReduceSingleGroup(t *testing.T) {
+	xs := make([]kv, 100)
+	for i := range xs {
+		xs[i] = kv{"only", 1}
+	}
+	s := GroupCount(FromSlice(xs), func(x kv) string { return x.k })
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (Pair[string, int64]{"only", 100}) {
+		t.Errorf("single group = %v", got)
+	}
+	// The stream stays exhausted on further pulls.
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted group stream yielded again")
+	}
+}
+
+// TestGroupReduceEmpty checks that an empty input yields no groups — no
+// spurious zero-value pair from the never-started accumulator.
+func TestGroupReduceEmpty(t *testing.T) {
+	got, err := Collect(GroupSum(Empty[kv](), func(x kv) string { return x.k }, func(x kv) int64 { return x.v }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input produced groups: %v", got)
+	}
+}
+
+// TestGroupReduceErrorPropagation checks that an input error surfaces via
+// Err() and suppresses the partially accumulated final group.
+func TestGroupReduceErrorPropagation(t *testing.T) {
+	boom := errors.New("disk on fire")
+	i := 0
+	src := &Func[kv]{F: func() (kv, bool, error) {
+		i++
+		if i > 3 {
+			return kv{}, false, boom
+		}
+		return kv{"a", int64(i)}, true, nil
+	}}
+	g := GroupReduce(src, func(x kv) string { return x.k },
+		func() int64 { return 0 },
+		func(acc int64, x kv) int64 { return acc + x.v })
+	if p, ok := g.Next(); ok {
+		t.Errorf("errored stream emitted partial group %v", p)
+	}
+	if !errors.Is(g.Err(), boom) {
+		t.Errorf("Err() = %v, want %v", g.Err(), boom)
+	}
+	// Exhausted-with-error stays that way.
+	if _, ok := g.Next(); ok {
+		t.Error("errored group stream yielded on re-pull")
+	}
+}
