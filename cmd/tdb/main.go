@@ -9,14 +9,14 @@
 // Usage:
 //
 //	tdb -load Faculty=faculty.csv [-rankorder Faculty:Name:Rank=Assistant,Associate,Full[:continuous]] [-e query.quel]
-//	    [-listen 127.0.0.1:8080] [-trace trace.jsonl]
+//	    [-listen 127.0.0.1:8080] [-trace trace.jsonl] [-parallelism N] [-parallel-min-rows N]
 //
 // With -listen the process serves /metrics (Prometheus text), /debug/vars
 // (expvar) and /debug/pprof while queries run. With -trace every traced
 // query appends its per-operator spans to the given JSONL file.
 //
 // Shell commands: \d (relations), \stats R, \explain on|off,
-// \streams on|off, \trace on|off, \metrics, \q.
+// \streams on|off, \trace on|off, \set parallelism N, \metrics, \q.
 package main
 
 import (
@@ -49,6 +49,8 @@ func main() {
 	script := flag.String("e", "", "execute statements from this file and exit")
 	listen := flag.String("listen", "", "serve /metrics, expvar and pprof on this address (e.g. 127.0.0.1:8080)")
 	traceFile := flag.String("trace", "", "append per-query JSONL trace spans to this file (also enables \\trace on)")
+	parallelism := flag.Int("parallelism", 0, "worker cap for time-range parallel execution; 0 = GOMAXPROCS, 1 = serial")
+	parallelMinRows := flag.Int("parallel-min-rows", 0, "combined-input floor below which operators stay serial (0 = default)")
 	flag.Parse()
 
 	db := engine.NewDB()
@@ -81,7 +83,8 @@ func main() {
 		fmt.Printf("declared chronological ordering on %s.%s\n", ic.Relation, ic.ValCol)
 	}
 
-	sh := &shell{db: db, explain: true, streams: true, out: os.Stdout, reg: obs.NewRegistry()}
+	sh := &shell{db: db, explain: true, streams: true, out: os.Stdout, reg: obs.NewRegistry(),
+		parallelism: *parallelism, parallelMinRows: *parallelMinRows}
 	db.SetMetrics(sh.reg)
 	defer storage.ObserveIO(nil)
 	if *listen != "" {
@@ -186,6 +189,10 @@ type shell struct {
 	// every traced query's spans as JSONL.
 	reg      *obs.Registry
 	traceOut io.Writer
+	// parallelism and parallelMinRows feed engine.Options verbatim; see
+	// \set parallelism.
+	parallelism     int
+	parallelMinRows int
 }
 
 // printf writes best-effort shell output; a broken pipe on interactive
@@ -234,6 +241,9 @@ func (sh *shell) repl() {
 		case trimmed == `\metrics`:
 			sh.metrics()
 			continue
+		case strings.HasPrefix(trimmed, `\set parallelism `):
+			sh.setParallelism(strings.TrimSpace(strings.TrimPrefix(trimmed, `\set parallelism`)))
+			continue
 		case strings.EqualFold(trimmed, "go"):
 			if err := sh.runStatements(buf.String()); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -260,6 +270,26 @@ func (sh *shell) describe() {
 func (sh *shell) metrics() {
 	if err := sh.reg.WritePrometheus(sh.out); err != nil {
 		sh.printf("metrics: %v\n", err)
+	}
+}
+
+// setParallelism handles \set parallelism N: 0 restores the GOMAXPROCS
+// default, 1 disables parallel execution. The answer is identical at any
+// setting; only the worker fan-out changes.
+func (sh *shell) setParallelism(arg string) {
+	var n int
+	if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n < 0 {
+		sh.printf("\\set parallelism wants a non-negative integer, got %q\n", arg)
+		return
+	}
+	sh.parallelism = n
+	switch n {
+	case 0:
+		sh.println("parallelism: GOMAXPROCS default")
+	case 1:
+		sh.println("parallelism: serial execution")
+	default:
+		sh.printf("parallelism: up to %d shard workers\n", n)
 	}
 }
 
@@ -300,7 +330,8 @@ func (sh *shell) runStatements(src string) error {
 			sh.println("semantic: query is contradictory — empty result without data access")
 			continue
 		}
-		opt := engine.Options{ForceNestedLoop: !sh.streams, Registry: sh.reg}
+		opt := engine.Options{ForceNestedLoop: !sh.streams, Registry: sh.reg,
+			Parallelism: sh.parallelism, ParallelMinRows: sh.parallelMinRows}
 		var tracer *obs.Tracer
 		if sh.trace {
 			tracer = obs.NewTracer()

@@ -10,7 +10,11 @@
 // Usage:
 //
 //	tdbbench [-n 4000] [-faculty 200] [-seed 1] [-policy sweep|lambda]
-//	         [-json results.json] [-listen 127.0.0.1:8080]
+//	         [-json results.json] [-listen 127.0.0.1:8080] [-parallel]
+//
+// -parallel additionally runs E22, the time-range partitioned parallel
+// execution sweep: the contain-join at k ∈ {1,2,4,8} workers, verifying
+// byte-identical output and reporting speedup and boundary replication.
 //
 // The human-readable tables always go to stdout; -json additionally writes
 // the same tables (plus per-experiment wall time) as a machine-readable
@@ -57,6 +61,7 @@ func main() {
 	policyName := flag.String("policy", "sweep", "stream read policy: sweep or lambda")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	listen := flag.String("listen", "", "serve /metrics and /debug/pprof on this address while running")
+	parallel := flag.Bool("parallel", false, "also run E22, the parallel speedup sweep (k = 1,2,4,8)")
 	flag.Parse()
 
 	if *n < 1 {
@@ -124,6 +129,14 @@ func main() {
 		{"order-choice", func() (*experiments.Table, error) {
 			return drop(experiments.OrderChoice(*n, []float64{2, 12, 60}, *seed))
 		}},
+	}
+	if *parallel {
+		suite = append(suite, struct {
+			name string
+			run  func() (*experiments.Table, error)
+		}{"parallel", func() (*experiments.Table, error) {
+			return drop(experiments.Parallel(*n, []int{1, 2, 4, 8}, *seed))
+		}})
 	}
 
 	result := benchResult{N: *n, Faculty: *faculty, Seed: *seed, Policy: *policyName}

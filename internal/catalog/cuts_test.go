@@ -1,0 +1,88 @@
+package catalog
+
+import (
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/workload"
+)
+
+func TestEquiDepthTSCutsBalance(t *testing.T) {
+	tuples := workload.Tuples(workload.Config{N: 5000, Lambda: 1, MeanDur: 10, Seed: 5}, "x")
+	spans := make([]interval.Interval, len(tuples))
+	for i, tu := range tuples {
+		spans[i] = tu.Span
+	}
+	s := FromSpans(spans)
+	for _, k := range []int{2, 4, 8} {
+		cuts := s.EquiDepthTSCuts(k)
+		if len(cuts) != k-1 {
+			t.Fatalf("k=%d: want %d cuts, got %v", k, k-1, cuts)
+		}
+		for i := 1; i < len(cuts); i++ {
+			if cuts[i] <= cuts[i-1] {
+				t.Fatalf("k=%d: cuts not strictly ascending: %v", k, cuts)
+			}
+		}
+		// Equi-depth: counting by ValidFrom, every bucket holds roughly
+		// n/k tuples (the sample quantizes, so allow a factor of two).
+		counts := make([]int, k)
+		for _, sp := range spans {
+			b := 0
+			for b < len(cuts) && sp.Start >= cuts[b] {
+				b++
+			}
+			counts[b]++
+		}
+		want := len(spans) / k
+		for b, c := range counts {
+			if c < want/2 || c > want*2 {
+				t.Errorf("k=%d: bucket %d holds %d tuples, want ≈%d", k, b, c, want)
+			}
+		}
+	}
+}
+
+func TestEquiDepthTSCutsDegenerate(t *testing.T) {
+	var nilStats *Stats
+	if got := nilStats.EquiDepthTSCuts(4); got != nil {
+		t.Errorf("nil stats: want no cuts, got %v", got)
+	}
+	if got := FromSpans(nil).EquiDepthTSCuts(4); got != nil {
+		t.Errorf("empty relation: want no cuts, got %v", got)
+	}
+	// All tuples share one ValidFrom: no useful cut exists.
+	same := make([]interval.Interval, 100)
+	for i := range same {
+		same[i] = interval.New(10, 20)
+	}
+	if got := FromSpans(same).EquiDepthTSCuts(4); got != nil {
+		t.Errorf("single distinct ValidFrom: want no cuts, got %v", got)
+	}
+	// k=1 and k=0 ask for no partitioning at all.
+	spans := []interval.Interval{interval.New(1, 2), interval.New(3, 4)}
+	st := FromSpans(spans)
+	if got := st.EquiDepthTSCuts(1); got != nil {
+		t.Errorf("k=1: want no cuts, got %v", got)
+	}
+}
+
+func TestTSSampleSortedAndBounded(t *testing.T) {
+	tuples := workload.Tuples(workload.Config{N: 3000, Lambda: 2, MeanDur: 8, Seed: 11}, "x")
+	spans := make([]interval.Interval, len(tuples))
+	for i, tu := range tuples {
+		spans[i] = tu.Span
+	}
+	s := FromSpans(spans)
+	if len(s.TSSample) == 0 || len(s.TSSample) > tsSampleCap {
+		t.Fatalf("sample size %d outside (0,%d]", len(s.TSSample), tsSampleCap)
+	}
+	for i := 1; i < len(s.TSSample); i++ {
+		if s.TSSample[i] < s.TSSample[i-1] {
+			t.Fatalf("sample not sorted at %d", i)
+		}
+	}
+	if s.TSSample[0] < s.MinTS || s.TSSample[len(s.TSSample)-1] > s.MaxTS {
+		t.Fatalf("sample outside [MinTS,MaxTS]")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+)
+
+// The spec under test is the TS↑/TS↑ contain-join of Figure 5; the sweepY
+// cases use the TS↑/TE↑ variant, whose ReadSweep side choice is driven by
+// the buffered y's ValidFrom rather than its sort key.
+func tstsSpec() joinSpec {
+	return joinSpec{
+		name:   "contain-join[TS↑,TS↑]",
+		match:  containMatch,
+		keyX:   func(s interval.Interval) interval.Time { return s.Start },
+		keyY:   func(s interval.Interval) interval.Time { return s.Start },
+		xDead:  func(x interval.Interval, yk interval.Time) bool { return x.End <= yk },
+		yDead:  func(y interval.Interval, xk interval.Time) bool { return y.Start <= xk },
+		orderX: relation.Order{relation.TSAsc},
+		orderY: relation.Order{relation.TSAsc},
+	}
+}
+
+func ivSpan(s interval.Interval) interval.Interval { return s }
+
+func heldOf(spans ...interval.Interval) []held[interval.Interval] {
+	hs := make([]held[interval.Interval], len(spans))
+	for i, s := range spans {
+		hs[i] = held[interval.Interval]{elem: s, span: s}
+	}
+	return hs
+}
+
+func mustChoose(t *testing.T, name string, opt Options, xh, yh interval.Interval, xok, yok bool,
+	sx, sy []held[interval.Interval], wantX bool) {
+	t.Helper()
+	got := chooseSide(tstsSpec(), opt, xh, yh, xok, yok, ivSpan, sx, sy)
+	if got != wantX {
+		t.Errorf("%s: chooseSide = %v, want %v", name, got, wantX)
+	}
+}
+
+func TestChooseSideExhaustedStream(t *testing.T) {
+	x := interval.New(5, 10)
+	y := interval.New(7, 9)
+	// An exhausted side can never be read, regardless of policy or state.
+	for _, opt := range []Options{{Policy: ReadSweep}, {Policy: ReadLambda}} {
+		mustChoose(t, "X exhausted", opt, interval.Interval{}, y, false, true, nil, heldOf(x), false)
+		mustChoose(t, "Y exhausted", opt, x, interval.Interval{}, true, false, heldOf(y), nil, true)
+	}
+}
+
+func TestChooseSideSweepOrder(t *testing.T) {
+	opt := Options{Policy: ReadSweep}
+	mustChoose(t, "smaller X key", opt, interval.New(3, 9), interval.New(5, 8), true, true, nil, nil, true)
+	mustChoose(t, "smaller Y key", opt, interval.New(6, 9), interval.New(5, 8), true, true, nil, nil, false)
+	// The tie goes to X — the convention the shard-ownership proof of the
+	// parallel driver relies on.
+	mustChoose(t, "tie", opt, interval.New(5, 9), interval.New(5, 8), true, true, nil, nil, true)
+}
+
+// The TS↑/TE↑ variant sweeps against the buffered y's ValidFrom, not its
+// ValidTo sort key: y=[2,20) sorts late but must be read before x=[5,..)
+// because it starts first.
+func TestChooseSideSweepYOverride(t *testing.T) {
+	spec := tstsSpec()
+	spec.keyY = func(s interval.Interval) interval.Time { return s.End }
+	spec.sweepY = func(s interval.Interval) interval.Time { return s.Start }
+	x, y := interval.New(5, 9), interval.New(2, 20)
+	if got := chooseSide(spec, Options{Policy: ReadSweep}, x, y, true, true, ivSpan, nil, nil); got {
+		t.Error("sweepY override ignored: chose X against an earlier-starting y")
+	}
+	// Without the override the ValidTo key would (wrongly, for this
+	// ordering) prefer X.
+	spec.sweepY = nil
+	if got := chooseSide(spec, Options{Policy: ReadSweep}, x, y, true, true, ivSpan, nil, nil); !got {
+		t.Error("without sweepY the raw keyY should have preferred X")
+	}
+}
+
+// ReadLambda reads the side expected to let more opposite-state tuples be
+// discarded.
+func TestChooseSideLambdaDisposableMajority(t *testing.T) {
+	opt := Options{Policy: ReadLambda, LambdaX: 1, LambdaY: 1}
+	x, y := interval.New(10, 30), interval.New(11, 12)
+	// Reading X advances the X frontier to kx+1 = 11; y-state tuples with
+	// Start <= 11 become disposable.
+	stateY := heldOf(interval.New(8, 9), interval.New(9, 14), interval.New(12, 13))
+	mustChoose(t, "Y-state majority", opt, x, y, true, true, nil, stateY, true)
+	// Symmetric: reading Y advances the Y frontier to ky+1 = 12; x-state
+	// tuples with End <= 12 become disposable.
+	stateX := heldOf(interval.New(1, 4), interval.New(2, 11), interval.New(3, 40))
+	mustChoose(t, "X-state majority", opt, x, y, true, true, stateX, nil, false)
+}
+
+// On a disposable tie the λ policy falls back to the sweep comparison.
+func TestChooseSideLambdaTieFallsBackToKeys(t *testing.T) {
+	opt := Options{Policy: ReadLambda, LambdaX: 1, LambdaY: 1}
+	stateX := heldOf(interval.New(1, 4))
+	stateY := heldOf(interval.New(2, 3))
+	mustChoose(t, "tie, X first", opt, interval.New(10, 20), interval.New(11, 19), true, true, stateX, stateY, true)
+	mustChoose(t, "tie, Y first", opt, interval.New(12, 20), interval.New(11, 19), true, true, stateX, stateY, false)
+	mustChoose(t, "tie, equal keys", opt, interval.New(11, 20), interval.New(11, 19), true, true, stateX, stateY, true)
+}
+
+// Zero λ means the arrival rate is unknown: the lookahead gap defaults to
+// one chronon, making the disposability estimate maximally conservative.
+func TestChooseSideZeroLambdaGap(t *testing.T) {
+	x, y := interval.New(10, 30), interval.New(25, 26)
+	// With λx unknown the frontier estimate is kx+1 = 11, which frees the
+	// y-state tuple starting at 11 but not the one at 12.
+	onEdge := heldOf(interval.New(11, 40))
+	past := heldOf(interval.New(12, 40))
+	mustChoose(t, "gap reaches edge", Options{Policy: ReadLambda}, x, y, true, true, nil, onEdge, true)
+	// Nothing disposable on either side: fall back to keys (kx=10 <= ky=25).
+	mustChoose(t, "gap short of it", Options{Policy: ReadLambda}, x, y, true, true, nil, past, true)
+	// A generous λx (0.1 → gap 10) reaches the Start=12 tuple too, while
+	// the key fallback alone would also read X — distinguish via a case
+	// where the majority flips the decision against the keys.
+	optWide := Options{Policy: ReadLambda, LambdaX: 0.1}
+	xLate := interval.New(27, 30)
+	mustChoose(t, "wide gap frees Y state", optWide, xLate, y, true, true, nil, past, true)
+}

@@ -41,6 +41,23 @@ type Options struct {
 	SpillDir string
 	// Policy selects the stream read policy (sweep by default).
 	Policy core.ReadPolicy
+	// Parallelism bounds time-range partitioned parallel execution:
+	// eligible join and semijoin nodes (and large stored scans) fan out
+	// to at most this many shard workers, each running the unchanged
+	// single-pass algorithm on its shard. 0 defaults to
+	// runtime.GOMAXPROCS(0); 1 disables parallel execution. Results are
+	// byte-identical to serial execution at any setting.
+	Parallelism int
+	// ParallelMinRows is the smallest combined input cardinality the cost
+	// model considers parallelizing (0 means DefaultParallelMinRows) —
+	// below it shard setup dominates any per-shard saving.
+	ParallelMinRows int
+	// ForceParallel fans every eligible node out to Parallelism shards,
+	// bypassing the size and predicted-speedup gates (the correctness
+	// gates — operator kind, read policy, distinct cut points — still
+	// apply). Tests and experiments use it to exercise the parallel path
+	// on inputs the cost model would run serially.
+	ForceParallel bool
 	// VerifyOrder makes every stream algorithm check its input ordering.
 	VerifyOrder bool
 	// Tracer, when non-nil, receives one span per plan node: timestamps,
@@ -335,16 +352,21 @@ func (ex *executor) evalScan(n *algebra.Scan) (*result, error) {
 	probe.Passes = 1
 
 	if hf, ok := ex.db.stored[n.Relation]; ok {
+		cost := NodeCost{Label: n.Label(), Algorithm: "stored scan", Probe: probe}
 		before := hf.Stats().PagesRead
-		rows, err := stream.Collect(hf.Scan())
+		rows, parallel, err := ex.parallelScan(hf, &cost)
 		if err != nil {
 			return nil, err
 		}
-		probe.ReadLeft = int64(len(rows))
-		ex.stats.add(NodeCost{
-			Label: n.Label(), Algorithm: "stored scan", Probe: probe,
-			OutRows: int64(len(rows)), PagesRead: hf.Stats().PagesRead - before,
-		})
+		if !parallel {
+			if rows, err = stream.Collect(hf.Scan()); err != nil {
+				return nil, err
+			}
+			cost.Probe.ReadLeft = int64(len(rows))
+		}
+		cost.OutRows = int64(len(rows))
+		cost.PagesRead = hf.Stats().PagesRead - before
+		ex.stats.add(cost)
 		return &result{schema: base.Schema.Rename(n.Var()), rows: rows}, nil
 	}
 

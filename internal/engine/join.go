@@ -145,6 +145,16 @@ func (ex *executor) streamJoin(n *algebra.Join, l, r *result) ([]relation.Row, *
 		return nil, nil, err
 	}
 
+	if plan := ex.planParallel(n.Kind, false, lw, rw, cost); plan != nil {
+		rows, err := ex.parallelJoin(n.Kind, lw, rw, plan, cost)
+		if err != nil {
+			return nil, nil, err
+		}
+		cost.Algorithm += fmt.Sprintf(" ×%d", len(plan.ranges))
+		cost.OutRows = int64(len(rows))
+		return rows, cost, nil
+	}
+
 	var rows []relation.Row
 	emitLR := func(a, b spanned) { rows = append(rows, relation.ConcatRows(a.row, b.row)) }
 	emitRL := func(a, b spanned) { rows = append(rows, relation.ConcatRows(b.row, a.row)) }
@@ -429,6 +439,15 @@ func (ex *executor) streamSemijoin(n *algebra.Semijoin, l, r *result) ([]relatio
 		}
 		if rw, err = ex.establishOrder(r.rows, rspan, rOrder, r.schema, cost); err != nil {
 			return nil, nil, err
+		}
+		if plan := ex.planParallel(n.Kind, true, lw, rw, cost); plan != nil {
+			rows, err := ex.parallelSemijoin(n.Kind, lw, rw, plan, cost)
+			if err != nil {
+				return nil, nil, err
+			}
+			cost.Algorithm += fmt.Sprintf(" ×%d", len(plan.ranges))
+			cost.OutRows = int64(len(rows))
+			return rows, cost, nil
 		}
 	}
 

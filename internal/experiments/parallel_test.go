@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestParallelExperiment(t *testing.T) {
+	res, tab, err := Parallel(800, []int{1, 2, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 || len(tab.Rows) != 3 {
+		t.Fatalf("want 3 sweep points, got %d / %d rows", len(res.Points), len(tab.Rows))
+	}
+	serial := res.Points[0]
+	if serial.K != 1 || serial.Speedup != 1 || serial.MeasuredRepl != 0 {
+		t.Errorf("serial point malformed: %+v", serial)
+	}
+	if serial.Rows == 0 {
+		t.Error("degenerate experiment: no output rows")
+	}
+	for _, p := range res.Points[1:] {
+		if p.Rows != serial.Rows {
+			t.Errorf("k=%d: %d rows, serial has %d", p.K, p.Rows, serial.Rows)
+		}
+		if p.MeasuredRepl <= 0 || p.PredictedRepl <= 0 {
+			t.Errorf("k=%d: replication not reported: %+v", p.K, p)
+		}
+		if ratio := p.MeasuredRepl / p.PredictedRepl; ratio < 0.3 || ratio > 3 {
+			t.Errorf("k=%d: measured %.4f vs predicted %.4f replication", p.K, p.MeasuredRepl, p.PredictedRepl)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("k=%d: nonpositive speedup %v", p.K, p.Speedup)
+		}
+	}
+}

@@ -8,14 +8,17 @@ import (
 // processor networks. A producer goroutine that sends on a channel with a
 // bare `ch <- v` blocks forever once its consumer abandons the stream,
 // leaking the goroutine and everything it holds; every send inside a `go
-// func` literal in internal/core and internal/stream must therefore be a
-// select case alongside a quit/done receive case, so closing the quit
-// channel always unblocks the processor.
+// func` literal in internal/core, internal/stream, internal/engine and
+// internal/partition must therefore be a select case alongside a
+// quit/done receive case, so closing the quit channel always unblocks the
+// processor. (The parallel shard workers of internal/engine satisfy the
+// rule by construction: they write to pre-allocated per-shard slots and
+// never send on a channel.)
 var goroutineHygieneRule = Rule{
 	Name: "goroutine-hygiene",
 	Doc:  "channel sends in go func literals must select on a quit/done case",
 	Check: func(p *Package, r *Reporter) {
-		if !inScope(p, "internal/core", "internal/stream") {
+		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition") {
 			return
 		}
 		inspect(p, func(n ast.Node) bool {

@@ -1,0 +1,46 @@
+package engine
+
+import "sync"
+
+// ShardWorkers is the sanctioned parallel-driver shape: workers write to
+// pre-allocated per-shard slots and synchronize with a WaitGroup, so there
+// is no channel send to leak on.
+func ShardWorkers(k int, run func(i int) int) []int {
+	out := make([]int, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = run(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// BadResultChannel ships shard results over an unguarded channel send: if
+// the collector bails out early, every remaining worker blocks forever.
+func BadResultChannel(k int, run func(i int) int) <-chan int {
+	ch := make(chan int)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			ch <- run(i) // want goroutine-hygiene
+		}(i)
+	}
+	return ch
+}
+
+// GoodResultChannel guards the send with a quit receive.
+func GoodResultChannel(k int, run func(i int) int, quit <-chan struct{}) <-chan int {
+	ch := make(chan int)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			select {
+			case ch <- run(i):
+			case <-quit:
+			}
+		}(i)
+	}
+	return ch
+}

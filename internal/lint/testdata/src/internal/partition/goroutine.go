@@ -1,0 +1,33 @@
+package partition
+
+// FanOut streams shard elements to a consumer goroutine per shard with a
+// bare send: abandoning the output channel leaks every producer.
+func FanOut(shards [][]int) <-chan int {
+	ch := make(chan int)
+	for _, sh := range shards {
+		go func(sh []int) {
+			for _, x := range sh {
+				ch <- x // want goroutine-hygiene
+			}
+		}(sh)
+	}
+	return ch
+}
+
+// FanOutGuarded is the same fan-out with every send selectable against a
+// quit receive, so the consumer can always release the producers.
+func FanOutGuarded(shards [][]int, quit <-chan struct{}) <-chan int {
+	ch := make(chan int)
+	for _, sh := range shards {
+		go func(sh []int) {
+			for _, x := range sh {
+				select {
+				case ch <- x:
+				case <-quit:
+					return
+				}
+			}
+		}(sh)
+	}
+	return ch
+}

@@ -1,0 +1,78 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"tdb/internal/catalog"
+)
+
+// This file extends the Section 6 cost model to time-range partitioned
+// parallel execution. The paper's stream operators are single passes over
+// sorted inputs, so k shards divide the per-shard stream cost by k; what
+// parallelism adds back is the boundary replication (tuples whose
+// lifespan crosses a cut run in every shard they intersect, predictable
+// from λ and the duration moments by Little's law) plus a partition pass
+// and a recombination merge. The estimate is what the executor records in
+// the plan explain for every engaged or declined fan-out decision.
+
+// partitionOverhead charges the partition pass and the order-preserving
+// recombination merge, per tuple moved, in comparison units. Both are
+// branch-per-tuple scans, cheaper than a predicate evaluation; a quarter
+// of a comparison each keeps light operators (semijoins at small k)
+// honest about their break-even point.
+const partitionOverhead = 0.25
+
+// MinParallelSpeedup is the predicted speedup below which a node stays
+// serial: at break-even, shard setup is pure overhead.
+const MinParallelSpeedup = 1.2
+
+// ParallelEstimate predicts the effect of fanning one stream operator out
+// across k time shards.
+type ParallelEstimate struct {
+	// Workers is the shard count the estimate is for.
+	Workers int
+	// Replication is the predicted boundary-replication rate — extra
+	// tuple copies per input tuple. Each of the k−1 interior cuts is
+	// expected to be spanned by λ·E[D] lifespans of each input.
+	Replication float64
+	// Serial and Parallel are costs in comparison units, the same unit as
+	// JoinEstimate, so the two models compose.
+	Serial, Parallel float64
+}
+
+// Speedup is the predicted serial/parallel cost ratio.
+func (p ParallelEstimate) Speedup() float64 {
+	if p.Parallel <= 0 {
+		return 1
+	}
+	return p.Serial / p.Parallel
+}
+
+// Use reports whether the fan-out is predicted to pay.
+func (p ParallelEstimate) Use() bool {
+	return p.Workers >= 2 && p.Speedup() >= MinParallelSpeedup
+}
+
+// String renders the decision evidence for the plan explain.
+func (p ParallelEstimate) String() string {
+	return fmt.Sprintf("×%d predicted speedup %.1f× (boundary replication %.1f%%)",
+		p.Workers, p.Speedup(), 100*p.Replication)
+}
+
+// EstimateParallel predicts the cost of running a stream operator whose
+// serial estimate is e across k time shards of inputs X and Y. Per-shard
+// inputs grow by the replication rate, the stream cost divides across the
+// k workers, and the partition and merge passes charge per tuple moved.
+func EstimateParallel(e JoinEstimate, sx, sy *catalog.Stats, k int) ParallelEstimate {
+	p := ParallelEstimate{Workers: k, Serial: e.Stream, Parallel: e.Stream}
+	n := float64(sx.Cardinality + sy.Cardinality)
+	if k < 2 || n == 0 {
+		p.Workers = 1
+		return p
+	}
+	boundary := float64(k-1) * (sx.PredictedWorkspace() + sy.PredictedWorkspace())
+	p.Replication = boundary / n
+	inflated := n * (1 + p.Replication)
+	p.Parallel = e.Stream*(1+p.Replication)/float64(k) + partitionOverhead*(inflated+n)
+	return p
+}

@@ -1,0 +1,89 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"tdb/internal/catalog"
+)
+
+// parStats reuses cost_test.go's workload-backed statistics helper,
+// keeping λ fixed at 1 so only the duration moments vary.
+func parStats(n int, meanDur float64, seed int64) *catalog.Stats {
+	st, _ := statsFor(n, 1, meanDur, seed)
+	return st
+}
+
+// A state-heavy contain join should be predicted to speed up nearly
+// linearly, with replication a small correction.
+func TestEstimateParallelHeavyJoinEngages(t *testing.T) {
+	sx := parStats(8000, 25, 1)
+	sy := parStats(8000, 4, 2)
+	e := EstimateContainJoin(sx, sy)
+	p := EstimateParallel(e, sx, sy, 4)
+	if !p.Use() {
+		t.Fatalf("heavy join not parallelized: %v", p)
+	}
+	if p.Speedup() < 2 || p.Speedup() > 4 {
+		t.Errorf("speedup %v outside (2,4) for k=4", p.Speedup())
+	}
+	if p.Replication <= 0 || p.Replication > 0.2 {
+		t.Errorf("replication %v implausible for these durations", p.Replication)
+	}
+	// More workers must not predict a slower plan on this workload.
+	p8 := EstimateParallel(e, sx, sy, 8)
+	if p8.Speedup() < p.Speedup() {
+		t.Errorf("k=8 speedup %v below k=4 %v", p8.Speedup(), p.Speedup())
+	}
+}
+
+// A buffers-only semijoin does one comparison per tuple; two-way
+// partitioning cannot pay for the partition+merge passes, wider fan-out
+// can.
+func TestEstimateParallelLightOperatorBreakEven(t *testing.T) {
+	sx := parStats(8000, 10, 3)
+	sy := parStats(8000, 10, 4)
+	e := EstimateSemijoin(sx, sy, true, true)
+	if p2 := EstimateParallel(e, sx, sy, 2); p2.Use() {
+		t.Errorf("k=2 semijoin should not pay: %v", p2)
+	}
+	if p4 := EstimateParallel(e, sx, sy, 4); !p4.Use() {
+		t.Errorf("k=4 semijoin should pay: %v", p4)
+	}
+}
+
+func TestEstimateParallelDegenerate(t *testing.T) {
+	sx := parStats(1000, 10, 5)
+	sy := parStats(1000, 10, 6)
+	e := EstimateContainJoin(sx, sy)
+	p1 := EstimateParallel(e, sx, sy, 1)
+	if p1.Workers != 1 || p1.Use() {
+		t.Errorf("k=1 must stay serial: %v", p1)
+	}
+	if p1.Speedup() != 1 {
+		t.Errorf("k=1 speedup = %v, want 1", p1.Speedup())
+	}
+	empty := catalog.FromSpans(nil)
+	p0 := EstimateParallel(EstimateContainJoin(empty, empty), empty, empty, 4)
+	if p0.Use() || math.IsNaN(p0.Speedup()) {
+		t.Errorf("empty inputs must stay serial with a finite speedup: %v", p0)
+	}
+}
+
+// The replication prediction must grow with both the cut count and the
+// duration-to-gap ratio.
+func TestEstimateParallelReplicationMonotone(t *testing.T) {
+	sx := parStats(4000, 10, 7)
+	sy := parStats(4000, 10, 8)
+	e := EstimateContainJoin(sx, sy)
+	r4 := EstimateParallel(e, sx, sy, 4).Replication
+	r8 := EstimateParallel(e, sx, sy, 8).Replication
+	if !(r8 > r4) {
+		t.Errorf("replication not increasing in k: k4=%v k8=%v", r4, r8)
+	}
+	long := parStats(4000, 40, 9)
+	rLong := EstimateParallel(EstimateContainJoin(long, sy), long, sy, 4).Replication
+	if !(rLong > r4) {
+		t.Errorf("longer durations must replicate more: %v vs %v", rLong, r4)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"tdb/internal/relation"
 	"tdb/internal/stream"
@@ -18,6 +19,8 @@ type IOStats struct {
 }
 
 // HeapFile is an append-only paged file of encoded rows of one schema.
+// Reads (Scan, ScanRange, readPage) are safe to run concurrently; writes
+// (Append, Flush) are not, and must not overlap with reads.
 type HeapFile struct {
 	f      *os.File
 	schema *relation.Schema
@@ -25,6 +28,7 @@ type HeapFile struct {
 	cur    *page
 	stats  *IOStats
 	pool   *bufferPool
+	mu     sync.Mutex // guards pool and stats during concurrent reads
 }
 
 // Create creates (or truncates) a heap file at path with the given schema
@@ -104,33 +108,57 @@ func (h *HeapFile) flushCurrent() error {
 }
 
 // readPage returns the decoded rows of page i, through the buffer pool.
+// Decoding runs outside the lock: parallel scan workers read disjoint page
+// ranges, so the pool is contended only briefly per page.
 func (h *HeapFile) readPage(i int64) ([]relation.Row, error) {
+	h.mu.Lock()
 	if rows, ok := h.pool.get(i); ok {
+		h.mu.Unlock()
 		return rows, nil
 	}
+	h.stats.PagesRead++
+	h.mu.Unlock()
+	obsPageRead()
 	var buf [PageSize]byte
 	if _, err := h.f.ReadAt(buf[:], i*PageSize); err != nil && err != io.EOF {
 		return nil, fmt.Errorf("storage: read page %d: %w", i, err)
 	}
-	h.stats.PagesRead++
-	obsPageRead()
 	rows, err := decodePage(buf[:], h.schema)
 	if err != nil {
 		return nil, err
 	}
+	h.mu.Lock()
 	h.pool.put(i, rows)
+	h.mu.Unlock()
 	return rows, nil
 }
 
 // Scan returns a stream over all rows, in file order. Each Scan that
 // touches disk pages counts toward PagesRead unless served by the pool.
 func (h *HeapFile) Scan() stream.Stream[relation.Row] {
-	return &heapScan{h: h}
+	return h.ScanRange(0, h.pages+1)
+}
+
+// ScanRange returns a stream over the rows of flushed pages [lo, min(hi,
+// Pages())), in file order. If hi exceeds Pages(), the open in-memory
+// tail page is drained after the last flushed page, so ScanRange(0,
+// Pages()+1) is equivalent to Scan(). Disjoint ranges may be consumed
+// concurrently; each page read is counted once.
+func (h *HeapFile) ScanRange(lo, hi int64) stream.Stream[relation.Row] {
+	if lo < 0 {
+		lo = 0
+	}
+	withTail := hi > h.pages
+	if hi > h.pages {
+		hi = h.pages
+	}
+	return &heapScan{h: h, page: lo, end: hi, tailDone: !withTail}
 }
 
 type heapScan struct {
 	h        *HeapFile
 	page     int64
+	end      int64 // first flushed page beyond the range
 	rows     []relation.Row
 	i        int
 	err      error
@@ -147,7 +175,7 @@ func (s *heapScan) Next() (relation.Row, bool) {
 			s.i++
 			return r, true
 		}
-		if s.page < s.h.pages {
+		if s.page < s.end {
 			rows, err := s.h.readPage(s.page)
 			if err != nil {
 				s.err = err
@@ -157,7 +185,8 @@ func (s *heapScan) Next() (relation.Row, bool) {
 			s.page++
 			continue
 		}
-		// All flushed pages consumed: drain the open in-memory tail page.
+		// All flushed pages of the range consumed: drain the open
+		// in-memory tail page if the range extends past the file.
 		if !s.tailDone {
 			s.tailDone = true
 			if s.h.cur.rows > 0 {

@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func TestMergeKOrdersAndDrains(t *testing.T) {
+	out, err := Collect(MergeK(intCmp,
+		FromSlice([]int{1, 4, 7}),
+		FromSlice([]int{2, 5, 8}),
+		FromSlice([]int{3, 6, 9}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(out) != len(want) {
+		t.Fatalf("got %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+}
+
+// Ties must go to the earliest part — the stability that makes the merge
+// deterministic regardless of goroutine completion order upstream.
+func TestMergeKStableOnTies(t *testing.T) {
+	type kv struct{ k, part int }
+	cmp := func(a, b kv) int { return a.k - b.k }
+	out, err := Collect(MergeK(cmp,
+		FromSlice([]kv{{1, 0}, {2, 0}}),
+		FromSlice([]kv{{1, 1}, {2, 1}}),
+		FromSlice([]kv{{2, 2}}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []kv{{1, 0}, {1, 1}, {2, 0}, {2, 1}, {2, 2}}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+}
+
+// Disjoint ascending key ranges must reproduce plain concatenation — the
+// shard-recombination property of the parallel join.
+func TestMergeKDisjointRangesConcatenate(t *testing.T) {
+	out, err := Collect(MergeK(intCmp,
+		FromSlice([]int{1, 1, 2}),
+		FromSlice([]int{5, 5}),
+		FromSlice([]int{9}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 2, 5, 5, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMergeKEmptyAndNoParts(t *testing.T) {
+	if out, err := Collect(MergeK(intCmp)); err != nil || len(out) != 0 {
+		t.Fatalf("no parts: got %v, %v", out, err)
+	}
+	if out, err := Collect(MergeK(intCmp, Empty[int](), FromSlice([]int{3}), Empty[int]())); err != nil || len(out) != 1 || out[0] != 3 {
+		t.Fatalf("empty parts: got %v, %v", out, err)
+	}
+}
+
+func TestMergeKPropagatesPartError(t *testing.T) {
+	boom := errors.New("boom")
+	m := MergeK(intCmp,
+		FromSlice([]int{1, 4}),
+		FailAfter(FromSlice([]int{2, 5, 6}), 1, boom),
+	)
+	var got []int
+	for {
+		x, ok := m.Next()
+		if !ok {
+			break
+		}
+		got = append(got, x)
+	}
+	if !errors.Is(m.Err(), boom) {
+		t.Fatalf("merged stream lost the part error: %v", m.Err())
+	}
+	if m.Err() == nil || len(got) > 2 {
+		t.Fatalf("stream kept producing after failure: %v", got)
+	}
+	// The error stays visible on repeated polling.
+	if _, ok := m.Next(); ok || !errors.Is(m.Err(), boom) {
+		t.Fatal("error not latched after exhaustion")
+	}
+}
+
+func TestDedupDropsAdjacentReplicas(t *testing.T) {
+	same := func(a, b int) bool { return a == b }
+	out, err := Collect(Dedup(FromSlice([]int{1, 1, 2, 3, 3, 3, 4, 1}), same))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 1} // only adjacent duplicates collapse
+	if len(out) != len(want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+}
+
+func TestDedupPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	d := Dedup(FailAfter(FromSlice([]int{1, 1, 2}), 2, boom), func(a, b int) bool { return a == b })
+	var n int
+	for {
+		if _, ok := d.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("want 1 element before failure, got %d", n)
+	}
+	if !errors.Is(d.Err(), boom) {
+		t.Fatalf("dedup lost the upstream error: %v", d.Err())
+	}
+}

@@ -150,19 +150,25 @@ type concat[T any] struct {
 func Concat[T any](parts ...Stream[T]) Stream[T] { return &concat[T]{parts: parts} }
 
 func (c *concat[T]) Next() (T, bool) {
+	var zero T
+	if c.err != nil {
+		return zero, false
+	}
 	for len(c.parts) > 0 {
 		x, ok := c.parts[0].Next()
 		if ok {
 			return x, true
 		}
 		if err := c.parts[0].Err(); err != nil {
+			// Latch the failure and drop every part: a subsequent Next
+			// must not re-drive the failed producer or skip into later
+			// parts as if the prefix had been exhausted cleanly.
 			c.err = err
-			var zero T
+			c.parts = nil
 			return zero, false
 		}
 		c.parts = c.parts[1:]
 	}
-	var zero T
 	return zero, false
 }
 
