@@ -17,6 +17,14 @@
 //
 // Shell commands: \d (relations), \stats R, \explain on|off,
 // \streams on|off, \trace on|off, \set parallelism N, \metrics, \q.
+//
+// Live ingestion: a "subscribe NAME (targets) where …" statement registers
+// a standing temporal query (admitted incrementally when its Tables 1–3
+// workspace characterization is bounded, degraded to periodic batch
+// re-execution otherwise); \append REL v1,v2,… ingests one tuple,
+// \live lists tables and standing queries, \deltas NAME polls a query's
+// fresh result deltas, \verify NAME checks accumulated deltas against a
+// batch re-execution, and \flush force-releases the reorder buffers.
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 
 	"tdb/internal/constraints"
 	"tdb/internal/engine"
+	"tdb/internal/interval"
+	"tdb/internal/live"
 	"tdb/internal/obs"
 	"tdb/internal/optimizer"
 	"tdb/internal/quel"
@@ -193,6 +203,18 @@ type shell struct {
 	// \set parallelism.
 	parallelism     int
 	parallelMinRows int
+	// liveMgr owns live tables and standing queries; created on the first
+	// subscribe or \append.
+	liveMgr *live.Manager
+}
+
+// liveManager lazily creates the live manager over the shell's database.
+func (sh *shell) liveManager() *live.Manager {
+	if sh.liveMgr == nil {
+		sh.liveMgr = live.NewManager(sh.db, sh.reg, engine.Options{
+			Registry: sh.reg, Parallelism: sh.parallelism, ParallelMinRows: sh.parallelMinRows})
+	}
+	return sh.liveMgr
 }
 
 // printf writes best-effort shell output; a broken pipe on interactive
@@ -240,6 +262,21 @@ func (sh *shell) repl() {
 			continue
 		case trimmed == `\metrics`:
 			sh.metrics()
+			continue
+		case trimmed == `\live`:
+			sh.liveStatus()
+			continue
+		case trimmed == `\flush`:
+			sh.flushLive()
+			continue
+		case strings.HasPrefix(trimmed, `\append `):
+			sh.appendRow(strings.TrimSpace(strings.TrimPrefix(trimmed, `\append`)))
+			continue
+		case strings.HasPrefix(trimmed, `\deltas `):
+			sh.pollDeltas(strings.TrimSpace(strings.TrimPrefix(trimmed, `\deltas`)))
+			continue
+		case strings.HasPrefix(trimmed, `\verify `):
+			sh.verifyStanding(strings.TrimSpace(strings.TrimPrefix(trimmed, `\verify`)))
 			continue
 		case strings.HasPrefix(trimmed, `\set parallelism `):
 			sh.setParallelism(strings.TrimSpace(strings.TrimPrefix(trimmed, `\set parallelism`)))
@@ -293,6 +330,126 @@ func (sh *shell) setParallelism(arg string) {
 	}
 }
 
+// appendRow handles \append REL v1,v2,… — one tuple into a live table,
+// values matched positionally against the relation schema.
+func (sh *shell) appendRow(arg string) {
+	name, rest, ok := strings.Cut(arg, " ")
+	if !ok {
+		sh.println(`\append wants: \append REL v1,v2,...`)
+		return
+	}
+	rel, err := sh.db.Relation(name)
+	if err != nil {
+		sh.printf("append: %v\n", err)
+		return
+	}
+	vals := strings.Split(rest, ",")
+	if len(vals) != rel.Schema.Arity() {
+		sh.printf("append: %d values for %s%s\n", len(vals), name, rel.Schema)
+		return
+	}
+	row := make(relation.Row, len(vals))
+	for i, c := range rel.Schema.Cols {
+		s := strings.TrimSpace(vals[i])
+		switch c.Kind {
+		case value.KindString:
+			row[i] = value.String_(strings.Trim(s, `"`))
+		case value.KindTime:
+			var n int64
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+				sh.printf("append: column %s wants a time, got %q\n", c.Name, s)
+				return
+			}
+			row[i] = value.TimeVal(interval.Time(n))
+		case value.KindInt:
+			var n int64
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+				sh.printf("append: column %s wants an integer, got %q\n", c.Name, s)
+				return
+			}
+			row[i] = value.Int(n)
+		default:
+			sh.printf("append: column %s has unsupported kind\n", c.Name)
+			return
+		}
+	}
+	m := sh.liveManager()
+	if err := m.Append(name, row); err != nil {
+		sh.printf("append: %v\n", err)
+		return
+	}
+	t := m.Table(name)
+	sh.printf("appended to %s (watermark %d, buffered %d, released %d)\n",
+		name, t.Watermark(), t.Buffered(), t.Released())
+}
+
+// liveStatus renders live tables and standing queries for \live.
+func (sh *shell) liveStatus() {
+	if sh.liveMgr == nil {
+		sh.println("live: nothing ingested or subscribed")
+		return
+	}
+	for _, t := range sh.liveMgr.Tables() {
+		sh.printf("table %s: watermark %d, buffered %d, released %d, rejected %d\n",
+			t.Name(), t.Watermark(), t.Buffered(), t.Released(), t.Rejected())
+	}
+	for _, q := range sh.liveMgr.Queries() {
+		sh.printf("query %s: %s — %d deltas, workspace %d (bound %.0f), %s\n",
+			q.Name(), q.Explain(), len(q.Deltas()), q.Workspace(), q.Bound(), q.Suspended())
+	}
+}
+
+// flushLive force-releases every reorder buffer (\flush).
+func (sh *shell) flushLive() {
+	if sh.liveMgr == nil {
+		sh.println("live: nothing to flush")
+		return
+	}
+	sh.liveMgr.Flush()
+	sh.liveStatus()
+}
+
+// pollDeltas handles \deltas NAME: poll the standing query and print the
+// fresh delta rows.
+func (sh *shell) pollDeltas(name string) {
+	if sh.liveMgr == nil || sh.liveMgr.Query(name) == nil {
+		sh.printf("no standing query %q\n", name)
+		return
+	}
+	q := sh.liveMgr.Query(name)
+	rows, err := q.Poll()
+	if err != nil {
+		sh.printf("poll %s: %v\n", name, err)
+		return
+	}
+	if schema := q.Schema(); schema != nil {
+		out := relation.New(name+"Δ", schema)
+		out.Rows = rows
+		sh.print(out)
+		return
+	}
+	sh.printf("%sΔ: %d rows\n", name, len(rows))
+	for _, row := range rows {
+		sh.println("  " + row.Key())
+	}
+}
+
+// verifyStanding handles \verify NAME: check accumulated deltas against a
+// batch re-execution over the current contents.
+func (sh *shell) verifyStanding(name string) {
+	if sh.liveMgr == nil || sh.liveMgr.Query(name) == nil {
+		sh.printf("no standing query %q\n", name)
+		return
+	}
+	deltas, ref, err := sh.liveMgr.Query(name).Verify()
+	if err != nil {
+		sh.printf("verify %s: FAILED: %v\n", name, err)
+		return
+	}
+	sh.printf("verify %s: OK — %d accumulated deltas consistent with %d-row batch re-execution\n",
+		name, deltas, ref)
+}
+
 func (sh *shell) statsOf(name string) {
 	if st := sh.db.Stats(name); st != nil {
 		sh.println(st)
@@ -328,6 +485,15 @@ func (sh *shell) runStatements(src string) error {
 		}
 		if res.Contradiction {
 			sh.println("semantic: query is contradictory — empty result without data access")
+			continue
+		}
+		if q.Standing != "" {
+			sq, err := sh.liveManager().Register(q.Standing, res.Tree,
+				live.RegisterOptions{AllowDegrade: true})
+			if err != nil {
+				return err
+			}
+			sh.printf("subscribed %s: %s\n", sq.Name(), sq.Explain())
 			continue
 		}
 		opt := engine.Options{ForceNestedLoop: !sh.streams, Registry: sh.reg,

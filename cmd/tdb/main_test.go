@@ -12,6 +12,7 @@ import (
 
 	"tdb/internal/engine"
 	"tdb/internal/obs"
+	"tdb/internal/relation"
 	"tdb/internal/storage"
 	"tdb/internal/workload"
 )
@@ -277,5 +278,80 @@ where f3.Rank="Associate" and f1.Name=f2.Name and f1.Rank="Assistant"
 	}
 	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
 		t.Errorf("/debug/pprof/ index unexpected:\n%.200s", idx)
+	}
+}
+
+// TestShellLiveSubscribe drives the full live loop through the shell:
+// subscribe a standing query, \append tuples, \deltas, \verify, \live,
+// \flush — and check an unbounded subscribe degrades with an explain note.
+func TestShellLiveSubscribe(t *testing.T) {
+	db := engine.NewDB()
+	db.MustRegister(relation.New("F", workload.FacultySchema))
+	db.MustRegister(relation.New("G", workload.FacultySchema))
+	var buf bytes.Buffer
+	sh := &shell{db: db, explain: false, streams: true, out: &buf, reg: obs.NewRegistry()}
+
+	err := sh.runStatements(`
+range of f is F
+range of g is G
+subscribe watch (Name=f.Name) where (f overlap g)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "subscribed watch: incremental") {
+		t.Fatalf("subscribe output: %s", out)
+	}
+
+	buf.Reset()
+	sh.appendRow(`F alice,Assistant,1,10`)
+	sh.appendRow(`G bob,Full,2,8`)
+	sh.appendRow(`F carol,Full,20,30`)
+	if out := buf.String(); !strings.Contains(out, "appended to F") || !strings.Contains(out, "appended to G") {
+		t.Fatalf("append output: %s", out)
+	}
+
+	buf.Reset()
+	sh.pollDeltas("watch")
+	if out := buf.String(); !strings.Contains(out, "alice") {
+		t.Fatalf("deltas output missing the overlap match: %s", out)
+	}
+	buf.Reset()
+	sh.verifyStanding("watch")
+	if out := buf.String(); !strings.Contains(out, "verify watch: OK") {
+		t.Fatalf("verify output: %s", out)
+	}
+	buf.Reset()
+	sh.liveStatus()
+	out := buf.String()
+	if !strings.Contains(out, "table F:") || !strings.Contains(out, "query watch:") {
+		t.Fatalf("live status: %s", out)
+	}
+	buf.Reset()
+	sh.flushLive()
+	if out := buf.String(); !strings.Contains(out, "buffered 0") {
+		t.Fatalf("flush output: %s", out)
+	}
+
+	// An unbounded characterization degrades with an explain note.
+	buf.Reset()
+	if err := sh.runStatements("range of f is F\nrange of g is G\nsubscribe late (Name=f.Name) where (f before g)"); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "subscribed late: batch · degraded") {
+		t.Fatalf("degrade output: %s", out)
+	}
+
+	// Errors surfaced, not fatal: bad relation, bad arity, bad query name.
+	buf.Reset()
+	sh.appendRow(`Nope 1,2,3,4`)
+	sh.appendRow(`F onlyone`)
+	sh.pollDeltas("missing")
+	sh.verifyStanding("missing")
+	out = buf.String()
+	for _, frag := range []string{"append: ", "no standing query"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("error handling output missing %q: %s", frag, out)
+		}
 	}
 }

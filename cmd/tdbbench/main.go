@@ -11,10 +11,17 @@
 //
 //	tdbbench [-n 4000] [-faculty 200] [-seed 1] [-policy sweep|lambda]
 //	         [-json results.json] [-listen 127.0.0.1:8080] [-parallel]
+//	         [-live] [-live-json BENCH_LIVE.json]
 //
 // -parallel additionally runs E22, the time-range partitioned parallel
 // execution sweep: the contain-join at k ∈ {1,2,4,8} workers, verifying
 // byte-identical output and reporting speedup and boundary replication.
+//
+// -live additionally runs E23, the sustained live-ingest sweep: two tuple
+// streams at λ ∈ {0.5, 2, 10} through the live manager with standing
+// incremental and degraded-batch temporal queries, verifying the delta
+// contract and the workspace admission ceiling, and writing the structured
+// document to BENCH_LIVE.json (-live-json).
 //
 // The human-readable tables always go to stdout; -json additionally writes
 // the same tables (plus per-experiment wall time) as a machine-readable
@@ -62,6 +69,8 @@ func main() {
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	listen := flag.String("listen", "", "serve /metrics and /debug/pprof on this address while running")
 	parallel := flag.Bool("parallel", false, "also run E22, the parallel speedup sweep (k = 1,2,4,8)")
+	liveRun := flag.Bool("live", false, "also run E23, the sustained live-ingest sweep, writing BENCH_LIVE.json")
+	liveOut := flag.String("live-json", "BENCH_LIVE.json", "where -live writes its machine-readable document")
 	flag.Parse()
 
 	if *n < 1 {
@@ -139,6 +148,23 @@ func main() {
 		}})
 	}
 
+	if *liveRun {
+		suite = append(suite, struct {
+			name string
+			run  func() (*experiments.Table, error)
+		}{"live-ingest", func() (*experiments.Table, error) {
+			res, tab, err := experiments.LiveIngest(*n/2, []float64{0.5, 2, 10}, 8, *seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeLiveJSON(*liveOut, res); err != nil {
+				return nil, err
+			}
+			fmt.Printf("live-ingest document written to %s\n", *liveOut)
+			return tab, nil
+		}})
+	}
+
 	result := benchResult{N: *n, Faculty: *faculty, Seed: *seed, Policy: *policyName}
 	for _, exp := range suite {
 		start := time.Now()
@@ -162,6 +188,21 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// writeLiveJSON writes the E23 structured document (BENCH_LIVE.json).
+func writeLiveJSON(path string, res *experiments.LiveResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error wins
+		return err
+	}
+	return f.Close()
 }
 
 // writeJSON writes the result document, indented for diffability.

@@ -1,0 +1,109 @@
+package catalog
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tdb/internal/interval"
+)
+
+// randomSortedSpans yields n lifespans with non-decreasing ValidFrom —
+// the live ingestion arrival order.
+func randomSortedSpans(rng *rand.Rand, n int) []interval.Interval {
+	spans := make([]interval.Interval, n)
+	ts := interval.Time(0)
+	for i := range spans {
+		ts += interval.Time(rng.Intn(4))
+		dur := interval.Time(1 + rng.Intn(20))
+		spans[i] = interval.Interval{Start: ts, End: ts + dur}
+	}
+	return spans
+}
+
+func TestIncrementalMatchesFromSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		spans := randomSortedSpans(rng, n)
+
+		inc := NewIncremental()
+		for _, iv := range spans {
+			inc.Observe(iv)
+		}
+		got := inc.Snapshot()
+		want := FromSpans(spans)
+
+		if got.Cardinality != want.Cardinality {
+			t.Fatalf("n=%d cardinality %d != %d", n, got.Cardinality, want.Cardinality)
+		}
+		if got.MinTS != want.MinTS || got.MaxTS != want.MaxTS ||
+			got.MinTE != want.MinTE || got.MaxTE != want.MaxTE {
+			t.Fatalf("n=%d bounds %v != %v", n, got, want)
+		}
+		if got.MeanDuration != want.MeanDuration || got.MaxDuration != want.MaxDuration {
+			t.Fatalf("n=%d durations %v/%v != %v/%v", n,
+				got.MeanDuration, got.MaxDuration, want.MeanDuration, want.MaxDuration)
+		}
+		if got.Lambda != want.Lambda {
+			t.Fatalf("n=%d lambda %v != %v", n, got.Lambda, want.Lambda)
+		}
+		if got.MaxConcurrency != want.MaxConcurrency {
+			t.Fatalf("n=%d maxconc %d != %d (exact heap sweep diverged from event sweep)",
+				n, got.MaxConcurrency, want.MaxConcurrency)
+		}
+		if !got.SortedTS {
+			t.Fatalf("n=%d SortedTS lost under ordered arrival", n)
+		}
+		if len(got.TSSample) == 0 || len(got.TSSample) > tsSampleCap {
+			t.Fatalf("n=%d sample size %d out of range", n, len(got.TSSample))
+		}
+		if !sort.SliceIsSorted(got.TSSample, func(i, j int) bool {
+			return got.TSSample[i] < got.TSSample[j]
+		}) {
+			t.Fatalf("n=%d TSSample not sorted", n)
+		}
+	}
+}
+
+func TestIncrementalSortedTEAndOutOfOrder(t *testing.T) {
+	inc := NewIncremental()
+	inc.Observe(interval.Interval{Start: 0, End: 10})
+	inc.Observe(interval.Interval{Start: 1, End: 5}) // TE regresses
+	if s := inc.Snapshot(); s.SortedTE {
+		t.Error("SortedTE should clear when ValidTo regresses")
+	}
+	inc.Observe(interval.Interval{Start: 0, End: 20}) // TS regresses
+	s := inc.Snapshot()
+	if s.SortedTS {
+		t.Error("SortedTS should clear when ValidFrom regresses")
+	}
+	if s.Cardinality != 3 || s.MaxTE != 20 {
+		t.Errorf("counting under out-of-order arrival: %v", s)
+	}
+}
+
+func TestIncrementalActiveSpans(t *testing.T) {
+	inc := NewIncremental()
+	inc.Observe(interval.Interval{Start: 0, End: 10})
+	inc.Observe(interval.Interval{Start: 2, End: 4})
+	if inc.ActiveSpans() != 2 {
+		t.Fatalf("active = %d, want 2", inc.ActiveSpans())
+	}
+	inc.Observe(interval.Interval{Start: 5, End: 7}) // {0,10} stays, {2,4} retires
+	if inc.ActiveSpans() != 2 {
+		t.Fatalf("active = %d, want 2 after retirement", inc.ActiveSpans())
+	}
+	if s := inc.Snapshot(); s.MaxConcurrency != 2 {
+		t.Fatalf("maxconc = %d, want 2", s.MaxConcurrency)
+	}
+}
+
+func TestCatalogPut(t *testing.T) {
+	c := New()
+	s := &Stats{Cardinality: 7}
+	c.Put("r", s)
+	if c.Lookup("r") != s {
+		t.Fatal("Put/Lookup roundtrip failed")
+	}
+}

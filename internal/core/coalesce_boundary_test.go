@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/stream"
+)
+
+// TestCoalesceEmptyInput: an empty batch emits nothing and the workspace is
+// exactly the single input buffer.
+func TestCoalesceEmptyInput(t *testing.T) {
+	probe := &metrics.Probe{}
+	out := coalesceAll(t, nil, probe)
+	if len(out) != 0 {
+		t.Fatalf("coalesce of empty input = %v", out)
+	}
+	if probe.Workspace() != 1 {
+		t.Fatalf("workspace = %d, want 1 (buffer only)", probe.Workspace())
+	}
+	if probe.Emitted != 0 || probe.ReadLeft != 0 {
+		t.Fatalf("probe = %+v, want untouched", probe)
+	}
+}
+
+// TestCoalesceDuplicateTS: rows sharing a ValidFrom — identical spans,
+// nested spans, and a same-start extension — collapse into one value-
+// equivalent period per key instead of tripping the order check (equal
+// starts satisfy ValidFrom-sorted).
+func TestCoalesceDuplicateTS(t *testing.T) {
+	in := []keyed{
+		{"a", interval.New(3, 7)},
+		{"a", interval.New(3, 7)}, // exact duplicate
+		{"a", interval.New(3, 5)}, // nested, same start
+		{"a", interval.New(3, 9)}, // same start, extends
+		{"b", interval.New(3, 4)}, // same TS, other key
+	}
+	out := coalesceAll(t, in, nil)
+	want := []keyed{
+		{"a", interval.New(3, 9)},
+		{"b", interval.New(3, 4)},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+// TestCoalesceMeetsAtDuplicateBoundary: a period ending exactly where the
+// next begins merges (half-open adjacency), while a one-chronon gap splits.
+func TestCoalesceMeetsAtDuplicateBoundary(t *testing.T) {
+	in := []keyed{
+		{"a", interval.New(0, 4)},
+		{"a", interval.New(4, 8)},  // meets: merge
+		{"a", interval.New(9, 12)}, // gap of one chronon: split
+	}
+	out := coalesceAll(t, in, nil)
+	want := []keyed{
+		{"a", interval.New(0, 8)},
+		{"a", interval.New(9, 12)},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+// TestCoalesceUnsortedGroupRejected: a ValidFrom regression inside a group
+// is an input-contract violation, reported rather than silently merged.
+func TestCoalesceUnsortedGroupRejected(t *testing.T) {
+	in := []keyed{
+		{"a", interval.New(5, 9)},
+		{"a", interval.New(3, 4)},
+	}
+	err := Coalesce(stream.FromSlice(in), keyedKey, keyedSpan, keyedWrap,
+		Options{}, func(keyed) {})
+	if err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("err = %v, want group-order violation", err)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/stream"
+)
+
+// batchOverlapPairs runs the overlap join in one shot over slices.
+func batchOverlapPairs(t *testing.T, xs, ys []interval.Interval) []string {
+	t.Helper()
+	var out []string
+	err := OverlapJoin(stream.FromSlice(xs), stream.FromSlice(ys), ivSpan, Options{},
+		func(x, y interval.Interval) { out = append(out, fmt.Sprintf("%v|%v", x, y)) })
+	if err != nil {
+		t.Fatalf("batch overlap join: %v", err)
+	}
+	return out
+}
+
+func TestRunnerIncrementalMatchesBatch(t *testing.T) {
+	xs := []interval.Interval{{Start: 1, End: 5}, {Start: 2, End: 9}, {Start: 6, End: 8}, {Start: 7, End: 12}}
+	ys := []interval.Interval{{Start: 0, End: 3}, {Start: 4, End: 7}, {Start: 8, End: 10}, {Start: 11, End: 13}}
+	want := batchOverlapPairs(t, xs, ys)
+
+	r := NewRunner[string](0)
+	fx := Attach[interval.Interval](r)
+	fy := Attach[interval.Interval](r)
+	probe := &metrics.Probe{}
+	r.Start(func(emit func(string)) error {
+		return OverlapJoin[interval.Interval](fx, fy, ivSpan, Options{Probe: probe},
+			func(x, y interval.Interval) { emit(fmt.Sprintf("%v|%v", x, y)) })
+	})
+
+	var got []string
+	// Feed in unbalanced dribbles; after each quiescent point the drained
+	// prefix must be a byte-identical prefix of the batch output.
+	fx.Feed(xs[0], xs[1])
+	fy.Feed(ys[0])
+	r.Quiesce()
+	got = append(got, r.Drain()...)
+	checkPrefix(t, got, want)
+
+	fy.Feed(ys[1], ys[2], ys[3])
+	r.Quiesce()
+	got = append(got, r.Drain()...)
+	checkPrefix(t, got, want)
+
+	fx.Feed(xs[2], xs[3])
+	r.CloseAll()
+	if err := r.Wait(); err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	got = append(got, r.Drain()...)
+
+	if len(got) != len(want) {
+		t.Fatalf("incremental emitted %d pairs, batch %d", len(got), len(want))
+	}
+	checkPrefix(t, got, want)
+	if r.Emitted() != int64(len(want)) {
+		t.Errorf("Emitted() = %d, want %d", r.Emitted(), len(want))
+	}
+	if probe.Workspace() <= 0 {
+		t.Errorf("probe workspace not tracked: %v", probe.Workspace())
+	}
+}
+
+func checkPrefix(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) > len(want) {
+		t.Fatalf("incremental emitted %d pairs, batch only %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("delta %d = %q, batch has %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunnerBackpressureSuspendsOperator(t *testing.T) {
+	r := NewRunner[interval.Interval](2)
+	fx := Attach[interval.Interval](r)
+	r.Start(func(emit func(interval.Interval)) error {
+		for {
+			x, ok := fx.Next()
+			if !ok {
+				return nil
+			}
+			emit(x)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		fx.Feed(interval.Interval{Start: interval.Time(i), End: interval.Time(i + 1)})
+	}
+	r.Quiesce()
+	if s := r.Suspended(); s != "backpressure" {
+		t.Fatalf("suspended = %q, want backpressure", s)
+	}
+	if n := r.PendingLen(); n != 2 {
+		t.Fatalf("pending = %d, want cap 2", n)
+	}
+	// Draining resumes the operator; the remaining emissions arrive.
+	var got int
+	for got < 5 {
+		got += len(r.Drain())
+		r.Quiesce()
+	}
+	if s := r.Suspended(); s != "input" {
+		t.Fatalf("suspended = %q, want input", s)
+	}
+	fx.Close()
+	if err := r.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+func TestRunnerStopTearsDown(t *testing.T) {
+	r := NewRunner[interval.Interval](0)
+	fx := Attach[interval.Interval](r)
+	fy := Attach[interval.Interval](r)
+	r.Start(func(emit func(interval.Interval)) error {
+		return OverlapJoin[interval.Interval](fx, fy, ivSpan, Options{},
+			func(x, y interval.Interval) { emit(x) })
+	})
+	fx.Feed(interval.Interval{Start: 1, End: 4})
+	r.Quiesce()
+	r.Stop()
+	if err := r.Wait(); err != nil {
+		t.Fatalf("wait after stop: %v", err)
+	}
+	if got := r.Drain(); len(got) != 0 {
+		t.Fatalf("drained %d after stop, want 0", len(got))
+	}
+	// Feeding after stop is a no-op, not a hang or panic.
+	fx.Feed(interval.Interval{Start: 2, End: 3})
+	if fx.Fed() != 1 {
+		t.Errorf("fed after stop counted: %d", fx.Fed())
+	}
+}
+
+func TestRunnerQuiesceWakesPromptly(t *testing.T) {
+	r := NewRunner[interval.Interval](0)
+	fx := Attach[interval.Interval](r)
+	r.Start(func(emit func(interval.Interval)) error {
+		for {
+			x, ok := fx.Next()
+			if !ok {
+				return nil
+			}
+			emit(x)
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		r.Quiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Quiesce did not observe the suspended operator")
+	}
+	fx.Close()
+	if err := r.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}

@@ -33,6 +33,7 @@ type DB struct {
 	cat    *catalog.Catalog
 	ics    []constraints.ChronOrder
 	reg    *obs.Registry
+	live   map[string]*liveStats
 }
 
 // SetMetrics publishes database-shape gauges (relation count, total rows,
@@ -63,6 +64,7 @@ func NewDB() *DB {
 		rels:   map[string]*relation.Relation{},
 		stored: map[string]*storage.HeapFile{},
 		cat:    catalog.New(),
+		live:   map[string]*liveStats{},
 	}
 }
 

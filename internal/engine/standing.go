@@ -1,0 +1,437 @@
+package engine
+
+import (
+	"fmt"
+
+	"tdb/internal/algebra"
+	"tdb/internal/catalog"
+	"tdb/internal/core"
+	"tdb/internal/metrics"
+	"tdb/internal/relation"
+)
+
+// This file extracts standing-evaluable plans from optimized algebra trees
+// and runs them incrementally over live arrival. A standing plan is the
+// restricted shape [Project?](Join|Semijoin([Select?]Scan, [Select?]Scan))
+// whose temporal operator has a (TS↑, TS↑) stream algorithm: exactly the
+// queries the core operators can evaluate in one pass while ingestion
+// feeds them, with side predicates pushed down to the feed and the
+// projection applied per delta. Anything else (Distinct, aggregates,
+// multi-join trees, θ or before operators) is reported unsupported so the
+// live manager can degrade it to periodic batch re-execution.
+
+// ErrUnsupportedStanding wraps the reason a plan cannot run incrementally.
+type ErrUnsupportedStanding struct{ Reason string }
+
+func (e *ErrUnsupportedStanding) Error() string {
+	return "engine: not standing-evaluable: " + e.Reason
+}
+
+func unsupported(format string, args ...any) error {
+	return &ErrUnsupportedStanding{Reason: fmt.Sprintf(format, args...)}
+}
+
+// StandingPlan is a compiled incremental evaluation plan over two base
+// relations.
+type StandingPlan struct {
+	Kind     algebra.TemporalKind
+	Semijoin bool
+	// LeftRel / RightRel are the base relation names whose appends feed
+	// the two operator inputs.
+	LeftRel, RightRel string
+
+	lschema, rschema *relation.Schema
+	lpred, rpred     rowPred // pushed-down side filters; nil when absent
+	lspan, rspan     core.Span[relation.Row]
+	outSchema        *relation.Schema
+	project          func(relation.Row) relation.Row // nil = identity
+}
+
+// Schema returns the delta row schema.
+func (p *StandingPlan) Schema() *relation.Schema { return p.outSchema }
+
+// Algorithm names the stream operator the plan runs.
+func (p *StandingPlan) Algorithm() string {
+	op := "join"
+	if p.Semijoin {
+		op = "semijoin"
+	}
+	return fmt.Sprintf("stream %v-%s [TS↑,TS↑] (incremental)", p.Kind, op)
+}
+
+// BuildStanding extracts a standing plan from an optimized
+// (temporal-atom-free) expression, or returns *ErrUnsupportedStanding
+// explaining which shape constraint failed.
+func BuildStanding(db *DB, e algebra.Expr) (*StandingPlan, error) {
+	p := &StandingPlan{}
+	root := e
+	var proj *algebra.Project
+	if pr, ok := root.(*algebra.Project); ok {
+		if pr.Distinct {
+			return nil, unsupported("DISTINCT projection must remember every row ever emitted")
+		}
+		proj = pr
+		root = pr.Input
+	}
+	var l, r algebra.Expr
+	var pred algebra.Predicate
+	var lref, rref algebra.SpanRef
+	switch n := root.(type) {
+	case *algebra.Join:
+		l, r, pred, p.Kind, lref, rref = n.L, n.R, n.Pred, n.Kind, n.LSpan, n.RSpan
+	case *algebra.Semijoin:
+		if n.Self {
+			return nil, unsupported("self semijoin evaluates one shared input, not two live feeds")
+		}
+		p.Semijoin = true
+		l, r, pred, p.Kind, lref, rref = n.L, n.R, n.Pred, n.Kind, n.LSpan, n.RSpan
+	default:
+		return nil, unsupported("plan root %T is not a single temporal join or semijoin", root)
+	}
+	if p.Kind == algebra.KindTheta {
+		return nil, unsupported("θ operator has no single-pass stream algorithm")
+	}
+	// A recognized node's predicate still holds the comparison atoms the
+	// optimizer consumed to classify it (Classify sets a non-θ Kind only
+	// when the whole conjunction matches the operator signature), and the
+	// batch stream path evaluates the operator in their place. Drop those;
+	// anything else is a genuine residual the single-pass operator cannot
+	// apply.
+	spanCols := map[algebra.ColRef]bool{
+		lref.TS: true, lref.TE: true, rref.TS: true, rref.TE: true,
+	}
+	for _, a := range pred.Atoms {
+		consumed := (a.Op == algebra.LT || a.Op == algebra.GT) &&
+			!a.L.IsConst && !a.R.IsConst && spanCols[a.L.Col] && spanCols[a.R.Col]
+		if !consumed {
+			return nil, unsupported("residual operator predicate %s cannot be pushed to a side feed", pred)
+		}
+	}
+	if len(pred.Temporal) > 0 {
+		return nil, unsupported("unexpanded temporal atoms %v in operator predicate", pred.Temporal)
+	}
+
+	var err error
+	if p.LeftRel, p.lschema, p.lpred, err = standingSide(db, l); err != nil {
+		return nil, err
+	}
+	if p.RightRel, p.rschema, p.rpred, err = standingSide(db, r); err != nil {
+		return nil, err
+	}
+	if p.lspan, err = spanAccessor(lref, p.lschema); err != nil {
+		return nil, err
+	}
+	if p.rspan, err = spanAccessor(rref, p.rschema); err != nil {
+		return nil, err
+	}
+	// Live arrival is ordered by the base relation's ValidFrom; the
+	// operator needs its *operand* spans in TS order, so the two must
+	// coincide.
+	if p.lschema.ColumnIndex(lref.TS.Name()) != p.lschema.TS {
+		return nil, unsupported("left span starts at %s, not the relation's ValidFrom — arrival order would not be span order", lref.TS)
+	}
+	if p.rschema.ColumnIndex(rref.TS.Name()) != p.rschema.TS {
+		return nil, unsupported("right span starts at %s, not the relation's ValidFrom — arrival order would not be span order", rref.TS)
+	}
+
+	if p.Semijoin {
+		p.outSchema = p.lschema
+	} else {
+		p.outSchema = relation.Concat(p.lschema, p.rschema, "", "")
+	}
+	if proj != nil {
+		if p.outSchema, p.project, err = compileProject(proj, p.outSchema); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// standingSide recognizes an optional Select over a base Scan.
+func standingSide(db *DB, e algebra.Expr) (string, *relation.Schema, rowPred, error) {
+	var pred rowPred
+	if sel, ok := e.(*algebra.Select); ok {
+		e = sel.Input
+		scan, ok := e.(*algebra.Scan)
+		if !ok {
+			return "", nil, nil, unsupported("side %T is not σ(scan)", e)
+		}
+		schema, err := db.SchemaOf(scan.Relation)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		schema = schema.Rename(scan.Var())
+		if pred, err = compilePred(sel.Pred, schema); err != nil {
+			return "", nil, nil, err
+		}
+		return scan.Relation, schema, pred, nil
+	}
+	scan, ok := e.(*algebra.Scan)
+	if !ok {
+		return "", nil, nil, unsupported("side %T is not a base scan", e)
+	}
+	schema, err := db.SchemaOf(scan.Relation)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return scan.Relation, schema.Rename(scan.Var()), nil, nil
+}
+
+// compileProject resolves a projection against the input schema into an
+// output schema and a per-row mapping (the non-Distinct subset of
+// evalProject).
+func compileProject(p *algebra.Project, in *relation.Schema) (*relation.Schema, func(relation.Row) relation.Row, error) {
+	idx := make([]int, len(p.Cols))
+	cols := make([]relation.Column, len(p.Cols))
+	ts, te := -1, -1
+	for i, c := range p.Cols {
+		j := in.ColumnIndex(c.From.Name())
+		if j < 0 {
+			return nil, nil, fmt.Errorf("engine: projection column %s not in %s", c.From, in)
+		}
+		idx[i] = j
+		cols[i] = relation.Column{Name: c.Name, Kind: in.Cols[j].Kind}
+		if c.Name == p.TSName {
+			ts = i
+		}
+		if c.Name == p.TEName {
+			te = i
+		}
+	}
+	schema, err := relation.NewSchema(cols, ts, te)
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, func(r relation.Row) relation.Row {
+		row := make(relation.Row, len(idx))
+		for i, j := range idx {
+			row[i] = r[j]
+		}
+		return row
+	}, nil
+}
+
+// StandingRun is one live execution of a StandingPlan: the unchanged core
+// operator running in a Runner, fed by ingestion, emitting delta rows.
+type StandingRun struct {
+	plan   *StandingPlan
+	runner *core.Runner[relation.Row]
+	left   *core.Feeder[spanned]
+	right  *core.Feeder[spanned]
+	probe  *metrics.Probe
+}
+
+// Start launches the plan's operator; maxPending bounds the undrained
+// delta backlog before backpressure suspends the operator.
+func (p *StandingPlan) Start(probe *metrics.Probe, maxPending int) *StandingRun {
+	r := core.NewRunner[relation.Row](maxPending)
+	fl := core.Attach[spanned](r)
+	fr := core.Attach[spanned](r)
+	run := &StandingRun{plan: p, runner: r, left: fl, right: fr, probe: probe}
+	opt := core.Options{Probe: probe}
+	r.Start(func(emit func(relation.Row)) error {
+		out := func(row relation.Row) {
+			if p.project != nil {
+				row = p.project(row)
+			}
+			emit(row)
+		}
+		emitLR := func(x, y spanned) { out(relation.ConcatRows(x.row, y.row)) }
+		emitSemi := func(s spanned) { out(s.row) }
+		switch {
+		case p.Semijoin && p.Kind == algebra.KindContain:
+			return core.ContainSemijoinTSTS[spanned](fl, fr, spannedSpan, opt, emitSemi)
+		case p.Semijoin && p.Kind == algebra.KindContained:
+			return core.ContainedSemijoinTSTS[spanned](fl, fr, spannedSpan, opt, emitSemi)
+		case p.Semijoin: // KindOverlap
+			return core.OverlapSemijoin[spanned](fl, fr, spannedSpan, opt, emitSemi)
+		case p.Kind == algebra.KindContain:
+			return core.ContainJoinTSTS[spanned](fl, fr, spannedSpan, opt, emitLR)
+		case p.Kind == algebra.KindContained:
+			// Left during right ⇔ Contain-join(right, left); output keeps
+			// left columns first.
+			return core.ContainJoinTSTS[spanned](fr, fl, spannedSpan, opt,
+				func(x, y spanned) { out(relation.ConcatRows(y.row, x.row)) })
+		default: // KindOverlap
+			return core.OverlapJoin[spanned](fl, fr, spannedSpan, opt, emitLR)
+		}
+	})
+	return run
+}
+
+// feed filters, wraps and feeds appended base rows into one side.
+func feed(f *core.Feeder[spanned], rows []relation.Row, pred rowPred, span core.Span[relation.Row]) {
+	ws := make([]spanned, 0, len(rows))
+	for _, row := range rows {
+		if pred != nil && !pred(row) {
+			continue
+		}
+		ws = append(ws, spanned{row: row, span: span(row)})
+	}
+	if len(ws) > 0 {
+		f.Feed(ws...)
+	}
+}
+
+// FeedLeft / FeedRight push newly ingested base rows (in arrival order)
+// into the operator, applying the plan's pushed-down side predicate.
+func (r *StandingRun) FeedLeft(rows []relation.Row)  { feed(r.left, rows, r.plan.lpred, r.plan.lspan) }
+func (r *StandingRun) FeedRight(rows []relation.Row) { feed(r.right, rows, r.plan.rpred, r.plan.rspan) }
+
+// Poll waits until the operator has consumed everything it can of the
+// input fed so far, then returns the accumulated delta rows. It loops
+// quiesce→drain so a backpressure suspension mid-poll (more deltas than
+// the pending cap) cannot truncate the result.
+func (r *StandingRun) Poll() []relation.Row {
+	var out []relation.Row
+	for {
+		r.runner.Quiesce()
+		rows := r.runner.Drain()
+		if len(rows) == 0 {
+			return out
+		}
+		out = append(out, rows...)
+	}
+}
+
+// Fed returns the per-side post-filter feed counts — the replay offsets a
+// checkpoint records.
+func (r *StandingRun) Fed() (left, right int64) { return r.left.Fed(), r.right.Fed() }
+
+// Emitted returns the number of delta rows ever emitted.
+func (r *StandingRun) Emitted() int64 { return r.runner.Emitted() }
+
+// Backlog returns fed-but-unconsumed input tuples plus undrained deltas.
+func (r *StandingRun) Backlog() int {
+	return r.left.Backlog() + r.right.Backlog() + r.runner.PendingLen()
+}
+
+// Suspended reports the runner's wait state ("input", "backpressure",
+// "done", "running").
+func (r *StandingRun) Suspended() string { return r.runner.Suspended() }
+
+// Workspace returns the operator's live workspace figure (state high-water
+// mark plus buffers).
+func (r *StandingRun) Workspace() int64 { return r.probe.Workspace() }
+
+// Close ends the streams gracefully and returns the final delta rows: the
+// operator sees end-of-stream, runs its termination logic, and is drained
+// repeatedly so a backpressure-suspended emit cannot deadlock the wait.
+func (r *StandingRun) Close() ([]relation.Row, error) {
+	r.runner.CloseAll()
+	var out []relation.Row
+	for !r.runner.Done() {
+		r.runner.Quiesce()
+		out = append(out, r.runner.Drain()...)
+	}
+	err := r.runner.Wait()
+	return append(out, r.runner.Drain()...), err
+}
+
+// Quiesce blocks until the operator is suspended or done — after it, every
+// delta implied by the input fed so far is pending or already drained.
+func (r *StandingRun) Quiesce() { r.runner.Quiesce() }
+
+// Stop abandons the run and discards pending deltas.
+func (r *StandingRun) Stop() {
+	r.runner.Stop()
+	_ = r.runner.Wait()
+}
+
+// liveStats pairs the incremental accumulator of an appended relation with
+// a publication countdown, so catalog snapshots are refreshed periodically
+// rather than per row.
+type liveStats struct {
+	inc      *catalog.Incremental
+	sincePub int
+}
+
+// statsPubEvery bounds how stale the published catalog snapshot of an
+// appended relation may be, in rows.
+const statsPubEvery = 64
+
+// Append adds one row to a registered relation — the live ingestion write
+// path. The row lands in the heap file (stored relations) or the in-memory
+// row set, and for temporal relations the catalog statistics are folded
+// forward incrementally (no rescan) and republished every statsPubEvery
+// rows; RefreshStats forces publication.
+func (db *DB) Append(name string, row relation.Row) error {
+	rel, err := db.Relation(name)
+	if err != nil {
+		return err
+	}
+	if len(row) != rel.Schema.Arity() {
+		return fmt.Errorf("engine: append to %s: row arity %d, schema %s", name, len(row), rel.Schema)
+	}
+	ls, err := db.liveStatsFor(name, rel)
+	if err != nil {
+		return err
+	}
+	if hf, ok := db.stored[name]; ok {
+		if err := hf.Append(row); err != nil {
+			return err
+		}
+	} else {
+		rel.Rows = append(rel.Rows, row)
+	}
+	if ls != nil {
+		ls.inc.Observe(row.Span(rel.Schema))
+		ls.sincePub++
+		if ls.sincePub >= statsPubEvery {
+			db.publishStats(name, ls)
+		}
+	}
+	return nil
+}
+
+// liveStatsFor returns (lazily creating) the incremental accumulator of a
+// temporal relation, seeding it with a one-time pass over any rows that
+// existed before the first append.
+func (db *DB) liveStatsFor(name string, rel *relation.Relation) (*liveStats, error) {
+	if !rel.Schema.Temporal() {
+		return nil, nil
+	}
+	if ls, ok := db.live[name]; ok {
+		return ls, nil
+	}
+	inc := catalog.NewIncremental()
+	if hf, ok := db.stored[name]; ok {
+		s := hf.Scan()
+		for row, ok := s.Next(); ok; row, ok = s.Next() {
+			inc.Observe(row.Span(rel.Schema))
+		}
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range rel.Rows {
+			inc.Observe(rel.Span(i))
+		}
+	}
+	ls := &liveStats{inc: inc}
+	db.live[name] = ls
+	return ls, nil
+}
+
+func (db *DB) publishStats(name string, ls *liveStats) {
+	db.cat.Put(name, ls.inc.Snapshot())
+	ls.sincePub = 0
+	db.refreshGauges()
+}
+
+// RefreshStats publishes the current incremental statistics of an appended
+// relation into the catalog (a no-op for relations never appended to).
+func (db *DB) RefreshStats(name string) {
+	if ls, ok := db.live[name]; ok {
+		db.publishStats(name, ls)
+	}
+}
+
+// ActiveSpans returns the number of lifespans open at the append frontier
+// of a relation, or 0 if it has never been appended to.
+func (db *DB) ActiveSpans(name string) int {
+	if ls, ok := db.live[name]; ok {
+		return ls.inc.ActiveSpans()
+	}
+	return 0
+}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/interval"
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+func standingSchema() *relation.Schema {
+	return relation.MustSchema([]relation.Column{
+		{Name: "Id", Kind: value.KindInt},
+		{Name: "ValidFrom", Kind: value.KindTime},
+		{Name: "ValidTo", Kind: value.KindTime},
+	}, 1, 2)
+}
+
+func standingDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustRegister(relation.New("A", standingSchema()))
+	db.MustRegister(relation.New("B", standingSchema()))
+	return db
+}
+
+func standingSpan(v string) algebra.SpanRef {
+	return algebra.SpanRef{
+		TS: algebra.ColRef{Var: v, Col: "ValidFrom"},
+		TE: algebra.ColRef{Var: v, Col: "ValidTo"},
+	}
+}
+
+// TestBuildStandingRejectsShapes: every shape constraint of the standing
+// plan extractor fails with ErrUnsupportedStanding (so the live manager can
+// degrade), never with a silent wrong plan.
+func TestBuildStandingRejectsShapes(t *testing.T) {
+	db := standingDB(t)
+	scanA := func() algebra.Expr { return &algebra.Scan{Relation: "A"} }
+	scanB := func() algebra.Expr { return &algebra.Scan{Relation: "B"} }
+	join := func(kind algebra.TemporalKind) *algebra.Join {
+		return &algebra.Join{L: scanA(), R: scanB(), Kind: kind,
+			LSpan: standingSpan("A"), RSpan: standingSpan("B")}
+	}
+	cases := []struct {
+		name string
+		tree algebra.Expr
+	}{
+		{"distinct projection", &algebra.Project{
+			Input: join(algebra.KindOverlap), Distinct: true,
+			Cols:   []algebra.Output{{Name: "Id", From: algebra.ColRef{Var: "A", Col: "Id"}}},
+			TSName: "", TEName: "",
+		}},
+		{"theta join", join(algebra.KindTheta)},
+		{"self semijoin", &algebra.Semijoin{L: scanA(), R: scanA(), Self: true,
+			Kind: algebra.KindOverlap, LSpan: standingSpan("A"), RSpan: standingSpan("A")}},
+		{"residual predicate", &algebra.Join{L: scanA(), R: scanB(), Kind: algebra.KindOverlap,
+			LSpan: standingSpan("A"), RSpan: standingSpan("B"),
+			Pred: algebra.Predicate{Atoms: []algebra.Atom{{
+				L: algebra.Column("A", "Id"), Op: algebra.EQ, R: algebra.Column("B", "Id")}}}}},
+		{"non-scan side", &algebra.Join{L: &algebra.Product{L: scanA(), R: scanB()}, R: scanB(),
+			Kind: algebra.KindOverlap, LSpan: standingSpan("A"), RSpan: standingSpan("B")}},
+		{"span not on ValidFrom", &algebra.Join{L: scanA(), R: scanB(), Kind: algebra.KindOverlap,
+			LSpan: algebra.SpanRef{
+				TS: algebra.ColRef{Var: "A", Col: "ValidTo"},
+				TE: algebra.ColRef{Var: "A", Col: "ValidFrom"}},
+			RSpan: standingSpan("B")}},
+		{"bare select root", &algebra.Select{Input: scanA()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := BuildStanding(db, tc.tree)
+			var ue *ErrUnsupportedStanding
+			if !errors.As(err, &ue) {
+				t.Fatalf("err = %v, want *ErrUnsupportedStanding", err)
+			}
+			if ue.Reason == "" {
+				t.Fatal("unsupported without a reason")
+			}
+		})
+	}
+}
+
+// TestBuildStandingPushesSideSelect: σ over a scan becomes a side filter
+// applied at feed time, and the projection is applied per delta.
+func TestBuildStandingPushesSideSelect(t *testing.T) {
+	db := standingDB(t)
+	tree := &algebra.Project{
+		Input: &algebra.Semijoin{
+			L: &algebra.Select{Input: &algebra.Scan{Relation: "A"},
+				Pred: algebra.Predicate{Atoms: []algebra.Atom{{
+					L: algebra.Column("A", "Id"), Op: algebra.EQ,
+					R: algebra.Const(value.Int(1))}}}},
+			R:    &algebra.Scan{Relation: "B"},
+			Kind: algebra.KindOverlap,
+			LSpan: algebra.SpanRef{TS: algebra.ColRef{Var: "A", Col: "ValidFrom"},
+				TE: algebra.ColRef{Var: "A", Col: "ValidTo"}},
+			RSpan: algebra.SpanRef{TS: algebra.ColRef{Var: "B", Col: "ValidFrom"},
+				TE: algebra.ColRef{Var: "B", Col: "ValidTo"}},
+		},
+		Cols:   []algebra.Output{{Name: "Id", From: algebra.ColRef{Var: "A", Col: "Id"}}},
+		TSName: "", TEName: "",
+	}
+	plan, err := BuildStanding(db, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Semijoin || plan.LeftRel != "A" || plan.RightRel != "B" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Schema().Arity() != 1 {
+		t.Fatalf("projected arity = %d, want 1", plan.Schema().Arity())
+	}
+	run := plan.Start(nil, 0)
+	mk := func(id int, from, to interval.Time) relation.Row {
+		return relation.Row{value.Int(int64(id)), value.TimeVal(from), value.TimeVal(to)}
+	}
+	run.FeedLeft([]relation.Row{mk(1, 0, 10), mk(2, 1, 11)}) // Id=2 filtered out
+	run.FeedRight([]relation.Row{mk(7, 2, 5)})
+	rows, err := run.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != 1 || rows[0][0] != value.Int(1) {
+		t.Fatalf("deltas = %v, want one projected Id=1 row", rows)
+	}
+}
+
+// TestDBAppendIncrementalStats: appends fold catalog statistics forward
+// without a rescan, publishing every statsPubEvery rows and on demand.
+func TestDBAppendIncrementalStats(t *testing.T) {
+	db := standingDB(t)
+	mk := func(id int, from, to interval.Time) relation.Row {
+		return relation.Row{value.Int(int64(id)), value.TimeVal(from), value.TimeVal(to)}
+	}
+	for i := 0; i < statsPubEvery-1; i++ {
+		if err := db.Append("A", mk(i, interval.Time(i), interval.Time(i+3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := db.Stats("A"); s != nil && s.Cardinality != 0 {
+		t.Fatalf("stats published early: %+v", s)
+	}
+	if err := db.Append("A", mk(99, interval.Time(99), interval.Time(102))); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats("A")
+	if s == nil || s.Cardinality != statsPubEvery {
+		t.Fatalf("stats after %d appends = %+v", statsPubEvery, s)
+	}
+	if err := db.Append("A", mk(100, 100, 103)); err != nil {
+		t.Fatal(err)
+	}
+	db.RefreshStats("A")
+	if s := db.Stats("A"); s == nil || s.Cardinality != statsPubEvery+1 {
+		t.Fatalf("stats after refresh = %+v", s)
+	}
+	if db.ActiveSpans("A") <= 0 {
+		t.Fatal("no active spans at the append frontier")
+	}
+	// Arity violations and unknown relations are rejected.
+	if err := db.Append("A", relation.Row{value.Int(1)}); err == nil {
+		t.Fatal("short row appended")
+	}
+	if err := db.Append("Nope", mk(1, 0, 1)); err == nil {
+		t.Fatal("append to unknown relation accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestLiveIngestExperiment(t *testing.T) {
+	res, tab, err := LiveIngest(150, []float64{1, 5}, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 lambdas × 3 standing queries.
+	if len(res.Points) != 6 || len(tab.Rows) != 6 {
+		t.Fatalf("want 6 sweep points, got %d / %d rows", len(res.Points), len(tab.Rows))
+	}
+	for _, p := range res.Points {
+		if !p.Verified {
+			t.Errorf("λ=%g %s: delta contract not verified", p.Lambda, p.Query)
+		}
+		if p.Deltas == 0 {
+			t.Errorf("λ=%g %s: degenerate run, no deltas", p.Lambda, p.Query)
+		}
+		switch p.Query {
+		case "semijoin-before":
+			if p.Mode != "batch" || p.Workspace != 0 {
+				t.Errorf("before-semijoin should degrade to batch: %+v", p)
+			}
+		default:
+			if p.Mode != "incremental" {
+				t.Errorf("%s should run incrementally: %+v", p.Query, p)
+			}
+			if p.Workspace <= 0 || float64(p.Workspace) > p.Bound {
+				t.Errorf("%s: workspace %d outside (0, bound %.0f]", p.Query, p.Workspace, p.Bound)
+			}
+		}
+		if p.RowsPerSec <= 0 {
+			t.Errorf("%s: nonpositive ingest rate", p.Query)
+		}
+	}
+}

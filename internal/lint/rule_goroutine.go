@@ -11,14 +11,16 @@ import (
 // func` literal in internal/core, internal/stream, internal/engine and
 // internal/partition must therefore be a select case alongside a
 // quit/done receive case, so closing the quit channel always unblocks the
-// processor. (The parallel shard workers of internal/engine satisfy the
-// rule by construction: they write to pre-allocated per-shard slots and
-// never send on a channel.)
+// processor. internal/live is in scope too: its standing queries sit on
+// top of the same runner goroutines, and an unguarded send there would
+// leak an operator per deregistered query. (The parallel shard workers of
+// internal/engine satisfy the rule by construction: they write to
+// pre-allocated per-shard slots and never send on a channel.)
 var goroutineHygieneRule = Rule{
 	Name: "goroutine-hygiene",
 	Doc:  "channel sends in go func literals must select on a quit/done case",
 	Check: func(p *Package, r *Reporter) {
-		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition") {
+		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition", "internal/live") {
 			return
 		}
 		inspect(p, func(n ast.Node) bool {

@@ -8,7 +8,9 @@ import (
 
 // obsNilSafeTypes are the internal/obs hook types that follow the Probe
 // discipline: production code holds nil pointers when observability is
-// off, so every pointer-receiver method must be a no-op on nil.
+// off, so every pointer-receiver method must be a no-op on nil. The same
+// names are bound in internal/live, which holds nil instruments whenever
+// its manager runs without a registry.
 var obsNilSafeTypes = map[string]bool{
 	"Span":         true,
 	"Tracer":       true,
@@ -80,7 +82,7 @@ func nilSafeReceiver(p *Package, fn *ast.FuncDecl) (name, typeName string, ok bo
 	typeName = named.Obj().Name()
 	switch {
 	case typeName == "Probe":
-	case obsNilSafeTypes[typeName] && inScope(p, "internal/obs"):
+	case obsNilSafeTypes[typeName] && inScope(p, "internal/obs", "internal/live"):
 	default:
 		return "", "", false
 	}

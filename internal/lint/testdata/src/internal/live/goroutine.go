@@ -1,0 +1,33 @@
+// Package live is the internal/live fixture: the goroutine-hygiene and
+// probe-nil-safety disciplines extend to the live ingestion subsystem,
+// whose standing queries run on operator goroutines and whose instruments
+// are nil whenever the manager has no registry.
+package live
+
+// Emit streams deltas to a subscriber with a bare send: a subscriber that
+// stops polling leaks the standing query's operator goroutine.
+func Emit(deltas []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		for _, d := range deltas {
+			ch <- d // want goroutine-hygiene
+		}
+	}()
+	return ch
+}
+
+// EmitGuarded is the same delta stream with every send selectable against
+// the query's stop channel, so deregistration always releases the operator.
+func EmitGuarded(deltas []int, stop <-chan struct{}) <-chan int {
+	ch := make(chan int)
+	go func() {
+		for _, d := range deltas {
+			select {
+			case ch <- d:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,20 @@
+package live
+
+// Gauge mirrors a live-subsystem instrument: nil whenever the manager was
+// built without a registry, so every method must no-op on nil.
+type Gauge struct {
+	v int64
+}
+
+// Set is the negative case: the guard comes first.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// BadSet touches the receiver with no guard.
+func (g *Gauge) BadSet(v int64) { // want probe-nil-safety
+	g.v = v
+}

@@ -1,0 +1,264 @@
+// Package live turns the batch reproduction into a continuously ingesting
+// system: tuples arrive in ValidFrom order at rate λ, are watermarked and
+// released into storage, and standing temporal queries — registered once —
+// are evaluated *incrementally* by feeding the unchanged internal/core
+// single-pass operators from the live streams, emitting result deltas as
+// input advances.
+//
+// Admission reuses the paper's state characterizations (Tables 1–3, via
+// optimizer.EstimateStanding): a query is accepted for incremental
+// evaluation only when its (sort-order, operator) pair has a bounded
+// workspace under the catalog's λ/duration statistics; otherwise it is
+// degraded to periodic batch re-execution, or declined with an explain
+// note when degradation is disallowed.
+//
+// The delta contract: because the core operators are deterministic
+// functions of their input sequences and suspension only time-dilates the
+// same run, an incremental query's accumulated deltas are at every
+// watermark a byte-identical prefix of the one batch execution of the same
+// operator over the final input sequences — and equal to it once the
+// streams close.
+package live
+
+import (
+	"fmt"
+	"sort"
+
+	"tdb/internal/algebra"
+	"tdb/internal/catalog"
+	"tdb/internal/engine"
+	"tdb/internal/interval"
+	"tdb/internal/obs"
+	"tdb/internal/optimizer"
+	"tdb/internal/relation"
+)
+
+// Manager owns the live tables and standing queries of one database.
+// Methods are not safe for concurrent use; the ingestion driver serializes
+// them (the operator goroutines beneath StandingRun synchronize
+// themselves).
+type Manager struct {
+	db      *engine.DB
+	reg     *obs.Registry
+	opt     engine.Options
+	tables  map[string]*Table
+	queries map[string]*StandingQuery
+}
+
+// NewManager returns a manager over the database. reg may be nil;
+// otherwise per-table and per-query gauges are published. opt configures
+// batch re-executions of degraded queries.
+func NewManager(db *engine.DB, reg *obs.Registry, opt engine.Options) *Manager {
+	return &Manager{
+		db:      db,
+		reg:     reg,
+		opt:     opt,
+		tables:  map[string]*Table{},
+		queries: map[string]*StandingQuery{},
+	}
+}
+
+// DB returns the underlying database.
+func (m *Manager) DB() *engine.DB { return m.db }
+
+// Live makes a registered relation ingestible with the given reorder
+// slack, returning its table (idempotent; the slack of an existing table
+// is unchanged).
+func (m *Manager) Live(name string, slack interval.Time) (*Table, error) {
+	if t, ok := m.tables[name]; ok {
+		return t, nil
+	}
+	rel, err := m.db.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	if !rel.Schema.Temporal() {
+		return nil, fmt.Errorf("live: relation %s is not temporal", name)
+	}
+	t := &Table{m: m, name: name, schema: rel.Schema, slack: slack,
+		watermark: interval.MinTime, maxTS: interval.MinTime}
+	m.tables[name] = t
+	return t, nil
+}
+
+// Table returns the live table of a relation, or nil.
+func (m *Manager) Table(name string) *Table { return m.tables[name] }
+
+// Tables returns the live tables, sorted by relation name.
+func (m *Manager) Tables() []*Table {
+	out := make([]*Table, 0, len(m.tables))
+	for _, n := range m.tableNames() {
+		out = append(out, m.tables[n])
+	}
+	return out
+}
+
+// batchReference runs a standing plan's operator once over the current
+// (released) relation contents — the reference sequence an incremental
+// query's accumulated deltas must be a byte-identical prefix of.
+func (m *Manager) batchReference(plan *engine.StandingPlan) ([]relation.Row, error) {
+	run := plan.Start(nil, 0)
+	feedAll := func(name string, feed func([]relation.Row)) ([]relation.Row, error) {
+		rel, err := m.db.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		rows := append([]relation.Row(nil), rel.Rows...)
+		schema := rel.Schema
+		sort.SliceStable(rows, func(i, j int) bool {
+			return interval.CmpStart(rows[i].Span(schema), rows[j].Span(schema)) < 0
+		})
+		feed(rows)
+		return rows, nil
+	}
+	left, err := feedAll(plan.LeftRel, run.FeedLeft)
+	if err != nil {
+		run.Stop()
+		return nil, err
+	}
+	if plan.RightRel == plan.LeftRel {
+		run.FeedRight(left)
+	} else if _, err := feedAll(plan.RightRel, run.FeedRight); err != nil {
+		run.Stop()
+		return nil, err
+	}
+	return run.Close()
+}
+
+// Append ingests one row into a relation, making it live with zero slack
+// on first use.
+func (m *Manager) Append(name string, row relation.Row) error {
+	t, ok := m.tables[name]
+	if !ok {
+		var err error
+		if t, err = m.Live(name, 0); err != nil {
+			return err
+		}
+	}
+	return t.Append(row)
+}
+
+// Flush force-releases every table's reorder buffer and republishes
+// catalog statistics — the end-of-batch barrier.
+func (m *Manager) Flush() {
+	for _, name := range m.tableNames() {
+		m.tables[name].Flush()
+	}
+}
+
+func (m *Manager) tableNames() []string {
+	out := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register admits a standing query. The optimized tree is compiled to a
+// standing plan and characterized under the paper's Tables 1–3; bounded
+// characterizations run incrementally, unbounded ones degrade to periodic
+// batch re-execution (opts.AllowDegrade) or are declined with the
+// characterization as explain note.
+func (m *Manager) Register(name string, tree algebra.Expr, opts RegisterOptions) (*StandingQuery, error) {
+	if _, ok := m.queries[name]; ok {
+		return nil, fmt.Errorf("live: standing query %q already registered", name)
+	}
+	q, err := m.admit(name, tree, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.queries[name] = q
+	return q, nil
+}
+
+func (m *Manager) admit(name string, tree algebra.Expr, opts RegisterOptions) (*StandingQuery, error) {
+	plan, err := engine.BuildStanding(m.db, tree)
+	if err != nil {
+		if ue, ok := err.(*engine.ErrUnsupportedStanding); ok {
+			return m.degradeOrDecline(name, tree, opts, ue.Reason)
+		}
+		return nil, err
+	}
+	sx, sy := m.statsOf(plan.LeftRel), m.statsOf(plan.RightRel)
+	est := optimizer.EstimateStanding(plan.Kind, plan.Semijoin, sx, sy)
+	if !est.Bounded {
+		return m.degradeOrDecline(name, tree, opts, est.String())
+	}
+	q := newIncremental(m, name, tree, plan, est, opts)
+	return q, nil
+}
+
+func (m *Manager) degradeOrDecline(name string, tree algebra.Expr, opts RegisterOptions, reason string) (*StandingQuery, error) {
+	if !opts.AllowDegrade {
+		return nil, &DeclinedError{Query: name, Reason: reason}
+	}
+	return newBatch(m, name, tree, reason), nil
+}
+
+// statsOf returns the catalog statistics of a relation, or empty stats for
+// a relation never analyzed (an empty live table).
+func (m *Manager) statsOf(name string) *catalog.Stats {
+	if s := m.db.Stats(name); s != nil {
+		return s
+	}
+	return &catalog.Stats{}
+}
+
+// Query returns a registered standing query, or nil.
+func (m *Manager) Query(name string) *StandingQuery { return m.queries[name] }
+
+// Queries returns the registered standing queries, sorted by name.
+func (m *Manager) Queries() []*StandingQuery {
+	names := make([]string, 0, len(m.queries))
+	for n := range m.queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*StandingQuery, len(names))
+	for i, n := range names {
+		out[i] = m.queries[n]
+	}
+	return out
+}
+
+// Deregister stops and removes a standing query.
+func (m *Manager) Deregister(name string) error {
+	q, ok := m.queries[name]
+	if !ok {
+		return fmt.Errorf("live: unknown standing query %q", name)
+	}
+	q.stop()
+	delete(m.queries, name)
+	return nil
+}
+
+// Close stops every standing query (tables need no teardown).
+func (m *Manager) Close() {
+	for _, q := range m.Queries() {
+		q.stop()
+	}
+	m.queries = map[string]*StandingQuery{}
+}
+
+// feedReleased distributes rows released by a table to every incremental
+// query reading that relation (on whichever sides scan it).
+func (m *Manager) feedReleased(rel string, rows []relation.Row) {
+	for _, q := range m.queries {
+		q.observeRelease(rel, rows)
+	}
+}
+
+func (m *Manager) gauge(name, help string) *obs.Gauge {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Gauge(name, help)
+}
+
+func (m *Manager) counter(name, help string) *obs.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Counter(name, help)
+}

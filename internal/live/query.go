@@ -1,0 +1,416 @@
+package live
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"tdb/internal/algebra"
+	"tdb/internal/engine"
+	"tdb/internal/interval"
+	"tdb/internal/metrics"
+	"tdb/internal/obs"
+	"tdb/internal/optimizer"
+	"tdb/internal/relation"
+)
+
+// Mode is how a standing query is evaluated.
+type Mode int
+
+const (
+	// ModeIncremental feeds the unchanged core stream operator from live
+	// input; the workspace is bounded by the Tables 1–3 characterization.
+	ModeIncremental Mode = iota
+	// ModeBatch re-executes the whole query per poll and emits the
+	// multiset difference — the degraded path for unbounded
+	// characterizations (correct because join/semijoin results are
+	// monotone under append-only input).
+	ModeBatch
+)
+
+func (m Mode) String() string {
+	if m == ModeBatch {
+		return "batch"
+	}
+	return "incremental"
+}
+
+// RegisterOptions configures admission of one standing query.
+type RegisterOptions struct {
+	// AllowDegrade permits falling back to periodic batch re-execution
+	// when the workspace characterization is unbounded; otherwise such
+	// queries are declined with a DeclinedError.
+	AllowDegrade bool
+	// MaxPending bounds the undrained delta backlog of an incremental
+	// query before backpressure suspends its operator (0 = default).
+	MaxPending int
+}
+
+// DeclinedError reports a registration refused by the admission policy.
+type DeclinedError struct {
+	Query  string
+	Reason string
+}
+
+func (e *DeclinedError) Error() string {
+	return fmt.Sprintf("live: standing query %q declined: %s", e.Query, e.Reason)
+}
+
+// StandingQuery is one registered query: either an incremental run of a
+// core stream operator, or a periodically re-executed batch query.
+type StandingQuery struct {
+	name string
+	mode Mode
+	note string // admission explain note
+	tree algebra.Expr
+	m    *Manager
+
+	// Incremental state.
+	plan  *engine.StandingPlan
+	run   *engine.StandingRun
+	probe *metrics.Probe
+	logL  []relation.Row // raw released rows fed per side, for replay
+	logR  []relation.Row
+
+	// Batch state: the multiset of the previous execution's result.
+	prev map[string]int
+
+	deltas    []relation.Row // every delta ever emitted, in emission order
+	deltaHash uint64         // FNV-1a over the delta sequence
+
+	gBacklog   *obs.Gauge
+	gWorkspace *obs.Gauge
+	cDeltas    *obs.Counter
+}
+
+func newIncremental(m *Manager, name string, tree algebra.Expr, plan *engine.StandingPlan,
+	est optimizer.StandingEstimate, opts RegisterOptions) *StandingQuery {
+	q := &StandingQuery{
+		name: name, mode: ModeIncremental, note: est.String(),
+		tree: tree, m: m, plan: plan, probe: &metrics.Probe{},
+		deltaHash: fnv1aInit,
+	}
+	q.metrics()
+	q.run = plan.Start(q.probe, opts.MaxPending)
+	// Rows released (or loaded) before registration are part of the final
+	// relation: feed them first, ValidFrom-sorted, so accumulated deltas
+	// converge to the batch result over the full contents.
+	q.backfill(plan.LeftRel, q.run.FeedLeft, &q.logL)
+	if plan.RightRel == plan.LeftRel {
+		q.run.FeedRight(q.logL)
+		q.logR = append(q.logR, q.logL...)
+	} else {
+		q.backfill(plan.RightRel, q.run.FeedRight, &q.logR)
+	}
+	return q
+}
+
+func (q *StandingQuery) backfill(rel string, feed func([]relation.Row), log *[]relation.Row) {
+	r, err := q.m.db.Relation(rel)
+	if err != nil || len(r.Rows) == 0 {
+		return
+	}
+	rows := append([]relation.Row(nil), r.Rows...)
+	schema := r.Schema
+	sort.SliceStable(rows, func(i, j int) bool {
+		return interval.CmpStart(rows[i].Span(schema), rows[j].Span(schema)) < 0
+	})
+	*log = append(*log, rows...)
+	feed(rows)
+}
+
+func newBatch(m *Manager, name string, tree algebra.Expr, reason string) *StandingQuery {
+	q := &StandingQuery{
+		name: name, mode: ModeBatch,
+		note: "degraded to periodic batch re-execution: " + reason,
+		tree: tree, m: m, prev: map[string]int{},
+		deltaHash: fnv1aInit,
+	}
+	q.metrics()
+	return q
+}
+
+func (q *StandingQuery) metrics() {
+	q.gBacklog = q.m.gauge("tdb_live_backlog_"+q.name, "unconsumed input + undrained deltas of "+q.name)
+	q.gWorkspace = q.m.gauge("tdb_live_workspace_hwm_"+q.name, "operator workspace high-water mark of "+q.name)
+	q.cDeltas = q.m.counter("tdb_live_deltas_total_"+q.name, "delta rows emitted by "+q.name)
+}
+
+// Name returns the query name.
+func (q *StandingQuery) Name() string { return q.name }
+
+// Mode returns the evaluation mode.
+func (q *StandingQuery) Mode() Mode { return q.mode }
+
+// Explain returns the admission note — the Tables 1–3 characterization
+// behind the accept/degrade decision.
+func (q *StandingQuery) Explain() string {
+	if q.mode == ModeIncremental {
+		return fmt.Sprintf("%s · %s · %s", q.mode, q.plan.Algorithm(), q.note)
+	}
+	return fmt.Sprintf("%s · %s", q.mode, q.note)
+}
+
+// observeRelease feeds newly released rows of rel into whichever operator
+// sides scan it (batch queries re-read storage at poll time instead).
+func (q *StandingQuery) observeRelease(rel string, rows []relation.Row) {
+	if q.mode != ModeIncremental {
+		return
+	}
+	if q.plan.LeftRel == rel {
+		q.logL = append(q.logL, rows...)
+		q.run.FeedLeft(rows)
+	}
+	if q.plan.RightRel == rel {
+		q.logR = append(q.logR, rows...)
+		q.run.FeedRight(rows)
+	}
+	q.gBacklog.Set(int64(q.run.Backlog()))
+}
+
+// Poll returns the delta rows produced since the previous poll. For an
+// incremental query it quiesces the operator and drains its emissions; for
+// a batch query it re-executes the tree and returns the multiset
+// difference against the previous execution.
+func (q *StandingQuery) Poll() ([]relation.Row, error) {
+	var fresh []relation.Row
+	if q.mode == ModeIncremental {
+		fresh = q.run.Poll()
+		q.gWorkspace.Set(q.run.Workspace())
+		q.gBacklog.Set(int64(q.run.Backlog()))
+	} else {
+		res, _, err := engine.Run(q.m.db, q.tree, q.m.opt)
+		if err != nil {
+			return nil, err
+		}
+		next := map[string]int{}
+		for _, row := range res.Rows {
+			k := row.Key()
+			next[k]++
+			if next[k] > q.prev[k] {
+				fresh = append(fresh, row)
+			}
+		}
+		q.prev = next
+	}
+	q.record(fresh)
+	return fresh, nil
+}
+
+func (q *StandingQuery) record(rows []relation.Row) {
+	for _, row := range rows {
+		q.deltaHash = fnv1aRow(q.deltaHash, row)
+	}
+	q.deltas = append(q.deltas, rows...)
+	q.cDeltas.Add(int64(len(rows)))
+}
+
+// Deltas returns every delta row ever emitted, in emission order.
+func (q *StandingQuery) Deltas() []relation.Row { return q.deltas }
+
+// DeltaHash returns the FNV-1a hash of the emission sequence — the figure
+// checkpoints record and restores verify.
+func (q *StandingQuery) DeltaHash() uint64 { return q.deltaHash }
+
+// Schema returns the delta row schema (nil for batch queries before their
+// first poll; use the engine result schema instead).
+func (q *StandingQuery) Schema() *relation.Schema {
+	if q.plan != nil {
+		return q.plan.Schema()
+	}
+	return nil
+}
+
+// Workspace returns the live operator workspace (state high-water mark
+// plus buffers); 0 for batch queries.
+func (q *StandingQuery) Workspace() int64 {
+	if q.mode != ModeIncremental {
+		return 0
+	}
+	return q.run.Workspace()
+}
+
+// Bound recomputes the analytic workspace ceiling under the *current*
+// catalog statistics — the figure the acceptance check compares the
+// measured high-water mark against. Returns 0 for batch queries.
+func (q *StandingQuery) Bound() float64 {
+	if q.mode != ModeIncremental {
+		return 0
+	}
+	est := optimizer.EstimateStanding(q.plan.Kind, q.plan.Semijoin,
+		q.m.statsOf(q.plan.LeftRel), q.m.statsOf(q.plan.RightRel))
+	return est.Bound
+}
+
+// Suspended reports the incremental runner's wait state ("input",
+// "backpressure", "done", "running"); batch queries report "batch".
+func (q *StandingQuery) Suspended() string {
+	if q.mode != ModeIncremental {
+		return "batch"
+	}
+	return q.run.Suspended()
+}
+
+// Quiesce blocks until an incremental query's operator has consumed
+// everything it can of the input fed so far (no-op for batch queries).
+func (q *StandingQuery) Quiesce() {
+	if q.mode == ModeIncremental {
+		q.run.Quiesce()
+	}
+}
+
+// Finish gracefully ends the query: an incremental operator sees
+// end-of-stream on every input and runs its termination logic; the final
+// delta rows are recorded and returned. A batch query performs one last
+// re-execution. The query accepts no further input afterwards.
+func (q *StandingQuery) Finish() ([]relation.Row, error) {
+	if q.mode != ModeIncremental {
+		return q.Poll()
+	}
+	rows, err := q.run.Close()
+	q.record(rows)
+	q.gWorkspace.Set(q.run.Workspace())
+	q.gBacklog.Set(0)
+	return rows, err
+}
+
+func (q *StandingQuery) stop() {
+	if q.run != nil {
+		q.run.Stop()
+	}
+}
+
+// Verify checks the delta contract against the current relation contents
+// after a fresh poll: an incremental query's accumulated deltas must be a
+// byte-identical prefix of the one-shot batch run of the same operator; a
+// degraded batch query's accumulated deltas must be multiset-equal to the
+// engine's re-execution. Returns (accumulated deltas, reference rows).
+func (q *StandingQuery) Verify() (deltas, reference int, err error) {
+	if _, err := q.Poll(); err != nil {
+		return 0, 0, err
+	}
+	if q.mode == ModeIncremental {
+		batch, err := q.m.batchReference(q.plan)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(q.deltas) > len(batch) {
+			return len(q.deltas), len(batch), fmt.Errorf(
+				"live: %s emitted %d deltas, batch produces only %d", q.name, len(q.deltas), len(batch))
+		}
+		for i, row := range q.deltas {
+			if row.Key() != batch[i].Key() {
+				return len(q.deltas), len(batch), fmt.Errorf(
+					"live: %s delta %d diverges from batch: %s != %s", q.name, i, row.Key(), batch[i].Key())
+			}
+		}
+		return len(q.deltas), len(batch), nil
+	}
+	res, _, err := engine.Run(q.m.db, q.tree, q.m.opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	counts := map[string]int{}
+	for _, row := range res.Rows {
+		counts[row.Key()]++
+	}
+	for _, row := range q.deltas {
+		k := row.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return len(q.deltas), len(res.Rows), fmt.Errorf(
+				"live: %s delta %s not in the batch result", q.name, k)
+		}
+	}
+	for k, n := range counts {
+		if n != 0 {
+			return len(q.deltas), len(res.Rows), fmt.Errorf(
+				"live: %s missing %d deltas for %s", q.name, n, k)
+		}
+	}
+	return len(q.deltas), len(res.Rows), nil
+}
+
+// Checkpoint is a consistent cut of an incremental standing query: the
+// per-side replay offsets into the released-row logs, the emission count
+// and the delta-sequence hash. Restoring re-feeds the logs and verifies
+// the replayed prefix reproduces the identical emission sequence.
+type Checkpoint struct {
+	Query     string
+	LeftRows  int64
+	RightRows int64
+	Emitted   int64
+	DeltaHash uint64
+}
+
+// Checkpoint quiesces the query and records a consistent cut. Batch
+// queries have no operator state and are not checkpointable.
+func (q *StandingQuery) Checkpoint() (*Checkpoint, error) {
+	if q.mode != ModeIncremental {
+		return nil, fmt.Errorf("live: %s runs in batch mode; nothing to checkpoint", q.name)
+	}
+	if _, err := q.Poll(); err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Query:     q.name,
+		LeftRows:  int64(len(q.logL)),
+		RightRows: int64(len(q.logR)),
+		Emitted:   int64(len(q.deltas)),
+		DeltaHash: q.deltaHash,
+	}, nil
+}
+
+// Restore rebuilds the operator workspace by deterministic replay: a fresh
+// run of the same plan is fed the logged released rows up to the
+// checkpoint offsets, and the replayed emissions must reproduce the
+// checkpointed count and hash — verifying the restored workspace is the
+// one the checkpoint cut. Rows logged after the checkpoint are re-fed so
+// the query continues from the cut.
+func (q *StandingQuery) Restore(cp *Checkpoint) error {
+	if q.mode != ModeIncremental {
+		return fmt.Errorf("live: %s runs in batch mode; nothing to restore", q.name)
+	}
+	if cp.Query != q.name {
+		return fmt.Errorf("live: checkpoint of %q cannot restore %q", cp.Query, q.name)
+	}
+	if int64(len(q.logL)) < cp.LeftRows || int64(len(q.logR)) < cp.RightRows {
+		return fmt.Errorf("live: released-row log shorter than checkpoint (%d/%d < %d/%d)",
+			len(q.logL), len(q.logR), cp.LeftRows, cp.RightRows)
+	}
+	q.run.Stop()
+	q.probe = &metrics.Probe{}
+	q.run = q.plan.Start(q.probe, 0)
+	q.run.FeedLeft(q.logL[:cp.LeftRows])
+	q.run.FeedRight(q.logR[:cp.RightRows])
+	replayed := q.run.Poll()
+	if int64(len(replayed)) != cp.Emitted {
+		return fmt.Errorf("live: replay of %s produced %d deltas, checkpoint has %d",
+			q.name, len(replayed), cp.Emitted)
+	}
+	h := uint64(fnv1aInit)
+	for _, row := range replayed {
+		h = fnv1aRow(h, row)
+	}
+	if h != cp.DeltaHash {
+		return fmt.Errorf("live: replay of %s diverged from checkpoint (hash %x != %x)",
+			q.name, h, cp.DeltaHash)
+	}
+	// Reset the delta log to the verified replayed prefix and continue
+	// with the post-checkpoint rows.
+	q.deltas = replayed
+	q.deltaHash = h
+	q.run.FeedLeft(q.logL[cp.LeftRows:])
+	q.run.FeedRight(q.logR[cp.RightRows:])
+	return nil
+}
+
+const fnv1aInit = 14695981039346656037
+
+func fnv1aRow(h uint64, row relation.Row) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(row.Key()))
+	_, _ = f.Write([]byte{0x1e})
+	// Fold the running hash with the row hash order-sensitively.
+	return h*1099511628211 ^ f.Sum64()
+}

@@ -67,6 +67,21 @@ type RetrieveStmt struct {
 
 func (*RetrieveStmt) isStmt() {}
 
+// SubscribeStmt registers a retrieve as a standing query over live
+// ingestion:
+//
+//	subscribe NAME (targets) [valid from col to col] [where pred]
+//
+// The body is a full retrieve (minus "into" — deltas stream to the
+// subscriber instead of a stored relation); the name addresses the
+// standing query for polling and deregistration.
+type SubscribeStmt struct {
+	Name     string
+	Retrieve *RetrieveStmt
+}
+
+func (*SubscribeStmt) isStmt() {}
+
 // temporalOps maps infix operator names to Figure 2 relationships; overlap
 // is the general TQuel operator of footnote 6.
 var temporalOps = map[string]struct {
@@ -110,14 +125,17 @@ func Parse(src string) (*Program, error) {
 	p := &parser{toks: toks, src: src}
 	prog := &Program{}
 	for !p.at(tokEOF, "") {
-		kw, err := p.keyword("range", "retrieve")
+		kw, err := p.keyword("range", "retrieve", "subscribe")
 		if err != nil {
 			return nil, err
 		}
 		var stmt Stmt
-		if kw == "range" {
+		switch kw {
+		case "range":
 			stmt, err = p.rangeStmt()
-		} else {
+		case "subscribe":
+			stmt, err = p.subscribeStmt()
+		default:
 			stmt, err = p.retrieveStmt()
 		}
 		if err != nil {
@@ -204,6 +222,23 @@ func (p *parser) rangeStmt() (*RangeStmt, error) {
 		return nil, err
 	}
 	return &RangeStmt{Var: v, Relation: rel}, nil
+}
+
+// subscribeStmt parses "NAME (targets) [valid …] [where pred]" (after the
+// consumed "subscribe") by delegating the body to retrieveStmt.
+func (p *parser) subscribeStmt() (*SubscribeStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st, err := p.retrieveStmt()
+	if err != nil {
+		return nil, err
+	}
+	if st.Into != "" {
+		return nil, fmt.Errorf("quel: subscribe %s: \"into\" is not allowed — deltas stream to the subscriber", name)
+	}
+	return &SubscribeStmt{Name: name, Retrieve: st}, nil
 }
 
 // retrieveStmt parses "[into R] (targets) [where pred]".

@@ -18,29 +18,38 @@ func Print(prog *Program) string {
 		switch s := st.(type) {
 		case *RangeStmt:
 			fmt.Fprintf(&b, "range of %s is %s\n", s.Var, s.Relation)
+		case *SubscribeStmt:
+			fmt.Fprintf(&b, "subscribe %s ", s.Name)
+			printRetrieveBody(&b, s.Retrieve)
 		case *RetrieveStmt:
 			b.WriteString("retrieve ")
 			if s.Into != "" {
 				fmt.Fprintf(&b, "into %s ", s.Into)
 			}
-			b.WriteString("(")
-			for i, t := range s.Targets {
-				if i > 0 {
-					b.WriteString(", ")
-				}
-				b.WriteString(printTarget(t))
-			}
-			b.WriteString(")")
-			if s.HasValid {
-				fmt.Fprintf(&b, " valid from %s to %s", s.ValidFrom, s.ValidTo)
-			}
-			if !s.Where.True() {
-				b.WriteString(" where " + printPred(s.Where))
-			}
-			b.WriteString("\n")
+			printRetrieveBody(&b, s)
 		}
 	}
 	return b.String()
+}
+
+// printRetrieveBody renders the targets/valid/where tail shared by retrieve
+// and subscribe statements.
+func printRetrieveBody(b *strings.Builder, s *RetrieveStmt) {
+	b.WriteString("(")
+	for i, t := range s.Targets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(printTarget(t))
+	}
+	b.WriteString(")")
+	if s.HasValid {
+		fmt.Fprintf(b, " valid from %s to %s", s.ValidFrom, s.ValidTo)
+	}
+	if !s.Where.True() {
+		b.WriteString(" where " + printPred(s.Where))
+	}
+	b.WriteString("\n")
 }
 
 func printTarget(t Target) string {

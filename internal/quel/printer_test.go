@@ -17,6 +17,7 @@ retrieve into Totals (Dept=e.Dept, total=sum(e.Salary), n=count(e))
 where e.Salary >= 50 and e.ValidTo = forever`,
 		`range of a is R
 retrieve (X=a.S) where a.ValidFrom != 3 and (a met-by a) and a.S > "m"`,
+		"range of f is Faculty\nrange of g is Faculty\nsubscribe watch (Name=f.Name) where (f overlap g)",
 	}
 	for _, src := range sources {
 		p1, err := Parse(src)

@@ -12,6 +12,10 @@ import (
 type Query struct {
 	Into string
 	Tree algebra.Expr
+	// Standing names a subscribe statement's standing query; empty for a
+	// plain retrieve. The tree is registered with the live manager rather
+	// than executed once.
+	Standing string
 }
 
 // Translate converts a parsed program into algebra trees, performing
@@ -40,6 +44,20 @@ func Translate(prog *Program, src algebra.SchemaSource) ([]Query, error) {
 			if err != nil {
 				return nil, err
 			}
+			queries = append(queries, *q)
+
+		case *SubscribeStmt:
+			q, err := translateRetrieve(s.Retrieve, ranges, order, src)
+			if err != nil {
+				return nil, fmt.Errorf("quel: subscribe %s: %w", s.Name, err)
+			}
+			// A standing query's deltas form an append-only stream:
+			// global duplicate elimination would have to remember every
+			// row ever emitted, so subscribes keep multiset semantics.
+			if pr, ok := q.Tree.(*algebra.Project); ok {
+				pr.Distinct = false
+			}
+			q.Standing = s.Name
 			queries = append(queries, *q)
 		}
 	}

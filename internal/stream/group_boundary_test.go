@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGroupReduceEmptyInput: an empty batch produces no groups at all —
+// the never-started accumulator must not leak out as a zero-value pair.
+func TestGroupReduceEmptyInput(t *testing.T) {
+	got, err := Collect(GroupSum(FromSlice([]kv(nil)),
+		func(x kv) string { return x.k }, func(x kv) int64 { return x.v }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("groups over empty input = %v, want none", got)
+	}
+	// Polling past exhaustion stays exhausted.
+	g := GroupCount(FromSlice([]kv{}), func(x kv) string { return x.k })
+	for i := 0; i < 3; i++ {
+		if p, ok := g.Next(); ok {
+			t.Fatalf("Next() after empty exhaustion = %v, true", p)
+		}
+	}
+}
+
+// TestGroupReduceErrorSuppressesFinalGroup: when the input fails mid-group,
+// the partial accumulator is not emitted as if the group had closed.
+func TestGroupReduceErrorSuppressesFinalGroup(t *testing.T) {
+	boom := errors.New("boom")
+	in := &flaky{pre: []int{1, 2}, err: boom}
+	g := GroupSum(in, func(int) string { return "g" }, func(x int) int64 { return int64(x) })
+	var pairs []Pair[string, int64]
+	for p, ok := g.Next(); ok; p, ok = g.Next() {
+		pairs = append(pairs, p)
+	}
+	if !errors.Is(g.Err(), boom) {
+		t.Fatalf("Err() = %v, want boom", g.Err())
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("partial group emitted despite input error: %v", pairs)
+	}
+}
+
+// TestGroupReduceNonAdjacentKeys documents the grouped-input contract: a
+// key recurring after an intervening group opens a fresh group rather than
+// being merged backwards.
+func TestGroupReduceNonAdjacentKeys(t *testing.T) {
+	in := FromSlice([]kv{{"a", 1}, {"b", 2}, {"a", 4}})
+	got, err := Collect(GroupSum(in, func(x kv) string { return x.k }, func(x kv) int64 { return x.v }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair[string, int64]{{"a", 1}, {"b", 2}, {"a", 4}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("group %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
