@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race bench report cover fmt
+.PHONY: all build vet fmt-check lint test race chaos bench report cover fmt
 
 all: build vet fmt-check lint test
 
@@ -26,6 +26,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The robustness drills: fault-injection, governor and breaker suites
+# under the race detector, then the E24 degradation sweep.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Torn|Breaker|Governor|Leak' ./internal/engine/ ./internal/live/ ./internal/storage/ ./internal/fault/ ./internal/testutil/
+	$(GO) run ./cmd/tdbbench -n 512 -chaos
 
 # One benchmark per paper table/figure (see DESIGN.md's experiment index).
 bench:

@@ -10,13 +10,27 @@
 //
 //	tdb -load Faculty=faculty.csv [-rankorder Faculty:Name:Rank=Assistant,Associate,Full[:continuous]] [-e query.quel]
 //	    [-listen 127.0.0.1:8080] [-trace trace.jsonl] [-parallelism N] [-parallel-min-rows N]
+//	    [-govern] [-faults "site=mode[:k=v...];..."]
 //
 // With -listen the process serves /metrics (Prometheus text), /debug/vars
 // (expvar) and /debug/pprof while queries run. With -trace every traced
-// query appends its per-operator spans to the given JSONL file.
+// query appends its per-query spans to the given JSONL file.
+//
+// -govern arms the workspace governor: serial temporal joins whose
+// measured workspace breaches the optimizer's admission ceiling degrade to
+// the baseline sort-merge (an explain note and the
+// tdb_governor_fallbacks_total counter record it), and standing queries
+// are registered with the breaker (trip → re-admit → degrade/decline).
+//
+// -faults arms deterministic fault-injection failpoints for robustness
+// drills, e.g. -faults "storage/page-read=error:n=3;live/append=delay:ms=5".
+// The TDB_FAULTS environment variable is an equivalent spelling for
+// harnesses that cannot pass flags. Disarmed failpoints cost one atomic
+// load; see DESIGN.md for the site table and the spec grammar.
 //
 // Shell commands: \d (relations), \stats R, \explain on|off,
-// \streams on|off, \trace on|off, \set parallelism N, \metrics, \q.
+// \streams on|off, \trace on|off, \set parallelism N, \metrics,
+// \faults [arm SPEC | reset], \q.
 //
 // Live ingestion: a "subscribe NAME (targets) where …" statement registers
 // a standing temporal query (admitted incrementally when its Tables 1–3
@@ -33,10 +47,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"tdb/internal/constraints"
 	"tdb/internal/engine"
+	"tdb/internal/fault"
 	"tdb/internal/interval"
 	"tdb/internal/live"
 	"tdb/internal/obs"
@@ -61,7 +77,22 @@ func main() {
 	traceFile := flag.String("trace", "", "append per-query JSONL trace spans to this file (also enables \\trace on)")
 	parallelism := flag.Int("parallelism", 0, "worker cap for time-range parallel execution; 0 = GOMAXPROCS, 1 = serial")
 	parallelMinRows := flag.Int("parallel-min-rows", 0, "combined-input floor below which operators stay serial (0 = default)")
+	govern := flag.Bool("govern", false, "abort-and-degrade joins whose workspace breaches the admission ceiling; govern standing queries")
+	faults := flag.String("faults", "", `arm failpoints, e.g. "storage/page-read=error:n=3;live/append=delay:ms=5" (or TDB_FAULTS)`)
 	flag.Parse()
+
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("TDB_FAULTS")
+	}
+	if spec != "" {
+		if err := fault.Arm(spec); err != nil {
+			fatal("%v", err)
+		}
+		for _, st := range fault.List() {
+			fmt.Printf("failpoint armed: %s=%s\n", st.Site, st.Mode)
+		}
+	}
 
 	db := engine.NewDB()
 	for _, l := range loads {
@@ -94,7 +125,7 @@ func main() {
 	}
 
 	sh := &shell{db: db, explain: true, streams: true, out: os.Stdout, reg: obs.NewRegistry(),
-		parallelism: *parallelism, parallelMinRows: *parallelMinRows}
+		parallelism: *parallelism, parallelMinRows: *parallelMinRows, govern: *govern}
 	db.SetMetrics(sh.reg)
 	defer storage.ObserveIO(nil)
 	if *listen != "" {
@@ -200,9 +231,11 @@ type shell struct {
 	reg      *obs.Registry
 	traceOut io.Writer
 	// parallelism and parallelMinRows feed engine.Options verbatim; see
-	// \set parallelism.
+	// \set parallelism. govern arms the workspace governor for batch joins
+	// and the breaker for standing queries.
 	parallelism     int
 	parallelMinRows int
+	govern          bool
 	// liveMgr owns live tables and standing queries; created on the first
 	// subscribe or \append.
 	liveMgr *live.Manager
@@ -263,6 +296,9 @@ func (sh *shell) repl() {
 		case trimmed == `\metrics`:
 			sh.metrics()
 			continue
+		case trimmed == `\faults` || strings.HasPrefix(trimmed, `\faults `):
+			sh.faults(strings.TrimSpace(strings.TrimPrefix(trimmed, `\faults`)))
+			continue
 		case trimmed == `\live`:
 			sh.liveStatus()
 			continue
@@ -307,6 +343,46 @@ func (sh *shell) describe() {
 func (sh *shell) metrics() {
 	if err := sh.reg.WritePrometheus(sh.out); err != nil {
 		sh.printf("metrics: %v\n", err)
+	}
+}
+
+// faults handles \faults: bare lists the declared sites and what is armed,
+// "arm SPEC" arms a schedule, "reset" disarms everything.
+func (sh *shell) faults(arg string) {
+	switch {
+	case arg == "":
+		armed := map[string]fault.Status{}
+		for _, st := range fault.List() {
+			armed[st.Site] = st
+		}
+		sites := fault.Sites()
+		names := make([]string, 0, len(sites))
+		for name := range sites {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if st, ok := armed[name]; ok {
+				sh.printf("%-26s ARMED %s (hits %d, fires %d) — %s\n",
+					name, st.Mode, st.Hits, st.Fires, sites[name])
+				continue
+			}
+			sh.printf("%-26s disarmed — %s\n", name, sites[name])
+		}
+	case arg == "reset":
+		fault.Reset()
+		sh.println("all failpoints disarmed")
+	case strings.HasPrefix(arg, "arm "):
+		spec := strings.TrimSpace(strings.TrimPrefix(arg, "arm"))
+		if err := fault.Arm(spec); err != nil {
+			sh.printf("faults: %v\n", err)
+			return
+		}
+		for _, st := range fault.List() {
+			sh.printf("failpoint armed: %s=%s\n", st.Site, st.Mode)
+		}
+	default:
+		sh.println(`\faults wants: \faults | \faults arm SPEC | \faults reset`)
 	}
 }
 
@@ -405,7 +481,9 @@ func (sh *shell) flushLive() {
 		sh.println("live: nothing to flush")
 		return
 	}
-	sh.liveMgr.Flush()
+	if err := sh.liveMgr.Flush(); err != nil {
+		sh.println("flush: " + err.Error())
+	}
 	sh.liveStatus()
 }
 
@@ -489,7 +567,7 @@ func (sh *shell) runStatements(src string) error {
 		}
 		if q.Standing != "" {
 			sq, err := sh.liveManager().Register(q.Standing, res.Tree,
-				live.RegisterOptions{AllowDegrade: true})
+				live.RegisterOptions{AllowDegrade: true, Govern: sh.govern})
 			if err != nil {
 				return err
 			}
@@ -497,7 +575,8 @@ func (sh *shell) runStatements(src string) error {
 			continue
 		}
 		opt := engine.Options{ForceNestedLoop: !sh.streams, Registry: sh.reg,
-			Parallelism: sh.parallelism, ParallelMinRows: sh.parallelMinRows}
+			Parallelism: sh.parallelism, ParallelMinRows: sh.parallelMinRows,
+			GovernWorkspace: sh.govern}
 		var tracer *obs.Tracer
 		if sh.trace {
 			tracer = obs.NewTracer()

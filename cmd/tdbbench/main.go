@@ -12,6 +12,7 @@
 //	tdbbench [-n 4000] [-faculty 200] [-seed 1] [-policy sweep|lambda]
 //	         [-json results.json] [-listen 127.0.0.1:8080] [-parallel]
 //	         [-live] [-live-json BENCH_LIVE.json]
+//	         [-chaos] [-chaos-json BENCH_CHAOS.json]
 //
 // -parallel additionally runs E22, the time-range partitioned parallel
 // execution sweep: the contain-join at k ∈ {1,2,4,8} workers, verifying
@@ -22,6 +23,13 @@
 // incremental and degraded-batch temporal queries, verifying the delta
 // contract and the workspace admission ceiling, and writing the structured
 // document to BENCH_LIVE.json (-live-json).
+//
+// -chaos additionally runs E24, the degradation sweep: the workspace
+// governor under statistics drift (stream path vs governed baseline
+// fallback), the standing-query breaker ladder (re-admit, degrade to
+// batch, typed decline), and seeded fault-injection batches over the
+// parallel executor — every run ends byte-identical or with a clean typed
+// error. The structured document goes to BENCH_CHAOS.json (-chaos-json).
 //
 // The human-readable tables always go to stdout; -json additionally writes
 // the same tables (plus per-experiment wall time) as a machine-readable
@@ -71,6 +79,8 @@ func main() {
 	parallel := flag.Bool("parallel", false, "also run E22, the parallel speedup sweep (k = 1,2,4,8)")
 	liveRun := flag.Bool("live", false, "also run E23, the sustained live-ingest sweep, writing BENCH_LIVE.json")
 	liveOut := flag.String("live-json", "BENCH_LIVE.json", "where -live writes its machine-readable document")
+	chaosRun := flag.Bool("chaos", false, "also run E24, the fault/degradation sweep, writing BENCH_CHAOS.json")
+	chaosOut := flag.String("chaos-json", "BENCH_CHAOS.json", "where -chaos writes its machine-readable document")
 	flag.Parse()
 
 	if *n < 1 {
@@ -165,6 +175,23 @@ func main() {
 		}})
 	}
 
+	if *chaosRun {
+		suite = append(suite, struct {
+			name string
+			run  func() (*experiments.Table, error)
+		}{"chaos", func() (*experiments.Table, error) {
+			res, tab, err := experiments.Chaos(*n/2, 16, *seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeChaosJSON(*chaosOut, res); err != nil {
+				return nil, err
+			}
+			fmt.Printf("chaos document written to %s\n", *chaosOut)
+			return tab, nil
+		}})
+	}
+
 	result := benchResult{N: *n, Faculty: *faculty, Seed: *seed, Policy: *policyName}
 	for _, exp := range suite {
 		start := time.Now()
@@ -192,6 +219,21 @@ func main() {
 
 // writeLiveJSON writes the E23 structured document (BENCH_LIVE.json).
 func writeLiveJSON(path string, res *experiments.LiveResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error wins
+		return err
+	}
+	return f.Close()
+}
+
+// writeChaosJSON writes the E24 structured document (BENCH_CHAOS.json).
+func writeChaosJSON(path string, res *experiments.ChaosResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

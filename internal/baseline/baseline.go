@@ -7,6 +7,8 @@
 package baseline
 
 import (
+	"sort"
+
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
 )
@@ -79,6 +81,94 @@ func CartesianFilter[T any](xs, ys []T, span func(T) interval.Interval,
 		}
 	}
 	probe.StateRemove(int64(len(product)))
+}
+
+// sortedBySpan returns a copy of xs stably sorted on (ValidFrom, ValidTo)
+// ascending — the canonical ordering of the sort-merge band scans.
+func sortedBySpan[T any](xs []T, span func(T) interval.Interval) []T {
+	out := append([]T{}, xs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return interval.Compare(span(out[i]), span(out[j])) < 0
+	})
+	return out
+}
+
+// SortMergeJoin is the workspace-governed fallback join: both inputs are
+// sorted on (ValidFrom, ValidTo) ascending and merged with a band scan that,
+// for each x, examines only the y whose lifespans can still intersect it.
+// Unlike the stream algorithms it retains no state beyond the two cursor
+// positions — its workspace is bounded by construction, at the price of
+// operating over fully materialized inputs. The θ predicate must imply
+// lifespan intersection (the contain, contained and overlap conditions all
+// do); predicates that can match disjoint lifespans (before, general θ)
+// need NestedLoopJoin. Emission order is deterministic: x in span order,
+// each with its y band in span order.
+func SortMergeJoin[T any](xs, ys []T, span func(T) interval.Interval,
+	theta func(x, y interval.Interval) bool, probe *metrics.Probe, emit func(x, y T)) {
+	probe.SetBuffers(2)
+	sx := sortedBySpan(xs, span)
+	sy := sortedBySpan(ys, span)
+	lo := 0
+	for _, x := range sx {
+		probe.IncReadLeft()
+		ix := span(x)
+		// y ending at or before this x starts can intersect neither it nor
+		// any later x (ValidFrom ascending): retire it from the band.
+		for lo < len(sy) && span(sy[lo]).BeforeOrMeets(ix) {
+			probe.IncReadRight()
+			lo++
+		}
+		for j := lo; j < len(sy); j++ {
+			iy := span(sy[j])
+			if ix.BeforeOrMeets(iy) {
+				break // every later y starts at or after x ends
+			}
+			probe.IncComparisons(1)
+			if theta(ix, iy) {
+				probe.IncEmitted(1)
+				emit(x, sy[j])
+			}
+		}
+		probe.IncPasses()
+	}
+	for ; lo < len(sy); lo++ {
+		probe.IncReadRight()
+	}
+}
+
+// SortMergeSemijoin is the band-scan semijoin: each x is emitted (in span
+// order) on its first witness y under θ. The same intersection-implying
+// restriction on θ as SortMergeJoin applies.
+func SortMergeSemijoin[T any](xs, ys []T, span func(T) interval.Interval,
+	theta func(x, y interval.Interval) bool, probe *metrics.Probe, emit func(T)) {
+	probe.SetBuffers(2)
+	sx := sortedBySpan(xs, span)
+	sy := sortedBySpan(ys, span)
+	lo := 0
+	for _, x := range sx {
+		probe.IncReadLeft()
+		ix := span(x)
+		for lo < len(sy) && span(sy[lo]).BeforeOrMeets(ix) {
+			probe.IncReadRight()
+			lo++
+		}
+		for j := lo; j < len(sy); j++ {
+			iy := span(sy[j])
+			if ix.BeforeOrMeets(iy) {
+				break
+			}
+			probe.IncComparisons(1)
+			if theta(ix, iy) {
+				probe.IncEmitted(1)
+				emit(x)
+				break
+			}
+		}
+		probe.IncPasses()
+	}
+	for ; lo < len(sy); lo++ {
+		probe.IncReadRight()
+	}
 }
 
 // SelfJoinPairs emits every ordered pair (x_i, x_j), i ≠ j, of a single

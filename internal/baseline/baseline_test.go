@@ -108,6 +108,85 @@ func TestCartesianFilter(t *testing.T) {
 	}
 }
 
+// The governed-fallback band scans must agree with the nested loop for
+// every intersection-implying θ, across many random inputs.
+func TestSortMergeAgainstNestedLoop(t *testing.T) {
+	thetas := map[string]func(a, b interval.Interval) bool{
+		"contain":   contain,
+		"contained": func(a, b interval.Interval) bool { return contain(b, a) },
+		"overlap":   func(a, b interval.Interval) bool { return a.Intersects(b) },
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		xs, ys := gen(rng, 5+rng.Intn(40), 0), gen(rng, 5+rng.Intn(40), 1000)
+		for name, theta := range thetas {
+			want := map[[2]int]bool{}
+			NestedLoopJoin(xs, ys, itemSpan, theta, nil, func(a, b item) {
+				want[[2]int{a.id, b.id}] = true
+			})
+			got := map[[2]int]bool{}
+			probe := &metrics.Probe{}
+			SortMergeJoin(xs, ys, itemSpan, theta, probe, func(a, b item) {
+				if got[[2]int{a.id, b.id}] {
+					t.Fatalf("%s trial %d: duplicate pair %d,%d", name, trial, a.id, b.id)
+				}
+				got[[2]int{a.id, b.id}] = true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%s trial %d: %d pairs, want %d", name, trial, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("%s trial %d: missing pair %v", name, trial, p)
+				}
+			}
+			if probe.StateHighWater != 0 {
+				t.Errorf("%s: band scan retained state (%d); must be buffers-only", name, probe.StateHighWater)
+			}
+
+			wantSemi := map[int]bool{}
+			NestedLoopSemijoin(xs, ys, itemSpan, theta, nil, func(a item) { wantSemi[a.id] = true })
+			gotSemi := map[int]bool{}
+			SortMergeSemijoin(xs, ys, itemSpan, theta, nil, func(a item) {
+				if gotSemi[a.id] {
+					t.Fatalf("%s trial %d: duplicate semijoin emit %d", name, trial, a.id)
+				}
+				gotSemi[a.id] = true
+			})
+			if len(gotSemi) != len(wantSemi) {
+				t.Fatalf("%s trial %d: semijoin %d rows, want %d", name, trial, len(gotSemi), len(wantSemi))
+			}
+			for id := range wantSemi {
+				if !gotSemi[id] {
+					t.Fatalf("%s trial %d: semijoin missing %d", name, trial, id)
+				}
+			}
+		}
+	}
+}
+
+// The band scan's emission order is deterministic: x in (TS, TE) order,
+// bands in (TS, TE) order — two runs produce identical sequences.
+func TestSortMergeDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs, ys := gen(rng, 30, 0), gen(rng, 30, 100)
+	run := func() [][2]int {
+		var out [][2]int
+		SortMergeJoin(xs, ys, itemSpan, func(a, b interval.Interval) bool { return a.Intersects(b) },
+			nil, func(a, b item) { out = append(out, [2]int{a.id, b.id}) })
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestSelfJoinPairs(t *testing.T) {
 	xs := []item{
 		{0, interval.New(0, 10)},

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"tdb/internal/interval"
@@ -28,6 +29,13 @@ import (
 	"tdb/internal/relation"
 	"tdb/internal/stream"
 )
+
+// ErrWorkspaceBreach is the governed-workspace violation: an operator's
+// measured workspace (state high-water mark plus input buffers) exceeded
+// the ceiling in Options.Limit. The operator aborts instead of growing
+// past its admission bound; the engine catches the error and degrades to
+// a baseline algorithm with a bounded-by-construction workspace.
+var ErrWorkspaceBreach = errors.New("core: workspace exceeds governed bound")
 
 // Span extracts the lifespan of an element.
 type Span[T any] func(T) interval.Interval
@@ -79,6 +87,20 @@ type Options struct {
 	// characterizations into observable trajectories. Nil disables
 	// curve collection, same discipline as Probe.
 	Sampler *obs.StateSampler
+	// Limit, when positive, is the governed workspace ceiling in tuples:
+	// the operator aborts with ErrWorkspaceBreach as soon as its measured
+	// workspace (probe state high-water mark plus buffers) exceeds it.
+	// Enforcement needs a non-nil Probe; zero disables governing.
+	Limit int64
+}
+
+// checkLimit enforces the governed workspace ceiling after a state
+// transition. Ungoverned runs (Limit 0) pay one branch.
+func (o Options) checkLimit() error {
+	if o.Limit > 0 && o.Probe.Workspace() > o.Limit {
+		return fmt.Errorf("%w: workspace %d > %d", ErrWorkspaceBreach, o.Probe.Workspace(), o.Limit)
+	}
+	return nil
 }
 
 // observe records the probe's current retained state against its logical

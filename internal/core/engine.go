@@ -103,6 +103,9 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 			if !spec.xDead(sx, yFrontier) {
 				stateX = append(stateX, held[T]{elem: x, span: sx})
 				probe.StateAdd(1)
+				if err := opt.checkLimit(); err != nil {
+					return orderError(spec.name, err)
+				}
 			}
 			opt.observe()
 		} else {
@@ -125,6 +128,9 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 			if !spec.yDead(sy, xFrontier) {
 				stateY = append(stateY, held[T]{elem: y, span: sy})
 				probe.StateAdd(1)
+				if err := opt.checkLimit(); err != nil {
+					return orderError(spec.name, err)
+				}
 			}
 			opt.observe()
 		}
@@ -261,6 +267,9 @@ func BufferedLoopJoin[T any](xs, ys stream.Stream[T], span Span[T], match func(x
 		probe.IncReadLeft()
 		stateX = append(stateX, held[T]{elem: x, span: span(x)})
 		probe.StateAdd(1)
+		if err := opt.checkLimit(); err != nil {
+			return orderError("buffered-loop-join", err)
+		}
 		opt.observe()
 	}
 	if err := xs.Err(); err != nil {

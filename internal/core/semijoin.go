@@ -116,6 +116,9 @@ func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Optio
 			probe.IncReadLeft()
 			state = append(state, held[T]{elem: x, span: span(x)})
 			probe.StateAdd(1)
+			if err := opt.checkLimit(); err != nil {
+				return orderError(name, err)
+			}
 			opt.observe()
 			continue
 		}
@@ -194,6 +197,9 @@ func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Opt
 			if !sy.BeforeOrMeets(sx) { // not dead on arrival
 				state = append(state, held[T]{elem: y, span: sy})
 				probe.StateAdd(1)
+				if err := opt.checkLimit(); err != nil {
+					return orderError(name, err)
+				}
 			}
 			opt.observe()
 			continue
@@ -290,6 +296,9 @@ func BufferedLoopSemijoin[T any](xs, ys stream.Stream[T], span Span[T], match fu
 		probe.IncReadRight()
 		stateY = append(stateY, held[T]{elem: y, span: span(y)})
 		probe.StateAdd(1)
+		if err := opt.checkLimit(); err != nil {
+			return orderError("buffered-loop-semijoin", err)
+		}
 		opt.observe()
 	}
 	if err := ys.Err(); err != nil {

@@ -198,6 +198,10 @@ func (r *Runner[T]) Start(run func(emit func(T)) error) {
 			r.total++
 		}
 	}
+	// Cancellation flows through rc.stopped: Stop broadcasts the cond and
+	// emit returns immediately once stopped, so the operator runs to
+	// completion without blocking and never leaks.
+	// lint:allow worker-context — cancellation via rc.stopped under the runner cond, see above.
 	go func() {
 		err := run(emit)
 		rc.mu.Lock()

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tdb/internal/fault"
+	"tdb/internal/optimizer"
+	"tdb/internal/storage"
+	"tdb/internal/testutil"
+)
+
+// chaosAcceptable are the error identities a chaos run may surface; any
+// other failure is a robustness bug.
+func chaosAcceptable(err error) bool {
+	return errors.Is(err, fault.ErrInjected) ||
+		errors.Is(err, ErrWorkerPanic) ||
+		errors.Is(err, storage.ErrCorruptPage)
+}
+
+// TestChaosSuperstar runs the full Superstar pipeline — semantic
+// optimization, semijoin introduction, stored scans, parallel workers —
+// under randomized (seeded) fault schedules that hit the parallel workers
+// and the storage page reads probabilistically. Acceptance: either the
+// run fails with a clean typed error, or its output is byte-identical to
+// the fault-free serial reference — and in both cases every worker
+// goroutine has unwound (the leak check holds that part).
+func TestChaosSuperstar(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := newFacultyDB(t, 60, false)
+	if err := db.DeclareChronOrder(rankIC(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.StoreRelation("Faculty", t.TempDir(), 2); err != nil {
+		t.Fatal(err)
+	}
+	tree := optimize(t, db, superstarQuery(), optimizer.Options{ICs: db.ChronOrders()})
+	serial, _, err := Run(db, tree, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("fault-free reference: %v", err)
+	}
+	if len(serial.Rows) == 0 {
+		t.Fatal("degenerate fixture: Superstar emits no rows")
+	}
+
+	schedule := func(rng *rand.Rand) []string {
+		specs := []string{
+			fmt.Sprintf("engine/parallel-worker=error:p=0.4:seed=%d", rng.Int63()),
+			fmt.Sprintf("engine/parallel-worker=panic:p=0.3:seed=%d", rng.Int63()),
+			fmt.Sprintf("storage/page-read=error:p=0.1:seed=%d", rng.Int63()),
+		}
+		// Arm a random non-empty subset.
+		var armed []string
+		for _, s := range specs {
+			if rng.Intn(2) == 0 {
+				armed = append(armed, s)
+			}
+		}
+		if len(armed) == 0 {
+			armed = append(armed, specs[rng.Intn(len(specs))])
+		}
+		return armed
+	}
+
+	failures := 0
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fault.Reset()
+		for _, spec := range schedule(rng) {
+			if err := fault.Arm(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, _, err := Run(db, tree, forcePar(4))
+		fault.Reset()
+		if err != nil {
+			failures++
+			if !chaosAcceptable(err) {
+				t.Fatalf("seed %d: untyped chaos error: %v", seed, err)
+			}
+			continue
+		}
+		identicalRows(t, fmt.Sprintf("chaos seed %d", seed), serial, res)
+	}
+	if failures == 0 {
+		t.Fatal("chaos schedules never fired; the sweep is not exercising the fault paths")
+	}
+
+	// The fixture must be intact after the sweep: a final fault-free run
+	// still reproduces the reference byte for byte.
+	after, _, err := Run(db, tree, forcePar(4))
+	if err != nil {
+		t.Fatalf("post-chaos run: %v", err)
+	}
+	identicalRows(t, "post-chaos", serial, after)
+}

@@ -60,6 +60,15 @@ type Options struct {
 	ForceParallel bool
 	// VerifyOrder makes every stream algorithm check its input ordering.
 	VerifyOrder bool
+	// GovernWorkspace arms the workspace governor on serial stream joins
+	// whose inputs are base-relation scans: the operator runs under the
+	// catalog-derived Tables 1–3 ceiling (core Options.Limit) and, when its
+	// measured workspace breaches it (statistics drift), the node is
+	// re-evaluated by the baseline sort-merge band scan — bounded workspace
+	// by construction — with an explain note recording the degradation and
+	// the tdb_governor_fallbacks_total counter incremented. Derived inputs
+	// and unbounded operator kinds run ungoverned, with a note.
+	GovernWorkspace bool
 	// Tracer, when non-nil, receives one span per plan node: timestamps,
 	// the algorithm chosen, sort/spill decisions, the node's final Probe
 	// snapshot, and (for stream operators) the sampled state(t) curve.

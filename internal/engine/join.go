@@ -1,14 +1,17 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"tdb/internal/algebra"
+	"tdb/internal/baseline"
 	"tdb/internal/catalog"
 	"tdb/internal/core"
 	"tdb/internal/interval"
+	"tdb/internal/metrics"
 	"tdb/internal/optimizer"
 	"tdb/internal/relation"
 )
@@ -155,6 +158,16 @@ func (ex *executor) streamJoin(n *algebra.Join, l, r *result) ([]relation.Row, *
 		return rows, cost, nil
 	}
 
+	// The serial stream join is the governed operator: its retained state
+	// (the Table 1–2 spanning sets) is what statistics drift can blow past
+	// the admission ceiling. The parallel path above cancels on error
+	// instead; the semijoin scans are buffers-only and cannot breach.
+	if ex.opt.GovernWorkspace {
+		if bound := ex.governBound(n.Kind, n.L, n.R, cost); bound > 0 {
+			opt.Limit = int64(bound)
+		}
+	}
+
 	var rows []relation.Row
 	emitLR := func(a, b spanned) { rows = append(rows, relation.ConcatRows(a.row, b.row)) }
 	emitRL := func(a, b spanned) { rows = append(rows, relation.ConcatRows(b.row, a.row)) }
@@ -171,10 +184,83 @@ func (ex *executor) streamJoin(n *algebra.Join, l, r *result) ([]relation.Row, *
 		err = core.BeforeJoinSorted(wrappedStream(lw), rw, spannedSpan, opt, emitLR)
 	}
 	if err != nil {
-		return nil, nil, err
+		if opt.Limit <= 0 || !errors.Is(err, core.ErrWorkspaceBreach) {
+			return nil, nil, err
+		}
+		// Governed degradation: the operator overran the predicted ceiling,
+		// so its partial output is discarded and the node re-evaluated by
+		// the baseline band scan, whose workspace cannot grow with the
+		// (mispredicted) lifespan concurrency.
+		rows = ex.governedJoinFallback(n.Kind, lw, rw, opt.Limit, cost)
 	}
 	cost.OutRows = int64(len(rows))
 	return rows, cost, nil
+}
+
+// governBound derives the workspace admission ceiling of a serial stream
+// join from the *catalog* statistics of its base-relation inputs — the
+// optimizer's prediction, deliberately not remeasured from the materialized
+// rows, so drift between catalog and data is what the governor detects.
+// Returns 0 (ungoverned, with an explain note) for derived inputs, missing
+// statistics, or operator kinds whose Tables 1–3 entry is unbounded.
+func (ex *executor) governBound(kind algebra.TemporalKind, l, r algebra.Expr, cost *NodeCost) float64 {
+	ln, rn := baseRelName(l), baseRelName(r)
+	if ln == "" || rn == "" {
+		cost.Notes = append(cost.Notes, "governor: derived input, no catalog bound; ungoverned")
+		return 0
+	}
+	sx, sy := ex.db.Stats(ln), ex.db.Stats(rn)
+	if sx == nil || sy == nil {
+		cost.Notes = append(cost.Notes, "governor: missing catalog statistics; ungoverned")
+		return 0
+	}
+	est := optimizer.EstimateStanding(kind, false, sx, sy)
+	if !est.Bounded {
+		cost.Notes = append(cost.Notes, "governor: "+est.Note+"; ungoverned")
+		return 0
+	}
+	cost.Notes = append(cost.Notes, fmt.Sprintf("governor: workspace ceiling %.0f tuples (%s)", est.Bound, est.Note))
+	return est.Bound
+}
+
+// baseRelName resolves the base relation beneath an optional Select, or ""
+// when the input is derived and catalog statistics do not describe it.
+func baseRelName(e algebra.Expr) string {
+	switch n := e.(type) {
+	case *algebra.Scan:
+		return n.Relation
+	case *algebra.Select:
+		return baseRelName(n.Input)
+	}
+	return ""
+}
+
+// governedJoinFallback re-evaluates a breached join with the baseline
+// sort-merge band scan over the already-materialized (and sorted) inputs,
+// resetting the probe so the cost record reflects the algorithm that
+// actually produced the output. The breach itself is preserved as a note
+// and counted in tdb_governor_fallbacks_total.
+func (ex *executor) governedJoinFallback(kind algebra.TemporalKind, lw, rw []spanned, limit int64, cost *NodeCost) []relation.Row {
+	breached := cost.Probe.Workspace()
+	cost.Probe = metrics.Probe{}
+	var theta func(x, y interval.Interval) bool
+	switch kind {
+	case algebra.KindContain:
+		theta = func(x, y interval.Interval) bool { return x.ContainsInterval(y) }
+	case algebra.KindContained:
+		theta = func(x, y interval.Interval) bool { return y.ContainsInterval(x) }
+	default: // KindOverlap — before/θ are never governed (unbounded entry)
+		theta = func(x, y interval.Interval) bool { return x.Intersects(y) }
+	}
+	var rows []relation.Row
+	baseline.SortMergeJoin(lw, rw, spannedSpan, theta, &cost.Probe,
+		func(a, b spanned) { rows = append(rows, relation.ConcatRows(a.row, b.row)) })
+	cost.Algorithm += " → baseline sort-merge (governed)"
+	cost.Notes = append(cost.Notes, fmt.Sprintf(
+		"governor: workspace %d breached ceiling %d; degraded to baseline sort-merge", breached, limit))
+	ex.opt.Registry.Counter("tdb_governor_fallbacks_total",
+		"workspace-governor breaches that degraded a query").Inc()
+	return rows
 }
 
 func nestedLoopJoin(l, r *result, pred pairPred) ([]relation.Row, *NodeCost) {

@@ -15,6 +15,8 @@ package engine
 // per-operator ownership rules and the determinism argument.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +24,7 @@ import (
 	"tdb/internal/algebra"
 	"tdb/internal/catalog"
 	"tdb/internal/core"
+	"tdb/internal/fault"
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
 	"tdb/internal/obs"
@@ -31,6 +34,15 @@ import (
 	"tdb/internal/storage"
 	"tdb/internal/stream"
 )
+
+func init() {
+	fault.Declare("engine/parallel-worker", "shard worker entry; panic mode exercises recovery")
+}
+
+// ErrWorkerPanic wraps a panic recovered inside a shard worker, turning
+// it into an ordinary first-error cancellation instead of a process
+// crash with sibling goroutines left running.
+var ErrWorkerPanic = errors.New("engine: panic in parallel worker")
 
 // DefaultParallelMinRows is the combined-input floor below which join and
 // semijoin nodes always run serially: partitioning, worker setup and the
@@ -144,9 +156,16 @@ func (ex *executor) planParallel(kind algebra.TemporalKind, semi bool, lw, rw []
 // child span and probe per worker, results written to per-shard slots (no
 // channels anywhere, so no send can ever block a worker), the
 // tdb_parallel_workers gauge held high for the duration, and worker spans
-// finished in shard order so traces are deterministic. The returned error
-// is the lowest-indexed shard failure.
-func (ex *executor) runWorkers(labels []string, cost *NodeCost, run func(i int, o core.Options) (int64, error)) error {
+// finished in shard order so traces are deterministic.
+//
+// Failure semantics: the first worker to fail cancels the shared context,
+// so sibling shards unwind at their next input poll (their streams are
+// Cancelable-wrapped); a panic inside a worker is recovered into
+// ErrWorkerPanic and treated the same way. wg.Wait guarantees every
+// goroutine has exited before runWorkers returns — no leaks on any path.
+// The returned error is the lowest-indexed *genuine* failure: shards that
+// merely observed the cancellation never mask the root cause.
+func (ex *executor) runWorkers(labels []string, cost *NodeCost, run func(ctx context.Context, i int, o core.Options) (int64, error)) error {
 	k := len(labels)
 	tr := ex.opt.Tracer
 	spans := make([]*obs.Span, k)
@@ -159,6 +178,8 @@ func (ex *executor) runWorkers(labels []string, cost *NodeCost, run func(i int, 
 		reg.Counter("tdb_parallel_nodes_total", "plan nodes executed with time-range parallelism").Inc()
 	}
 	gauge.Add(int64(k))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	probes := make([]metrics.Probe, k)
 	outRows := make([]int64, k)
 	errs := make([]error, k)
@@ -167,9 +188,21 @@ func (ex *executor) runWorkers(labels []string, cost *NodeCost, run func(i int, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("%s: %w: %v", labels[i], ErrWorkerPanic, r)
+				}
+				if errs[i] != nil {
+					cancel()
+				}
+			}()
+			if err := fault.Check("engine/parallel-worker"); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", labels[i], err)
+				return
+			}
 			o := core.Options{Probe: &probes[i], Policy: ex.opt.Policy,
 				VerifyOrder: ex.opt.VerifyOrder, Sampler: spans[i].Sampler()}
-			outRows[i], errs[i] = run(i, o)
+			outRows[i], errs[i] = run(ctx, i, o)
 		}(i)
 	}
 	wg.Wait()
@@ -184,12 +217,19 @@ func (ex *executor) runWorkers(labels []string, cost *NodeCost, run func(i int, 
 	for i := range probes {
 		cost.Probe.Merge(&probes[i])
 	}
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
 			return err
 		}
+		if first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 func shardLabels(prefix string, rs []partition.Range) []string {
@@ -230,9 +270,9 @@ func (ex *executor) parallelJoin(kind algebra.TemporalKind, lw, rw []spanned, pl
 	shR := partition.Split(rw, spannedSpan, plan.ranges)
 	noteMeasuredReplication(cost, shL, shR, len(lw)+len(rw))
 	outs := make([][]ownedRow, k)
-	err := ex.runWorkers(shardLabels("join shard", plan.ranges), cost, func(i int, o core.Options) (int64, error) {
+	err := ex.runWorkers(shardLabels("join shard", plan.ranges), cost, func(ctx context.Context, i int, o core.Options) (int64, error) {
 		var err error
-		outs[i], err = runJoinShard(kind, shL[i], shR[i], plan.ranges[i], o)
+		outs[i], err = runJoinShard(ctx, kind, shL[i], shR[i], plan.ranges[i], o)
 		return int64(len(outs[i])), err
 	})
 	if err != nil {
@@ -260,7 +300,9 @@ func (ex *executor) parallelJoin(kind algebra.TemporalKind, lw, rw []spanned, pl
 // Every pair's members both span its sweep point, so the owning shard is
 // guaranteed to hold both — no pair is lost, and each is kept exactly
 // once.
-func runJoinShard(kind algebra.TemporalKind, xs, ys []spanned, rng partition.Range, o core.Options) ([]ownedRow, error) {
+func runJoinShard(ctx context.Context, kind algebra.TemporalKind, xs, ys []spanned, rng partition.Range, o core.Options) ([]ownedRow, error) {
+	px := stream.Cancelable(ctx, wrappedStream(xs))
+	py := stream.Cancelable(ctx, wrappedStream(ys))
 	var out []ownedRow
 	keep := func(key interval.Time, row relation.Row) {
 		if rng.OwnsPoint(key) {
@@ -270,17 +312,17 @@ func runJoinShard(kind algebra.TemporalKind, xs, ys []spanned, rng partition.Ran
 	var err error
 	switch kind {
 	case algebra.KindContain:
-		err = core.ContainJoinTSTS(wrappedStream(xs), wrappedStream(ys), spannedSpan, o, func(a, b spanned) {
+		err = core.ContainJoinTSTS(px, py, spannedSpan, o, func(a, b spanned) {
 			keep(b.span.Start, relation.ConcatRows(a.row, b.row))
 		})
 	case algebra.KindContained:
 		// Left during right ⇔ Contain-join(right, left); the containee
 		// (the emitted left row) still owns the pair.
-		err = core.ContainJoinTSTS(wrappedStream(ys), wrappedStream(xs), spannedSpan, o, func(a, b spanned) {
+		err = core.ContainJoinTSTS(py, px, spannedSpan, o, func(a, b spanned) {
 			keep(b.span.Start, relation.ConcatRows(b.row, a.row))
 		})
 	case algebra.KindOverlap:
-		err = core.OverlapJoin(wrappedStream(xs), wrappedStream(ys), spannedSpan, o, func(a, b spanned) {
+		err = core.OverlapJoin(px, py, spannedSpan, o, func(a, b spanned) {
 			key := a.span.Start
 			if interval.CmpStart(a.span, b.span) < 0 {
 				key = b.span.Start
@@ -304,9 +346,9 @@ func (ex *executor) parallelSemijoin(kind algebra.TemporalKind, lw, rw []spanned
 	shR := partition.SplitTagged(rw, spannedSpan, plan.ranges)
 	noteMeasuredReplication(cost, shL, shR, len(lw)+len(rw))
 	outs := make([][]partition.Tagged[spanned], k)
-	err := ex.runWorkers(shardLabels("semijoin shard", plan.ranges), cost, func(i int, o core.Options) (int64, error) {
+	err := ex.runWorkers(shardLabels("semijoin shard", plan.ranges), cost, func(ctx context.Context, i int, o core.Options) (int64, error) {
 		var err error
-		outs[i], err = runSemijoinShard(kind, shL[i], shR[i], o)
+		outs[i], err = runSemijoinShard(ctx, kind, shL[i], shR[i], o)
 		return int64(len(outs[i])), err
 	})
 	if err != nil {
@@ -334,18 +376,20 @@ func (ex *executor) parallelSemijoin(kind algebra.TemporalKind, lw, rw []spanned
 // shard owning that chronon holds both and emits the row; the per-shard
 // result is a subsequence of the tagged left shard, hence sorted by
 // position.
-func runSemijoinShard(kind algebra.TemporalKind, xs, ys []partition.Tagged[spanned], o core.Options) ([]partition.Tagged[spanned], error) {
+func runSemijoinShard(ctx context.Context, kind algebra.TemporalKind, xs, ys []partition.Tagged[spanned], o core.Options) ([]partition.Tagged[spanned], error) {
 	span := func(t partition.Tagged[spanned]) interval.Interval { return t.Elem.span }
+	px := stream.Cancelable(ctx, stream.FromSlice(xs))
+	py := stream.Cancelable(ctx, stream.FromSlice(ys))
 	var out []partition.Tagged[spanned]
 	emit := func(t partition.Tagged[spanned]) { out = append(out, t) }
 	var err error
 	switch kind {
 	case algebra.KindContained:
-		err = core.ContainedSemijoin(stream.FromSlice(xs), stream.FromSlice(ys), span, o, emit)
+		err = core.ContainedSemijoin(px, py, span, o, emit)
 	case algebra.KindContain:
-		err = core.ContainSemijoin(stream.FromSlice(xs), stream.FromSlice(ys), span, o, emit)
+		err = core.ContainSemijoin(px, py, span, o, emit)
 	case algebra.KindOverlap:
-		err = core.OverlapSemijoin(stream.FromSlice(xs), stream.FromSlice(ys), span, o, emit)
+		err = core.OverlapSemijoin(px, py, span, o, emit)
 	default:
 		err = fmt.Errorf("engine: parallel semijoin of kind %v", kind)
 	}
@@ -395,12 +439,12 @@ func (ex *executor) parallelScan(hf *storage.HeapFile, cost *NodeCost) ([]relati
 		labels[i] = fmt.Sprintf("scan shard %d/%d pages [%d,%d)", i+1, k, bounds[i], bounds[i+1])
 	}
 	outs := make([][]relation.Row, k)
-	err := ex.runWorkers(labels, cost, func(i int, o core.Options) (int64, error) {
+	err := ex.runWorkers(labels, cost, func(ctx context.Context, i int, o core.Options) (int64, error) {
 		hi := bounds[i+1]
 		if i == k-1 {
 			hi = pages + 1 // the last shard also drains the open tail page
 		}
-		rows, err := stream.Collect(hf.ScanRange(bounds[i], hi))
+		rows, err := stream.Collect(stream.Cancelable(ctx, hf.ScanRange(bounds[i], hi)))
 		if err != nil {
 			return 0, err
 		}

@@ -10,6 +10,7 @@ import (
 	"tdb/internal/obs"
 	"tdb/internal/optimizer"
 	"tdb/internal/relation"
+	"tdb/internal/testutil"
 	"tdb/internal/workload"
 )
 
@@ -33,6 +34,7 @@ func identicalRows(t *testing.T, name string, serial, parallel *relation.Relatio
 // replication at every cut.
 func newPoissonDB(t *testing.T, n int) *DB {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	db := NewDB()
 	xs := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 25, LongFrac: 0.1, Seed: 21}, "x")
 	ys := workload.Tuples(workload.Config{N: n, Lambda: 1, MeanDur: 4, Seed: 22}, "y")

@@ -6,9 +6,14 @@ import (
 	"tdb/internal/algebra"
 	"tdb/internal/catalog"
 	"tdb/internal/core"
+	"tdb/internal/fault"
 	"tdb/internal/metrics"
 	"tdb/internal/relation"
 )
+
+func init() {
+	fault.Declare("engine/standing-run", "standing-query feeder goroutine, per emitted delta")
+}
 
 // This file extracts standing-evaluable plans from optimized algebra trees
 // and runs them incrementally over live arrival. A standing plan is the
@@ -211,6 +216,10 @@ func compileProject(p *algebra.Project, in *relation.Schema) (*relation.Schema, 
 	}, nil
 }
 
+// standingAbort carries an injected fault out of the operator callback;
+// the run closure recovers it into a typed error.
+type standingAbort struct{ err error }
+
 // StandingRun is one live execution of a StandingPlan: the unchanged core
 // operator running in a Runner, fed by ingestion, emitting delta rows.
 type StandingRun struct {
@@ -229,8 +238,29 @@ func (p *StandingPlan) Start(probe *metrics.Probe, maxPending int) *StandingRun 
 	fr := core.Attach[spanned](r)
 	run := &StandingRun{plan: p, runner: r, left: fl, right: fr, probe: probe}
 	opt := core.Options{Probe: probe}
-	r.Start(func(emit func(relation.Row)) error {
+	r.Start(func(emit func(relation.Row)) (err error) {
+		// Contain panics raised inside the feeder goroutine — whether an
+		// injected abort or a genuine operator bug — as an ordinary run
+		// error surfaced through Poll/Close, instead of crashing the
+		// process with the runner's feeders still attached.
+		defer func() {
+			switch rec := recover().(type) {
+			case nil:
+			case standingAbort:
+				err = fmt.Errorf("engine: standing run: %w", rec.err)
+			default:
+				err = fmt.Errorf("%w: %v", ErrWorkerPanic, rec)
+			}
+		}()
 		out := func(row relation.Row) {
+			// Failpoint: a fault here aborts the operator at its next
+			// emission — the mid-flight feeder failure the chaos suite
+			// injects. The error unwinds the whole run, never a partial
+			// delta: the row is withheld, not half-delivered.
+			if ferr := fault.Check("engine/standing-run"); ferr != nil {
+				// lint:allow panic — controlled unwind to the recover above; converted to a typed error
+				panic(standingAbort{err: ferr})
+			}
 			if p.project != nil {
 				row = p.project(row)
 			}
@@ -281,17 +311,24 @@ func (r *StandingRun) FeedRight(rows []relation.Row) { feed(r.right, rows, r.pla
 // Poll waits until the operator has consumed everything it can of the
 // input fed so far, then returns the accumulated delta rows. It loops
 // quiesce→drain so a backpressure suspension mid-poll (more deltas than
-// the pending cap) cannot truncate the result.
-func (r *StandingRun) Poll() []relation.Row {
+// the pending cap) cannot truncate the result. If the operator has
+// terminated with an error (an injected fault, a source failure), the
+// error is returned alongside the deltas emitted before it — complete
+// rows only, never a partial one.
+func (r *StandingRun) Poll() ([]relation.Row, error) {
 	var out []relation.Row
 	for {
 		r.runner.Quiesce()
 		rows := r.runner.Drain()
 		if len(rows) == 0 {
-			return out
+			break
 		}
 		out = append(out, rows...)
 	}
+	if r.runner.Done() {
+		return out, r.runner.Wait()
+	}
+	return out, nil
 }
 
 // Fed returns the per-side post-filter feed counts — the replay offsets a

@@ -7,6 +7,7 @@ import (
 	"tdb/internal/algebra"
 	"tdb/internal/interval"
 	"tdb/internal/relation"
+	"tdb/internal/testutil"
 	"tdb/internal/value"
 )
 
@@ -20,6 +21,7 @@ func standingSchema() *relation.Schema {
 
 func standingDB(t *testing.T) *DB {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	db := NewDB()
 	db.MustRegister(relation.New("A", standingSchema()))
 	db.MustRegister(relation.New("B", standingSchema()))

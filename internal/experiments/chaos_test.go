@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestChaosExperiment(t *testing.T) {
+	res, tab, err := Chaos(150, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 drift levels + 3 ladder rungs + 2 fault probabilities.
+	if len(res.Points) != 8 || len(tab.Rows) != 8 {
+		t.Fatalf("want 8 sweep points, got %d / %d rows", len(res.Points), len(tab.Rows))
+	}
+	byParam := map[string]ChaosPoint{}
+	for _, p := range res.Points {
+		if !p.Verified {
+			t.Errorf("%s %s: contract not verified", p.Scenario, p.Param)
+		}
+		byParam[p.Param] = p
+	}
+	if p := byParam["drift=0"]; p.Fallbacks != 0 || p.Mode != "stream" {
+		t.Errorf("undrifted governor point: %+v", p)
+	}
+	if p := byParam["drift=40"]; p.Fallbacks != 1 || p.Mode != "governed-baseline" {
+		t.Errorf("drifted governor point should fall back: %+v", p)
+	}
+	if p := byParam["ladder=readmit"]; p.Mode != "incremental" || p.Fallbacks != 1 {
+		t.Errorf("readmit rung: %+v", p)
+	}
+	if p := byParam["ladder=degrade"]; p.Mode != "batch" {
+		t.Errorf("degrade rung: %+v", p)
+	}
+	if p := byParam["ladder=decline"]; p.Mode != "declined" || p.TypedErr != 1 {
+		t.Errorf("decline rung: %+v", p)
+	}
+	for _, param := range []string{"p=0.20", "p=0.40"} {
+		p := byParam[param]
+		if p.OK+p.TypedErr != p.Runs {
+			t.Errorf("%s: %d ok + %d typed != %d runs", param, p.OK, p.TypedErr, p.Runs)
+		}
+	}
+	if p := byParam["p=0.40"]; p.TypedErr == 0 {
+		t.Errorf("no fault ever fired at p=0.40: %+v", p)
+	}
+}

@@ -173,7 +173,9 @@ func liveIngestOnce(n int, lambda float64, slack interval.Time, seed int64) ([]L
 		}
 	}
 	elapsed := time.Since(start).Nanoseconds()
-	mgr.Flush()
+	if err := mgr.Flush(); err != nil {
+		return nil, err
+	}
 
 	var pts []LivePoint
 	for _, qd := range queries {

@@ -1,0 +1,378 @@
+// Package fault is a deterministic fault-injection registry. Code under
+// test declares named failpoints ("sites") and consults them at the
+// risky moments — a page write, a worker step, a delta delivery. In
+// production the registry is disarmed and a site check is a single
+// atomic load returning nil. Under test (or `tdb -faults` / the
+// TDB_FAULTS environment variable) sites are armed with a mode and a
+// deterministic trigger, so a chaos schedule replays identically from
+// its seed.
+//
+// Spec grammar (one or more clauses joined by ';'):
+//
+//	site=mode[:key=value]...
+//
+// Modes:
+//
+//	error          return ErrInjected from Check
+//	delay          sleep key ms=N (default 1) then continue
+//	panic          panic with a tagged value (workers must recover)
+//	torn           truncate the write: Torn returns a prefix length
+//
+// Triggers (combine with any mode):
+//
+//	n=K            fire on the K-th hit only (1-based)
+//	every=K        fire on every K-th hit
+//	p=F:seed=S     fire with probability F from a seeded PRNG
+//	limit=K        fire at most K times (default unlimited)
+//
+// Example:
+//
+//	storage/page-write=torn:n=2;live/deliver=error:p=0.5:seed=7
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the typed error returned by an armed error-mode site.
+// Callers wrap it (%w) so it survives package boundaries and tests can
+// assert errors.Is(err, fault.ErrInjected).
+var ErrInjected = errors.New("fault: injected failure")
+
+// PanicValue tags panics raised by panic-mode sites so recovery code
+// can distinguish an injected panic from a genuine one.
+type PanicValue struct{ Site string }
+
+func (p PanicValue) String() string { return "fault: injected panic at " + p.Site }
+
+// Mode is a failpoint's action when its trigger fires.
+type Mode int
+
+const (
+	ModeError Mode = iota
+	ModeDelay
+	ModePanic
+	ModeTorn
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeDelay:
+		return "delay"
+	case ModePanic:
+		return "panic"
+	case ModeTorn:
+		return "torn"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// point is one armed failpoint.
+type point struct {
+	site  string
+	mode  Mode
+	nth   int64 // fire on exactly the nth hit (1-based); 0 = off
+	every int64 // fire on every k-th hit; 0 = off
+	prob  float64
+	rng   *rand.Rand // non-nil iff prob > 0
+	limit int64      // max fires; 0 = unlimited
+	delay time.Duration
+	hits  int64
+	fires int64
+}
+
+// fire decides whether this hit triggers, updating counters. Called
+// with the registry lock held.
+func (p *point) fire() bool {
+	p.hits++
+	if p.limit > 0 && p.fires >= p.limit {
+		return false
+	}
+	trig := true
+	switch {
+	case p.nth > 0:
+		trig = p.hits == p.nth
+	case p.every > 0:
+		trig = p.hits%p.every == 0
+	case p.rng != nil:
+		trig = p.rng.Float64() < p.prob
+	}
+	if trig {
+		p.fires++
+	}
+	return trig
+}
+
+// Status describes one armed site for display (\faults, tests).
+type Status struct {
+	Site  string
+	Mode  string
+	Hits  int64
+	Fires int64
+}
+
+var (
+	// armed is the zero-cost gate: sites consult it with one atomic
+	// load before taking the registry lock.
+	armed  atomic.Bool
+	mu     sync.Mutex
+	points = map[string]*point{}
+
+	// sites records every Declare'd failpoint so Arm can reject typos
+	// and List can document the surface. Declared at init time.
+	sitesMu sync.Mutex
+	sites   = map[string]string{}
+)
+
+// Declare registers a failpoint name with a one-line doc. Call from
+// package init of the code hosting the site. Idempotent.
+func Declare(site, doc string) {
+	sitesMu.Lock()
+	sites[site] = doc
+	sitesMu.Unlock()
+}
+
+// Sites returns the declared failpoints as site → doc.
+func Sites() map[string]string {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	out := make(map[string]string, len(sites))
+	for k, v := range sites {
+		out[k] = v
+	}
+	return out
+}
+
+// Enabled reports whether any site is armed (the fast-path gate).
+func Enabled() bool { return armed.Load() }
+
+// Check consults a failpoint. Disarmed: one atomic load, nil. Armed
+// error mode returns an error wrapping ErrInjected; delay sleeps;
+// panic raises PanicValue; torn mode is inert here (use Torn).
+func Check(site string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return check(site)
+}
+
+func check(site string) error {
+	mu.Lock()
+	p, ok := points[site]
+	if !ok || !p.fire() {
+		mu.Unlock()
+		return nil
+	}
+	mode, d := p.mode, p.delay
+	mu.Unlock()
+	switch mode {
+	case ModeError:
+		return fmt.Errorf("%w (site %s)", ErrInjected, site)
+	case ModeDelay:
+		time.Sleep(d)
+	case ModePanic:
+		// lint:allow panic — panic mode exists to exercise recovery paths; tagged for recover()
+		panic(PanicValue{Site: site})
+	}
+	return nil
+}
+
+// Torn consults a torn-write failpoint: given the intended write size,
+// it returns the number of bytes to actually write. A disarmed or
+// non-firing site returns size unchanged. A firing torn-mode site
+// returns a strict prefix (size/2, at least 1 for size > 1, 0 for
+// size ≤ 1); other firing modes behave as in Check.
+func Torn(site string, size int) (int, error) {
+	if !armed.Load() {
+		return size, nil
+	}
+	mu.Lock()
+	p, ok := points[site]
+	if !ok || !p.fire() {
+		mu.Unlock()
+		return size, nil
+	}
+	mode, d := p.mode, p.delay
+	mu.Unlock()
+	switch mode {
+	case ModeTorn:
+		if size <= 1 {
+			return 0, nil
+		}
+		return size / 2, nil
+	case ModeError:
+		return size, fmt.Errorf("%w (site %s)", ErrInjected, site)
+	case ModeDelay:
+		time.Sleep(d)
+	case ModePanic:
+		// lint:allow panic — panic mode exists to exercise recovery paths; tagged for recover()
+		panic(PanicValue{Site: site})
+	}
+	return size, nil
+}
+
+// Arm parses a spec (see package doc) and arms its sites, replacing
+// any prior arming of the same sites. Unknown sites (never Declare'd)
+// are rejected so schedules can't silently rot.
+func Arm(spec string) error {
+	pts, err := parse(spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	for _, p := range pts {
+		points[p.site] = p
+	}
+	armed.Store(len(points) > 0)
+	mu.Unlock()
+	return nil
+}
+
+// Disarm removes one site's arming.
+func Disarm(site string) {
+	mu.Lock()
+	delete(points, site)
+	armed.Store(len(points) > 0)
+	mu.Unlock()
+}
+
+// Reset disarms every site. Tests defer this.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	armed.Store(false)
+	mu.Unlock()
+}
+
+// List returns the armed sites, sorted by name.
+func List() []Status {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Status, 0, len(points))
+	for _, p := range points {
+		out = append(out, Status{Site: p.site, Mode: p.mode.String(), Hits: p.hits, Fires: p.fires})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Fires returns how many times a site has fired (0 if not armed).
+func Fires(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[site]; ok {
+		return p.fires
+	}
+	return 0
+}
+
+func parse(spec string) ([]*point, error) {
+	var pts []*point
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q: want site=mode[:k=v...]", clause)
+		}
+		site = strings.TrimSpace(site)
+		sitesMu.Lock()
+		_, known := sites[site]
+		sitesMu.Unlock()
+		if !known {
+			return nil, fmt.Errorf("fault: unknown site %q (declared: %s)", site, strings.Join(knownSites(), ", "))
+		}
+		fields := strings.Split(rest, ":")
+		p := &point{site: site, delay: time.Millisecond}
+		switch strings.TrimSpace(fields[0]) {
+		case "error":
+			p.mode = ModeError
+		case "delay":
+			p.mode = ModeDelay
+		case "panic":
+			p.mode = ModePanic
+		case "torn":
+			p.mode = ModeTorn
+		default:
+			return nil, fmt.Errorf("fault: site %s: unknown mode %q", site, fields[0])
+		}
+		var seed int64 = 1
+		for _, kv := range fields[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: site %s: malformed option %q", site, kv)
+			}
+			switch k {
+			case "n":
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || x < 1 {
+					return nil, fmt.Errorf("fault: site %s: bad n=%s", site, v)
+				}
+				p.nth = x
+			case "every":
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || x < 1 {
+					return nil, fmt.Errorf("fault: site %s: bad every=%s", site, v)
+				}
+				p.every = x
+			case "p":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("fault: site %s: bad p=%s", site, v)
+				}
+				p.prob = f
+			case "seed":
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: site %s: bad seed=%s", site, v)
+				}
+				seed = x
+			case "limit":
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || x < 1 {
+					return nil, fmt.Errorf("fault: site %s: bad limit=%s", site, v)
+				}
+				p.limit = x
+			case "ms":
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || x < 0 {
+					return nil, fmt.Errorf("fault: site %s: bad ms=%s", site, v)
+				}
+				p.delay = time.Duration(x) * time.Millisecond
+			default:
+				return nil, fmt.Errorf("fault: site %s: unknown option %q", site, k)
+			}
+		}
+		if p.prob > 0 {
+			p.rng = rand.New(rand.NewSource(seed)) // lint:allow determinism — seeded explicitly for replayable schedules
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	return pts, nil
+}
+
+func knownSites() []string {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

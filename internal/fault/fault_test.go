@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func init() {
+	Declare("test/a", "test site a")
+	Declare("test/b", "test site b")
+	Declare("test/torn", "test torn site")
+}
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("registry armed after Reset")
+	}
+	if err := Check("test/a"); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+	if n, err := Torn("test/torn", 100); n != 100 || err != nil {
+		t.Fatalf("disarmed Torn = %d, %v", n, err)
+	}
+}
+
+func TestErrorModeNthHit(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test/a=error:n=3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := Check("test/a")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: want ErrInjected, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected %v", i, err)
+		}
+	}
+	if f := Fires("test/a"); f != 1 {
+		t.Fatalf("fires = %d, want 1", f)
+	}
+}
+
+func TestEveryAndLimit(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test/a=error:every=2:limit=2"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Check("test/a") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (every=2 capped by limit=2)", fired)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		Reset()
+		if err := Arm("test/a=error:p=0.5:seed=42"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Check("test/a") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	Reset()
+	var any bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedule diverged at hit %d", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("p=0.5 over 20 hits never fired")
+	}
+}
+
+func TestTornReturnsStrictPrefix(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test/torn=torn:n=1"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Torn("test/torn", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= 4096 {
+		t.Fatalf("torn write of 4096 returned %d, want strict prefix", n)
+	}
+	// Site fired once (n=1): subsequent writes pass through whole.
+	if n, _ := Torn("test/torn", 4096); n != 4096 {
+		t.Fatalf("second write torn to %d, want 4096", n)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test/a=panic:n=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Site != "test/a" {
+			t.Fatalf("recover() = %v, want PanicValue{test/a}", r)
+		}
+	}()
+	_ = Check("test/a")
+	t.Fatal("panic mode did not panic")
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test/a=delay:ms=10:n=1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Check("test/a"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, bad := range []string{
+		"",
+		"test/a",
+		"nosuchsite=error",
+		"test/a=frobnicate",
+		"test/a=error:n=0",
+		"test/a=error:p=2",
+		"test/a=error:wat",
+	} {
+		if err := Arm(bad); err == nil {
+			t.Errorf("Arm(%q) accepted", bad)
+		}
+	}
+	if Enabled() {
+		t.Fatal("failed Arm left registry armed")
+	}
+}
+
+func TestDisarmSite(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test/a=error:every=1;test/b=error:every=1"); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("test/a")
+	if Check("test/a") != nil {
+		t.Fatal("disarmed site still fires")
+	}
+	if Check("test/b") == nil {
+		t.Fatal("sibling site disarmed too")
+	}
+	Disarm("test/b")
+	if Enabled() {
+		t.Fatal("registry armed with no points")
+	}
+}
+
+func TestDeclareAndList(t *testing.T) {
+	Reset()
+	defer Reset()
+	if _, ok := Sites()["test/a"]; !ok {
+		t.Fatal("declared site missing from Sites()")
+	}
+	if err := Arm("test/a=error:n=1;test/b=delay"); err != nil {
+		t.Fatal(err)
+	}
+	_ = Check("test/a")
+	st := List()
+	if len(st) != 2 || st[0].Site != "test/a" || st[1].Site != "test/b" {
+		t.Fatalf("List() = %+v", st)
+	}
+	if st[0].Hits != 1 || st[0].Fires != 1 {
+		t.Fatalf("test/a status = %+v", st[0])
+	}
+}

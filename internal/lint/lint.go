@@ -60,6 +60,7 @@ func Rules() []Rule {
 		noPanicRule,
 		determinismRule,
 		goroutineHygieneRule,
+		workerContextRule,
 		errorDisciplineRule,
 	}
 }

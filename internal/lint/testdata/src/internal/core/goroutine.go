@@ -5,7 +5,7 @@ package core
 func BadProducer(xs []int) (<-chan int, chan struct{}) {
 	ch := make(chan int)
 	quit := make(chan struct{})
-	go func() {
+	go func() { // want worker-context
 		defer close(ch)
 		for _, x := range xs {
 			ch <- x // want goroutine-hygiene

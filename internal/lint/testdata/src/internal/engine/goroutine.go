@@ -10,6 +10,7 @@ func ShardWorkers(k int, run func(i int) int) []int {
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
 		wg.Add(1)
+		// lint:allow worker-context — slot writers are WaitGroup-joined; wg.Wait bounds their lifetime.
 		go func(i int) {
 			defer wg.Done()
 			out[i] = run(i)
@@ -24,7 +25,7 @@ func ShardWorkers(k int, run func(i int) int) []int {
 func BadResultChannel(k int, run func(i int) int) <-chan int {
 	ch := make(chan int)
 	for i := 0; i < k; i++ {
-		go func(i int) {
+		go func(i int) { // want worker-context
 			ch <- run(i) // want goroutine-hygiene
 		}(i)
 	}

@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// FanOut is the governed-worker shape: every shard observes the shared
+// cancellation context, so the first failing worker (which cancels it)
+// unwinds the whole fan-out.
+func FanOut(ctx context.Context, runs []func(context.Context)) {
+	var wg sync.WaitGroup
+	for _, run := range runs {
+		wg.Add(1)
+		go func(run func(context.Context)) {
+			defer wg.Done()
+			run(ctx)
+		}(run)
+	}
+	wg.Wait()
+}
+
+// Watch spawns a named-function worker; the context argument is its
+// cancellation edge.
+func Watch(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// Detach launches a worker nothing can stop: no context, no quit channel —
+// under a governor abort it leaks, holding its workspace forever.
+func Detach(f func()) {
+	go f() // want worker-context
+}

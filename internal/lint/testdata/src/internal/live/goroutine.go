@@ -8,7 +8,7 @@ package live
 // stops polling leaks the standing query's operator goroutine.
 func Emit(deltas []int) <-chan int {
 	ch := make(chan int)
-	go func() {
+	go func() { // want worker-context
 		for _, d := range deltas {
 			ch <- d // want goroutine-hygiene
 		}

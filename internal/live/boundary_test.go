@@ -1,0 +1,74 @@
+package live
+
+import (
+	"errors"
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/engine"
+	"tdb/internal/fault"
+	"tdb/internal/obs"
+)
+
+// boundaryManager is a manager with one incremental standing query, the
+// fixture the typed-error propagation tests drive faults through.
+func boundaryManager(t *testing.T) *Manager {
+	t.Helper()
+	db := newXYDB(t)
+	mgr := NewManager(db, obs.NewRegistry(), engine.Options{})
+	t.Cleanup(mgr.Close)
+	for _, n := range []string{"X", "Y"} {
+		if _, err := mgr.Live(n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mgr.Register("bq", xyTree(algebra.KindOverlap, false), RegisterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// A late tuple is rejected with the typed ErrLateTuple through the manager
+// boundary — the wrapping with table name and timestamps must keep the
+// errors.Is chain intact.
+func TestLateTupleTypedThroughManager(t *testing.T) {
+	mgr := boundaryManager(t)
+	if err := mgr.Append("X", xrow(1, 50, 60)); err != nil {
+		t.Fatal(err)
+	}
+	err := mgr.Append("X", xrow(2, 10, 20))
+	if !errors.Is(err, ErrLateTuple) {
+		t.Fatalf("late append error %v, want ErrLateTuple", err)
+	}
+}
+
+// An injected ingestion fault surfaces from Manager.Append as the typed
+// fault.ErrInjected.
+func TestAppendFaultTyped(t *testing.T) {
+	defer fault.Reset()
+	mgr := boundaryManager(t)
+	if err := fault.Arm("live/append=error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Append("X", xrow(1, 0, 10)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append error %v, want fault.ErrInjected", err)
+	}
+}
+
+// A delivery fault — the released row reaches the standing query but its
+// delta push fails — crosses table release and manager fan-out as the
+// typed injected error, and the remaining ingestion path stays usable.
+func TestDeliverFaultTyped(t *testing.T) {
+	defer fault.Reset()
+	mgr := boundaryManager(t)
+	if err := fault.Arm("live/deliver=error:n=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Append("X", xrow(1, 0, 10)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("delivery error %v, want fault.ErrInjected through Append", err)
+	}
+	fault.Reset()
+	if err := mgr.Append("X", xrow(2, 1, 10)); err != nil {
+		t.Fatalf("ingestion after a delivery fault: %v", err)
+	}
+}

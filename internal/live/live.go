@@ -27,11 +27,19 @@ import (
 	"tdb/internal/algebra"
 	"tdb/internal/catalog"
 	"tdb/internal/engine"
+	"tdb/internal/fault"
 	"tdb/internal/interval"
 	"tdb/internal/obs"
 	"tdb/internal/optimizer"
 	"tdb/internal/relation"
 )
+
+func init() {
+	fault.Declare("live/append", "table ingestion entry (Table.Append)")
+	fault.Declare("live/deliver", "released-row delivery to a standing query")
+	fault.Declare("live/checkpoint-write", "checkpoint serialization; torn mode writes a prefix")
+	fault.Declare("live/checkpoint-read", "checkpoint deserialization")
+}
 
 // Manager owns the live tables and standing queries of one database.
 // Methods are not safe for concurrent use; the ingestion driver serializes
@@ -139,11 +147,16 @@ func (m *Manager) Append(name string, row relation.Row) error {
 }
 
 // Flush force-releases every table's reorder buffer and republishes
-// catalog statistics — the end-of-batch barrier.
-func (m *Manager) Flush() {
+// catalog statistics — the end-of-batch barrier. Every table is flushed
+// even if one fails; the first error is returned.
+func (m *Manager) Flush() error {
+	var first error
 	for _, name := range m.tableNames() {
-		m.tables[name].Flush()
+		if err := m.tables[name].Flush(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 func (m *Manager) tableNames() []string {
@@ -242,11 +255,19 @@ func (m *Manager) Close() {
 }
 
 // feedReleased distributes rows released by a table to every incremental
-// query reading that relation (on whichever sides scan it).
-func (m *Manager) feedReleased(rel string, rows []relation.Row) {
-	for _, q := range m.queries {
-		q.observeRelease(rel, rows)
+// query reading that relation (on whichever sides scan it). Queries are
+// visited in name order so injected delivery faults land deterministically;
+// a failing delivery does not starve the remaining queries, and the first
+// error is returned (wrapped, so errors.Is sees the cause through the
+// table boundary).
+func (m *Manager) feedReleased(rel string, rows []relation.Row) error {
+	var first error
+	for _, q := range m.Queries() {
+		if err := q.observeRelease(rel, rows); err != nil && first == nil {
+			first = fmt.Errorf("live: deliver to %s: %w", q.name, err)
+		}
 	}
+	return first
 }
 
 func (m *Manager) gauge(name, help string) *obs.Gauge {

@@ -13,6 +13,7 @@ import (
 	"tdb/internal/metrics"
 	"tdb/internal/obs"
 	"tdb/internal/relation"
+	"tdb/internal/testutil"
 	"tdb/internal/value"
 )
 
@@ -26,6 +27,7 @@ func xySchema() *relation.Schema {
 
 func newXYDB(t *testing.T) *engine.DB {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	db := engine.NewDB()
 	db.MustRegister(relation.New("X", xySchema()))
 	db.MustRegister(relation.New("Y", xySchema()))

@@ -1,18 +1,30 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 
 	"tdb/internal/algebra"
 	"tdb/internal/engine"
+	"tdb/internal/fault"
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
 	"tdb/internal/obs"
 	"tdb/internal/optimizer"
 	"tdb/internal/relation"
 )
+
+// ErrBreakerOpen is returned by Poll once the workspace governor has
+// declined a standing query: the measured workspace breached the
+// predicted bound, re-estimation from refreshed catalog statistics could
+// not re-admit it, and degradation was disallowed (or exhausted).
+var ErrBreakerOpen = errors.New("live: standing query breaker open")
+
+// breakerMaxTrips is how many governor trips a standing query survives
+// as re-admissions before it is forced down the degradation ladder.
+const breakerMaxTrips = 2
 
 // Mode is how a standing query is evaluated.
 type Mode int
@@ -44,6 +56,12 @@ type RegisterOptions struct {
 	// MaxPending bounds the undrained delta backlog of an incremental
 	// query before backpressure suspends its operator (0 = default).
 	MaxPending int
+	// Govern arms the workspace circuit breaker: at every poll the
+	// measured operator workspace is compared against the Tables 1–3
+	// bound under *current* catalog statistics, and a breach trips the
+	// breaker (suspend → re-estimate → re-admit by replay, degrade to
+	// batch, or decline with ErrBreakerOpen).
+	Govern bool
 }
 
 // DeclinedError reports a registration refused by the admission policy.
@@ -78,9 +96,18 @@ type StandingQuery struct {
 	deltas    []relation.Row // every delta ever emitted, in emission order
 	deltaHash uint64         // FNV-1a over the delta sequence
 
+	// Workspace-governor state.
+	govern       bool
+	allowDegrade bool
+	maxPending   int
+	trips        int
+	skip         int   // replayed emissions to drop (and verify) after a re-admission
+	broken       error // non-nil once the breaker declined the query
+
 	gBacklog   *obs.Gauge
 	gWorkspace *obs.Gauge
 	cDeltas    *obs.Counter
+	cTrips     *obs.Counter
 }
 
 func newIncremental(m *Manager, name string, tree algebra.Expr, plan *engine.StandingPlan,
@@ -89,6 +116,7 @@ func newIncremental(m *Manager, name string, tree algebra.Expr, plan *engine.Sta
 		name: name, mode: ModeIncremental, note: est.String(),
 		tree: tree, m: m, plan: plan, probe: &metrics.Probe{},
 		deltaHash: fnv1aInit,
+		govern:    opts.Govern, allowDegrade: opts.AllowDegrade, maxPending: opts.MaxPending,
 	}
 	q.metrics()
 	q.run = plan.Start(q.probe, opts.MaxPending)
@@ -134,6 +162,7 @@ func (q *StandingQuery) metrics() {
 	q.gBacklog = q.m.gauge("tdb_live_backlog_"+q.name, "unconsumed input + undrained deltas of "+q.name)
 	q.gWorkspace = q.m.gauge("tdb_live_workspace_hwm_"+q.name, "operator workspace high-water mark of "+q.name)
 	q.cDeltas = q.m.counter("tdb_live_deltas_total_"+q.name, "delta rows emitted by "+q.name)
+	q.cTrips = q.m.counter("tdb_governor_fallbacks_total", "workspace-governor breaches that degraded a query")
 }
 
 // Name returns the query name.
@@ -152,10 +181,17 @@ func (q *StandingQuery) Explain() string {
 }
 
 // observeRelease feeds newly released rows of rel into whichever operator
-// sides scan it (batch queries re-read storage at poll time instead).
-func (q *StandingQuery) observeRelease(rel string, rows []relation.Row) {
-	if q.mode != ModeIncremental {
-		return
+// sides scan it (batch queries re-read storage at poll time instead). A
+// declined query accepts no further input but does not fail ingestion.
+func (q *StandingQuery) observeRelease(rel string, rows []relation.Row) error {
+	if q.mode != ModeIncremental || q.broken != nil {
+		return nil
+	}
+	if q.plan.LeftRel != rel && q.plan.RightRel != rel {
+		return nil
+	}
+	if err := fault.Check("live/deliver"); err != nil {
+		return err
 	}
 	if q.plan.LeftRel == rel {
 		q.logL = append(q.logL, rows...)
@@ -166,35 +202,124 @@ func (q *StandingQuery) observeRelease(rel string, rows []relation.Row) {
 		q.run.FeedRight(rows)
 	}
 	q.gBacklog.Set(int64(q.run.Backlog()))
+	return nil
 }
 
 // Poll returns the delta rows produced since the previous poll. For an
 // incremental query it quiesces the operator and drains its emissions; for
 // a batch query it re-executes the tree and returns the multiset
 // difference against the previous execution.
+//
+// When the query is governed, every incremental poll also compares the
+// operator's measured workspace against the Tables 1–3 bound under the
+// *current* catalog statistics; a breach trips the circuit breaker (see
+// trip). A query whose breaker has opened returns ErrBreakerOpen.
 func (q *StandingQuery) Poll() ([]relation.Row, error) {
+	if q.broken != nil {
+		return nil, q.broken
+	}
 	var fresh []relation.Row
 	if q.mode == ModeIncremental {
-		fresh = q.run.Poll()
-		q.gWorkspace.Set(q.run.Workspace())
-		q.gBacklog.Set(int64(q.run.Backlog()))
-	} else {
-		res, _, err := engine.Run(q.m.db, q.tree, q.m.opt)
+		rows, err := q.run.Poll()
 		if err != nil {
+			return nil, fmt.Errorf("live: standing query %s: %w", q.name, err)
+		}
+		if fresh, err = q.consumeReplay(rows); err != nil {
 			return nil, err
 		}
-		next := map[string]int{}
-		for _, row := range res.Rows {
-			k := row.Key()
-			next[k]++
-			if next[k] > q.prev[k] {
-				fresh = append(fresh, row)
+		q.record(fresh)
+		q.gWorkspace.Set(q.run.Workspace())
+		q.gBacklog.Set(int64(q.run.Backlog()))
+		if q.govern {
+			if bound := q.Bound(); bound > 0 && float64(q.run.Workspace()) > bound {
+				if err := q.trip(bound); err != nil {
+					return fresh, err
+				}
 			}
 		}
-		q.prev = next
+		return fresh, nil
 	}
+	res, _, err := engine.Run(q.m.db, q.tree, q.m.opt)
+	if err != nil {
+		return nil, err
+	}
+	next := map[string]int{}
+	for _, row := range res.Rows {
+		k := row.Key()
+		next[k]++
+		if next[k] > q.prev[k] {
+			fresh = append(fresh, row)
+		}
+	}
+	q.prev = next
 	q.record(fresh)
 	return fresh, nil
+}
+
+// consumeReplay drops (and byte-verifies) the prefix of a drained batch
+// that re-produces deltas already recorded before a governor re-admission
+// replayed the input logs. Divergence means the replay is not the
+// deterministic re-run the delta contract promises — a hard error, never
+// a silently different delta sequence.
+func (q *StandingQuery) consumeReplay(rows []relation.Row) ([]relation.Row, error) {
+	for q.skip > 0 && len(rows) > 0 {
+		expect := q.deltas[len(q.deltas)-q.skip]
+		if rows[0].Key() != expect.Key() {
+			return nil, fmt.Errorf("live: %s: re-admission replay diverged at delta %d: %s != %s",
+				q.name, len(q.deltas)-q.skip, rows[0].Key(), expect.Key())
+		}
+		rows = rows[1:]
+		q.skip--
+	}
+	return rows, nil
+}
+
+// trip is the circuit breaker: the measured workspace breached the
+// predicted bound, so the catalog statistics behind the admission are
+// stale. The run is suspended (stopped), statistics are re-published
+// from the incremental accumulators, and the query is re-estimated:
+//
+//  1. re-admit — still bounded and trips remain: restart the operator
+//     and replay the released-row logs (the delta contract makes the
+//     replayed prefix byte-identical, which consumeReplay verifies);
+//  2. degrade — trips exhausted and degradation allowed: switch to
+//     periodic batch re-execution seeded with the emitted multiset;
+//  3. decline — otherwise ErrBreakerOpen on this and every later poll.
+func (q *StandingQuery) trip(bound float64) error {
+	q.trips++
+	q.cTrips.Inc()
+	breach := fmt.Sprintf("workspace %d breached bound %.1f", q.run.Workspace(), bound)
+	q.run.Stop()
+	q.m.db.RefreshStats(q.plan.LeftRel)
+	q.m.db.RefreshStats(q.plan.RightRel)
+	est := optimizer.EstimateStanding(q.plan.Kind, q.plan.Semijoin,
+		q.m.statsOf(q.plan.LeftRel), q.m.statsOf(q.plan.RightRel))
+	switch {
+	case est.Bounded && q.trips <= breakerMaxTrips:
+		q.note = fmt.Sprintf("governor: trip %d (%s); re-admitted under refreshed stats: %s",
+			q.trips, breach, est)
+		q.probe = &metrics.Probe{}
+		q.run = q.plan.Start(q.probe, q.maxPending)
+		q.skip = len(q.deltas)
+		q.run.FeedLeft(q.logL)
+		q.run.FeedRight(q.logR)
+		return nil
+	case q.allowDegrade:
+		q.mode = ModeBatch
+		q.note = fmt.Sprintf("governor: trip %d (%s); degraded to periodic batch re-execution", q.trips, breach)
+		q.run = nil
+		q.prev = map[string]int{}
+		for _, row := range q.deltas {
+			q.prev[row.Key()]++
+		}
+		return nil
+	default:
+		q.broken = fmt.Errorf("%w: %s declined after trip %d (%s): %s",
+			ErrBreakerOpen, q.name, q.trips, breach, est)
+		q.run = nil
+		q.note = "governor: " + q.broken.Error()
+		return q.broken
+	}
 }
 
 func (q *StandingQuery) record(rows []relation.Row) {
@@ -222,13 +347,19 @@ func (q *StandingQuery) Schema() *relation.Schema {
 }
 
 // Workspace returns the live operator workspace (state high-water mark
-// plus buffers); 0 for batch queries.
+// plus buffers); 0 for batch and breaker-declined queries.
 func (q *StandingQuery) Workspace() int64 {
-	if q.mode != ModeIncremental {
+	if q.mode != ModeIncremental || q.run == nil {
 		return 0
 	}
 	return q.run.Workspace()
 }
+
+// Trips returns how many times the workspace governor has tripped.
+func (q *StandingQuery) Trips() int { return q.trips }
+
+// Broken returns the breaker-open error, or nil while the query runs.
+func (q *StandingQuery) Broken() error { return q.broken }
 
 // Bound recomputes the analytic workspace ceiling under the *current*
 // catalog statistics — the figure the acceptance check compares the
@@ -243,10 +374,14 @@ func (q *StandingQuery) Bound() float64 {
 }
 
 // Suspended reports the incremental runner's wait state ("input",
-// "backpressure", "done", "running"); batch queries report "batch".
+// "backpressure", "done", "running"); batch queries report "batch" and a
+// breaker-declined query "broken".
 func (q *StandingQuery) Suspended() string {
 	if q.mode != ModeIncremental {
 		return "batch"
+	}
+	if q.run == nil {
+		return "broken"
 	}
 	return q.run.Suspended()
 }
@@ -254,7 +389,7 @@ func (q *StandingQuery) Suspended() string {
 // Quiesce blocks until an incremental query's operator has consumed
 // everything it can of the input fed so far (no-op for batch queries).
 func (q *StandingQuery) Quiesce() {
-	if q.mode == ModeIncremental {
+	if q.mode == ModeIncremental && q.run != nil {
 		q.run.Quiesce()
 	}
 }
@@ -264,10 +399,17 @@ func (q *StandingQuery) Quiesce() {
 // delta rows are recorded and returned. A batch query performs one last
 // re-execution. The query accepts no further input afterwards.
 func (q *StandingQuery) Finish() ([]relation.Row, error) {
+	if q.broken != nil {
+		return nil, q.broken
+	}
 	if q.mode != ModeIncremental {
 		return q.Poll()
 	}
 	rows, err := q.run.Close()
+	rows, cerr := q.consumeReplay(rows)
+	if cerr != nil {
+		return nil, cerr
+	}
 	q.record(rows)
 	q.gWorkspace.Set(q.run.Workspace())
 	q.gBacklog.Set(0)
@@ -378,23 +520,29 @@ func (q *StandingQuery) Restore(cp *Checkpoint) error {
 		return fmt.Errorf("live: released-row log shorter than checkpoint (%d/%d < %d/%d)",
 			len(q.logL), len(q.logR), cp.LeftRows, cp.RightRows)
 	}
-	q.run.Stop()
+	if q.run != nil {
+		q.run.Stop()
+	}
+	q.skip = 0
 	q.probe = &metrics.Probe{}
 	q.run = q.plan.Start(q.probe, 0)
 	q.run.FeedLeft(q.logL[:cp.LeftRows])
 	q.run.FeedRight(q.logR[:cp.RightRows])
-	replayed := q.run.Poll()
+	replayed, err := q.run.Poll()
+	if err != nil {
+		return fmt.Errorf("live: replay of %s: %w", q.name, err)
+	}
 	if int64(len(replayed)) != cp.Emitted {
-		return fmt.Errorf("live: replay of %s produced %d deltas, checkpoint has %d",
-			q.name, len(replayed), cp.Emitted)
+		return fmt.Errorf("%w: replay of %s produced %d deltas, checkpoint has %d",
+			ErrCorruptCheckpoint, q.name, len(replayed), cp.Emitted)
 	}
 	h := uint64(fnv1aInit)
 	for _, row := range replayed {
 		h = fnv1aRow(h, row)
 	}
 	if h != cp.DeltaHash {
-		return fmt.Errorf("live: replay of %s diverged from checkpoint (hash %x != %x)",
-			q.name, h, cp.DeltaHash)
+		return fmt.Errorf("%w: replay of %s diverged (hash %x != %x)",
+			ErrCorruptCheckpoint, q.name, h, cp.DeltaHash)
 	}
 	// Reset the delta log to the verified replayed prefix and continue
 	// with the post-checkpoint rows.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tdb/internal/fault"
 	"tdb/internal/interval"
 	"tdb/internal/obs"
 	"tdb/internal/relation"
@@ -72,6 +73,9 @@ func (t *Table) Buffered() int { return len(t.buf) }
 // and released in ValidFrom order once the watermark passes them.
 func (t *Table) Append(row relation.Row) error {
 	t.metrics()
+	if err := fault.Check("live/append"); err != nil {
+		return fmt.Errorf("live: append to %s: %w", t.name, err)
+	}
 	if len(row) != t.schema.Arity() {
 		return fmt.Errorf("live: append to %s: row arity %d, schema %s", t.name, len(row), t.schema)
 	}
@@ -110,31 +114,40 @@ func (t *Table) release(frontier interval.Time) error {
 		return nil
 	}
 	out := t.buf[:n]
-	for _, row := range out {
+	for i, row := range out {
 		if err := t.m.db.Append(t.name, row); err != nil {
-			return err
+			// Rows [0,i) are durably appended: trim them from the buffer
+			// so a retry cannot double-append, and wrap the cause so
+			// errors.Is works through the ingestion boundary.
+			t.released += int64(i)
+			t.buf = append([]relation.Row(nil), t.buf[i:]...)
+			t.observe()
+			return fmt.Errorf("live: release %s: %w", t.name, err)
 		}
 	}
 	t.released += int64(n)
-	t.m.feedReleased(t.name, out)
 	t.buf = append([]relation.Row(nil), t.buf[n:]...)
+	// Delivery runs after the buffer trim: the released rows are durable
+	// regardless of a standing query's delivery failing.
+	ferr := t.m.feedReleased(t.name, out)
 	t.observe()
-	return nil
+	return ferr
 }
 
 // Flush force-releases the reorder buffer (advancing the watermark to the
 // highest buffered ValidFrom) and republishes the catalog statistics —
-// used at batch boundaries and before draining standing queries.
-func (t *Table) Flush() {
+// used at batch boundaries and before draining standing queries. The
+// buffered rows were already arity-checked, but storage writes and
+// standing-query delivery can still fail; the error is propagated.
+func (t *Table) Flush() error {
 	t.metrics()
 	if t.maxTS > t.watermark {
 		t.watermark = t.maxTS
 	}
-	// Releasing at maxTS empties the whole buffer; Append errors cannot
-	// occur here because every buffered row was already arity-checked.
-	_ = t.release(t.maxTS)
+	err := t.release(t.maxTS)
 	t.m.db.RefreshStats(t.name)
 	t.observe()
+	return err
 }
 
 func (t *Table) observe() {

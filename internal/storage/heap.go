@@ -6,9 +6,15 @@ import (
 	"os"
 	"sync"
 
+	"tdb/internal/fault"
 	"tdb/internal/relation"
 	"tdb/internal/stream"
 )
+
+func init() {
+	fault.Declare("storage/page-read", "heap file page fetch (readPage)")
+	fault.Declare("storage/page-write", "heap file page flush; torn mode writes a prefix")
+}
 
 // IOStats counts physical page traffic against the backing file and buffer
 // pool hits.
@@ -96,7 +102,13 @@ func (h *HeapFile) Flush() error {
 
 func (h *HeapFile) flushCurrent() error {
 	h.cur.finalize()
-	if _, err := h.f.WriteAt(h.cur.buf[:], h.pages*PageSize); err != nil {
+	// Failpoint: error mode fails the flush; torn mode persists only a
+	// prefix of the page — the checksum catches it on the next read.
+	n, ferr := fault.Torn("storage/page-write", PageSize)
+	if ferr != nil {
+		return fmt.Errorf("storage: write page %d: %w", h.pages, ferr)
+	}
+	if _, err := h.f.WriteAt(h.cur.buf[:n], h.pages*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", h.pages, err)
 	}
 	h.stats.PagesWritten++
@@ -119,6 +131,9 @@ func (h *HeapFile) readPage(i int64) ([]relation.Row, error) {
 	h.stats.PagesRead++
 	h.mu.Unlock()
 	obsPageRead()
+	if ferr := fault.Check("storage/page-read"); ferr != nil {
+		return nil, fmt.Errorf("storage: read page %d: %w", i, ferr)
+	}
 	var buf [PageSize]byte
 	if _, err := h.f.ReadAt(buf[:], i*PageSize); err != nil && err != io.EOF {
 		return nil, fmt.Errorf("storage: read page %d: %w", i, err)

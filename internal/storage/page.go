@@ -12,6 +12,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"tdb/internal/interval"
@@ -22,9 +23,16 @@ import (
 // PageSize is the fixed page size in bytes.
 const PageSize = 4096
 
-// pageHeaderSize is the per-page bookkeeping: row count (2 bytes) and used
-// bytes (2 bytes).
-const pageHeaderSize = 4
+// pageHeaderSize is the per-page bookkeeping: row count (2 bytes), used
+// bytes (2 bytes), and an FNV-1a checksum of the payload (4 bytes). The
+// checksum is what turns a torn (partial) page write into a detected
+// ErrCorruptPage on the next read instead of rows silently decoded from
+// zero-filled bytes.
+const pageHeaderSize = 8
+
+// ErrCorruptPage is wrapped by every page-decode failure: short page,
+// impossible header, checksum mismatch, or truncated row.
+var ErrCorruptPage = errors.New("storage: corrupt page")
 
 // page is one fixed-size block of encoded rows, appended front to back.
 type page struct {
@@ -50,24 +58,39 @@ func (p *page) tryAdd(enc []byte) bool {
 func (p *page) finalize() {
 	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(p.rows))
 	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(p.used))
+	binary.LittleEndian.PutUint32(p.buf[4:8], fnv32a(p.buf[pageHeaderSize:p.used]))
 }
 
-// decodePage parses a finalized page image back into rows.
+// fnv32a hashes a byte slice with 32-bit FNV-1a.
+func fnv32a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// decodePage parses a finalized page image back into rows. Every failure
+// wraps ErrCorruptPage.
 func decodePage(buf []byte, schema *relation.Schema) ([]relation.Row, error) {
 	if len(buf) < pageHeaderSize {
-		return nil, fmt.Errorf("storage: short page (%d bytes)", len(buf))
+		return nil, fmt.Errorf("%w: short page (%d bytes)", ErrCorruptPage, len(buf))
 	}
 	n := int(binary.LittleEndian.Uint16(buf[0:2]))
 	used := int(binary.LittleEndian.Uint16(buf[2:4]))
-	if used > len(buf) {
-		return nil, fmt.Errorf("storage: corrupt page: used=%d", used)
+	if used > len(buf) || used < pageHeaderSize {
+		return nil, fmt.Errorf("%w: used=%d", ErrCorruptPage, used)
+	}
+	if sum := binary.LittleEndian.Uint32(buf[4:8]); sum != fnv32a(buf[pageHeaderSize:used]) {
+		return nil, fmt.Errorf("%w: checksum mismatch (torn write?)", ErrCorruptPage)
 	}
 	rows := make([]relation.Row, 0, n)
 	off := pageHeaderSize
 	for i := 0; i < n; i++ {
 		row, sz, err := decodeRow(buf[off:used], schema)
 		if err != nil {
-			return nil, fmt.Errorf("storage: row %d: %w", i, err)
+			return nil, fmt.Errorf("%w: row %d: %v", ErrCorruptPage, i, err)
 		}
 		rows = append(rows, row)
 		off += sz

@@ -1,0 +1,47 @@
+package stream
+
+import "context"
+
+// cancelEvery is the number of Next calls between context polls: frequent
+// enough that an aborted worker stops within a bounded number of rows,
+// sparse enough that the mutex inside ctx.Err stays off the per-row path.
+const cancelEvery = 32
+
+// Cancelable wraps a stream so cancellation of ctx surfaces as an
+// end-of-stream with Err() = ctx.Err(). The single-pass operators already
+// abort on a source error, so wrapping a worker's inputs is all it takes
+// for first-error cancellation to unwind the whole shard promptly. With an
+// un-canceled context the wrapper is transparent: it forwards every
+// element and error unchanged.
+func Cancelable[T any](ctx context.Context, s Stream[T]) Stream[T] {
+	return &cancelable[T]{ctx: ctx, inner: s}
+}
+
+type cancelable[T any] struct {
+	ctx   context.Context
+	inner Stream[T]
+	n     int
+	err   error
+}
+
+func (c *cancelable[T]) Next() (T, bool) {
+	var zero T
+	if c.err != nil {
+		return zero, false
+	}
+	if c.n%cancelEvery == 0 {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return zero, false
+		}
+	}
+	c.n++
+	return c.inner.Next()
+}
+
+func (c *cancelable[T]) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.inner.Err()
+}

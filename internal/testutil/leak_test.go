@@ -1,0 +1,63 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeTB records what VerifyNoLeaks does to it, so the check can be
+// exercised against a deliberate leak without failing the real test.
+type fakeTB struct {
+	cleanups []func()
+	failed   bool
+	msg      string
+}
+
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Helper()           {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+// runCleanups mirrors testing's LIFO cleanup order.
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestVerifyNoLeaksClean(t *testing.T) {
+	fake := &fakeTB{}
+	VerifyNoLeaks(fake)
+	// A short-lived module goroutine that exits on its own is not a leak:
+	// the grace window lets it unwind.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	fake.runCleanups()
+	if fake.failed {
+		t.Fatalf("clean run flagged a leak:\n%s", fake.msg)
+	}
+}
+
+func TestVerifyNoLeaksCatchesBlockedGoroutine(t *testing.T) {
+	fake := &fakeTB{}
+	VerifyNoLeaks(fake)
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+	fake.runCleanups()
+	close(release) // let the decoy exit before other tests snapshot
+	if !fake.failed {
+		t.Fatal("blocked module goroutine was not reported")
+	}
+	if !strings.Contains(fake.msg, "created by tdb/") {
+		t.Fatalf("report does not identify the spawn site:\n%s", fake.msg)
+	}
+}
