@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race chaos bench report cover fmt
+.PHONY: all build vet fmt-check lint lint-deep test race chaos bench report cover fmt
 
-all: build vet fmt-check lint test
+all: build vet fmt-check lint lint-deep test
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,16 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/tdblint ./...
 
+# The deep tier (dataflow + module-wide facts): hotpath-alloc,
+# lock-order and failpoint-coverage, gated on the checked-in baseline.
+# Regenerate the baseline with:
+#   $(GO) run ./cmd/tdblint -deep -baseline tdblint.baseline.json -write-baseline ./...
+lint-deep:
+	$(GO) run ./cmd/tdblint -deep -baseline tdblint.baseline.json ./...
+
+# Tier-1 gate: vet plus the full test suite.
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
 race:

@@ -44,7 +44,11 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 	probe := opt.Probe
 	probe.SetBuffers(2)
 
-	var stateX, stateY []held[T]
+	// Pre-size the sweep states: the common case holds a handful of
+	// concurrently-live tuples, and reserving a small backing array keeps
+	// the per-turn append in the hot loop from growing the slice.
+	stateX := make([]held[T], 0, 16)
+	stateY := make([]held[T], 0, 16)
 
 	// gc filters a state list in place, keeping elements for which dead
 	// is false, and accounts the discards.
@@ -60,6 +64,8 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 		return kept
 	}
 
+	// The symmetric sweep: one read, one state scan, one retain per turn.
+	//tdb:hotpath
 	for {
 		xh, xok := px.Head()
 		if !xok && px.Err() != nil {

@@ -45,6 +45,8 @@ func mergeGroupScan[T any](xs, ys stream.Stream[T], span Span[T],
 	var group []held[T] // the buffered equal-key Y group
 	groupKey := interval.MinTime
 
+	// The group sweep: each turn reads one x or refills the equal-key group.
+	//tdb:hotpath
 	for {
 		xh, xok := px.Head()
 		if !xok {

@@ -26,6 +26,8 @@ func containPairScan[T any](name string, as, bs stream.Stream[T], span Span[T], 
 	probe := opt.Probe
 	probe.SetBuffers(2)
 
+	// The pair scan holds no state at all: two buffers, one step per turn.
+	//tdb:hotpath
 	for {
 		a, aok := pa.Head()
 		if !aok {
@@ -102,8 +104,9 @@ func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Optio
 	probe := opt.Probe
 	probe.SetBuffers(2)
 
-	var state []held[T] // unmatched x, awaiting a y strictly inside
+	state := make([]held[T], 0, 16) // unmatched x, awaiting a y strictly inside; pre-sized for the hot loop
 
+	//tdb:hotpath
 	for {
 		xh, xok := px.Head()
 		yh, yok := py.Head()
@@ -166,7 +169,7 @@ func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Opt
 	probe := opt.Probe
 	probe.SetBuffers(2)
 
-	var state []held[T] // y tuples that may contain the next x
+	state := make([]held[T], 0, 16) // y tuples that may contain the next x; pre-sized for the hot loop
 
 	gc := func(frontier interval.Time) {
 		kept := state[:0]
@@ -182,6 +185,7 @@ func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Opt
 		state = kept
 	}
 
+	//tdb:hotpath
 	for {
 		xh, xok := px.Head()
 		if !xok {
@@ -242,6 +246,7 @@ func OverlapSemijoin[T any](xs, ys stream.Stream[T], span Span[T], opt Options, 
 	probe := opt.Probe
 	probe.SetBuffers(2)
 
+	//tdb:hotpath
 	for {
 		x, xok := px.Head()
 		if !xok {

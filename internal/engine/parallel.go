@@ -287,6 +287,7 @@ func (ex *executor) parallelJoin(kind algebra.TemporalKind, lw, rw []spanned, pl
 		return nil, err
 	}
 	rows := make([]relation.Row, len(merged))
+	//tdb:hotpath
 	for i, m := range merged {
 		rows[i] = m.row
 	}
@@ -303,7 +304,7 @@ func (ex *executor) parallelJoin(kind algebra.TemporalKind, lw, rw []spanned, pl
 func runJoinShard(ctx context.Context, kind algebra.TemporalKind, xs, ys []spanned, rng partition.Range, o core.Options) ([]ownedRow, error) {
 	px := stream.Cancelable(ctx, wrappedStream(xs))
 	py := stream.Cancelable(ctx, wrappedStream(ys))
-	var out []ownedRow
+	out := make([]ownedRow, 0, len(xs))
 	keep := func(key interval.Time, row relation.Row) {
 		if rng.OwnsPoint(key) {
 			out = append(out, ownedRow{key: key, row: row})
@@ -365,6 +366,7 @@ func (ex *executor) parallelSemijoin(kind algebra.TemporalKind, lw, rw []spanned
 		return nil, err
 	}
 	rows := make([]relation.Row, len(merged))
+	//tdb:hotpath
 	for i, m := range merged {
 		rows[i] = m.Elem.row
 	}
@@ -380,7 +382,7 @@ func runSemijoinShard(ctx context.Context, kind algebra.TemporalKind, xs, ys []p
 	span := func(t partition.Tagged[spanned]) interval.Interval { return t.Elem.span }
 	px := stream.Cancelable(ctx, stream.FromSlice(xs))
 	py := stream.Cancelable(ctx, stream.FromSlice(ys))
-	var out []partition.Tagged[spanned]
+	out := make([]partition.Tagged[spanned], 0, len(xs))
 	emit := func(t partition.Tagged[spanned]) { out = append(out, t) }
 	var err error
 	switch kind {

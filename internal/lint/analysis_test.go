@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDriverTopoOrder: Requires dependencies run before their dependents
+// on every package, and the closure is computed from the requested set.
+func TestDriverTopoOrder(t *testing.T) {
+	pkgs := loadFixture(t)[:1]
+	var order []string
+	c := &Analyzer{Name: "c", Run: func(p *Pass) any { order = append(order, "c"); return nil }}
+	b := &Analyzer{Name: "b", Requires: []*Analyzer{c}, Run: func(p *Pass) any { order = append(order, "b"); return nil }}
+	a := &Analyzer{Name: "a", Requires: []*Analyzer{b}, Run: func(p *Pass) any { order = append(order, "a"); return nil }}
+	// Request only the root: the driver must pull in b and c.
+	if _, err := Check(pkgs, []*Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "c,b,a" {
+		t.Fatalf("execution order %s, want c,b,a", got)
+	}
+}
+
+// TestDriverResultOf: a dependent sees exactly its Requires' results for
+// the current package, and nothing else.
+func TestDriverResultOf(t *testing.T) {
+	pkgs := loadFixture(t)[:1]
+	b := &Analyzer{Name: "b", Run: func(p *Pass) any { return "b-result:" + p.Pkg.Path }}
+	c := &Analyzer{Name: "c", Run: func(p *Pass) any { return "c-result" }}
+	var got any
+	var sawC bool
+	a := &Analyzer{Name: "a", Requires: []*Analyzer{b}, Run: func(p *Pass) any {
+		got = p.ResultOf[b]
+		_, sawC = p.ResultOf[c]
+		return nil
+	}}
+	if _, err := Check(pkgs, []*Analyzer{a, c}); err != nil {
+		t.Fatal(err)
+	}
+	want := "b-result:" + pkgs[0].Path
+	if got != want {
+		t.Errorf("ResultOf[b] = %v, want %v", got, want)
+	}
+	if sawC {
+		t.Error("ResultOf leaked the result of a non-required analyzer")
+	}
+}
+
+// TestDriverFactVisibility: facts flow from Run to the finish phase for
+// the exporting analyzer and its dependents; unrelated analyzers see nil.
+func TestDriverFactVisibility(t *testing.T) {
+	pkgs := loadFixture(t)
+	b := &Analyzer{Name: "b", Run: func(p *Pass) any {
+		p.ExportFact("fact-from-" + p.Pkg.Path)
+		return nil
+	}}
+	var own, dependent, unrelated int
+	bFinish := func(p *FinishPass) { own = len(p.Facts()) }
+	b.Finish = bFinish
+	a := &Analyzer{
+		Name: "a", Requires: []*Analyzer{b},
+		Run:    func(p *Pass) any { return nil },
+		Finish: func(p *FinishPass) { dependent = len(p.FactsOf(b)) },
+	}
+	d := &Analyzer{
+		Name:   "d",
+		Run:    func(p *Pass) any { return nil },
+		Finish: func(p *FinishPass) { unrelated = len(p.FactsOf(b)) },
+	}
+	if _, err := Check(pkgs, []*Analyzer{a, d}); err != nil {
+		t.Fatal(err)
+	}
+	if own != len(pkgs) {
+		t.Errorf("exporter sees %d of its own facts, want %d (one per package)", own, len(pkgs))
+	}
+	if dependent != len(pkgs) {
+		t.Errorf("dependent sees %d facts, want %d", dependent, len(pkgs))
+	}
+	if unrelated != 0 {
+		t.Errorf("unrelated analyzer sees %d facts, want 0 (visibility contract)", unrelated)
+	}
+}
+
+// TestDriverFinishReports: diagnostics filed in the finish phase carry
+// the analyzer's rule name and join the sorted output.
+func TestDriverFinishReports(t *testing.T) {
+	pkgs := loadFixture(t)[:1]
+	var pos = pkgs[0].Files[0].Pos()
+	a := &Analyzer{
+		Name:   "finish-reporter",
+		Run:    func(p *Pass) any { return nil },
+		Finish: func(p *FinishPass) { p.Reportf(pos, "from finish") },
+	}
+	diags, err := Check(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Rule != "finish-reporter" || diags[0].Message != "from finish" {
+		t.Fatalf("finish diagnostics = %v", diags)
+	}
+}
+
+// TestDriverCycleError: a Requires cycle is a configuration error, not a
+// hang or a panic.
+func TestDriverCycleError(t *testing.T) {
+	a := &Analyzer{Name: "a", Run: func(p *Pass) any { return nil }}
+	b := &Analyzer{Name: "b", Requires: []*Analyzer{a}, Run: func(p *Pass) any { return nil }}
+	a.Requires = []*Analyzer{b}
+	if _, err := Check(nil, []*Analyzer{a}); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cyclic Requires: got err %v, want cycle error", err)
+	}
+}
+
+// TestRegisteredAnalyzersSort: the real registry must topo-sort (no
+// Requires cycle creeps in) with dependencies ahead of dependents.
+func TestRegisteredAnalyzersSort(t *testing.T) {
+	order, err := closeAndSort(Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, a := range order {
+		pos[a.Name] = i
+	}
+	for _, a := range order {
+		for _, r := range a.Requires {
+			if pos[r.Name] > pos[a.Name] {
+				t.Errorf("%s ordered before its dependency %s", a.Name, r.Name)
+			}
+		}
+	}
+	if pos["flow"] > pos["hotpath-alloc"] {
+		t.Error("flow must run before hotpath-alloc")
+	}
+}

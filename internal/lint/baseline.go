@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the checked-in ledger of accepted findings — the fix-list
+// the cache-efficient core rewrite consumes. Entries are keyed by
+// (file, rule, message) with a count, deliberately ignoring line numbers
+// so unrelated edits above a finding do not invalidate the ledger; any
+// count drift in either direction fails the gate. New findings surface as
+// fresh diagnostics, and entries no longer matched by the code surface as
+// stale ones, so the file must be regenerated (tdblint -write-baseline)
+// whenever the findings genuinely change.
+type Baseline struct {
+	// Note is free-form provenance — e.g. the before/after finding count
+	// of a fix pass — preserved across -write-baseline regenerations.
+	Note    string          `json:"note,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type baselineKey struct {
+	file, rule, message string
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline regenerates the baseline at path from the given findings,
+// preserving the Note of any existing file.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	b := &Baseline{Entries: []BaselineEntry{}} // marshal as [] even when clean
+	if prev, err := LoadBaseline(path); err == nil {
+		b.Note = prev.Note
+	}
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.File, d.Rule, d.Message}]++
+	}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{File: k.file, Rule: k.rule, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits findings against the baseline: fresh holds the diagnostics
+// the baseline does not cover (new regressions), stale holds one synthetic
+// diagnostic per baseline entry the findings no longer fully match (the
+// ledger must be regenerated after fixes). Both gate CI.
+func (b *Baseline) Apply(diags []Diagnostic) (fresh, stale []Diagnostic) {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		remaining[baselineKey{e.File, e.Rule, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.File, d.Rule, d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.File, e.Rule, e.Message}
+		if n := remaining[k]; n > 0 {
+			remaining[k] = 0
+			stale = append(stale, Diagnostic{
+				File: e.File, Rule: e.Rule,
+				Message: fmt.Sprintf("stale baseline entry (%d of %d no longer found): %s — regenerate with -write-baseline", n, e.Count, e.Message),
+			})
+		}
+	}
+	return fresh, stale
+}

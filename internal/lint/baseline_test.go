@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineDiag(file, rule, msg string, line int) Diagnostic {
+	return Diagnostic{File: file, Line: line, Col: 1, Rule: rule, Message: msg}
+}
+
+// TestBaselineRoundTrip: write, load, and the entries aggregate by
+// (file, rule, message) with counts, sorted.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	diags := []Diagnostic{
+		baselineDiag("b.go", "hotpath-alloc", "append may grow", 10),
+		baselineDiag("a.go", "hotpath-alloc", "boxes int into any", 5),
+		baselineDiag("b.go", "hotpath-alloc", "append may grow", 20),
+	}
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries: got %d, want 2 (aggregated)", len(b.Entries))
+	}
+	if b.Entries[0].File != "a.go" || b.Entries[1].Count != 2 {
+		t.Errorf("entries not sorted/aggregated: %+v", b.Entries)
+	}
+}
+
+// TestBaselineNotePreserved: regenerating keeps the hand-written Note of
+// the existing checked-in file.
+func TestBaselineNotePreserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	existing := `{"note":"fix pass: 9 before, 3 after","entries":[]}`
+	if err := os.WriteFile(path, []byte(existing), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBaseline(path, []Diagnostic{baselineDiag("a.go", "r", "m", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "fix pass: 9 before, 3 after" {
+		t.Errorf("Note not preserved: %q", got.Note)
+	}
+	if len(got.Entries) != 1 {
+		t.Errorf("entries: got %d, want 1", len(got.Entries))
+	}
+}
+
+// TestBaselineApply: covered findings are suppressed, line drift is
+// tolerated, extra findings come back fresh, and unmatched entries
+// surface as stale diagnostics.
+func TestBaselineApply(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{File: "a.go", Rule: "hotpath-alloc", Message: "append may grow", Count: 2},
+		{File: "gone.go", Rule: "hotpath-alloc", Message: "boxes int into any", Count: 1},
+	}}
+
+	diags := []Diagnostic{
+		baselineDiag("a.go", "hotpath-alloc", "append may grow", 11),  // covered (line moved)
+		baselineDiag("a.go", "hotpath-alloc", "append may grow", 99),  // covered (count 2)
+		baselineDiag("a.go", "hotpath-alloc", "append may grow", 120), // third: fresh
+		baselineDiag("new.go", "lock-order", "cycle", 3),              // fresh
+	}
+	fresh, stale := b.Apply(diags)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh: got %d (%v), want 2", len(fresh), fresh)
+	}
+	if fresh[0].Line != 120 || fresh[1].File != "new.go" {
+		t.Errorf("wrong fresh findings: %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Fatalf("stale: got %v, want the gone.go entry", stale)
+	}
+	if !strings.Contains(stale[0].Message, "stale baseline entry") {
+		t.Errorf("stale message: %q", stale[0].Message)
+	}
+}
+
+// TestBaselineApplyExact: a fully matched baseline suppresses everything
+// and leaves nothing stale — the steady state of the CI gate.
+func TestBaselineApplyExact(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{File: "a.go", Rule: "r", Message: "m", Count: 1},
+	}}
+	fresh, stale := b.Apply([]Diagnostic{baselineDiag("a.go", "r", "m", 42)})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("exact match: fresh %v, stale %v, want none", fresh, stale)
+	}
+}
+
+// TestLoadBaselineMissing: a missing file is a hard error (the gate must
+// not silently pass with no ledger).
+func TestLoadBaselineMissing(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}

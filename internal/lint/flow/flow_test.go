@@ -1,0 +1,331 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// analyzeFunc type-checks src (a complete file body without the package
+// clause) and returns the summary of the named top-level function.
+func analyzeFunc(t *testing.T, src, name string) (*Func, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flowtest.go", "package flowtest\n\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("flowtest", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != name {
+			continue
+		}
+		return Analyze(info, fd.Type, fd.Body), info
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// escOf finds the tracked variable with the given name and returns its
+// verdict.
+func escOf(t *testing.T, f *Func, name string) Escape {
+	t.Helper()
+	for obj, v := range f.Vars {
+		if obj.Name() == name {
+			return v.Esc
+		}
+	}
+	t.Fatalf("variable %s not tracked", name)
+	return Heap
+}
+
+func TestEscapeLocal(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}`, "sum")
+	// total is returned — Heap; x stays local.
+	if got := escOf(t, f, "x"); got != Local {
+		t.Errorf("x: got %v, want local", got)
+	}
+	if got := escOf(t, f, "total"); got != Heap {
+		t.Errorf("total: got %v, want heap (returned)", got)
+	}
+}
+
+func TestEscapeReturn(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func build() []int {
+	buf := make([]int, 0, 8)
+	buf = append(buf, 1)
+	return buf
+}`, "build")
+	if got := escOf(t, f, "buf"); got != Heap {
+		t.Errorf("buf: got %v, want heap", got)
+	}
+}
+
+func TestEscapeSend(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func send(ch chan int) {
+	v := 42
+	ch <- v
+}`, "send")
+	if got := escOf(t, f, "v"); got != Heap {
+		t.Errorf("v: got %v, want heap (sent)", got)
+	}
+}
+
+func TestEscapePassed(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func report(x int) {}
+func caller() {
+	v := 1
+	report(v)
+	w := 2
+	_ = len([]int{w})
+}`, "caller")
+	if got := escOf(t, f, "v"); got != Passed {
+		t.Errorf("v: got %v, want passed", got)
+	}
+}
+
+func TestBuiltinsDoNotEscape(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func lens() int {
+	s := []int{1, 2, 3}
+	n := len(s)
+	m := map[string]int{}
+	delete(m, "k")
+	return n
+}`, "lens")
+	if got := escOf(t, f, "s"); got != Local {
+		t.Errorf("s: got %v, want local (len does not retain)", got)
+	}
+	if got := escOf(t, f, "m"); got != Local {
+		t.Errorf("m: got %v, want local (delete does not retain)", got)
+	}
+}
+
+func TestEscapeClosureCapture(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func capture() func() int {
+	counter := 0
+	free := 7
+	_ = free
+	return func() int { counter++; return counter }
+}`, "capture")
+	if got := escOf(t, f, "counter"); got != Heap {
+		t.Errorf("counter: got %v, want heap (captured)", got)
+	}
+	if got := escOf(t, f, "free"); got != Local {
+		t.Errorf("free: got %v, want local", got)
+	}
+}
+
+func TestEscapeGoroutineAndDefer(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func spawn(run func(int)) {
+	a := 1
+	go run(a)
+	b := 2
+	defer run(b)
+}`, "spawn")
+	if got := escOf(t, f, "a"); got != Heap {
+		t.Errorf("a: got %v, want heap (goroutine arg)", got)
+	}
+	if got := escOf(t, f, "b"); got != Heap {
+		t.Errorf("b: got %v, want heap (deferred arg)", got)
+	}
+}
+
+func TestEscapePointerStore(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func store(p *int) {
+	v := 9
+	*p = v
+}`, "store")
+	if got := escOf(t, f, "v"); got != Heap {
+		t.Errorf("v: got %v, want heap (stored through pointer)", got)
+	}
+}
+
+var sinkVar []int
+
+func TestEscapeGlobalStore(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+var sink []int
+func leak() {
+	buf := make([]int, 4)
+	sink = buf
+}`, "leak")
+	if got := escOf(t, f, "buf"); got != Heap {
+		t.Errorf("buf: got %v, want heap (assigned to package var)", got)
+	}
+}
+
+func TestFlowPropagation(t *testing.T) {
+	// y flows into x, x is returned: y must join Heap.
+	f, _ := analyzeFunc(t, `
+func chain() []int {
+	y := make([]int, 2)
+	x := y
+	return x
+}`, "chain")
+	if got := escOf(t, f, "y"); got != Heap {
+		t.Errorf("y: got %v, want heap (flows into returned x)", got)
+	}
+}
+
+func TestFieldStoreIntoLocalStaysLocal(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+type box struct{ v int }
+func fill() int {
+	var b box
+	tmp := 3
+	b.v = tmp
+	return b.v
+}`, "fill")
+	// b is returned by value only through a field read — the struct
+	// itself is Local; tmp flows into b and joins b's verdict.
+	if got := escOf(t, f, "b"); got != Local {
+		t.Errorf("b: got %v, want local", got)
+	}
+	if got := escOf(t, f, "tmp"); got != Local {
+		t.Errorf("tmp: got %v, want local", got)
+	}
+}
+
+func TestDefUseChains(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func uses() int {
+	v := 1
+	v = 2
+	w := v + v
+	return w
+}`, "uses")
+	var vv *Var
+	for obj, info := range f.Vars {
+		if obj.Name() == "v" {
+			vv = info
+		}
+	}
+	if vv == nil {
+		t.Fatal("v not tracked")
+	}
+	if len(vv.Defs) != 2 {
+		t.Errorf("v defs: got %d, want 2", len(vv.Defs))
+	}
+	if len(vv.Uses) == 0 {
+		t.Errorf("v uses: got 0, want >0")
+	}
+	for i := 1; i < len(vv.Defs); i++ {
+		if vv.Defs[i] < vv.Defs[i-1] {
+			t.Errorf("defs not in source order")
+		}
+	}
+}
+
+func TestBoxingAtAssignment(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func boxAssign() any {
+	v := 42
+	var i any = v
+	return i
+}`, "boxAssign")
+	if n := len(f.Boxings()); n != 1 {
+		t.Fatalf("boxings: got %d, want 1", n)
+	}
+	b := f.Boxings()[0]
+	if b.From == nil || b.From.String() != "int" {
+		t.Errorf("boxing From: got %v, want int", b.From)
+	}
+}
+
+func TestBoxingAtCallArg(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func take(v any) {}
+func takeVariadic(vs ...any) {}
+func boxCall() {
+	take(7)
+	takeVariadic(1, 2)
+	take(nil)
+}`, "boxCall")
+	// 7 boxes, 1 and 2 box through the variadic tail; nil does not.
+	if n := len(f.Boxings()); n != 3 {
+		t.Errorf("boxings: got %d, want 3", n)
+	}
+}
+
+func TestBoxingAtSendAndReturn(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func boxSend(ch chan any) {
+	ch <- 5
+}`, "boxSend")
+	if n := len(f.Boxings()); n != 1 {
+		t.Errorf("send boxings: got %d, want 1", n)
+	}
+}
+
+func TestNoBoxingBetweenInterfaces(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func passThrough(v any) any {
+	var w any = v
+	return w
+}`, "passThrough")
+	if n := len(f.Boxings()); n != 0 {
+		t.Errorf("boxings: got %d, want 0 (interface-to-interface)", n)
+	}
+}
+
+func TestBoxingInCompositeLit(t *testing.T) {
+	f, _ := analyzeFunc(t, `
+func boxLit() []any {
+	return []any{1, "two"}
+}`, "boxLit")
+	if n := len(f.Boxings()); n != 2 {
+		t.Errorf("composite boxings: got %d, want 2", n)
+	}
+}
+
+func TestNestedFuncLitReturnUsesOwnSignature(t *testing.T) {
+	// The literal returns its own local; the enclosing function's
+	// variable is only captured, not returned.
+	f, _ := analyzeFunc(t, `
+func outer() func() int {
+	base := 10
+	f := func() int {
+		inner := base + 1
+		return inner
+	}
+	return f
+}`, "outer")
+	if got := escOf(t, f, "base"); got != Heap {
+		t.Errorf("base: got %v, want heap (captured)", got)
+	}
+	if got := escOf(t, f, "inner"); got != Heap {
+		t.Errorf("inner: got %v, want heap (returned from literal)", got)
+	}
+}
+
+func TestEscapeString(t *testing.T) {
+	if Local.String() != "local" || Passed.String() != "passed" || Heap.String() != "heap" {
+		t.Errorf("Escape.String: got %s/%s/%s", Local, Passed, Heap)
+	}
+}

@@ -3,10 +3,18 @@
 // lifespans compared only through package interval's Allen predicates,
 // nil-safe metrics.Probe workspace accounting, deterministic experiment
 // oracles, quit-guarded processor goroutines — and go vet cannot see any
-// of them. Each rule here encodes one such invariant over the type-checked
-// syntax trees of the whole module and reports findings as
+// of them. Each analyzer here encodes one such invariant over the
+// type-checked syntax trees of the whole module and reports findings as
 //
 //	file:line: [rule] message
+//
+// The pass has two tiers. The syntactic tier (the seven original rules)
+// works on single packages. The dataflow tier behind `tdblint -deep`
+// builds per-function def-use chains and a conservative escape lattice
+// (internal/lint/flow) and layers whole-module analyses on top: hot-path
+// allocation auditing against a checked-in baseline, lock-ordering cycle
+// detection, and failpoint-coverage reconciliation. See analysis.go for
+// the driver contract (Requires, facts, finish phase).
 //
 // A finding is suppressed by a justification comment on the same line or
 // the line directly above:
@@ -25,11 +33,14 @@ import (
 	"go/ast"
 	"go/token"
 	"io"
+	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// Diagnostic is one finding of one rule.
+// Diagnostic is one finding of one rule. File is module-relative when
+// the diagnostic leaves Run; inside Check it is whatever the FileSet
+// holds (absolute for loaded modules).
 type Diagnostic struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
@@ -44,71 +55,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Rule, d.Message)
 }
 
-// Rule is one invariant check. Check inspects a single package and
-// reports findings through the Reporter.
-type Rule struct {
-	Name  string
-	Doc   string
-	Check func(p *Package, r *Reporter)
-}
-
-// Rules returns every registered rule, in fixed order.
-func Rules() []Rule {
-	return []Rule{
-		probeNilSafetyRule,
-		intervalEncapsulationRule,
-		noPanicRule,
-		determinismRule,
-		goroutineHygieneRule,
-		workerContextRule,
-		errorDisciplineRule,
-	}
-}
-
-// ruleAliases maps alternative lint:allow tokens to rule names, so the
-// natural comment "lint:allow panic" addresses the no-panic rule.
-var ruleAliases = map[string]string{
-	"panic": "no-panic",
-}
-
-// SelectRules filters the registry by a comma-separated name list; the
-// empty filter selects everything.
-func SelectRules(filter string) ([]Rule, error) {
-	all := Rules()
-	if filter == "" {
-		return all, nil
-	}
-	byName := map[string]Rule{}
-	for _, r := range all {
-		byName[r.Name] = r
-	}
-	var out []Rule
-	for _, name := range strings.Split(filter, ",") {
-		name = strings.TrimSpace(name)
-		if canon, ok := ruleAliases[name]; ok {
-			name = canon
-		}
-		r, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("lint: unknown rule %q (have %s)", name, ruleNames(all))
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
-func ruleNames(rs []Rule) string {
-	names := make([]string, len(rs))
-	for i, r := range rs {
-		names[i] = r.Name
-	}
-	return strings.Join(names, ", ")
-}
-
-// Reporter collects diagnostics for one (package, rule) pair, applying
-// lint:allow suppressions.
+// Reporter collects diagnostics for one rule, applying lint:allow
+// suppressions.
 type Reporter struct {
-	pkg   *Package
+	fset  *token.FileSet
 	rule  string
 	allow map[string]map[int]map[string]bool // file -> line -> rules
 	out   *[]Diagnostic
@@ -116,7 +66,7 @@ type Reporter struct {
 
 // Reportf files a diagnostic at pos unless a lint:allow comment covers it.
 func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
-	p := r.pkg.Fset.Position(pos)
+	p := r.fset.Position(pos)
 	if lines := r.allow[p.Filename]; lines != nil {
 		// A suppression applies to findings on its own line and on the
 		// line directly below (comment-above style).
@@ -132,50 +82,44 @@ func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// suppressions scans a package's comments for lint:allow directives and
-// returns file -> line -> allowed-rule-set.
-func suppressions(p *Package) map[string]map[int]map[string]bool {
+// suppressions scans every package's comments — test files included,
+// since the failpoint analyzer reports into them — for lint:allow
+// directives and returns file -> line -> allowed-rule-set.
+func suppressions(pkgs []*Package) map[string]map[int]map[string]bool {
 	out := map[string]map[int]map[string]bool{}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				idx := strings.Index(c.Text, "lint:allow ")
-				if idx < 0 {
-					continue
+	for _, p := range pkgs {
+		files := append(append([]*ast.File{}, p.Files...), p.TestFiles...)
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "lint:allow ")
+					if idx < 0 {
+						continue
+					}
+					fields := strings.Fields(c.Text[idx+len("lint:allow "):])
+					if len(fields) == 0 {
+						continue
+					}
+					rule := fields[0]
+					if canon, ok := ruleAliases[rule]; ok {
+						rule = canon
+					}
+					pos := p.Fset.Position(c.Pos())
+					if out[pos.Filename] == nil {
+						out[pos.Filename] = map[int]map[string]bool{}
+					}
+					if out[pos.Filename][pos.Line] == nil {
+						out[pos.Filename][pos.Line] = map[string]bool{}
+					}
+					out[pos.Filename][pos.Line][rule] = true
 				}
-				fields := strings.Fields(c.Text[idx+len("lint:allow "):])
-				if len(fields) == 0 {
-					continue
-				}
-				rule := fields[0]
-				if canon, ok := ruleAliases[rule]; ok {
-					rule = canon
-				}
-				pos := p.Fset.Position(c.Pos())
-				if out[pos.Filename] == nil {
-					out[pos.Filename] = map[int]map[string]bool{}
-				}
-				if out[pos.Filename][pos.Line] == nil {
-					out[pos.Filename][pos.Line] = map[string]bool{}
-				}
-				out[pos.Filename][pos.Line][rule] = true
 			}
 		}
 	}
 	return out
 }
 
-// Check runs the given rules over the given packages and returns the
-// sorted findings.
-func Check(pkgs []*Package, rules []Rule) []Diagnostic {
-	var diags []Diagnostic
-	for _, p := range pkgs {
-		allow := suppressions(p)
-		for _, rule := range rules {
-			rep := &Reporter{pkg: p, rule: rule.Name, allow: allow, out: &diags}
-			rule.Check(p, rep)
-		}
-	}
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -189,18 +133,48 @@ func Check(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
-// Run loads the module at dir, applies the filtered rules, and writes the
-// findings to w (one line each, or a JSON array with jsonOut). It returns
-// the number of findings.
-func Run(dir, ruleFilter string, jsonOut bool, w io.Writer) (int, error) {
-	rules, err := SelectRules(ruleFilter)
+// relativize rewrites absolute diagnostic paths to module-relative ones
+// (slash-separated), the form the baseline file and CI artifacts use.
+func relativize(diags []Diagnostic, root string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// Config configures a Run.
+type Config struct {
+	// Dir names the module to lint (any directory at or under the root).
+	Dir string
+	// Rules is a comma-separated analyzer filter; empty selects the tier
+	// implied by Deep.
+	Rules string
+	// Deep enables the dataflow tier (flow-based analyzers).
+	Deep bool
+	// JSON emits the findings as a JSON array instead of text lines.
+	JSON bool
+	// Baseline, when non-empty, names the checked-in findings baseline:
+	// findings matching it are suppressed, findings missing from it are
+	// reported as stale entries, so the file must stay exact.
+	Baseline string
+	// WriteBaseline rewrites the Baseline file from the current findings
+	// instead of diffing against it.
+	WriteBaseline bool
+}
+
+// Run loads the module at cfg.Dir, applies the selected analyzers, and
+// writes the findings to w (one line each, or a JSON array with
+// cfg.JSON). It returns the number of findings that should gate CI:
+// after baseline subtraction, plus stale baseline entries.
+func Run(cfg Config, w io.Writer) (int, error) {
+	analyzers, err := SelectAnalyzers(cfg.Rules, cfg.Deep)
 	if err != nil {
 		return 0, err
 	}
-	l, err := NewLoader(dir)
+	l, err := NewLoader(cfg.Dir)
 	if err != nil {
 		return 0, err
 	}
@@ -208,8 +182,33 @@ func Run(dir, ruleFilter string, jsonOut bool, w io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	diags := Check(pkgs, rules)
-	if jsonOut {
+	diags, err := Check(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	relativize(diags, l.root)
+
+	if cfg.WriteBaseline {
+		if cfg.Baseline == "" {
+			return 0, fmt.Errorf("lint: -write-baseline needs a baseline path")
+		}
+		if err := WriteBaseline(cfg.Baseline, diags); err != nil {
+			return 0, err
+		}
+		_, _ = fmt.Fprintf(w, "baseline: wrote %d finding(s) to %s\n", len(diags), cfg.Baseline)
+		return 0, nil
+	}
+	if cfg.Baseline != "" {
+		base, err := LoadBaseline(cfg.Baseline)
+		if err != nil {
+			return 0, err
+		}
+		fresh, stale := base.Apply(diags)
+		diags = append(fresh, stale...)
+		sortDiagnostics(diags)
+	}
+
+	if cfg.JSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -240,7 +239,7 @@ func inScope(p *Package, prefixes ...string) bool {
 	return false
 }
 
-// inspect walks every file of the package.
+// inspect walks every type-checked file of the package.
 func inspect(p *Package, fn func(ast.Node) bool) {
 	for _, f := range p.Files {
 		ast.Inspect(f, fn)

@@ -66,14 +66,25 @@ func loadFixture(t *testing.T) []*Package {
 	return pkgs
 }
 
-// TestFixtures runs every rule over the fixture module and requires the
-// findings to match the inline `// want <rule>` markers exactly: every
-// marker must produce a diagnostic on its line, and every diagnostic
-// must be marked. Each rule thus gets its positive cases asserted here
-// and its negative cases (the unmarked code in the same files) asserted
-// by the absence of extra findings.
+// checkFixture runs analyzers over the fixture module, failing on driver
+// errors.
+func checkFixture(t *testing.T, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	diags, err := Check(loadFixture(t), analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestFixtures runs every analyzer — both tiers — over the fixture module
+// and requires the findings to match the inline `// want <rule>` markers
+// exactly: every marker must produce a diagnostic on its line, and every
+// diagnostic must be marked. Each rule thus gets its positive cases
+// asserted here and its negative cases (the unmarked code in the same
+// files) asserted by the absence of extra findings.
 func TestFixtures(t *testing.T) {
-	diags := Check(loadFixture(t), Rules())
+	diags := checkFixture(t, Analyzers())
 
 	key := func(file string, line int, rule string) string {
 		return fmt.Sprintf("%s:%d:%s", filepath.Base(file), line, rule)
@@ -100,23 +111,27 @@ func TestFixtures(t *testing.T) {
 
 // TestEveryRuleHasPositiveAndNegative guards the fixture set itself: if
 // a rule loses its markers the coverage silently evaporates, so require
-// at least one marked (positive) line per rule, and at least one file in
-// scope for the rule with unmarked code (the negative side).
+// at least one marked (positive) line per reporting analyzer, and reject
+// markers naming unknown rules. (The flow analyzer reports nothing — it
+// only feeds results to its dependents — so it is exempt.)
 func TestEveryRuleHasPositiveAndNegative(t *testing.T) {
 	wants := collectWants(t, "testdata/src")
 	byRule := map[string]int{}
 	for _, w := range wants {
 		byRule[w.rule]++
 	}
-	for _, r := range Rules() {
-		if byRule[r.Name] == 0 {
-			t.Errorf("rule %s has no positive fixture (// want %s marker)", r.Name, r.Name)
+	for _, a := range Analyzers() {
+		if a.Name == flowAnalyzer.Name {
+			continue
+		}
+		if byRule[a.Name] == 0 {
+			t.Errorf("rule %s has no positive fixture (// want %s marker)", a.Name, a.Name)
 		}
 	}
 	for rule := range byRule {
 		found := false
-		for _, r := range Rules() {
-			if r.Name == rule {
+		for _, a := range Analyzers() {
+			if a.Name == rule {
 				found = true
 			}
 		}
@@ -126,21 +141,36 @@ func TestEveryRuleHasPositiveAndNegative(t *testing.T) {
 	}
 }
 
-// TestSelectRules covers the -rules filter: names, the panic alias,
-// whitespace, and the unknown-name error.
-func TestSelectRules(t *testing.T) {
-	all, err := SelectRules("")
-	if err != nil || len(all) != len(Rules()) {
-		t.Fatalf("empty filter: got %d rules, err %v", len(all), err)
+// TestSelectAnalyzers covers the -rules filter and tier selection: the
+// empty filter picks the syntactic tier (plus the deep tier under -deep),
+// aliases resolve, deep analyzers are selectable by name without -deep,
+// and unknown names error.
+func TestSelectAnalyzers(t *testing.T) {
+	shallow, err := SelectAnalyzers("", false)
+	if err != nil {
+		t.Fatal(err)
 	}
-	rs, err := SelectRules("determinism, panic")
+	for _, a := range shallow {
+		if a.Deep {
+			t.Errorf("default tier includes deep analyzer %s", a.Name)
+		}
+	}
+	all, err := SelectAnalyzers("", true)
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("deep filter: got %d analyzers, err %v", len(all), err)
+	}
+	rs, err := SelectAnalyzers("determinism, panic", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rs) != 2 || rs[0].Name != "determinism" || rs[1].Name != "no-panic" {
-		t.Fatalf("filter with alias resolved to %v", ruleNames(rs))
+		t.Fatalf("filter with alias resolved to %s", analyzerNames(rs))
 	}
-	if _, err := SelectRules("nope"); err == nil {
+	deepByName, err := SelectAnalyzers("hotpath-alloc", false)
+	if err != nil || len(deepByName) != 1 || !deepByName[0].Deep {
+		t.Fatalf("naming a deep analyzer must select it: %v, err %v", analyzerNames(deepByName), err)
+	}
+	if _, err := SelectAnalyzers("nope", false); err == nil {
 		t.Fatal("unknown rule name must error")
 	}
 }
@@ -148,11 +178,11 @@ func TestSelectRules(t *testing.T) {
 // TestRuleFilterScopes re-checks the fixture with a single rule selected
 // and requires findings from only that rule.
 func TestRuleFilterScopes(t *testing.T) {
-	rs, err := SelectRules("interval-encapsulation")
+	rs, err := SelectAnalyzers("interval-encapsulation", false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Check(loadFixture(t), rs)
+	diags := checkFixture(t, rs)
 	if len(diags) == 0 {
 		t.Fatal("interval-encapsulation found nothing in the fixture")
 	}
@@ -167,7 +197,7 @@ func TestRuleFilterScopes(t *testing.T) {
 // the findings decode with populated fields, sorted by position.
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
-	n, err := Run("testdata/src", "", true, &buf)
+	n, err := Run(Config{Dir: "testdata/src", JSON: true}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +226,7 @@ func TestRunJSON(t *testing.T) {
 // TestRunTextFormat checks the canonical file:line: [rule] message shape.
 func TestRunTextFormat(t *testing.T) {
 	var buf bytes.Buffer
-	n, err := Run("testdata/src", "no-panic", false, &buf)
+	n, err := Run(Config{Dir: "testdata/src", Rules: "no-panic"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,17 +242,36 @@ func TestRunTextFormat(t *testing.T) {
 }
 
 // TestRepoIsClean is the acceptance gate: the real module at HEAD must
-// lint clean, so `make lint` and CI stay green.
+// lint clean with the syntactic tier, so `make lint` and CI stay green.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
 	var buf bytes.Buffer
-	n, err := Run("../..", "", false, &buf)
+	n, err := Run(Config{Dir: "../.."}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 0 {
 		t.Errorf("the repo has %d lint finding(s):\n%s", n, buf.String())
+	}
+}
+
+// TestRepoIsCleanDeep asserts the deep tier against the checked-in
+// baseline, exactly: a new finding fails (regression), and a finding the
+// baseline lists but the code no longer produces fails too (the ledger is
+// stale and must be regenerated). This is the CI gate behind `make
+// lint-deep`.
+func TestRepoIsCleanDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var buf bytes.Buffer
+	n, err := Run(Config{Dir: "../..", Deep: true, Baseline: "../../tdblint.baseline.json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("deep lint deviates from tdblint.baseline.json by %d finding(s):\n%s", n, buf.String())
 	}
 }

@@ -15,15 +15,20 @@ import (
 
 // Package is one parsed and type-checked package of the module under
 // analysis, everything a rule needs to reason syntactically and
-// semantically at once.
+// semantically at once. TestFiles holds the package's _test.go files
+// parsed without type information: the failpoint-coverage analyzer scans
+// them for chaos schedules, and nothing else should rely on them being
+// semantically resolved.
 type Package struct {
-	Path   string // import path, e.g. tdb/internal/core
-	RelDir string // module-relative directory with "/" separators; "" for the root
-	Dir    string // absolute directory
-	Fset   *token.FileSet
-	Files  []*ast.File
-	Types  *types.Package
-	Info   *types.Info
+	Path      string // import path, e.g. tdb/internal/core
+	RelDir    string // module-relative directory with "/" separators; "" for the root
+	Dir       string // absolute directory
+	Root      string // module root directory (shared by every package of a run)
+	Fset      *token.FileSet
+	Files     []*ast.File
+	TestFiles []*ast.File // parse-only; no entries in Types/Info
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // Loader loads and type-checks every package of a module using only the
@@ -153,13 +158,25 @@ func (l *Loader) load(rel string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	var files, testFiles []*ast.File
 	pkgName := ""
 	for _, e := range ents {
-		if !goSource(e.Name()) {
+		name := e.Name()
+		if strings.HasSuffix(name, "_test.go") {
+			// Test files are parsed for their syntax only: they may belong
+			// to the external foo_test package and import anything, so they
+			// never enter the type-checked file set.
+			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			testFiles = append(testFiles, f)
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if !goSource(name) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -190,13 +207,15 @@ func (l *Loader) load(rel string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	p := &Package{
-		Path:   path,
-		RelDir: rel,
-		Dir:    dir,
-		Fset:   l.fset,
-		Files:  files,
-		Types:  tpkg,
-		Info:   info,
+		Path:      path,
+		RelDir:    rel,
+		Dir:       dir,
+		Root:      l.root,
+		Fset:      l.fset,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     tpkg,
+		Info:      info,
 	}
 	l.pkgs[rel] = p
 	return p, nil

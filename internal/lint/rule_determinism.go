@@ -5,7 +5,7 @@ import (
 	"go/types"
 )
 
-// determinismRule protects the empirical oracles. Tables 1–3 and the
+// determinismAnalyzer protects the empirical oracles. Tables 1–3 and the
 // figures are reproduced by experiments whose cell values the tests
 // assert exactly; internal/experiments and internal/core therefore must
 // not consult wall-clock time, draw from the globally seeded random
@@ -13,12 +13,13 @@ import (
 // (rand.New(rand.NewSource(seed))) are the sanctioned randomness, and map
 // iteration is fine once the keys are materialized and sorted — rewrite,
 // or justify a benign site with // lint:allow determinism.
-var determinismRule = Rule{
+var determinismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "no wall-clock, global randomness, or map-order iteration in the oracle packages",
-	Check: func(p *Package, r *Reporter) {
+	Run: func(pass *Pass) any {
+		p := pass.Pkg
 		if !inScope(p, "internal/experiments", "internal/core") {
-			return
+			return nil
 		}
 		inspect(p, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -33,11 +34,11 @@ var determinismRule = Rule{
 				switch fn.Pkg().Path() {
 				case "time":
 					if fn.Name() == "Now" {
-						r.Reportf(n.Pos(), "time.Now in an oracle package; results must be reproducible")
+						pass.Reportf(n.Pos(), "time.Now in an oracle package; results must be reproducible")
 					}
 				case "math/rand", "math/rand/v2":
 					if fn.Name() != "New" && fn.Name() != "NewSource" {
-						r.Reportf(n.Pos(), "globally seeded rand.%s in an oracle package; use rand.New(rand.NewSource(seed))", fn.Name())
+						pass.Reportf(n.Pos(), "globally seeded rand.%s in an oracle package; use rand.New(rand.NewSource(seed))", fn.Name())
 					}
 				}
 			case *ast.RangeStmt:
@@ -46,11 +47,12 @@ var determinismRule = Rule{
 					return true
 				}
 				if _, isMap := t.Underlying().(*types.Map); isMap {
-					r.Reportf(n.Pos(), "map iteration order is nondeterministic; iterate sorted keys (or justify with // lint:allow determinism)")
+					pass.Reportf(n.Pos(), "map iteration order is nondeterministic; iterate sorted keys (or justify with // lint:allow determinism)")
 				}
 			}
 			return true
 		})
+		return nil
 	},
 }
 

@@ -5,19 +5,20 @@ import (
 	"go/types"
 )
 
-// errorDisciplineRule is an errcheck-lite over go/types: a call whose
+// errorDisciplineAnalyzer is an errcheck-lite over go/types: a call whose
 // error result is silently dropped as an expression statement hides scan
 // failures, constraint violations and I/O errors from the caller. Writes
 // to the infallible in-memory writers (strings.Builder, bytes.Buffer) and
 // best-effort terminal output (fmt.Print* and Fprint* to os.Stdout or
 // os.Stderr) are exempt, as are examples; explicit `_ =` discards and
 // deferred cleanup are considered deliberate and are not flagged.
-var errorDisciplineRule = Rule{
+var errorDisciplineAnalyzer = &Analyzer{
 	Name: "error-discipline",
 	Doc:  "calls returning error must not be dropped as bare statements",
-	Check: func(p *Package, r *Reporter) {
+	Run: func(pass *Pass) any {
+		p := pass.Pkg
 		if inScope(p, "examples") {
-			return
+			return nil
 		}
 		inspect(p, func(n ast.Node) bool {
 			stmt, ok := n.(*ast.ExprStmt)
@@ -32,9 +33,10 @@ var errorDisciplineRule = Rule{
 			if t == nil || !returnsError(t) || exemptCall(p, call) {
 				return true
 			}
-			r.Reportf(call.Pos(), "unchecked error result; handle it, assign to _, or justify with // lint:allow error-discipline")
+			pass.Reportf(call.Pos(), "unchecked error result; handle it, assign to _, or justify with // lint:allow error-discipline")
 			return true
 		})
+		return nil
 	},
 }
 

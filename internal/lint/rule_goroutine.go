@@ -4,7 +4,7 @@ import (
 	"go/ast"
 )
 
-// goroutineHygieneRule enforces the Async.GoRun shutdown pattern on the
+// goroutineHygieneAnalyzer enforces the Async.GoRun shutdown pattern on the
 // processor networks. A producer goroutine that sends on a channel with a
 // bare `ch <- v` blocks forever once its consumer abandons the stream,
 // leaking the goroutine and everything it holds; every send inside a `go
@@ -16,12 +16,13 @@ import (
 // leak an operator per deregistered query. (The parallel shard workers of
 // internal/engine satisfy the rule by construction: they write to
 // pre-allocated per-shard slots and never send on a channel.)
-var goroutineHygieneRule = Rule{
+var goroutineHygieneAnalyzer = &Analyzer{
 	Name: "goroutine-hygiene",
 	Doc:  "channel sends in go func literals must select on a quit/done case",
-	Check: func(p *Package, r *Reporter) {
+	Run: func(pass *Pass) any {
+		p := pass.Pkg
 		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition", "internal/live") {
-			return
+			return nil
 		}
 		inspect(p, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
@@ -32,16 +33,17 @@ var goroutineHygieneRule = Rule{
 			if !ok {
 				return true
 			}
-			checkGoroutineSends(p, r, lit)
+			checkGoroutineSends(pass, lit)
 			return true
 		})
+		return nil
 	},
 }
 
 // checkGoroutineSends walks the goroutine body (including nested function
 // literals, which run on the same goroutine when invoked) and reports any
 // send that is not a select case with a companion receive case.
-func checkGoroutineSends(p *Package, r *Reporter, lit *ast.FuncLit) {
+func checkGoroutineSends(pass *Pass, lit *ast.FuncLit) {
 	// Track the parent chain so each send can be matched against its
 	// enclosing select clause.
 	var stack []ast.Node
@@ -56,7 +58,7 @@ func checkGoroutineSends(p *Package, r *Reporter, lit *ast.FuncLit) {
 			return true
 		}
 		if !sendInGuardedSelect(stack, send) {
-			r.Reportf(send.Pos(), "bare channel send in a goroutine; wrap in a select with a quit/done receive case (the Async.GoRun pattern)")
+			pass.Reportf(send.Pos(), "bare channel send in a goroutine; wrap in a select with a quit/done receive case (the Async.GoRun pattern)")
 		}
 		return true
 	})

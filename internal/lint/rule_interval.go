@@ -6,7 +6,7 @@ import (
 	"go/types"
 )
 
-// intervalEncapsulationRule keeps Allen's relationships in one place. An
+// intervalEncapsulationAnalyzer keeps Allen's relationships in one place. An
 // endpoint inequality between two different lifespans — x.Start < y.Start,
 // x.End <= y.Start, … — is a fragment of a Figure 2 relationship, and the
 // interval package's predicates (Before, Meets, During, …) and
@@ -17,12 +17,13 @@ import (
 // Comparing the endpoints of one interval with themselves (iv.Start <
 // iv.End, the intra-tuple constraint) and comparing an endpoint with a
 // scalar chronon are both fine: neither is an inter-lifespan relationship.
-var intervalEncapsulationRule = Rule{
+var intervalEncapsulationAnalyzer = &Analyzer{
 	Name: "interval-encapsulation",
 	Doc:  "no raw Start/End comparisons between two Intervals outside package interval",
-	Check: func(p *Package, r *Reporter) {
+	Run: func(pass *Pass) any {
+		p := pass.Pkg
 		if p.Types.Name() == "interval" {
-			return
+			return nil
 		}
 		inspect(p, func(n ast.Node) bool {
 			bin, ok := n.(*ast.BinaryExpr)
@@ -37,9 +38,10 @@ var intervalEncapsulationRule = Rule{
 			if types.ExprString(lx) == types.ExprString(ly) {
 				return true // intra-tuple constraint on one interval
 			}
-			r.Reportf(bin.Pos(), "raw Interval endpoint comparison between two lifespans; use package interval (CmpStart/CmpEnd/Compare or a Figure 2 predicate)")
+			pass.Reportf(bin.Pos(), "raw Interval endpoint comparison between two lifespans; use package interval (CmpStart/CmpEnd/Compare or a Figure 2 predicate)")
 			return true
 		})
+		return nil
 	},
 }
 

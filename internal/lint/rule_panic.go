@@ -5,19 +5,20 @@ import (
 	"go/types"
 )
 
-// noPanicRule forbids panic in library code. The engine is grown toward
+// noPanicAnalyzer forbids panic in library code. The engine is grown toward
 // serving production traffic; a panic in an operator or the optimizer
 // takes the whole process down on one bad query. Executable entry points
 // (cmd/, examples/) may panic — they own the process — and a library site
 // that is genuinely unreachable (exhaustive switches over closed enums,
 // Must* constructors for statically known inputs) carries a
 // "// lint:allow panic <justification>" comment.
-var noPanicRule = Rule{
+var noPanicAnalyzer = &Analyzer{
 	Name: "no-panic",
 	Doc:  "no panic in library code without a lint:allow justification",
-	Check: func(p *Package, r *Reporter) {
+	Run: func(pass *Pass) any {
+		p := pass.Pkg
 		if inScope(p, "cmd", "examples") {
-			return
+			return nil
 		}
 		inspect(p, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -31,8 +32,9 @@ var noPanicRule = Rule{
 			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
 				return true
 			}
-			r.Reportf(call.Pos(), "panic in library code; return an error, or justify with // lint:allow panic")
+			pass.Reportf(call.Pos(), "panic in library code; return an error, or justify with // lint:allow panic")
 			return true
 		})
+		return nil
 	},
 }

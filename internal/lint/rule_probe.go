@@ -21,7 +21,7 @@ var obsNilSafeTypes = map[string]bool{
 	"Registry":     true,
 }
 
-// probeNilSafetyRule enforces the metrics.Probe contract: production code
+// probeNilSafetyAnalyzer enforces the metrics.Probe contract: production code
 // paths pass a nil *Probe and pay only a branch, so every method with a
 // pointer Probe receiver must begin with a nil-receiver guard — either
 //
@@ -32,10 +32,11 @@ var obsNilSafeTypes = map[string]bool{
 // the un-instrumented production path. The internal/obs hook types
 // (Tracer, Span, StateSampler and the registry instruments) follow the
 // same discipline and get the same check.
-var probeNilSafetyRule = Rule{
+var probeNilSafetyAnalyzer = &Analyzer{
 	Name: "probe-nil-safety",
 	Doc:  "methods on *Probe and the obs hook types must begin with a nil-receiver guard",
-	Check: func(p *Package, r *Reporter) {
+	Run: func(pass *Pass) any {
+		p := pass.Pkg
 		for _, f := range p.Files {
 			for _, decl := range f.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
@@ -47,14 +48,15 @@ var probeNilSafetyRule = Rule{
 					continue
 				}
 				if recvName == "" {
-					r.Reportf(fn.Pos(), "method %s has an unnamed *%s receiver and cannot nil-guard it", fn.Name.Name, typeName)
+					pass.Reportf(fn.Pos(), "method %s has an unnamed *%s receiver and cannot nil-guard it", fn.Name.Name, typeName)
 					continue
 				}
 				if !startsWithNilGuard(fn.Body.List[0], recvName) {
-					r.Reportf(fn.Pos(), "method %s on *%s must begin with an %q nil-receiver guard", fn.Name.Name, typeName, "if "+recvName+" != nil")
+					pass.Reportf(fn.Pos(), "method %s on *%s must begin with an %q nil-receiver guard", fn.Name.Name, typeName, "if "+recvName+" != nil")
 				}
 			}
 		}
+		return nil
 	},
 }
 

@@ -5,7 +5,7 @@ import (
 	"go/token"
 )
 
-// workerContextRule enforces the governed-worker discipline introduced with
+// workerContextAnalyzer enforces the governed-worker discipline introduced with
 // the workspace governor: every goroutine spawned in internal/core,
 // internal/engine or internal/live must carry a visible cancellation edge,
 // so that first-error propagation (engine shard workers), breaker trips
@@ -16,12 +16,13 @@ import (
 // performs a channel receive, the quit/done idiom of core.Async.GoRun.
 // A goroutine with neither is unstoppable from the outside: under a fault
 // or a governor abort it leaks, holding its workspace forever.
-var workerContextRule = Rule{
+var workerContextAnalyzer = &Analyzer{
 	Name: "worker-context",
 	Doc:  "goroutines in governed packages must carry a context.Context or quit-channel cancellation edge",
-	Check: func(p *Package, r *Reporter) {
+	Run: func(pass *Pass) any {
+		p := pass.Pkg
 		if !inScope(p, "internal/core", "internal/engine", "internal/live") {
-			return
+			return nil
 		}
 		inspect(p, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
@@ -29,10 +30,11 @@ var workerContextRule = Rule{
 				return true
 			}
 			if !goroutineHasCancelEdge(p, gs) {
-				r.Reportf(gs.Pos(), "goroutine spawn without a cancellation edge; thread a context.Context (or a quit-channel receive) through the worker so faults and governor aborts can unwind it")
+				pass.Reportf(gs.Pos(), "goroutine spawn without a cancellation edge; thread a context.Context (or a quit-channel receive) through the worker so faults and governor aborts can unwind it")
 			}
 			return true
 		})
+		return nil
 	},
 }
 

@@ -1,0 +1,17 @@
+// Package fault is a minimal stand-in for the real failpoint registry:
+// the failpoint-coverage analyzer resolves calls by package-path suffix
+// (".../internal/fault"), so this fixture package exercises the same
+// resolution as tdb/internal/fault.
+package fault
+
+// Declare registers a failpoint site.
+func Declare(site, doc string) {}
+
+// Check consults a site for an injected error.
+func Check(site string) error { return nil }
+
+// Torn consults a site for a truncated-write injection.
+func Torn(site string, size int) (int, error) { return size, nil }
+
+// Arm activates the sites named in an injection spec.
+func Arm(spec string) error { return nil }

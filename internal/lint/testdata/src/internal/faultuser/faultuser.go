@@ -1,0 +1,21 @@
+// Package faultuser is the failpoint-coverage fixture: one fully covered
+// site, one declared-but-dead site, one consulted-but-unarmed site, and
+// (in the test file) a spec arming a site nobody declared.
+package faultuser
+
+import "fix/internal/fault"
+
+func init() {
+	fault.Declare("user/read", "covered: consulted below, armed in the test file")
+	fault.Declare("user/dead", "never consulted by Check or Torn")            // want failpoint-coverage
+	fault.Declare("user/unarmed", "consulted, but no chaos schedule arms it") // want failpoint-coverage
+}
+
+// Read consults the covered site and the unarmed one.
+func Read() error {
+	if err := fault.Check("user/read"); err != nil {
+		return err
+	}
+	_, err := fault.Torn("user/unarmed", 8)
+	return err
+}

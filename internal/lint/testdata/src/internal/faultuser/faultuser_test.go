@@ -1,0 +1,34 @@
+// The chaos-suite side of the failpoint fixture: _test.go files are
+// parsed without type information, so the analyzer matches fault.* calls
+// and spec-shaped string literals syntactically.
+package faultuser
+
+import "fix/internal/fault"
+
+// armSchedule arms the covered site and one that was never declared (a
+// typo: the injection it intends silently never fires).
+func armSchedule() error {
+	if err := fault.Arm("user/read=error:n=1"); err != nil {
+		return err
+	}
+	return fault.Arm("user/raed=panic") // want failpoint-coverage
+}
+
+// chaosTable reaches Arm through a variable: the literal sweep still
+// finds the sites, including inside multi-spec strings.
+var chaosTable = []string{
+	"user/read=delay:ms=5;user/unarmed-by-table=torn", // want failpoint-coverage
+}
+
+func armFromTable() {
+	for _, spec := range chaosTable {
+		_ = fault.Arm(spec)
+	}
+}
+
+// declareRig is a test-local scratch site: declared and armed here only,
+// it owes no production coverage and arming it is legitimate.
+func declareRig() {
+	fault.Declare("rig/scratch", "test-only scratch site")
+	_ = fault.Arm("rig/scratch=error")
+}

@@ -1,0 +1,110 @@
+// Package lockfix is the lock-order fixture: the pool and the catalog
+// mutexes are taken in opposite orders by two paths (a cycle), and
+// several operations block on channels while holding a lock.
+package lockfix
+
+import "sync"
+
+// Pool mirrors the buffer pool's mutex owner.
+type Pool struct {
+	mu    sync.Mutex
+	pages int
+}
+
+// Catalog mirrors a second lock domain.
+type Catalog struct {
+	mu     sync.Mutex
+	tables int
+}
+
+// GrowThenRegister takes pool before catalog. The acquisition edge it
+// records closes a cycle with RegisterThenGrow below; the report anchors
+// on this (earliest) edge.
+func GrowThenRegister(p *Pool, c *Catalog) {
+	p.mu.Lock()
+	c.mu.Lock() // want lock-order
+	c.tables++
+	p.pages++
+	c.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// RegisterThenGrow takes catalog before pool: the opposite order.
+func RegisterThenGrow(p *Pool, c *Catalog) {
+	c.mu.Lock()
+	p.mu.Lock()
+	p.pages++
+	c.tables++
+	p.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// NotifyWhileHeld sends on a channel with the pool lock held: the
+// receiver may need the same lock to drain, so this can deadlock.
+func NotifyWhileHeld(p *Pool, wake chan<- int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pages++
+	wake <- p.pages // want lock-order
+}
+
+// WaitWhileHeld blocks on a receive under the lock.
+func WaitWhileHeld(p *Pool, done <-chan struct{}) {
+	p.mu.Lock()
+	<-done // want lock-order
+	p.mu.Unlock()
+}
+
+// SelectWhileHeld parks in a select under the lock.
+func SelectWhileHeld(p *Pool, in <-chan int, quit <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want lock-order
+	case v := <-in:
+		p.pages = v
+	case <-quit:
+	}
+}
+
+// CloseWhileHeld is clean: close never blocks.
+func CloseWhileHeld(p *Pool, wake chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	close(wake)
+}
+
+// NotifyAfterUnlock is the clean shape: release first, then send.
+func NotifyAfterUnlock(p *Pool, wake chan<- int) {
+	p.mu.Lock()
+	p.pages++
+	n := p.pages
+	p.mu.Unlock()
+	wake <- n
+}
+
+// SendFromGoroutine is clean too: the literal runs on its own goroutine,
+// after this frame's locks are no concern of its context.
+func SendFromGoroutine(p *Pool, wake chan<- int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		wake <- 1
+	}()
+}
+
+// registerLocked acquires the catalog lock; CallRegisterWhileHeld calls
+// it with the pool lock held, which the one-level call expansion turns
+// into the same pool→catalog edge as GrowThenRegister (no new finding —
+// the cycle is reported once, at its earliest edge).
+func registerLocked(c *Catalog) {
+	c.mu.Lock()
+	c.tables++
+	c.mu.Unlock()
+}
+
+// CallRegisterWhileHeld drives the call-summary expansion.
+func CallRegisterWhileHeld(p *Pool, c *Catalog) {
+	p.mu.Lock()
+	registerLocked(c)
+	p.mu.Unlock()
+}

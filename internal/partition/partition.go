@@ -69,11 +69,21 @@ func Ranges(cuts []interval.Time) []Range {
 // algorithms run per shard unchanged.
 func Split[T any](xs []T, span func(T) interval.Interval, rs []Range) [][]T {
 	out := make([][]T, len(rs))
+	if len(rs) == 0 {
+		return out
+	}
+	// Pre-size every shard to the even-split estimate; boundary
+	// replication may still grow a shard past it.
+	est := len(xs)/len(rs) + 1
+	for i := range out {
+		out[i] = make([]T, 0, est)
+	}
+	//tdb:hotpath
 	for _, x := range xs {
 		s := span(x)
 		for i, r := range rs {
 			if r.Intersects(s) {
-				out[i] = append(out[i], x)
+				out[i] = append(out[i], x) // lint:allow hotpath-alloc — replication factor is data-dependent; shards are pre-sized to the even-split estimate
 			} else if s.End <= r.Lo {
 				break // shards ascend; later ones lie even further right
 			}
@@ -93,11 +103,19 @@ type Tagged[T any] struct {
 // SplitTagged is Split with every replica carrying its source position.
 func SplitTagged[T any](xs []T, span func(T) interval.Interval, rs []Range) [][]Tagged[T] {
 	out := make([][]Tagged[T], len(rs))
+	if len(rs) == 0 {
+		return out
+	}
+	est := len(xs)/len(rs) + 1
+	for i := range out {
+		out[i] = make([]Tagged[T], 0, est)
+	}
+	//tdb:hotpath
 	for pos, x := range xs {
 		s := span(x)
 		for i, r := range rs {
 			if r.Intersects(s) {
-				out[i] = append(out[i], Tagged[T]{Elem: x, Pos: pos})
+				out[i] = append(out[i], Tagged[T]{Elem: x, Pos: pos}) // lint:allow hotpath-alloc — replication factor is data-dependent; shards are pre-sized to the even-split estimate
 			} else if s.End <= r.Lo {
 				break
 			}
