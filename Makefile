@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint lint-deep test race chaos bench report cover fmt
+.PHONY: all build vet fmt-check lint lint-deep test race chaos bench report cover fmt bench-check bench-record bench-baseline
 
 all: build vet fmt-check lint lint-deep test
 
@@ -45,6 +45,25 @@ chaos:
 # One benchmark per paper table/figure (see DESIGN.md's experiment index).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The benchmark regression gate. BENCH_CONFIG must match the committed
+# baseline exactly — a mismatch is a hard error, not a comparison.
+BENCH_CONFIG = -n 256 -faculty 32 -seed 1
+
+# Compare this machine's run against BENCH_BASELINE.json; nonzero exit
+# on regression (CI runs this with -record too).
+bench-check:
+	$(GO) run ./cmd/tdbbench $(BENCH_CONFIG) -check
+
+# Append a structured run record (git SHA, GOMAXPROCS, per-experiment
+# wall times) to BENCH_HISTORY.jsonl.
+bench-record:
+	$(GO) run ./cmd/tdbbench $(BENCH_CONFIG) -record
+
+# Re-seed the committed baseline from this machine (after a deliberate
+# performance change; commit the result).
+bench-baseline:
+	$(GO) run ./cmd/tdbbench $(BENCH_CONFIG) -write-baseline
 
 # The full experiment report: every table and figure of the paper,
 # regenerated with workspace measurements.

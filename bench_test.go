@@ -15,6 +15,7 @@ import (
 	"tdb/internal/experiments"
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
+	"tdb/internal/obs"
 	"tdb/internal/optimizer"
 	"tdb/internal/relation"
 	"tdb/internal/rollback"
@@ -84,6 +85,72 @@ func BenchmarkTable1_ContainJoin(b *testing.B) {
 			baseline.NestedLoopJoin(xs, ys, tupleSpan, containTheta, nil, func(a, c relation.Tuple) {})
 		}
 	})
+}
+
+// --- Resource accounting: the cost of the prof layer on the E22 serial
+// contain-join. "bare" is the sweep with instrumentation compiled in but
+// every hook nil/off (the production default — compare against the seed
+// to hold the ≤1% budget); "probe" adds the hot-loop counters; the
+// engine pair shows the whole traced query with Profile off vs on. ---
+
+func BenchmarkProfiling_SerialContainJoin(b *testing.B) {
+	const n = 20000
+	xs := benchTuples(n, 21, relation.Order{relation.TSAsc})
+	ys := benchTuples(n, 22, relation.Order{relation.TSAsc})
+	sink := func(a, c relation.Tuple) {}
+
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := core.ContainJoinTSTS(stream.FromSlice(xs), stream.FromSlice(ys),
+				tupleSpan, core.Options{}, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		var p metrics.Probe
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Reset()
+			if err := core.ContainJoinTSTS(stream.FromSlice(xs), stream.FromSlice(ys),
+				tupleSpan, core.Options{Probe: &p}, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkProfiling_TracedQuery(b *testing.B) {
+	db := engine.NewDB()
+	fac := workload.Faculty(workload.FacultyConfig{N: 300, Continuous: true, Seed: 10})
+	db.MustRegister(fac)
+	if err := db.DeclareChronOrder(experiments.RankOrder(true)); err != nil {
+		b.Fatal(err)
+	}
+	tree, err := experiments.SuperstarTree(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := optimizer.Optimize(tree, db, optimizer.Options{ICs: db.ChronOrders()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, profile := range []bool{false, true} {
+		name := "profile-off"
+		if profile {
+			name = "profile-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.Run(db, plan.Tree,
+					engine.Options{Tracer: obs.NewTracer(), Profile: profile}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Table 1 case (d): the buffers-only Figure 6 semijoins. ---

@@ -10,11 +10,18 @@
 //
 //	tdb -load Faculty=faculty.csv [-rankorder Faculty:Name:Rank=Assistant,Associate,Full[:continuous]] [-e query.quel]
 //	    [-listen 127.0.0.1:8080] [-trace trace.jsonl] [-parallelism N] [-parallel-min-rows N]
-//	    [-govern] [-faults "site=mode[:k=v...];..."]
+//	    [-govern] [-profile] [-slow-query 250ms] [-faults "site=mode[:k=v...];..."]
 //
 // With -listen the process serves /metrics (Prometheus text), /debug/vars
 // (expvar) and /debug/pprof while queries run. With -trace every traced
-// query appends its per-query spans to the given JSONL file.
+// query appends its per-query spans to the given JSONL file, and the
+// operational event journal streams there too, interleaved as JSON lines.
+//
+// -profile turns on per-query resource accounting: traced plans report
+// allocs/op, B/op and the hot-loop counters per node in EXPLAIN ANALYZE
+// output, and the executing goroutines carry pprof labels (tdb.query,
+// tdb.node, tdb.op) so CPU and heap profiles from /debug/pprof slice by
+// operator. -slow-query D journals any query slower than D.
 //
 // -govern arms the workspace governor: serial temporal joins whose
 // measured workspace breaches the optimizer's admission ceiling degrade to
@@ -29,8 +36,8 @@
 // load; see DESIGN.md for the site table and the spec grammar.
 //
 // Shell commands: \d (relations), \stats R, \explain on|off,
-// \streams on|off, \trace on|off, \set parallelism N, \metrics,
-// \faults [arm SPEC | reset], \q.
+// \streams on|off, \trace on|off, \profile on|off, \set parallelism N,
+// \metrics, \events [json], \faults [arm SPEC | reset], \q.
 //
 // Live ingestion: a "subscribe NAME (targets) where …" statement registers
 // a standing temporal query (admitted incrementally when its Tables 1–3
@@ -49,6 +56,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"tdb/internal/constraints"
 	"tdb/internal/engine"
@@ -78,6 +86,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker cap for time-range parallel execution; 0 = GOMAXPROCS, 1 = serial")
 	parallelMinRows := flag.Int("parallel-min-rows", 0, "combined-input floor below which operators stay serial (0 = default)")
 	govern := flag.Bool("govern", false, "abort-and-degrade joins whose workspace breaches the admission ceiling; govern standing queries")
+	profile := flag.Bool("profile", false, "per-query resource accounting: allocs/B per node in the analyze tree, pprof labels by operator")
+	slowQuery := flag.Duration("slow-query", 0, "journal queries slower than this duration (0 disables the slow-query log)")
 	faults := flag.String("faults", "", `arm failpoints, e.g. "storage/page-read=error:n=3;live/append=delay:ms=5" (or TDB_FAULTS)`)
 	flag.Parse()
 
@@ -125,7 +135,8 @@ func main() {
 	}
 
 	sh := &shell{db: db, explain: true, streams: true, out: os.Stdout, reg: obs.NewRegistry(),
-		parallelism: *parallelism, parallelMinRows: *parallelMinRows, govern: *govern}
+		parallelism: *parallelism, parallelMinRows: *parallelMinRows, govern: *govern,
+		profile: *profile, slowQuery: *slowQuery, events: obs.NewEventLog(obs.DefaultEventCap)}
 	db.SetMetrics(sh.reg)
 	defer storage.ObserveIO(nil)
 	if *listen != "" {
@@ -144,6 +155,9 @@ func main() {
 		defer func() { _ = f.Close() }()
 		sh.trace = true
 		sh.traceOut = f
+		// The event journal shares the trace sink: operational events
+		// interleave with span batches as self-describing JSON lines.
+		sh.events.SetSink(f)
 	}
 	if *script != "" {
 		data, err := os.ReadFile(*script)
@@ -236,6 +250,12 @@ type shell struct {
 	parallelism     int
 	parallelMinRows int
 	govern          bool
+	// profile turns on per-query resource accounting (allocs/B per node,
+	// pprof labels); slowQuery journals queries slower than the cutoff;
+	// events is the bounded operational journal behind \events.
+	profile   bool
+	slowQuery time.Duration
+	events    *obs.EventLog
 	// liveMgr owns live tables and standing queries; created on the first
 	// subscribe or \append.
 	liveMgr *live.Manager
@@ -245,7 +265,8 @@ type shell struct {
 func (sh *shell) liveManager() *live.Manager {
 	if sh.liveMgr == nil {
 		sh.liveMgr = live.NewManager(sh.db, sh.reg, engine.Options{
-			Registry: sh.reg, Parallelism: sh.parallelism, ParallelMinRows: sh.parallelMinRows})
+			Registry: sh.reg, Parallelism: sh.parallelism, ParallelMinRows: sh.parallelMinRows,
+			Events: sh.events, SlowQuery: sh.slowQuery})
 	}
 	return sh.liveMgr
 }
@@ -293,8 +314,14 @@ func (sh *shell) repl() {
 		case trimmed == `\trace on`, trimmed == `\trace off`:
 			sh.trace = trimmed == `\trace on`
 			continue
+		case trimmed == `\profile on`, trimmed == `\profile off`:
+			sh.profile = trimmed == `\profile on`
+			continue
 		case trimmed == `\metrics`:
 			sh.metrics()
+			continue
+		case trimmed == `\events`, trimmed == `\events json`:
+			sh.showEvents(strings.HasSuffix(trimmed, "json"))
 			continue
 		case trimmed == `\faults` || strings.HasPrefix(trimmed, `\faults `):
 			sh.faults(strings.TrimSpace(strings.TrimPrefix(trimmed, `\faults`)))
@@ -343,6 +370,39 @@ func (sh *shell) describe() {
 func (sh *shell) metrics() {
 	if err := sh.reg.WritePrometheus(sh.out); err != nil {
 		sh.printf("metrics: %v\n", err)
+	}
+}
+
+// showEvents renders the operational event journal (\events): slow
+// queries, governor fallbacks, breaker trips, backpressure suspensions.
+// With asJSON it dumps the buffer as JSONL instead.
+func (sh *shell) showEvents(asJSON bool) {
+	if asJSON {
+		if err := sh.events.WriteJSONL(sh.out); err != nil {
+			sh.printf("events: %v\n", err)
+		}
+		return
+	}
+	evs := sh.events.Events()
+	if len(evs) == 0 {
+		sh.println("events: journal empty")
+		return
+	}
+	if d := sh.events.Dropped(); d > 0 {
+		sh.printf("events: %d buffered (%d older dropped)\n", len(evs), d)
+	}
+	for _, e := range evs {
+		keys := make([]string, 0, len(e.Detail))
+		for k := range e.Detail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var detail strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&detail, " %s=%s", k, e.Detail[k])
+		}
+		sh.printf("#%-4d %s  %-18s %s%s\n",
+			e.Seq, time.Unix(0, e.TimeNS).Format("15:04:05.000"), e.Kind, e.Query, detail.String())
 	}
 }
 
@@ -576,9 +636,13 @@ func (sh *shell) runStatements(src string) error {
 		}
 		opt := engine.Options{ForceNestedLoop: !sh.streams, Registry: sh.reg,
 			Parallelism: sh.parallelism, ParallelMinRows: sh.parallelMinRows,
-			GovernWorkspace: sh.govern}
+			GovernWorkspace: sh.govern, Profile: sh.profile,
+			Events: sh.events, SlowQuery: sh.slowQuery}
+		// A profiled run always gets a tracer: the per-node resource
+		// columns render in the span tree, so -profile without -trace
+		// would otherwise pay the accounting cost and show nothing.
 		var tracer *obs.Tracer
-		if sh.trace {
+		if sh.trace || sh.profile {
 			tracer = obs.NewTracer()
 			opt.Tracer = tracer
 		}

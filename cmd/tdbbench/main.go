@@ -13,6 +13,9 @@
 //	         [-json results.json] [-listen 127.0.0.1:8080] [-parallel]
 //	         [-live] [-live-json BENCH_LIVE.json]
 //	         [-chaos] [-chaos-json BENCH_CHAOS.json]
+//	         [-record] [-history BENCH_HISTORY.jsonl]
+//	         [-check] [-write-baseline] [-baseline BENCH_BASELINE.json]
+//	         [-slowdown 0s]
 //
 // -parallel additionally runs E22, the time-range partitioned parallel
 // execution sweep: the contain-join at k ∈ {1,2,4,8} workers, verifying
@@ -35,6 +38,16 @@
 // the same tables (plus per-experiment wall time) as a machine-readable
 // JSON document. -listen serves /metrics and /debug/pprof while the suite
 // runs, so long benchmarks can be profiled live.
+//
+// The regression observatory rides on the same suite: -record appends a
+// structured run record (git SHA, Go version, GOMAXPROCS, per-experiment
+// wall times and row counts) to BENCH_HISTORY.jsonl; -write-baseline
+// seeds BENCH_BASELINE.json from the run just taken; -check compares the
+// run against the committed baseline with per-experiment noise
+// thresholds (a generous slowdown ratio AND an absolute floor must both
+// be exceeded) and exits non-zero on regression, which is what the CI
+// bench gate runs. -slowdown injects a synthetic per-experiment delay so
+// the gate itself can be tested: a slowed run must make -check fail.
 package main
 
 import (
@@ -81,6 +94,12 @@ func main() {
 	liveOut := flag.String("live-json", "BENCH_LIVE.json", "where -live writes its machine-readable document")
 	chaosRun := flag.Bool("chaos", false, "also run E24, the fault/degradation sweep, writing BENCH_CHAOS.json")
 	chaosOut := flag.String("chaos-json", "BENCH_CHAOS.json", "where -chaos writes its machine-readable document")
+	record := flag.Bool("record", false, "append this run (git SHA, GOMAXPROCS, per-experiment times) to the history journal")
+	historyPath := flag.String("history", "BENCH_HISTORY.jsonl", "where -record appends run records")
+	check := flag.Bool("check", false, "compare this run against the baseline; exit non-zero on regression")
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline document for -check / -write-baseline")
+	writeBase := flag.Bool("write-baseline", false, "write this run as the new baseline document")
+	slowdown := flag.Duration("slowdown", 0, "add a synthetic per-experiment delay (CI uses this to prove -check trips)")
 	flag.Parse()
 
 	if *n < 1 {
@@ -199,6 +218,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *slowdown > 0 {
+			time.Sleep(*slowdown)
+		}
 		fmt.Println(tab)
 		result.Tables = append(result.Tables, benchTable{
 			Name:      exp.name,
@@ -213,6 +235,17 @@ func main() {
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, &result); err != nil {
 			fail(err)
+		}
+	}
+
+	if *record || *check || *writeBase {
+		rec := newRunRecord(&result, *faculty, *slowdown)
+		ok, err := runRegression(rec, *record, *historyPath, *writeBase, *check, *baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,281 @@
+// Benchmark regression observatory: -record appends structured run
+// records to a history journal (BENCH_HISTORY.jsonl), -write-baseline
+// seeds the committed baseline document, and -check compares the run
+// just taken against that baseline with per-experiment noise thresholds,
+// exiting non-zero on regression so CI can gate on it.
+//
+// The thresholds are deliberately generous: a run regresses only when it
+// is both MaxRatio times slower than the baseline AND more than FloorNS
+// absolutely slower. The ratio absorbs machine-speed differences between
+// the baseline recorder and the CI runner; the absolute floor keeps
+// sub-millisecond experiments from tripping on scheduler noise. Row
+// counts are seeded-deterministic, so those must match exactly — a row
+// drift is a correctness regression, not noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Default per-experiment noise thresholds, used when a baseline entry
+// leaves them zero.
+const (
+	defaultMaxRatio = 2.5
+	defaultFloorNS  = int64(150 * time.Millisecond)
+)
+
+// runRecord is one history-journal line: the run configuration and
+// environment plus every experiment's wall time and row count.
+type runRecord struct {
+	TimeUnix   int64       `json:"time_unix"`
+	GitSHA     string      `json:"git_sha,omitempty"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	N          int         `json:"n"`
+	Faculty    int         `json:"faculty"`
+	Seed       int64       `json:"seed"`
+	Policy     string      `json:"policy"`
+	SlowdownNS int64       `json:"slowdown_ns,omitempty"`
+	Experiment []expRecord `json:"experiments"`
+}
+
+type expRecord struct {
+	Name      string `json:"name"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Rows      int    `json:"rows"`
+}
+
+// baselineDoc is the committed BENCH_BASELINE.json: the configuration it
+// was recorded under (a -check against a different configuration is a
+// hard error, not a comparison) and per-experiment reference numbers
+// with their thresholds.
+type baselineDoc struct {
+	GitSHA     string        `json:"git_sha,omitempty"`
+	GoVersion  string        `json:"go_version,omitempty"`
+	GOMAXPROCS int           `json:"gomaxprocs,omitempty"`
+	N          int           `json:"n"`
+	Faculty    int           `json:"faculty"`
+	Seed       int64         `json:"seed"`
+	Policy     string        `json:"policy"`
+	Experiment []expBaseline `json:"experiments"`
+}
+
+type expBaseline struct {
+	Name      string  `json:"name"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Rows      int     `json:"rows"`
+	MaxRatio  float64 `json:"max_ratio,omitempty"`
+	FloorNS   int64   `json:"floor_ns,omitempty"`
+}
+
+// gitSHA returns the current commit, best-effort: benchmarks run outside
+// a checkout (or without git on PATH) record an empty SHA rather than
+// failing.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// newRunRecord captures the environment and the per-experiment numbers
+// of the run just taken.
+func newRunRecord(result *benchResult, faculty int, slowdown time.Duration) runRecord {
+	rec := runRecord{
+		TimeUnix:   time.Now().Unix(),
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N:          result.N,
+		Faculty:    faculty,
+		Seed:       result.Seed,
+		Policy:     result.Policy,
+		SlowdownNS: slowdown.Nanoseconds(),
+	}
+	for _, t := range result.Tables {
+		rec.Experiment = append(rec.Experiment, expRecord{
+			Name: t.Name, ElapsedNS: t.ElapsedNS, Rows: len(t.Rows),
+		})
+	}
+	return rec
+}
+
+// appendHistory appends the record as one JSON line to the journal.
+func appendHistory(path string, rec runRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readHistory parses a journal, skipping blank lines. Exposed for the
+// tests and for future trend tooling.
+func readHistory(path string) ([]runRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []runRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec runRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("history %s: %w", path, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// writeBaselineFile seeds the baseline from the run just taken, with the
+// default thresholds written out explicitly so the committed document is
+// self-describing and hand-tunable per experiment.
+func writeBaselineFile(path string, rec runRecord) error {
+	doc := baselineDoc{
+		GitSHA: rec.GitSHA, GoVersion: rec.GoVersion, GOMAXPROCS: rec.GOMAXPROCS,
+		N: rec.N, Faculty: rec.Faculty, Seed: rec.Seed, Policy: rec.Policy,
+	}
+	for _, e := range rec.Experiment {
+		doc.Experiment = append(doc.Experiment, expBaseline{
+			Name: e.Name, ElapsedNS: e.ElapsedNS, Rows: e.Rows,
+			MaxRatio: defaultMaxRatio, FloorNS: defaultFloorNS,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error wins
+		return err
+	}
+	return f.Close()
+}
+
+// loadBaseline reads the committed baseline document.
+func loadBaseline(path string) (*baselineDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// checkAgainst compares the run against the baseline and returns the
+// regression descriptions (empty = pass). A configuration mismatch is an
+// error: comparing different workloads would be noise dressed as signal.
+func checkAgainst(base *baselineDoc, rec runRecord) ([]string, error) {
+	if base.N != rec.N || base.Seed != rec.Seed || base.Policy != rec.Policy || base.Faculty != rec.Faculty {
+		return nil, fmt.Errorf(
+			"baseline configuration (n=%d faculty=%d seed=%d policy=%s) does not match this run (n=%d faculty=%d seed=%d policy=%s); re-record the baseline",
+			base.N, base.Faculty, base.Seed, base.Policy, rec.N, rec.Faculty, rec.Seed, rec.Policy)
+	}
+	got := make(map[string]expRecord, len(rec.Experiment))
+	for _, e := range rec.Experiment {
+		got[e.Name] = e
+	}
+	var regressions []string
+	for _, b := range base.Experiment {
+		e, ok := got[b.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: in baseline but not in this run", b.Name))
+			continue
+		}
+		if e.Rows != b.Rows {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: row count changed %d -> %d (seeded workload; this is a correctness drift)",
+					b.Name, b.Rows, e.Rows))
+		}
+		ratio, floor := b.MaxRatio, b.FloorNS
+		if ratio <= 0 {
+			ratio = defaultMaxRatio
+		}
+		if floor <= 0 {
+			floor = defaultFloorNS
+		}
+		limit := int64(float64(b.ElapsedNS) * ratio)
+		if e.ElapsedNS > limit && e.ElapsedNS-b.ElapsedNS > floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1fms vs baseline %.1fms (limit %.1fms = %.1fx, floor +%dms)",
+					b.Name, ms(e.ElapsedNS), ms(b.ElapsedNS), ms(limit), ratio, floor/int64(time.Millisecond)))
+		}
+	}
+	return regressions, nil
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// runRegression drives the post-suite observatory stages and returns
+// false when -check found regressions (the caller exits non-zero).
+func runRegression(rec runRecord, record bool, historyPath string,
+	writeBase bool, check bool, baselinePath string) (bool, error) {
+	if record {
+		if err := appendHistory(historyPath, rec); err != nil {
+			return false, err
+		}
+		fmt.Printf("run recorded to %s (git %.12s, GOMAXPROCS %d, %d experiments)\n",
+			historyPath, rec.GitSHA, rec.GOMAXPROCS, len(rec.Experiment))
+	}
+	if writeBase {
+		if err := writeBaselineFile(baselinePath, rec); err != nil {
+			return false, err
+		}
+		fmt.Printf("baseline written to %s\n", baselinePath)
+	}
+	if !check {
+		return true, nil
+	}
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	regressions, err := checkAgainst(base, rec)
+	if err != nil {
+		return false, err
+	}
+	if len(regressions) == 0 {
+		fmt.Printf("bench-check PASS: %d experiments within thresholds of %s\n",
+			len(base.Experiment), baselinePath)
+		return true, nil
+	}
+	fmt.Printf("bench-check FAIL: %d regression(s) against %s\n", len(regressions), baselinePath)
+	for _, r := range regressions {
+		fmt.Println("  " + r)
+	}
+	return false, nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord() runRecord {
+	return runRecord{
+		TimeUnix: 1700000000, GitSHA: "abc123", GoVersion: "go1.22",
+		GOMAXPROCS: 4, N: 256, Faculty: 32, Seed: 1, Policy: "sweep",
+		Experiment: []expRecord{
+			{Name: "table1", ElapsedNS: int64(20 * time.Millisecond), Rows: 12},
+			{Name: "superstar-gaps", ElapsedNS: int64(5 * time.Millisecond), Rows: 3},
+		},
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	rec := sampleRecord()
+	if err := appendHistory(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.TimeUnix++
+	if err := appendHistory(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].GitSHA != "abc123" || recs[0].GOMAXPROCS != 4 || len(recs[0].Experiment) != 2 {
+		t.Errorf("first record mangled: %+v", recs[0])
+	}
+	if recs[1].TimeUnix != recs[0].TimeUnix+1 {
+		t.Errorf("append order lost: %d then %d", recs[0].TimeUnix, recs[1].TimeUnix)
+	}
+}
+
+func TestBaselineRoundTripAndPass(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	rec := sampleRecord()
+	if err := writeBaselineFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.N != 256 || len(base.Experiment) != 2 {
+		t.Fatalf("baseline mangled: %+v", base)
+	}
+	if base.Experiment[0].MaxRatio != defaultMaxRatio || base.Experiment[0].FloorNS != defaultFloorNS {
+		t.Errorf("default thresholds not written out: %+v", base.Experiment[0])
+	}
+	// The identical run must pass its own baseline.
+	regs, err := checkAgainst(base, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("self-check regressed: %v", regs)
+	}
+}
+
+func TestCheckCatchesSlowdown(t *testing.T) {
+	base := &baselineDoc{N: 256, Faculty: 32, Seed: 1, Policy: "sweep",
+		Experiment: []expBaseline{{Name: "table1", ElapsedNS: int64(20 * time.Millisecond), Rows: 12}}}
+	slow := sampleRecord()
+	slow.Experiment = []expRecord{{Name: "table1", ElapsedNS: int64(400 * time.Millisecond), Rows: 12}}
+	regs, err := checkAgainst(base, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "table1") {
+		t.Fatalf("slowdown not caught: %v", regs)
+	}
+}
+
+func TestCheckToleratesNoise(t *testing.T) {
+	base := &baselineDoc{N: 256, Faculty: 32, Seed: 1, Policy: "sweep",
+		Experiment: []expBaseline{{Name: "table1", ElapsedNS: int64(20 * time.Millisecond), Rows: 12}}}
+	// 2x slower but under the absolute floor: a slower machine, not a
+	// regression.
+	noisy := sampleRecord()
+	noisy.Experiment = []expRecord{{Name: "table1", ElapsedNS: int64(40 * time.Millisecond), Rows: 12}}
+	regs, err := checkAgainst(base, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("noise flagged as regression: %v", regs)
+	}
+	// Huge absolute delta but within the ratio: a big experiment drifting
+	// 10% stays green.
+	base.Experiment[0].ElapsedNS = int64(10 * time.Second)
+	noisy.Experiment[0].ElapsedNS = int64(11 * time.Second)
+	regs, err = checkAgainst(base, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("within-ratio drift flagged: %v", regs)
+	}
+}
+
+func TestCheckCatchesRowDriftAndMissing(t *testing.T) {
+	base := &baselineDoc{N: 256, Faculty: 32, Seed: 1, Policy: "sweep",
+		Experiment: []expBaseline{
+			{Name: "table1", ElapsedNS: 100, Rows: 12},
+			{Name: "gone", ElapsedNS: 100, Rows: 1},
+		}}
+	rec := sampleRecord()
+	rec.Experiment = []expRecord{{Name: "table1", ElapsedNS: 100, Rows: 13}}
+	regs, err := checkAgainst(base, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want row-drift and missing-experiment findings, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "row count changed") || !strings.Contains(regs[1], "not in this run") {
+		t.Errorf("unexpected findings: %v", regs)
+	}
+}
+
+func TestCheckRejectsConfigMismatch(t *testing.T) {
+	base := &baselineDoc{N: 4000, Faculty: 32, Seed: 1, Policy: "sweep"}
+	if _, err := checkAgainst(base, sampleRecord()); err == nil {
+		t.Fatal("config mismatch accepted")
+	}
+}

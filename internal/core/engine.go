@@ -107,8 +107,12 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 				yFrontier = spec.keyY(span(yh))
 			}
 			if !spec.xDead(sx, yFrontier) {
+				if len(stateX) == cap(stateX) {
+					probe.IncStateGrow()
+				}
 				stateX = append(stateX, held[T]{elem: x, span: sx})
 				probe.StateAdd(1)
+				probe.ObserveActive(int64(len(stateX)))
 				if err := opt.checkLimit(); err != nil {
 					return orderError(spec.name, err)
 				}
@@ -132,8 +136,12 @@ func symJoin[T any](spec joinSpec, xs, ys stream.Stream[T], span Span[T], opt Op
 				xFrontier = spec.keyX(span(xh))
 			}
 			if !spec.yDead(sy, xFrontier) {
+				if len(stateY) == cap(stateY) {
+					probe.IncStateGrow()
+				}
 				stateY = append(stateY, held[T]{elem: y, span: sy})
 				probe.StateAdd(1)
+				probe.ObserveActive(int64(len(stateY)))
 				if err := opt.checkLimit(); err != nil {
 					return orderError(spec.name, err)
 				}
@@ -271,8 +279,12 @@ func BufferedLoopJoin[T any](xs, ys stream.Stream[T], span Span[T], match func(x
 			break
 		}
 		probe.IncReadLeft()
+		if len(stateX) == cap(stateX) {
+			probe.IncStateGrow()
+		}
 		stateX = append(stateX, held[T]{elem: x, span: span(x)})
 		probe.StateAdd(1)
+		probe.ObserveActive(int64(len(stateX)))
 		if err := opt.checkLimit(); err != nil {
 			return orderError("buffered-loop-join", err)
 		}

@@ -117,8 +117,12 @@ func ContainSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Optio
 		if xok && interval.CmpStart(span(xh), sy) <= 0 {
 			x, _ := px.Take()
 			probe.IncReadLeft()
+			if len(state) == cap(state) {
+				probe.IncStateGrow()
+			}
 			state = append(state, held[T]{elem: x, span: span(x)})
 			probe.StateAdd(1)
+			probe.ObserveActive(int64(len(state)))
 			if err := opt.checkLimit(); err != nil {
 				return orderError(name, err)
 			}
@@ -199,8 +203,12 @@ func ContainedSemijoinTSTS[T any](xs, ys stream.Stream[T], span Span[T], opt Opt
 			probe.IncReadRight()
 			sy := span(y)
 			if !sy.BeforeOrMeets(sx) { // not dead on arrival
+				if len(state) == cap(state) {
+					probe.IncStateGrow()
+				}
 				state = append(state, held[T]{elem: y, span: sy})
 				probe.StateAdd(1)
+				probe.ObserveActive(int64(len(state)))
 				if err := opt.checkLimit(); err != nil {
 					return orderError(name, err)
 				}
@@ -299,8 +307,12 @@ func BufferedLoopSemijoin[T any](xs, ys stream.Stream[T], span Span[T], match fu
 			break
 		}
 		probe.IncReadRight()
+		if len(stateY) == cap(stateY) {
+			probe.IncStateGrow()
+		}
 		stateY = append(stateY, held[T]{elem: y, span: span(y)})
 		probe.StateAdd(1)
+		probe.ObserveActive(int64(len(stateY)))
 		if err := opt.checkLimit(); err != nil {
 			return orderError("buffered-loop-semijoin", err)
 		}

@@ -9,6 +9,7 @@ import (
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
 	"tdb/internal/obs"
+	"tdb/internal/obs/prof"
 	"tdb/internal/relation"
 	"tdb/internal/storage"
 	"tdb/internal/stream"
@@ -76,6 +77,22 @@ type Options struct {
 	// Registry, when non-nil, receives execution metrics: query and row
 	// counters, per-operator workspace and duration histograms.
 	Registry *obs.Registry
+	// Profile turns on the internal/obs/prof resource-accounting layer
+	// for this run: every serial plan-node span (and the query root)
+	// captures heap alloc/bytes deltas, and plan nodes execute under
+	// pprof labels (tdb.query, tdb.node, tdb.op) so CPU and heap
+	// profiles slice by operator. Parallel shards aggregate at their
+	// node span. Off, the cost is one branch per node.
+	Profile bool
+	// Events, when non-nil, receives the structured operational journal:
+	// slow-query entries (see SlowQuery), governor fallbacks, and — via
+	// internal/live sharing these Options — breaker trips and
+	// backpressure suspensions.
+	Events *obs.EventLog
+	// SlowQuery is the wall-clock latency above which a finished run
+	// emits a slow-query event to Events. Zero disables the slow-query
+	// log.
+	SlowQuery time.Duration
 }
 
 // NodeCost is the per-operator cost record of one execution.
@@ -245,15 +262,23 @@ func wrappedStream(xs []spanned) stream.Stream[spanned] { return stream.FromSlic
 // Options.Registry is set, plan-level metrics are published after the run.
 func Run(db *DB, e algebra.Expr, opt Options) (*relation.Relation, *Stats, error) {
 	ex := &executor{db: db, opt: opt, stats: &Stats{}}
+	if opt.Profile {
+		// The master switch stays on once any run profiles; unprofiled
+		// runs skip every prof call regardless, so they are unaffected.
+		prof.SetEnabled(true)
+	}
 	start := time.Now()
 	if opt.Tracer != nil {
 		ex.cur = opt.Tracer.BeginQuery(e.Label())
+		if opt.Profile {
+			ex.cur.ProfBegin()
+		}
 	}
 	root := ex.cur
 	res, err := ex.eval(e)
 	if err != nil {
 		root.Fail(opt.Tracer, err)
-		ex.publish(start, 0, err)
+		ex.publish(e.Label(), start, 0, err)
 		return nil, nil, err
 	}
 	total := ex.stats.Total()
@@ -261,14 +286,28 @@ func Run(db *DB, e algebra.Expr, opt Options) (*relation.Relation, *Stats, error
 		Algorithm: "query",
 		OutRows:   int64(len(res.rows)),
 	})
-	ex.publish(start, int64(len(res.rows)), nil)
+	ex.publish(e.Label(), start, int64(len(res.rows)), nil)
 	rel := relation.New("result", res.schema)
 	rel.Rows = res.rows
 	return rel, ex.stats, nil
 }
 
-// publish pushes the run's plan-level metrics into the configured registry.
-func (ex *executor) publish(start time.Time, outRows int64, runErr error) {
+// publish pushes the run's plan-level metrics into the configured
+// registry (per-operator probe counters go through the single
+// obs.PublishProbe export path) and emits the slow-query event when the
+// run crossed the Options.SlowQuery threshold.
+func (ex *executor) publish(label string, start time.Time, outRows int64, runErr error) {
+	elapsed := time.Since(start)
+	if ex.opt.Events != nil && ex.opt.SlowQuery > 0 && elapsed >= ex.opt.SlowQuery {
+		detail := map[string]string{
+			"elapsed_ms": fmt.Sprintf("%.3f", elapsed.Seconds()*1e3),
+			"rows_out":   fmt.Sprintf("%d", outRows),
+		}
+		if runErr != nil {
+			detail["error"] = runErr.Error()
+		}
+		ex.opt.Events.Emit(obs.EventSlowQuery, label, detail)
+	}
 	reg := ex.opt.Registry
 	if reg == nil {
 		return
@@ -279,14 +318,10 @@ func (ex *executor) publish(start time.Time, outRows int64, runErr error) {
 	}
 	reg.Counter("tdb_rows_out_total", "result rows returned by queries").Add(outRows)
 	reg.Histogram("tdb_query_duration_seconds", "wall-clock query latency",
-		obs.ExpBuckets(0.0001, 10, 7)).Observe(time.Since(start).Seconds())
-	ws := reg.Histogram("tdb_operator_workspace_tuples", "per-operator workspace high-water marks",
-		obs.ExpBuckets(1, 4, 10))
+		obs.ExpBuckets(0.0001, 10, 7)).Observe(elapsed.Seconds())
 	for i := range ex.stats.Nodes {
 		n := &ex.stats.Nodes[i]
-		ws.Observe(float64(n.Probe.Workspace()))
-		reg.Counter("tdb_operator_comparisons_total", "predicate evaluations across operators").Add(n.Probe.Comparisons)
-		reg.Counter("tdb_operator_gc_discarded_total", "state tuples discarded by operator GC").Add(n.Probe.GCDiscarded)
+		reg.PublishProbe(&n.Probe)
 		reg.Counter("tdb_sort_rows_total", "rows sorted to establish stream orderings").Add(n.SortedRows)
 	}
 }
@@ -304,14 +339,35 @@ type executor struct {
 // appends exactly one NodeCost for itself as the last stats entry (children
 // append theirs first during recursion), which is what lets this wrapper
 // attach the correct cost record to the node's span.
+//
+// Under Options.Profile the span additionally opens an allocation window
+// (ProfBegin; valid here because every node span begins and finishes on
+// the query goroutine — parallel shards aggregate into their node) and
+// the node body runs under pprof labels so profile samples slice by
+// operator.
 func (ex *executor) eval(e algebra.Expr) (*result, error) {
 	if ex.opt.Tracer == nil {
+		if ex.opt.Profile {
+			var res *result
+			var err error
+			prof.Do("q0", e.Label(), exprOp(e), func() { res, err = ex.evalNode(e) })
+			return res, err
+		}
 		return ex.evalNode(e)
 	}
 	parent := ex.cur
 	span := ex.opt.Tracer.Begin(parent, e.Label())
 	ex.cur = span
-	res, err := ex.evalNode(e)
+	var res *result
+	var err error
+	if ex.opt.Profile {
+		span.ProfBegin()
+		prof.Do(fmt.Sprintf("q%d", span.QueryID), e.Label(), exprOp(e), func() {
+			res, err = ex.evalNode(e)
+		})
+	} else {
+		res, err = ex.evalNode(e)
+	}
 	ex.cur = parent
 	if err != nil {
 		span.Fail(ex.opt.Tracer, err)
@@ -330,6 +386,27 @@ func (ex *executor) eval(e algebra.Expr) (*result, error) {
 		})
 	}
 	return res, nil
+}
+
+// exprOp names a plan node's operator kind for the tdb.op pprof label.
+func exprOp(e algebra.Expr) string {
+	switch e.(type) {
+	case *algebra.Scan:
+		return "scan"
+	case *algebra.Select:
+		return "select"
+	case *algebra.Product:
+		return "product"
+	case *algebra.Join:
+		return "join"
+	case *algebra.Semijoin:
+		return "semijoin"
+	case *algebra.Project:
+		return "project"
+	case *algebra.Aggregate:
+		return "aggregate"
+	}
+	return "node"
 }
 
 func (ex *executor) evalNode(e algebra.Expr) (*result, error) {

@@ -12,6 +12,7 @@ import (
 	"tdb/internal/core"
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
+	"tdb/internal/obs"
 	"tdb/internal/optimizer"
 	"tdb/internal/relation"
 )
@@ -260,6 +261,11 @@ func (ex *executor) governedJoinFallback(kind algebra.TemporalKind, lw, rw []spa
 		"governor: workspace %d breached ceiling %d; degraded to baseline sort-merge", breached, limit))
 	ex.opt.Registry.Counter("tdb_governor_fallbacks_total",
 		"workspace-governor breaches that degraded a query").Inc()
+	ex.opt.Events.Emit(obs.EventGovernor, cost.Label, map[string]string{
+		"workspace": fmt.Sprintf("%d", breached),
+		"ceiling":   fmt.Sprintf("%d", limit),
+		"algorithm": cost.Algorithm,
+	})
 	return rows
 }
 

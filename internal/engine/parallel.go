@@ -28,6 +28,7 @@ import (
 	"tdb/internal/interval"
 	"tdb/internal/metrics"
 	"tdb/internal/obs"
+	"tdb/internal/obs/prof"
 	"tdb/internal/optimizer"
 	"tdb/internal/partition"
 	"tdb/internal/relation"
@@ -183,6 +184,10 @@ func (ex *executor) runWorkers(labels []string, cost *NodeCost, run func(ctx con
 	probes := make([]metrics.Probe, k)
 	outRows := make([]int64, k)
 	errs := make([]error, k)
+	profQuery := "q0"
+	if ex.cur != nil {
+		profQuery = fmt.Sprintf("q%d", ex.cur.QueryID)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
 		wg.Add(1)
@@ -202,7 +207,16 @@ func (ex *executor) runWorkers(labels []string, cost *NodeCost, run func(ctx con
 			}
 			o := core.Options{Probe: &probes[i], Policy: ex.opt.Policy,
 				VerifyOrder: ex.opt.VerifyOrder, Sampler: spans[i].Sampler()}
-			outRows[i], errs[i] = run(ctx, i, o)
+			if ex.opt.Profile {
+				// Label the worker goroutine so profiles attribute shard
+				// CPU/heap samples to the node; alloc-delta accounting
+				// stays at the node span (worker windows overlap).
+				prof.Do(profQuery, labels[i], "shard-worker", func() {
+					outRows[i], errs[i] = run(ctx, i, o)
+				})
+			} else {
+				outRows[i], errs[i] = run(ctx, i, o)
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tdb/internal/algebra"
+	"tdb/internal/obs"
+	"tdb/internal/optimizer"
+)
+
+// TestProfiledRunReportsResourceColumns: a run with Profile on marks
+// every plan-node span profiled, surfaces allocs/op and B/op in the
+// EXPLAIN ANALYZE tree, and produces exactly the rows of an unprofiled
+// run — accounting observes, never steers.
+func TestProfiledRunReportsResourceColumns(t *testing.T) {
+	db := newFacultyDB(t, 40, false)
+	if err := db.DeclareChronOrder(rankIC(false)); err != nil {
+		t.Fatal(err)
+	}
+	tree := optimize(t, db, superstarQuery(), optimizer.Options{ICs: db.ChronOrders()})
+
+	tr := obs.NewTracer()
+	res, _, err := Run(db, tree, Options{Tracer: tr, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	if len(spans) < 2 {
+		t.Fatalf("spans = %d, want a root plus plan nodes", len(spans))
+	}
+	var sawAllocs bool
+	for _, s := range spans {
+		if !s.Profiled {
+			t.Errorf("span %q not profiled", s.Label)
+		}
+		if s.Allocs < 0 || s.AllocBytes < 0 {
+			t.Errorf("span %q has negative exclusive deltas: allocs=%d bytes=%d",
+				s.Label, s.Allocs, s.AllocBytes)
+		}
+		if s.Allocs > 0 {
+			sawAllocs = true
+		}
+	}
+	if !sawAllocs {
+		t.Error("no span attributed any allocation; the superstar plan allocates")
+	}
+
+	tree2 := tr.Tree()
+	for _, want := range []string{"allocs/op=", "B/op=", "allocs="} {
+		if !strings.Contains(tree2, want) {
+			t.Errorf("EXPLAIN ANALYZE tree missing %q:\n%s", want, tree2)
+		}
+	}
+
+	plain, _, err := Run(db, tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "profiled vs plain", res, plain)
+}
+
+// TestSlowQueryEventJournaled: with a slow-query cutoff below any real
+// run, the engine journals exactly one slow-query event carrying the
+// elapsed time and output cardinality; with the cutoff unset it stays
+// silent.
+func TestSlowQueryEventJournaled(t *testing.T) {
+	db := newFacultyDB(t, 40, false)
+	tree := optimize(t, db, superstarQuery(), optimizer.Options{})
+
+	events := obs.NewEventLog(8)
+	res, _, err := Run(db, tree, Options{Events: events, SlowQuery: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := events.Events()
+	if len(evs) != 1 || evs[0].Kind != obs.EventSlowQuery {
+		t.Fatalf("events = %+v, want one slow-query", evs)
+	}
+	if evs[0].Detail["elapsed_ms"] == "" {
+		t.Errorf("slow-query event missing elapsed_ms: %+v", evs[0].Detail)
+	}
+	if want := int64(res.Cardinality()); evs[0].Detail["rows_out"] == "" {
+		t.Errorf("slow-query event missing rows_out (want %d): %+v", want, evs[0].Detail)
+	}
+
+	quiet := obs.NewEventLog(8)
+	if _, _, err := Run(db, tree, Options{Events: quiet}); err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Len() != 0 {
+		t.Errorf("events journaled with no cutoff: %+v", quiet.Events())
+	}
+}
+
+// TestGovernorFallbackEventJournaled: a governed degradation lands in
+// the event journal with the breach arithmetic, alongside the existing
+// note and counter.
+func TestGovernorFallbackEventJournaled(t *testing.T) {
+	db := governorDB(t, 40)
+	events := obs.NewEventLog(8)
+	_, st, err := Run(db, governorJoin(algebra.KindOverlap),
+		Options{GovernWorkspace: true, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note := findNote(st, "degraded to baseline sort-merge"); note == "" {
+		t.Fatalf("no degradation note; notes: %+v", st.Nodes)
+	}
+	var ev *obs.Event
+	for _, e := range events.Events() {
+		if e.Kind == obs.EventGovernor {
+			cp := e
+			ev = &cp
+		}
+	}
+	if ev == nil {
+		t.Fatalf("no governor-fallback event; journal: %+v", events.Events())
+	}
+	if ev.Detail["workspace"] == "" || ev.Detail["ceiling"] == "" || ev.Detail["algorithm"] == "" {
+		t.Errorf("fallback event missing breach arithmetic: %+v", ev.Detail)
+	}
+}

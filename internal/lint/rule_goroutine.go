@@ -16,12 +16,15 @@ import (
 // leak an operator per deregistered query. (The parallel shard workers of
 // internal/engine satisfy the rule by construction: they write to
 // pre-allocated per-shard slots and never send on a channel.)
+// internal/obs (including internal/obs/prof) joined the scope with the
+// resource-accounting layer: the exposition server and any future
+// profiling goroutines must obey the same shutdown discipline.
 var goroutineHygieneAnalyzer = &Analyzer{
 	Name: "goroutine-hygiene",
 	Doc:  "channel sends in go func literals must select on a quit/done case",
 	Run: func(pass *Pass) any {
 		p := pass.Pkg
-		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition", "internal/live") {
+		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition", "internal/live", "internal/obs") {
 			return nil
 		}
 		inspect(p, func(n ast.Node) bool {

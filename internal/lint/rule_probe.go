@@ -19,6 +19,7 @@ var obsNilSafeTypes = map[string]bool{
 	"Gauge":        true,
 	"Histogram":    true,
 	"Registry":     true,
+	"EventLog":     true,
 }
 
 // probeNilSafetyAnalyzer enforces the metrics.Probe contract: production code

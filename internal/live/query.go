@@ -108,6 +108,15 @@ type StandingQuery struct {
 	gWorkspace *obs.Gauge
 	cDeltas    *obs.Counter
 	cTrips     *obs.Counter
+
+	// bpActive marks an in-progress backpressure suspension so the event
+	// journal records each episode once, not every feed while stalled.
+	bpActive bool
+}
+
+// event emits to the manager's journal (a nil journal is a no-op).
+func (q *StandingQuery) event(kind string, detail map[string]string) {
+	q.m.opt.Events.Emit(kind, q.name, detail)
 }
 
 func newIncremental(m *Manager, name string, tree algebra.Expr, plan *engine.StandingPlan,
@@ -202,7 +211,26 @@ func (q *StandingQuery) observeRelease(rel string, rows []relation.Row) error {
 		q.run.FeedRight(rows)
 	}
 	q.gBacklog.Set(int64(q.run.Backlog()))
+	q.noteSuspension()
 	return nil
+}
+
+// noteSuspension journals the start of a backpressure stall (undrained
+// deltas hit MaxPending and the operator parked) and arms the next one
+// once the stall clears.
+func (q *StandingQuery) noteSuspension() {
+	switch q.run.Suspended() {
+	case "backpressure":
+		if !q.bpActive {
+			q.bpActive = true
+			q.event(obs.EventBackpressure, map[string]string{
+				"backlog":     fmt.Sprintf("%d", q.run.Backlog()),
+				"max_pending": fmt.Sprintf("%d", q.maxPending),
+			})
+		}
+	default:
+		q.bpActive = false
+	}
 }
 
 // Poll returns the delta rows produced since the previous poll. For an
@@ -230,6 +258,7 @@ func (q *StandingQuery) Poll() ([]relation.Row, error) {
 		q.record(fresh)
 		q.gWorkspace.Set(q.run.Workspace())
 		q.gBacklog.Set(int64(q.run.Backlog()))
+		q.noteSuspension()
 		if q.govern {
 			if bound := q.Bound(); bound > 0 && float64(q.run.Workspace()) > bound {
 				if err := q.trip(bound); err != nil {
@@ -294,6 +323,13 @@ func (q *StandingQuery) trip(bound float64) error {
 	q.m.db.RefreshStats(q.plan.RightRel)
 	est := optimizer.EstimateStanding(q.plan.Kind, q.plan.Semijoin,
 		q.m.statsOf(q.plan.LeftRel), q.m.statsOf(q.plan.RightRel))
+	tripDetail := func(outcome string) map[string]string {
+		return map[string]string{
+			"trip":    fmt.Sprintf("%d", q.trips),
+			"breach":  breach,
+			"outcome": outcome,
+		}
+	}
 	switch {
 	case est.Bounded && q.trips <= breakerMaxTrips:
 		q.note = fmt.Sprintf("governor: trip %d (%s); re-admitted under refreshed stats: %s",
@@ -303,6 +339,7 @@ func (q *StandingQuery) trip(bound float64) error {
 		q.skip = len(q.deltas)
 		q.run.FeedLeft(q.logL)
 		q.run.FeedRight(q.logR)
+		q.event(obs.EventBreakerTrip, tripDetail("re-admit"))
 		return nil
 	case q.allowDegrade:
 		q.mode = ModeBatch
@@ -312,12 +349,14 @@ func (q *StandingQuery) trip(bound float64) error {
 		for _, row := range q.deltas {
 			q.prev[row.Key()]++
 		}
+		q.event(obs.EventBreakerTrip, tripDetail("degrade"))
 		return nil
 	default:
 		q.broken = fmt.Errorf("%w: %s declined after trip %d (%s): %s",
 			ErrBreakerOpen, q.name, q.trips, breach, est)
 		q.run = nil
 		q.note = "governor: " + q.broken.Error()
+		q.event(obs.EventBreakerTrip, tripDetail("decline"))
 		return q.broken
 	}
 }
@@ -388,9 +427,13 @@ func (q *StandingQuery) Suspended() string {
 
 // Quiesce blocks until an incremental query's operator has consumed
 // everything it can of the input fed so far (no-op for batch queries).
+// A stall it settles into is journaled here: ingestion-time checks run
+// before the operator parks, so quiescence is where backpressure first
+// becomes observable.
 func (q *StandingQuery) Quiesce() {
 	if q.mode == ModeIncremental && q.run != nil {
 		q.run.Quiesce()
+		q.noteSuspension()
 	}
 }
 

@@ -30,6 +30,15 @@ type Probe struct {
 	state          int64
 	StateHighWater int64
 	Buffers        int64
+
+	// Hot-loop counters, fed by the //tdb:hotpath sweep loops. StateGrows
+	// counts appends that grew a state slice's backing array (each one is
+	// an allocation plus a copy inside the sweep); ActivePeak is the
+	// largest single active-list length observed — unlike StateHighWater
+	// it tracks one list, not the sum of both sides, which is what the
+	// cache-efficiency rewrite needs to size gapless lists.
+	StateGrows int64
+	ActivePeak int64
 }
 
 // IncReadLeft notes a tuple read from the left input.
@@ -100,6 +109,24 @@ func (p *Probe) StateRemove(n int64) {
 	}
 }
 
+// IncStateGrow notes an append that grew a state slice's backing array.
+func (p *Probe) IncStateGrow() {
+	if p != nil {
+		p.StateGrows++
+	}
+}
+
+// ObserveActive notes the current length n of one active list and keeps
+// the peak.
+func (p *Probe) ObserveActive(n int64) {
+	if p == nil {
+		return
+	}
+	if n > p.ActivePeak {
+		p.ActivePeak = n
+	}
+}
+
 // StateNow returns the currently retained tuple count.
 func (p *Probe) StateNow() int64 {
 	if p == nil {
@@ -143,11 +170,15 @@ func (p *Probe) Merge(other *Probe) {
 	p.Comparisons += other.Comparisons
 	p.GCDiscarded += other.GCDiscarded
 	p.Passes += other.Passes
+	p.StateGrows += other.StateGrows
 	if other.StateHighWater > p.StateHighWater {
 		p.StateHighWater = other.StateHighWater
 	}
 	if other.Buffers > p.Buffers {
 		p.Buffers = other.Buffers
+	}
+	if other.ActivePeak > p.ActivePeak {
+		p.ActivePeak = other.ActivePeak
 	}
 }
 

@@ -12,11 +12,19 @@
 // and every plan node's cost record is exported both as JSONL and as a
 // human EXPLAIN ANALYZE-style tree.
 //
+// PR 7 adds the resource-accounting layer: the internal/obs/prof
+// subpackage reads runtime/metrics allocation counters and attaches pprof
+// labels per operator; spans opened with ProfBegin carry per-node
+// alloc/bytes deltas into EXPLAIN ANALYZE; an EventLog journals
+// operational events (slow queries, governor fallbacks, breaker trips,
+// backpressure suspensions) as deterministic JSONL; and PublishProbe is
+// the single export path from a metrics.Probe to the registry.
+//
 // Everything here is stdlib-only, and every pointer-receiver method on the
 // instrument types (Tracer, Span, StateSampler, Counter, Gauge, Histogram,
-// Registry) is nil-receiver safe: production code paths pass nil hooks and
-// pay only a branch — the same discipline as metrics.Probe, enforced by the
-// tdblint probe-nil-safety rule.
+// Registry, EventLog) is nil-receiver safe: production code paths pass nil
+// hooks and pay only a branch — the same discipline as metrics.Probe,
+// enforced by the tdblint probe-nil-safety rule.
 //
 // Like metrics.Probe, a Tracer's spans and a StateSampler belong to the
 // single goroutine executing the query; the Registry and its instruments

@@ -1,0 +1,37 @@
+package obs
+
+import "tdb/internal/metrics"
+
+// Per-operator metric names and bucket layout. PublishProbe is the one
+// export path from a metrics.Probe to the registry: the engine calls it
+// once per finished plan node, so no caller re-implements (and none can
+// double-report) the per-operator counter set.
+const (
+	MetricOperatorWorkspace   = "tdb_operator_workspace_tuples"
+	MetricOperatorComparisons = "tdb_operator_comparisons_total"
+	MetricOperatorGCDiscarded = "tdb_operator_gc_discarded_total"
+	MetricOperatorStateGrows  = "tdb_operator_state_grows_total"
+)
+
+// WorkspaceBuckets returns the shared bucket layout of the per-operator
+// workspace histogram.
+func WorkspaceBuckets() []float64 { return ExpBuckets(1, 4, 10) }
+
+// PublishProbe exports one operator probe's totals: the workspace
+// high-water mark into the shared histogram (preserving the Tables 1–3
+// semantics — one observation per operator execution, never a running
+// sum) and the additive counters into their families. Safe on a nil
+// registry or probe.
+func (r *Registry) PublishProbe(p *metrics.Probe) {
+	if r == nil {
+		return
+	}
+	if p == nil {
+		return
+	}
+	r.Histogram(MetricOperatorWorkspace, "per-operator workspace high-water marks",
+		WorkspaceBuckets()).Observe(float64(p.Workspace()))
+	r.Counter(MetricOperatorComparisons, "predicate evaluations across operators").Add(p.Comparisons)
+	r.Counter(MetricOperatorGCDiscarded, "state tuples discarded by operator GC").Add(p.GCDiscarded)
+	r.Counter(MetricOperatorStateGrows, "sweep-state appends that grew a backing array").Add(p.StateGrows)
+}

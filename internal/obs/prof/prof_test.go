@@ -1,0 +1,97 @@
+package prof
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+func TestDisabledPathReturnsZeroSnap(t *testing.T) {
+	SetEnabled(false)
+	s := ReadSnap()
+	if s.Taken || s.Allocs != 0 || s.Bytes != 0 {
+		t.Fatalf("disabled ReadSnap = %+v, want zero", s)
+	}
+	if a, b := Since(s); a != 0 || b != 0 {
+		t.Fatalf("Since(untaken) = %d, %d, want 0, 0", a, b)
+	}
+}
+
+func TestEnabledSnapDeltaSeesAllocations(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	before := ReadSnap()
+	if !before.Taken {
+		t.Fatal("enabled ReadSnap not taken")
+	}
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	allocs, bytes := Since(before)
+	if allocs < 64 {
+		t.Fatalf("allocs delta = %d, want >= 64", allocs)
+	}
+	if bytes < 64*1024 {
+		t.Fatalf("bytes delta = %d, want >= %d", bytes, 64*1024)
+	}
+	_ = sink
+}
+
+func TestSinceAcrossDisableYieldsZero(t *testing.T) {
+	SetEnabled(true)
+	before := ReadSnap()
+	SetEnabled(false)
+	if a, b := Since(before); a != 0 || b != 0 {
+		t.Fatalf("Since across disable = %d, %d, want 0, 0", a, b)
+	}
+}
+
+func TestDoAttachesLabels(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	// Goroutine labels are only readable through a profile dump: the
+	// debug=1 goroutine profile prints a "labels: {...}" line for each
+	// labeled goroutine, so capture one from inside f.
+	var dump bytes.Buffer
+	Do("q1", "n3", "contain-join", func() {
+		if err := pprof.Lookup("goroutine").WriteTo(&dump, 1); err != nil {
+			t.Errorf("goroutine profile: %v", err)
+		}
+	})
+	got := dump.String()
+	for _, want := range []string{
+		`"tdb.query":"q1"`,
+		`"tdb.node":"n3"`,
+		`"tdb.op":"contain-join"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("goroutine profile missing label %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestDoDisabledRunsPlain(t *testing.T) {
+	SetEnabled(false)
+	ran := false
+	Do("q", "n", "op", func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run f when disabled")
+	}
+}
+
+func BenchmarkReadSnap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = readSnapAlways()
+	}
+}
+
+func BenchmarkDisabledReadSnap(b *testing.B) {
+	SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ReadSnap()
+	}
+}

@@ -115,6 +115,25 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Buckets returns the histogram's upper bounds (excluding +Inf) and the
+// cumulative count at each bound plus the +Inf total — the exact values
+// the Prometheus exposition prints.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds := append([]float64{}, h.bounds...)
+	cums := make([]uint64, len(h.counts))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		cums[i] = cum
+	}
+	return bounds, cums
+}
+
 // ExpBuckets returns n upper bounds starting at start and growing by
 // factor — the usual decade/octave histogram layout.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -292,8 +311,12 @@ func formatBound(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// Snapshot returns a plain name → value map of every instrument (histograms
-// appear as name_sum and name_count), for expvar exposition.
+// Snapshot returns a plain name → value map of every instrument for
+// expvar exposition. Histograms appear as name_sum, name_count and a
+// name_bucket map keyed by the same le bound strings — with the same
+// cumulative counts — that the Prometheus exposition prints, so the two
+// renderings of one snapshot carry identical values. The JSON encoding
+// of the map is deterministic: encoding/json sorts object keys.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return map[string]any{}
@@ -310,6 +333,13 @@ func (r *Registry) Snapshot() map[string]any {
 		case "histogram":
 			out[name+"_sum"] = m.h.Sum()
 			out[name+"_count"] = m.h.Count()
+			bounds, cums := m.h.Buckets()
+			buckets := make(map[string]uint64, len(cums))
+			for i, bound := range bounds {
+				buckets[formatBound(bound)] = cums[i]
+			}
+			buckets["+Inf"] = cums[len(cums)-1]
+			out[name+"_bucket"] = buckets
 		}
 	}
 	return out

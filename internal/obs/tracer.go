@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tdb/internal/metrics"
+	"tdb/internal/obs/prof"
 )
 
 // NodeStats carries a plan node's execution outcome into its span — the
@@ -38,8 +39,37 @@ type Span struct {
 	Curve    []Sample
 	Err      string
 
+	// Resource accounting (internal/obs/prof). Allocs/AllocBytes are the
+	// heap-allocation deltas of this node's own execution, exclusive of
+	// finished child spans: the runtime counters are process-global, so a
+	// parent's window contains its children's, and Finish subtracts the
+	// inclusive child totals accumulated in childAllocs/childBytes. Only
+	// spans whose ProfBegin ran (serial nodes and the query root — never
+	// concurrent worker spans, whose windows would overlap) carry deltas;
+	// Profiled marks them so zero is distinguishable from "off".
+	Allocs     int64
+	AllocBytes int64
+	Profiled   bool
+
+	profStart   prof.Snap
+	parent      *Span
+	childAllocs int64
+	childBytes  int64
+
 	sampler *StateSampler
 	done    bool
+}
+
+// ProfBegin snapshots the allocation counters at span start. The engine
+// calls it only where the delta is attributable: on the query goroutine
+// for serial node spans and the query root. With accounting disabled
+// (prof.SetEnabled(false)) it is one atomic load and the span stays
+// unprofiled.
+func (s *Span) ProfBegin() {
+	if s == nil {
+		return
+	}
+	s.profStart = prof.ReadSnap()
 }
 
 // Tracer collects the spans of one or more queries. Spans are appended
@@ -68,7 +98,7 @@ func (t *Tracer) BeginQuery(label string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.queries++
-	return t.beginLocked(0, t.queries, label)
+	return t.beginLocked(nil, t.queries, label)
 }
 
 // Begin opens a span under parent (nil parent attaches to the most recent
@@ -79,25 +109,28 @@ func (t *Tracer) Begin(parent *Span, label string) *Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	qid, pid := t.queries, int64(0)
+	qid := t.queries
 	if parent != nil {
-		qid, pid = parent.QueryID, parent.ID
+		qid = parent.QueryID
 	}
-	return t.beginLocked(pid, qid, label)
+	return t.beginLocked(parent, qid, label)
 }
 
 // beginLocked allocates a span; the caller holds the tracer lock.
-func (t *Tracer) beginLocked(parent, query int64, label string) *Span {
+func (t *Tracer) beginLocked(parent *Span, query int64, label string) *Span {
 	if t == nil {
 		return nil
 	}
 	t.nextID++
 	s := &Span{
-		QueryID:  query,
-		ID:       t.nextID,
-		ParentID: parent,
-		Label:    label,
-		StartNS:  t.clock(),
+		QueryID: query,
+		ID:      t.nextID,
+		Label:   label,
+		StartNS: t.clock(),
+		parent:  parent,
+	}
+	if parent != nil {
+		s.ParentID = parent.ID
 	}
 	t.spans = append(t.spans, s)
 	return s
@@ -140,6 +173,7 @@ func (s *Span) Finish(t *Tracer, probe metrics.Probe, node NodeStats) {
 	s.Probe = probe
 	s.Node = node
 	s.Curve = s.sampler.Samples()
+	s.settleProf()
 }
 
 // Fail stamps the end time and records the error that aborted the node.
@@ -156,6 +190,36 @@ func (s *Span) Fail(t *Tracer, err error) {
 		s.Err = err.Error()
 	}
 	s.Curve = s.sampler.Samples()
+	s.settleProf()
+}
+
+// settleProf closes the allocation window: records this span's delta,
+// subtracts the inclusive totals its finished children pushed up, and
+// pushes the span's own inclusive delta to its parent. Runs only on the
+// query goroutine (worker spans never take a profStart), so the parent
+// fields need no lock.
+func (s *Span) settleProf() {
+	if s == nil {
+		return
+	}
+	if !s.profStart.Taken {
+		return
+	}
+	a, by := prof.Since(s.profStart)
+	s.Profiled = true
+	s.Allocs = max64(a-s.childAllocs, 0)
+	s.AllocBytes = max64(by-s.childBytes, 0)
+	if s.parent != nil {
+		s.parent.childAllocs += a
+		s.parent.childBytes += by
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // spanJSON is the JSONL wire form of a span.
@@ -174,6 +238,9 @@ type spanJSON struct {
 	PagesRead  int64     `json:"pages_read,omitempty"`
 	Notes      []string  `json:"notes,omitempty"`
 	Err        string    `json:"error,omitempty"`
+	Profiled   bool      `json:"profiled,omitempty"`
+	Allocs     int64     `json:"allocs,omitempty"`
+	AllocBytes int64     `json:"alloc_bytes,omitempty"`
 	Probe      probeJSON `json:"probe"`
 	Curve      []Sample  `json:"state_curve,omitempty"`
 }
@@ -189,6 +256,8 @@ type probeJSON struct {
 	StateHWM    int64 `json:"state_hwm"`
 	Buffers     int64 `json:"buffers"`
 	Workspace   int64 `json:"workspace"`
+	StateGrows  int64 `json:"state_grows,omitempty"`
+	ActivePeak  int64 `json:"active_peak,omitempty"`
 }
 
 func (s *Span) wire() spanJSON {
@@ -211,6 +280,9 @@ func (s *Span) wire() spanJSON {
 		PagesRead:  s.Node.PagesRead,
 		Notes:      s.Node.Notes,
 		Err:        s.Err,
+		Profiled:   s.Profiled,
+		Allocs:     s.Allocs,
+		AllocBytes: s.AllocBytes,
 		Curve:      s.Curve,
 		Probe: probeJSON{
 			ReadLeft:    p.ReadLeft,
@@ -222,6 +294,8 @@ func (s *Span) wire() spanJSON {
 			StateHWM:    p.StateHighWater,
 			Buffers:     p.Buffers,
 			Workspace:   p.Workspace(),
+			StateGrows:  p.StateGrows,
+			ActivePeak:  p.ActivePeak,
 		},
 	}
 }
@@ -277,13 +351,27 @@ func (t *Tracer) Tree() string {
 		}
 		if s.ParentID == 0 {
 			branch, childPrefix = "", ""
-			fmt.Fprintf(&b, "query #%d  %s  (%.3fms)\n", s.QueryID, s.Label, ms(s))
+			fmt.Fprintf(&b, "query #%d  %s  (%.3fms", s.QueryID, s.Label, ms(s))
+			if s.Profiled {
+				// The root line reports the query's inclusive totals.
+				fmt.Fprintf(&b, " allocs=%d B=%d", s.Allocs+s.childAllocs, s.AllocBytes+s.childBytes)
+			}
+			b.WriteString(")\n")
 		} else {
 			fmt.Fprintf(&b, "%s%s%s", prefix, branch, s.Label)
 			if s.Node.Algorithm != "" {
 				fmt.Fprintf(&b, "  [%s]", s.Node.Algorithm)
 			}
 			fmt.Fprintf(&b, "  %.3fms out=%d %s", ms(s), s.Node.OutRows, s.Probe.String())
+			if s.Profiled {
+				fmt.Fprintf(&b, " allocs/op=%d B/op=%d", s.Allocs, s.AllocBytes)
+			}
+			if p := &s.Probe; p.StateGrows > 0 || p.ActivePeak > 0 {
+				fmt.Fprintf(&b, " grows=%d peak=%d", p.StateGrows, p.ActivePeak)
+			}
+			if p := &s.Probe; p.Emitted > 0 && p.Comparisons > 0 {
+				fmt.Fprintf(&b, " cmp/row=%.1f", float64(p.Comparisons)/float64(p.Emitted))
+			}
 			if n := len(s.Curve); n > 0 {
 				fmt.Fprintf(&b, " curve=%dpt", n)
 			}
