@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"testing"
 
+	"tdb/internal/algebra"
 	"tdb/internal/baseline"
 	"tdb/internal/core"
 	"tdb/internal/engine"
@@ -116,6 +117,110 @@ func BenchmarkProfiling_SerialContainJoin(b *testing.B) {
 			if err := core.ContainJoinTSTS(stream.FromSlice(xs), stream.FromSlice(ys),
 				tupleSpan, core.Options{Probe: &p}, sink); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E25: the columnar batch core against the row reference on the same
+// serial contain-join (the tentpole claim). "batch-kernel" is the pure
+// sweep over prebuilt columns; "batch-conversion" pins the row→column
+// shredding overhead alone (endpoint columns, the engine's per-node cost);
+// "row-kernel" is the row reference; the engine pair measures the whole
+// node including sorting and materialization. ---
+
+func BenchmarkColumnar_SerialContainJoin(b *testing.B) {
+	const n = 20000
+	xs := benchTuples(n, 21, relation.Order{relation.TSAsc})
+	ys := benchTuples(n, 22, relation.Order{relation.TSAsc})
+	colsOf := func(ts []relation.Tuple) core.Cols {
+		c := core.Cols{
+			TS: make([]interval.Time, 0, len(ts)),
+			TE: make([]interval.Time, 0, len(ts)),
+		}
+		for i := range ts {
+			c.TS = append(c.TS, ts[i].Span.Start)
+			c.TE = append(c.TE, ts[i].Span.End)
+		}
+		return c
+	}
+	xc, yc := colsOf(xs), colsOf(ys)
+
+	b.Run("row-kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := core.ContainJoinTSTS(stream.FromSlice(xs), stream.FromSlice(ys),
+				tupleSpan, core.Options{}, func(a, c relation.Tuple) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := core.BatchContainJoinTSTS(xc, yc, core.Options{}, func(xi, yi int32) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-conversion", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cx, cy := colsOf(xs), colsOf(ys)
+			if cx.Len()+cy.Len() != 2*n {
+				b.Fatal("conversion dropped rows")
+			}
+		}
+	})
+
+	db := engine.NewDB()
+	db.MustRegister(relation.FromTuples("X", xs))
+	db.MustRegister(relation.FromTuples("Y", ys))
+	q := &algebra.Join{
+		L: &algebra.Scan{Relation: "X", As: "a"}, R: &algebra.Scan{Relation: "Y", As: "b"},
+		Kind: algebra.KindContain,
+		LSpan: algebra.SpanRef{
+			TS: algebra.ColRef{Var: "a", Col: "ValidFrom"}, TE: algebra.ColRef{Var: "a", Col: "ValidTo"}},
+		RSpan: algebra.SpanRef{
+			TS: algebra.ColRef{Var: "b", Col: "ValidFrom"}, TE: algebra.ColRef{Var: "b", Col: "ValidTo"}},
+	}
+	b.Run("engine-row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.Run(db, q, engine.Options{RowExec: true, Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine-columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.Run(db, q, engine.Options{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- The relation-level batch layout: row↔batch conversion with string
+// interning, the storage-facing edition of the columnar core. ---
+
+func BenchmarkColumnar_BatchRoundTrip(b *testing.B) {
+	rel := relation.FromTuples("R", benchTuples(20000, 23, relation.Order{relation.TSAsc}))
+	b.Run("from-rows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if batch := relation.BatchFromRows(rel.Schema, rel.Rows, nil); batch.Len() != len(rel.Rows) {
+				b.Fatal("batch dropped rows")
+			}
+		}
+	})
+	batch := relation.BatchFromRows(rel.Schema, rel.Rows, nil)
+	b.Run("to-rows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := batch.Rows(); len(rows) != batch.Len() {
+				b.Fatal("rehydration dropped rows")
 			}
 		}
 	})

@@ -4,8 +4,9 @@
 // optimization), Figure 4 (stream aggregation), Tables 1–3 (workspace vs.
 // sort order for every temporal join and semijoin), Section 4.2.4 (the
 // Before operators), Figure 8 / Section 5 (the Superstar query three
-// ways), the Section 4.1 sort/workspace/passes tradeoff, and the Section 6
-// workspace-prediction sweep.
+// ways), the Section 4.1 sort/workspace/passes tradeoff, the Section 6
+// workspace-prediction sweep, and E25, the row-vs-columnar serial operator
+// sweep (the batch-kernel speedup with byte-identical output).
 //
 // Usage:
 //
@@ -167,6 +168,7 @@ func main() {
 		{"order-choice", func() (*experiments.Table, error) {
 			return drop(experiments.OrderChoice(*n, []float64{2, 12, 60}, *seed))
 		}},
+		{"columnar", func() (*experiments.Table, error) { return drop(experiments.Columnar(*n, *seed)) }},
 	}
 	if *parallel {
 		suite = append(suite, struct {

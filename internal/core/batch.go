@@ -1,0 +1,716 @@
+package core
+
+import (
+	"fmt"
+
+	"tdb/internal/interval"
+)
+
+// This file holds the columnar batch editions of the stream operators: the
+// same single-pass algorithms as engine.go/semijoin.go/merge.go/coalesce.go,
+// rewritten over flat endpoint columns in the style of Piatov et al.'s
+// cache-efficient sweeping. A kernel sweeps two sorted []interval.Time
+// column pairs with integer cursors, keeps its active tuples in pooled
+// gapless arrays (arena.go), and reports matches as *row indexes* into the
+// input columns — materialization is the caller's concern, so shard workers
+// and the serial driver alike move no row data through the sweep.
+//
+// Each kernel is a faithful translation of its row-at-a-time counterpart
+// under the ReadSweep policy: same read order, same garbage-collection
+// criteria, same per-turn probe accounting, and — load-bearing for the
+// engine's equivalence contract — the same emission order, which is why
+// state removal compacts in insertion order instead of swap-removing.
+// The row operators remain the reference implementation (engine option
+// RowExec) and the oracle for the equivalence property tests.
+
+// Cols is the columnar lifespan view a batch kernel sweeps over: parallel
+// ValidFrom/ValidTo columns, row i spanning [TS[i], TE[i]). Kernels only
+// read endpoints; value columns stay wherever the caller keeps them
+// (relation.Batch, engine row slices) and are joined back by index.
+type Cols struct {
+	TS, TE []interval.Time
+}
+
+// Len reports the number of rows in the view.
+func (c Cols) Len() int { return len(c.TS) }
+
+// Span returns row i's lifespan.
+func (c Cols) Span(i int) interval.Interval {
+	return interval.Interval{Start: c.TS[i], End: c.TE[i]}
+}
+
+// verifyAsc is the batch edition of the VerifyOrder wrapping: one upfront
+// pass over the sort-key column instead of a per-element check in the sweep.
+func verifyAsc(name, side string, key []interval.Time) error {
+	for i := 1; i < len(key); i++ {
+		if key[i] < key[i-1] {
+			return fmt.Errorf("%s: %s input violates sort order at row %d: %d after %d", name, side, i, key[i], key[i-1])
+		}
+	}
+	return nil
+}
+
+// BatchContainJoinTSTS is the columnar ContainJoinTSTS under ReadSweep:
+// both inputs sorted on ValidFrom ascending, state = {x spanning the Y
+// ValidFrom frontier} (the sweep policy keeps the lookahead component
+// empty, so no y is ever retained). emit receives row indexes into x and y;
+// pairs appear in exactly the row engine's order: grouped by the y that
+// completes them, x's in arrival order within each group.
+func BatchContainJoinTSTS(x, y Cols, opt Options, emit func(xi, yi int32)) error {
+	const name = "contain-join[TS↑,TS↑]"
+	if opt.VerifyOrder {
+		if err := verifyAsc(name, "X", x.TS); err != nil {
+			return err
+		}
+		if err := verifyAsc(name, "Y", y.TS); err != nil {
+			return err
+		}
+	}
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	ar := acquireSweep()
+	ats, ate, aidx := ar.x.ts[:0], ar.x.te[:0], ar.x.idx[:0]
+	defer func() {
+		ar.x.ts, ar.x.te, ar.x.idx = ats, ate, aidx
+		ar.release()
+	}()
+
+	nx, ny := len(x.TS), len(y.TS)
+	xi, yi := 0, 0
+	//tdb:hotpath
+	for {
+		xok := xi < nx
+		// Termination: Y exhausted (the spanning set can complete no more
+		// pairs — no y is ever retained under sweep), or X exhausted with
+		// nothing retained.
+		if yi >= ny || (!xok && len(ats) == 0) {
+			break
+		}
+		ys := y.TS[yi]
+		if xok && x.TS[xi] <= ys {
+			probe.IncReadLeft()
+			// Retain x only if its lifespan spans the Y ValidFrom frontier.
+			if x.TE[xi] > ys {
+				if len(ats) == cap(ats) {
+					probe.IncStateGrow()
+				}
+				ats = append(ats, x.TS[xi])
+				ate = append(ate, x.TE[xi])
+				aidx = append(aidx, int32(xi))
+				probe.StateAdd(1)
+				probe.ObserveActive(int64(len(ats)))
+				if err := opt.checkLimit(); err != nil {
+					return orderError(name, err)
+				}
+			}
+			opt.observe()
+			xi++
+			continue
+		}
+		probe.IncReadRight()
+		yte := y.TE[yi]
+		// Garbage collection: x is dead once x.TE ≤ the Y ValidFrom
+		// frontier (Section 4.2.1). Compact in insertion order.
+		k := 0
+		for j := 0; j < len(ats); j++ {
+			if ate[j] <= ys {
+				continue
+			}
+			ats[k], ate[k], aidx[k] = ats[j], ate[j], aidx[j]
+			k++
+		}
+		probe.StateRemove(int64(len(ats) - k))
+		ats, ate, aidx = ats[:k], ate[:k], aidx[:k]
+		// Match surviving x's: x.TS < y.TS ∧ y.TE < x.TE.
+		probe.IncComparisons(int64(k))
+		for j := 0; j < k; j++ {
+			if ats[j] < ys && yte < ate[j] {
+				probe.IncEmitted(1)
+				emit(aidx[j], int32(yi))
+			}
+		}
+		opt.observe()
+		yi++
+	}
+	probe.StateRemove(int64(len(ats)))
+	opt.observe()
+	return nil
+}
+
+// BatchOverlapJoin is the columnar OverlapJoin under ReadSweep: both
+// inputs sorted on ValidFrom ascending, one spanning set per input. emit
+// receives row indexes into x and y, in the row engine's emission order.
+func BatchOverlapJoin(x, y Cols, opt Options, emit func(xi, yi int32)) error {
+	const name = "overlap-join[TS↑,TS↑]"
+	if opt.VerifyOrder {
+		if err := verifyAsc(name, "X", x.TS); err != nil {
+			return err
+		}
+		if err := verifyAsc(name, "Y", y.TS); err != nil {
+			return err
+		}
+	}
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	ar := acquireSweep()
+	xts, xte, xidx := ar.x.ts[:0], ar.x.te[:0], ar.x.idx[:0]
+	yts, yte, yidx := ar.y.ts[:0], ar.y.te[:0], ar.y.idx[:0]
+	defer func() {
+		ar.x.ts, ar.x.te, ar.x.idx = xts, xte, xidx
+		ar.y.ts, ar.y.te, ar.y.idx = yts, yte, yidx
+		ar.release()
+	}()
+
+	nx, ny := len(x.TS), len(y.TS)
+	xi, yi := 0, 0
+	//tdb:hotpath
+	for {
+		xok := xi < nx
+		yok := yi < ny
+		if !xok && !yok {
+			break
+		}
+		if (!xok && len(xts) == 0) || (!yok && len(yts) == 0) {
+			break
+		}
+		if xok && (!yok || x.TS[xi] <= y.TS[yi]) {
+			xs, xe := x.TS[xi], x.TE[xi]
+			probe.IncReadLeft()
+			// GC: y is dead once y.TE ≤ the X ValidFrom frontier.
+			k := 0
+			for j := 0; j < len(yts); j++ {
+				if yte[j] <= xs {
+					continue
+				}
+				yts[k], yte[k], yidx[k] = yts[j], yte[j], yidx[j]
+				k++
+			}
+			probe.StateRemove(int64(len(yts) - k))
+			yts, yte, yidx = yts[:k], yte[:k], yidx[:k]
+			// Surviving y have y.TE > x.TS; intersection reduces to y.TS < x.TE.
+			probe.IncComparisons(int64(k))
+			for j := 0; j < k; j++ {
+				if yts[j] < xe {
+					probe.IncEmitted(1)
+					emit(int32(xi), yidx[j])
+				}
+			}
+			// Retain x only if it spans the Y ValidFrom frontier (with Y
+			// exhausted, nothing ahead can intersect it).
+			if yok && xe > y.TS[yi] {
+				if len(xts) == cap(xts) {
+					probe.IncStateGrow()
+				}
+				xts = append(xts, xs)
+				xte = append(xte, xe)
+				xidx = append(xidx, int32(xi))
+				probe.StateAdd(1)
+				probe.ObserveActive(int64(len(xts)))
+				if err := opt.checkLimit(); err != nil {
+					return orderError(name, err)
+				}
+			}
+			opt.observe()
+			xi++
+			continue
+		}
+		ys, ye := y.TS[yi], y.TE[yi]
+		probe.IncReadRight()
+		k := 0
+		for j := 0; j < len(xts); j++ {
+			if xte[j] <= ys {
+				continue
+			}
+			xts[k], xte[k], xidx[k] = xts[j], xte[j], xidx[j]
+			k++
+		}
+		probe.StateRemove(int64(len(xts) - k))
+		xts, xte, xidx = xts[:k], xte[:k], xidx[:k]
+		probe.IncComparisons(int64(k))
+		for j := 0; j < k; j++ {
+			if xts[j] < ye {
+				probe.IncEmitted(1)
+				emit(xidx[j], int32(yi))
+			}
+		}
+		if xok && ye > x.TS[xi] {
+			if len(yts) == cap(yts) {
+				probe.IncStateGrow()
+			}
+			yts = append(yts, ys)
+			yte = append(yte, ye)
+			yidx = append(yidx, int32(yi))
+			probe.StateAdd(1)
+			probe.ObserveActive(int64(len(yts)))
+			if err := opt.checkLimit(); err != nil {
+				return orderError(name, err)
+			}
+		}
+		opt.observe()
+		yi++
+	}
+	probe.StateRemove(int64(len(xts) + len(yts)))
+	opt.observe()
+	return nil
+}
+
+// batchContainPairScan is the columnar containPairScan (Figure 6): stream a
+// holds candidate containers sorted on ValidFrom ascending, stream b the
+// candidate containees sorted on ValidTo ascending; no state beyond the two
+// cursors. emit receives indexes into a (emitA) or b (!emitA).
+func batchContainPairScan(name string, a, b Cols, opt Options, emitA bool, emit func(int32)) error {
+	if opt.VerifyOrder {
+		if err := verifyAsc(name, "container", a.TS); err != nil {
+			return err
+		}
+		if err := verifyAsc(name, "containee", b.TE); err != nil {
+			return err
+		}
+	}
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	na, nb := len(a.TS), len(b.TS)
+	ai, bi := 0, 0
+	//tdb:hotpath
+	for ai < na && bi < nb {
+		probe.IncComparisons(1)
+		switch {
+		case b.TS[bi] <= a.TS[ai]:
+			// b starts no later than the earliest remaining a: strictly
+			// inside none of them.
+			bi++
+			probe.IncReadRight()
+		case b.TE[bi] < a.TE[ai]:
+			// a.TS < b.TS ∧ b.TE < a.TE: a contains b.
+			probe.IncEmitted(1)
+			if emitA {
+				emit(int32(ai))
+				ai++
+				probe.IncReadLeft()
+			} else {
+				emit(int32(bi))
+				bi++
+				probe.IncReadRight()
+			}
+		default:
+			// b.TE ≥ a.TE: no remaining b ends strictly inside a.
+			ai++
+			probe.IncReadLeft()
+		}
+		opt.observe()
+	}
+	return nil
+}
+
+// BatchContainSemijoin is the columnar ContainSemijoin: X sorted on
+// ValidFrom ascending, Y on ValidTo ascending; emits X row indexes in X
+// input order.
+func BatchContainSemijoin(x, y Cols, opt Options, emit func(xi int32)) error {
+	return batchContainPairScan("contain-semijoin[TS↑,TE↑]", x, y, opt, true, emit)
+}
+
+// BatchContainedSemijoin is the columnar ContainedSemijoin: X sorted on
+// ValidTo ascending, Y on ValidFrom ascending; emits X row indexes in X
+// input order.
+func BatchContainedSemijoin(x, y Cols, opt Options, emit func(xi int32)) error {
+	return batchContainPairScan("contained-semijoin[TE↑,TS↑]", y, x, opt, false, emit)
+}
+
+// BatchOverlapSemijoin is the columnar OverlapSemijoin: both inputs sorted
+// on ValidFrom ascending, workspace exactly the two cursors; emits X row
+// indexes in X input order.
+func BatchOverlapSemijoin(x, y Cols, opt Options, emit func(xi int32)) error {
+	const name = "overlap-semijoin[TS↑,TS↑]"
+	if opt.VerifyOrder {
+		if err := verifyAsc(name, "X", x.TS); err != nil {
+			return err
+		}
+		if err := verifyAsc(name, "Y", y.TS); err != nil {
+			return err
+		}
+	}
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	nx, ny := len(x.TS), len(y.TS)
+	xi, yi := 0, 0
+	//tdb:hotpath
+	for xi < nx && yi < ny {
+		probe.IncComparisons(1)
+		switch {
+		case x.TE[xi] <= y.TS[yi]:
+			// x ends before the earliest remaining y begins.
+			xi++
+			probe.IncReadLeft()
+		case y.TE[yi] <= x.TS[xi]:
+			// y ends before x (and every later x) begins.
+			yi++
+			probe.IncReadRight()
+		default:
+			probe.IncEmitted(1)
+			emit(int32(xi))
+			xi++
+			probe.IncReadLeft()
+		}
+		opt.observe()
+	}
+	return nil
+}
+
+// BatchContainSemijoinTSTS is the columnar ContainSemijoinTSTS: both inputs
+// sorted on ValidFrom ascending, state = unmatched x spanning the frontier.
+// Emission follows witness-discovery order, exactly like the row engine.
+func BatchContainSemijoinTSTS(x, y Cols, opt Options, emit func(xi int32)) error {
+	const name = "contain-semijoin[TS↑,TS↑]"
+	if opt.VerifyOrder {
+		if err := verifyAsc(name, "X", x.TS); err != nil {
+			return err
+		}
+		if err := verifyAsc(name, "Y", y.TS); err != nil {
+			return err
+		}
+	}
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	ar := acquireSweep()
+	sts, ste, sidx := ar.x.ts[:0], ar.x.te[:0], ar.x.idx[:0]
+	defer func() {
+		ar.x.ts, ar.x.te, ar.x.idx = sts, ste, sidx
+		ar.release()
+	}()
+
+	nx, ny := len(x.TS), len(y.TS)
+	xi, yi := 0, 0
+	//tdb:hotpath
+	for {
+		xok := xi < nx
+		if yi >= ny || (!xok && len(sts) == 0) {
+			break
+		}
+		ys := y.TS[yi]
+		if xok && x.TS[xi] <= ys {
+			probe.IncReadLeft()
+			if len(sts) == cap(sts) {
+				probe.IncStateGrow()
+			}
+			sts = append(sts, x.TS[xi])
+			ste = append(ste, x.TE[xi])
+			sidx = append(sidx, int32(xi))
+			probe.StateAdd(1)
+			probe.ObserveActive(int64(len(sts)))
+			if err := opt.checkLimit(); err != nil {
+				return orderError(name, err)
+			}
+			opt.observe()
+			xi++
+			continue
+		}
+		probe.IncReadRight()
+		yte := y.TE[yi]
+		// Emit and retire the x that contain y; retire the x that can
+		// contain no future y (future y.TE > y.TS ≥ this y.TS).
+		probe.IncComparisons(int64(len(sts)))
+		k := 0
+		removed := 0
+		for j := 0; j < len(sts); j++ {
+			switch {
+			case sts[j] < ys && yte < ste[j]:
+				probe.IncEmitted(1)
+				emit(sidx[j])
+				removed++
+			case ste[j] <= ys:
+				removed++
+			default:
+				sts[k], ste[k], sidx[k] = sts[j], ste[j], sidx[j]
+				k++
+			}
+		}
+		probe.StateRemove(int64(removed))
+		sts, ste, sidx = sts[:k], ste[:k], sidx[:k]
+		opt.observe()
+		yi++
+	}
+	probe.StateRemove(int64(len(sts)))
+	opt.observe()
+	return nil
+}
+
+// BatchContainedSemijoinTSTS is the columnar ContainedSemijoinTSTS: both
+// inputs sorted on ValidFrom ascending, state = candidate container ys
+// spanning the X frontier; emits X row indexes in X input order.
+func BatchContainedSemijoinTSTS(x, y Cols, opt Options, emit func(xi int32)) error {
+	const name = "contained-semijoin[TS↑,TS↑]"
+	if opt.VerifyOrder {
+		if err := verifyAsc(name, "X", x.TS); err != nil {
+			return err
+		}
+		if err := verifyAsc(name, "Y", y.TS); err != nil {
+			return err
+		}
+	}
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	ar := acquireSweep()
+	sts, ste := ar.y.ts[:0], ar.y.te[:0]
+	defer func() {
+		ar.y.ts, ar.y.te = sts, ste
+		ar.release()
+	}()
+
+	nx, ny := len(x.TS), len(y.TS)
+	xi, yi := 0, 0
+	//tdb:hotpath
+	for xi < nx {
+		xs := x.TS[xi]
+		// Pull every y starting strictly before x; later y cannot contain
+		// it (a container must start strictly earlier).
+		if yi < ny && y.TS[yi] < xs {
+			probe.IncReadRight()
+			if y.TE[yi] > xs { // not dead on arrival
+				if len(sts) == cap(sts) {
+					probe.IncStateGrow()
+				}
+				sts = append(sts, y.TS[yi])
+				ste = append(ste, y.TE[yi])
+				probe.StateAdd(1)
+				probe.ObserveActive(int64(len(sts)))
+				if err := opt.checkLimit(); err != nil {
+					return orderError(name, err)
+				}
+			}
+			opt.observe()
+			yi++
+			continue
+		}
+		probe.IncReadLeft()
+		xe := x.TE[xi]
+		// GC: y can contain an x starting at or after xs only if y.TE > xs.
+		k := 0
+		for j := 0; j < len(sts); j++ {
+			if ste[j] <= xs {
+				continue
+			}
+			sts[k], ste[k] = sts[j], ste[j]
+			k++
+		}
+		probe.StateRemove(int64(len(sts) - k))
+		sts, ste = sts[:k], ste[:k]
+		// First container wins; comparisons counted to the witness, like
+		// the row engine's early-exit scan.
+		scanned := 0
+		for j := 0; j < k; j++ {
+			scanned++
+			if sts[j] < xs && xe < ste[j] {
+				probe.IncEmitted(1)
+				emit(int32(xi))
+				break
+			}
+		}
+		probe.IncComparisons(int64(scanned))
+		opt.observe()
+		xi++
+	}
+	probe.StateRemove(int64(len(sts)))
+	opt.observe()
+	return nil
+}
+
+// batchMergeGroupScan is the columnar mergeGroupScan: merge on endpoint
+// keys (ValidFrom or ValidTo column per side), buffer one equal-key Y group
+// of row indexes, filter with the residual on raw endpoints. residual may
+// be nil (pure equality).
+func batchMergeGroupScan(x, y Cols, keyXEnd, keyYEnd bool,
+	residual func(xs, xe, ys, ye interval.Time) bool,
+	opt Options, semijoin bool, emitPair func(xi, yi int32), emitX func(int32)) error {
+
+	const name = "merge-group-join"
+	kx := x.TS
+	if keyXEnd {
+		kx = x.TE
+	}
+	ky := y.TS
+	if keyYEnd {
+		ky = y.TE
+	}
+	if opt.VerifyOrder {
+		if err := verifyAsc(name, "X", kx); err != nil {
+			return err
+		}
+		if err := verifyAsc(name, "Y", ky); err != nil {
+			return err
+		}
+	}
+	probe := opt.Probe
+	probe.SetBuffers(2)
+
+	ar := acquireSweep()
+	grp := ar.grp[:0]
+	defer func() {
+		ar.grp = grp
+		ar.release()
+	}()
+
+	groupKey := interval.MinTime
+	nx, ny := len(kx), len(ky)
+	xi, yi := 0, 0
+	//tdb:hotpath
+	for xi < nx {
+		k := kx[xi]
+
+		// Refill the group when x has moved past it: discard smaller-keyed
+		// y rows, then buffer the next whole equal-key group.
+		if len(grp) == 0 || groupKey < k {
+			probe.StateRemove(int64(len(grp)))
+			grp = grp[:0]
+			for yi < ny {
+				probe.IncComparisons(1)
+				if ky[yi] >= k {
+					break
+				}
+				yi++
+				probe.IncReadRight()
+			}
+			if yi < ny {
+				groupKey = ky[yi]
+				for yi < ny && ky[yi] == groupKey {
+					grp = append(grp, int32(yi))
+					probe.IncReadRight()
+					probe.StateAdd(1)
+					yi++
+				}
+			}
+			if len(grp) == 0 {
+				break // Y exhausted: no remaining x can match
+			}
+		}
+
+		if groupKey > k {
+			// x is behind the buffered group: it matches nothing.
+			xi++
+			probe.IncReadLeft()
+			continue
+		}
+
+		probe.IncReadLeft()
+		xs, xe := x.TS[xi], x.TE[xi]
+		for _, gj := range grp {
+			probe.IncComparisons(1)
+			if residual == nil || residual(xs, xe, y.TS[gj], y.TE[gj]) {
+				probe.IncEmitted(1)
+				if semijoin {
+					emitX(int32(xi))
+					break
+				}
+				emitPair(int32(xi), gj)
+			}
+		}
+		xi++
+	}
+	probe.StateRemove(int64(len(grp)))
+	return nil
+}
+
+// BatchMeetsJoin pairs x with y when X.TE = Y.TS; X sorted on ValidTo
+// ascending, Y on ValidFrom ascending.
+func BatchMeetsJoin(x, y Cols, opt Options, emit func(xi, yi int32)) error {
+	return batchMergeGroupScan(x, y, true, false, nil, opt, false, emit, nil)
+}
+
+// BatchEqualJoin pairs x with y when the lifespans are identical; both
+// inputs sorted on ValidFrom ascending.
+func BatchEqualJoin(x, y Cols, opt Options, emit func(xi, yi int32)) error {
+	residual := func(_, xe, _, ye interval.Time) bool { return xe == ye }
+	return batchMergeGroupScan(x, y, false, false, residual, opt, false, emit, nil)
+}
+
+// BatchStartsJoin pairs x with y when X.TS = Y.TS ∧ X.TE < Y.TE; both
+// inputs sorted on ValidFrom ascending.
+func BatchStartsJoin(x, y Cols, opt Options, emit func(xi, yi int32)) error {
+	residual := func(_, xe, _, ye interval.Time) bool { return xe < ye }
+	return batchMergeGroupScan(x, y, false, false, residual, opt, false, emit, nil)
+}
+
+// BatchFinishesJoin pairs x with y when X.TE = Y.TE ∧ X.TS > Y.TS; both
+// inputs sorted on ValidTo ascending.
+func BatchFinishesJoin(x, y Cols, opt Options, emit func(xi, yi int32)) error {
+	residual := func(xs, _, ys, _ interval.Time) bool { return xs > ys }
+	return batchMergeGroupScan(x, y, true, true, residual, opt, false, emit, nil)
+}
+
+// BatchMeetsSemijoin selects each x met at its end by some y.
+func BatchMeetsSemijoin(x, y Cols, opt Options, emit func(xi int32)) error {
+	return batchMergeGroupScan(x, y, true, false, nil, opt, true, nil, emit)
+}
+
+// BatchEqualSemijoin selects each x whose lifespan equals some y's.
+func BatchEqualSemijoin(x, y Cols, opt Options, emit func(xi int32)) error {
+	residual := func(_, xe, _, ye interval.Time) bool { return xe == ye }
+	return batchMergeGroupScan(x, y, false, false, residual, opt, true, nil, emit)
+}
+
+// BatchStartsSemijoin selects each x starting some y.
+func BatchStartsSemijoin(x, y Cols, opt Options, emit func(xi int32)) error {
+	residual := func(_, xe, _, ye interval.Time) bool { return xe < ye }
+	return batchMergeGroupScan(x, y, false, false, residual, opt, true, nil, emit)
+}
+
+// BatchFinishesSemijoin selects each x finishing some y.
+func BatchFinishesSemijoin(x, y Cols, opt Options, emit func(xi int32)) error {
+	residual := func(xs, _, ys, _ interval.Time) bool { return xs > ys }
+	return batchMergeGroupScan(x, y, true, true, residual, opt, true, nil, emit)
+}
+
+// BatchCoalesce is the columnar Coalesce: the input columns must be grouped
+// by key with each group sorted on ValidFrom ascending; sameKey reports
+// whether rows i and j belong to the same group (the engine compares
+// interned value columns, one integer compare per column). emit receives a
+// representative row index and the coalesced lifespan.
+func BatchCoalesce(c Cols, sameKey func(i, j int32) bool, opt Options, emit func(rep int32, span interval.Interval)) error {
+	const name = "coalesce"
+	probe := opt.Probe
+	probe.SetBuffers(1)
+
+	var (
+		rep     int32
+		curSpan interval.Interval
+		open    bool
+	)
+	flush := func() {
+		if open {
+			probe.IncEmitted(1)
+			emit(rep, curSpan)
+			probe.StateRemove(1)
+			open = false
+		}
+	}
+	n := len(c.TS)
+	//tdb:hotpath
+	for i := 0; i < n; i++ {
+		probe.IncReadLeft()
+		ts, te := c.TS[i], c.TE[i]
+		if open && sameKey(int32(i), rep) {
+			if ts < curSpan.Start {
+				return fmt.Errorf("%s: group not sorted on ValidFrom: %v after %v", name, c.Span(i), curSpan)
+			}
+			probe.IncComparisons(1)
+			if curSpan.End >= ts { // meets or overlaps: extend
+				if te > curSpan.End {
+					curSpan.End = te
+				}
+				continue
+			}
+		}
+		flush()
+		rep, curSpan, open = int32(i), interval.Interval{Start: ts, End: te}, true
+		probe.StateAdd(1)
+		opt.observe()
+	}
+	flush()
+	opt.observe()
+	return nil
+}

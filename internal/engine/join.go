@@ -150,7 +150,15 @@ func (ex *executor) streamJoin(n *algebra.Join, l, r *result) ([]relation.Row, *
 	}
 
 	if plan := ex.planParallel(n.Kind, false, lw, rw, cost); plan != nil {
-		rows, err := ex.parallelJoin(n.Kind, lw, rw, plan, cost)
+		var rows []relation.Row
+		if ex.opt.RowExec {
+			rows, err = ex.parallelJoin(n.Kind, lw, rw, plan, cost)
+		} else {
+			// planParallel only accepts sweep-policy joins, so the batch
+			// kernels are always eligible here.
+			cost.Notes = append(cost.Notes, "columnar batch kernels")
+			rows, err = ex.parallelJoinColumnar(n.Kind, lw, rw, plan, cost)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -167,6 +175,31 @@ func (ex *executor) streamJoin(n *algebra.Join, l, r *result) ([]relation.Row, *
 		if bound := ex.governBound(n.Kind, n.L, n.R, cost); bound > 0 {
 			opt.Limit = int64(bound)
 		}
+	}
+
+	// Columnar batch path (the default): shred the sorted inputs to flat
+	// endpoint columns, sweep with the batch kernels, materialize output
+	// rows once from the matched index pairs. The row path below remains
+	// the reference implementation (Options.RowExec) and still serves the
+	// λ read policy — whose global read interleaving observes per-row
+	// stream state the batch kernels do not model — and the before-join.
+	if !ex.opt.RowExec && ex.opt.Policy == core.ReadSweep && n.Kind != algebra.KindBefore {
+		cost.Notes = append(cost.Notes, "columnar batch kernels")
+		var rows []relation.Row
+		pairs, err := columnarJoinPairs(n.Kind, colsOfSpanned(lw), colsOfSpanned(rw), opt)
+		if err != nil {
+			if opt.Limit <= 0 || !errors.Is(err, core.ErrWorkspaceBreach) {
+				return nil, nil, err
+			}
+			// Governed degradation, identically to the row path: the batch
+			// kernel honors the same admission ceiling and breaches at the
+			// same state append.
+			rows = ex.governedJoinFallback(n.Kind, lw, rw, opt.Limit, cost)
+		} else {
+			rows = materializeJoin(lw, rw, pairs)
+		}
+		cost.OutRows = int64(len(rows))
+		return rows, cost, nil
 	}
 
 	var rows []relation.Row
@@ -533,11 +566,35 @@ func (ex *executor) streamSemijoin(n *algebra.Semijoin, l, r *result) ([]relatio
 			return nil, nil, err
 		}
 		if plan := ex.planParallel(n.Kind, true, lw, rw, cost); plan != nil {
-			rows, err := ex.parallelSemijoin(n.Kind, lw, rw, plan, cost)
+			var rows []relation.Row
+			if ex.opt.RowExec {
+				rows, err = ex.parallelSemijoin(n.Kind, lw, rw, plan, cost)
+			} else {
+				cost.Notes = append(cost.Notes, "columnar batch kernels")
+				rows, err = ex.parallelSemijoinColumnar(n.Kind, lw, rw, plan, cost)
+			}
 			if err != nil {
 				return nil, nil, err
 			}
 			cost.Algorithm += fmt.Sprintf(" ×%d", len(plan.ranges))
+			cost.OutRows = int64(len(rows))
+			return rows, cost, nil
+		}
+
+		// Columnar batch path (the default) for the sorted semijoin scans.
+		// The Figure 6 scans never consult the read policy, so unlike the
+		// join there is no λ carve-out; the before-semijoin (lOrder == nil)
+		// and Options.RowExec take the row reference path below.
+		if !ex.opt.RowExec {
+			cost.Notes = append(cost.Notes, "columnar batch kernels")
+			idxs, err := columnarSemijoinIdx(n.Kind, colsOfSpanned(lw), colsOfSpanned(rw), opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			var rows []relation.Row
+			for _, i := range idxs {
+				rows = append(rows, lw[i].row)
+			}
 			cost.OutRows = int64(len(rows))
 			return rows, cost, nil
 		}

@@ -17,7 +17,7 @@ import (
 // ParallelPoint is one worker-count measurement of the E22 sweep.
 type ParallelPoint struct {
 	K             int     // worker count
-	ElapsedNS     int64   // best-of-3 wall time
+	ElapsedNS     int64   // best-of-5 wall time
 	Speedup       float64 // serial wall time / this wall time
 	MeasuredRepl  float64 // realized boundary-replication rate of the split
 	PredictedRepl float64 // the optimizer's λ·E[D] prediction
@@ -86,7 +86,11 @@ func Parallel(n int, ks []int, seed int64) (*ParallelResult, *Table, error) {
 		}
 		var out *relation.Relation
 		var best int64
-		for rep := 0; rep < 3; rep++ {
+		for rep := 0; rep < 5; rep++ {
+			// Collect between repetitions: the joins materialize multi-MB
+			// outputs, and inherited heap debt otherwise taxes whichever
+			// rep the background collector lands on.
+			runtime.GC()
 			start := time.Now() // lint:allow determinism — wall-time measurement, reported as such
 			o, _, err := engine.Run(db, q, opt)
 			if err != nil {

@@ -16,15 +16,19 @@ import (
 // the plan explain for every engaged or declined fan-out decision.
 
 // partitionOverhead charges the partition pass and the order-preserving
-// recombination merge, per tuple moved, in comparison units. Both are
-// branch-per-tuple scans, cheaper than a predicate evaluation; a quarter
-// of a comparison each keeps light operators (semijoins at small k)
-// honest about their break-even point.
-const partitionOverhead = 0.25
+// recombination merge, per tuple moved, in comparison units. The columnar
+// drivers replicate int32 row indexes across shards (not rows) and merge
+// 16-byte owned pairs, so both passes got cheaper than the 0.25 the
+// row-replicating drivers were charged; the pinned round-trip benchmark
+// puts the per-tuple move at roughly 0.15 of a predicate evaluation.
+const partitionOverhead = 0.15
 
 // MinParallelSpeedup is the predicted speedup below which a node stays
-// serial: at break-even, shard setup is pure overhead.
-const MinParallelSpeedup = 1.2
+// serial: at break-even, shard setup is pure overhead. The columnar core
+// made the serial baseline ~2-3× faster while the fixed fan-out costs
+// (goroutines, span planning, column gathers) stayed put, so a fan-out
+// now needs more predicted headroom before it pays.
+const MinParallelSpeedup = 1.3
 
 // ParallelEstimate predicts the effect of fanning one stream operator out
 // across k time shards.

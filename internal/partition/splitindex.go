@@ -1,0 +1,34 @@
+package partition
+
+import "tdb/internal/interval"
+
+// SplitIndex is Split over columnar endpoints: instead of replicating
+// elements, each shard receives the *row indexes* (into the source
+// columns) whose lifespan [ts[j], te[j]) intersects it, in source order.
+// Shard workers on the columnar path gather their compact local columns
+// from these lists and report results as global indexes — no row data
+// moves until the coordinator materializes the merged output once.
+func SplitIndex(ts, te []interval.Time, rs []Range) [][]int32 {
+	out := make([][]int32, len(rs))
+	if len(rs) == 0 {
+		return out
+	}
+	// Pre-size every shard to the even-split estimate; boundary
+	// replication may still grow a shard past it.
+	est := len(ts)/len(rs) + 1
+	for i := range out {
+		out[i] = make([]int32, 0, est)
+	}
+	//tdb:hotpath
+	for j := range ts {
+		s, e := ts[j], te[j]
+		for i, r := range rs {
+			if s < r.Hi && e > r.Lo {
+				out[i] = append(out[i], int32(j)) // lint:allow hotpath-alloc — replication factor is data-dependent; shards are pre-sized to the even-split estimate
+			} else if e <= r.Lo {
+				break // shards ascend; later ones lie even further right
+			}
+		}
+	}
+	return out
+}

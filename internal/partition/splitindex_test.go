@@ -1,0 +1,58 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdb/internal/interval"
+)
+
+// SplitIndex must agree with Split exactly: same shards, same order, with
+// indexes standing in for the elements.
+func TestSplitIndexAgreesWithSplit(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		spans := make([]interval.Interval, n)
+		ts := make([]interval.Time, n)
+		te := make([]interval.Time, n)
+		start := interval.Time(0)
+		for i := range spans {
+			start += interval.Time(rng.Intn(5))
+			end := start + interval.Time(1+rng.Intn(30))
+			spans[i] = interval.Interval{Start: start, End: end}
+			ts[i], te[i] = start, end
+		}
+		cuts := []interval.Time{40, 40, 100, 90, 200} // dup and out-of-order cuts exercised
+		rs := Ranges(cuts)
+
+		id := func(s interval.Interval) interval.Interval { return s }
+		want := Split(spans, id, rs)
+		got := SplitIndex(ts, te, rs)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d shards, Split made %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("seed %d shard %d: %d indexes, Split kept %d elements", seed, i, len(got[i]), len(want[i]))
+			}
+			for j, idx := range got[i] {
+				if spans[idx] != want[i][j] {
+					t.Fatalf("seed %d shard %d pos %d: index %d = %v, Split kept %v",
+						seed, i, j, idx, spans[idx], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSplitIndexEmpty(t *testing.T) {
+	if got := SplitIndex(nil, nil, nil); len(got) != 0 {
+		t.Fatalf("no ranges: %d shards", len(got))
+	}
+	rs := Ranges([]interval.Time{10})
+	got := SplitIndex(nil, nil, rs)
+	if len(got) != 2 || len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+}

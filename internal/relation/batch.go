@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"fmt"
+
+	"tdb/internal/interval"
+	"tdb/internal/value"
+)
+
+// Batch is the columnar block representation of a run of rows under one
+// schema: the lifespan endpoints live in flat parallel TS/TE columns of raw
+// chronons, and every schema attribute in a typed column — int64 payloads
+// for int and time attributes, dense intern ids for strings. The layout
+// follows the cache-efficient sweeping of Piatov et al.: a sweep that only
+// needs endpoint comparisons touches two contiguous int64 arrays instead of
+// walking boxed values through pointer-sized rows, and an equality between
+// two interned string columns is one integer compare.
+//
+// A Batch and the row representation convert losslessly in both directions
+// (BatchFromRows / Rows / Row), so every existing row-at-a-time API keeps
+// working; the columnar engine path and the row reference path are required
+// to produce byte-identical rows.
+type Batch struct {
+	Schema *Schema
+	// Intern resolves the string columns. Batches that share rows (e.g.
+	// the two sides of a join) may share one Interner.
+	Intern *value.Interner
+	// TS and TE are the lifespan endpoint columns, mirroring the schema's
+	// temporal columns; nil for snapshot schemas.
+	TS, TE []interval.Time
+	// Cols holds one typed column per schema attribute, in schema order.
+	Cols []Col
+	n    int
+}
+
+// Col is one typed column of a batch. Exactly one payload slice is
+// populated, selected by Kind: Ints for KindInt and KindTime, IDs for
+// KindString.
+type Col struct {
+	Kind value.Kind
+	Ints []int64
+	IDs  []uint32
+}
+
+// NewBatch returns an empty batch for the schema with backing arrays
+// pre-sized to the given capacity. A nil interner allocates a private one.
+func NewBatch(s *Schema, in *value.Interner, capacity int) *Batch {
+	if in == nil {
+		in = value.NewInterner()
+	}
+	b := &Batch{Schema: s, Intern: in, Cols: make([]Col, s.Arity())}
+	for i, c := range s.Cols {
+		b.Cols[i].Kind = c.Kind
+		if c.Kind == value.KindString {
+			b.Cols[i].IDs = make([]uint32, 0, capacity)
+		} else {
+			b.Cols[i].Ints = make([]int64, 0, capacity)
+		}
+	}
+	if s.Temporal() {
+		b.TS = make([]interval.Time, 0, capacity)
+		b.TE = make([]interval.Time, 0, capacity)
+	}
+	return b
+}
+
+// BatchFromRows converts a run of rows to columnar form. The rows must
+// match the schema (the row representation's own invariant); the conversion
+// is one pass, appending to pre-sized columns.
+func BatchFromRows(s *Schema, rows []Row, in *value.Interner) *Batch {
+	b := NewBatch(s, in, len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}
+
+// Len reports the number of rows in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// AppendRow appends one row, interning its string values.
+func (b *Batch) AppendRow(r Row) {
+	if len(r) != len(b.Cols) {
+		// lint:allow panic — arity mismatch is a programming error, like an out-of-range index
+		panic(fmt.Sprintf("relation: appending row of arity %d to batch of schema %s", len(r), b.Schema))
+	}
+	for i := range r {
+		if b.Cols[i].Kind == value.KindString {
+			b.Cols[i].IDs = append(b.Cols[i].IDs, b.Intern.ID(r[i].AsString()))
+		} else {
+			b.Cols[i].Ints = append(b.Cols[i].Ints, r[i].AsInt())
+		}
+	}
+	if b.Schema.Temporal() {
+		sp := r.Span(b.Schema)
+		b.TS = append(b.TS, sp.Start)
+		b.TE = append(b.TE, sp.End)
+	}
+	b.n++
+}
+
+// Span returns the lifespan of row i; like Row.Span it must only be called
+// on temporal schemas.
+func (b *Batch) Span(i int) interval.Interval {
+	return interval.Interval{Start: b.TS[i], End: b.TE[i]}
+}
+
+// Value reconstructs the value at row i, column c.
+func (b *Batch) Value(i, c int) value.Value {
+	col := &b.Cols[c]
+	switch col.Kind {
+	case value.KindString:
+		return value.String_(b.Intern.Str(col.IDs[i]))
+	case value.KindTime:
+		return value.TimeVal(interval.Time(col.Ints[i]))
+	default:
+		return value.Int(col.Ints[i])
+	}
+}
+
+// Row rehydrates row i as a fresh row.
+func (b *Batch) Row(i int) Row {
+	r := make(Row, len(b.Cols))
+	for c := range b.Cols {
+		r[c] = b.Value(i, c)
+	}
+	return r
+}
+
+// Rows rehydrates the whole batch. The returned rows slice into one shared
+// backing array (one allocation for the block, not one per row); rows are
+// immutable by convention downstream, as everywhere in the engine.
+func (b *Batch) Rows() []Row {
+	arity := len(b.Cols)
+	rows := make([]Row, b.n)
+	if arity == 0 {
+		for i := range rows {
+			rows[i] = Row{}
+		}
+		return rows
+	}
+	arena := make([]value.Value, b.n*arity)
+	for i := 0; i < b.n; i++ {
+		r := arena[i*arity : (i+1)*arity : (i+1)*arity]
+		for c := range b.Cols {
+			r[c] = b.Value(i, c)
+		}
+		rows[i] = r
+	}
+	return rows
+}

@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"tdb/internal/relation"
+	"tdb/internal/value"
+)
+
+// DefaultBatchSize is the batch granularity of the batched iterators: large
+// enough to amortize the per-batch Next through the interface, small enough
+// that a batch's endpoint columns stay cache-resident during a sweep.
+const DefaultBatchSize = 1024
+
+// batched re-blocks a row stream into columnar batches.
+type batched struct {
+	in     Stream[relation.Row]
+	schema *relation.Schema
+	intern *value.Interner
+	size   int
+	done   bool
+}
+
+// Batched converts a row stream into a batch-at-a-time stream: each batch
+// holds up to size rows (DefaultBatchSize when size <= 0) converted to
+// columnar form over the given schema, interning strings into in (a private
+// table when nil). Together with Unbatched it adapts row operators and
+// batch operators in either direction.
+func Batched(s Stream[relation.Row], schema *relation.Schema, in *value.Interner, size int) Stream[*relation.Batch] {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	if in == nil {
+		in = value.NewInterner()
+	}
+	return &batched{in: s, schema: schema, intern: in, size: size}
+}
+
+func (b *batched) Next() (*relation.Batch, bool) {
+	if b.done {
+		return nil, false
+	}
+	out := relation.NewBatch(b.schema, b.intern, b.size)
+	for out.Len() < b.size {
+		r, ok := b.in.Next()
+		if !ok {
+			b.done = true
+			break
+		}
+		out.AppendRow(r)
+	}
+	if out.Len() == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+func (b *batched) Err() error { return b.in.Err() }
+
+// unbatched flattens a batch stream back into rows.
+type unbatched struct {
+	in   Stream[*relation.Batch]
+	rows []relation.Row
+	i    int
+}
+
+// Unbatched converts a batch stream back into a row stream, rehydrating
+// each batch in one block allocation and yielding its rows in order.
+func Unbatched(s Stream[*relation.Batch]) Stream[relation.Row] {
+	return &unbatched{in: s}
+}
+
+func (u *unbatched) Next() (relation.Row, bool) {
+	for u.i >= len(u.rows) {
+		b, ok := u.in.Next()
+		if !ok {
+			return nil, false
+		}
+		u.rows, u.i = b.Rows(), 0
+	}
+	r := u.rows[u.i]
+	u.i++
+	return r, true
+}
+
+func (u *unbatched) Err() error { return u.in.Err() }

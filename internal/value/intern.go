@@ -1,0 +1,75 @@
+package value
+
+import "sync"
+
+// Interner assigns dense uint32 ids to strings so the columnar batch
+// representation (internal/relation.Batch) can store surrogate and value
+// columns as integer ids: an equality between two interned columns is one
+// integer compare inside the sweep instead of a byte-wise string compare
+// through a boxed Value.
+//
+// Ids are assigned in first-sight order and are stable for the lifetime of
+// the Interner. They carry *identity only*: comparing ids for anything but
+// equality is meaningless (id order is arrival order, not lexicographic).
+// Sort orders therefore keep using Value.Compare; the batch kernels only
+// ever test interned columns for equality.
+//
+// An Interner is safe for concurrent use: parallel shard workers may
+// rehydrate rows (read side) while a converter interns new strings.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewInterner returns an empty intern table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32)}
+}
+
+// ID returns the id of s, interning it on first sight.
+func (in *Interner) ID(s string) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id = uint32(len(in.strs))
+	in.ids[s] = id
+	in.strs = append(in.strs, s)
+	return id
+}
+
+// Lookup returns the id of s without interning, and ok=false when s has
+// never been seen.
+func (in *Interner) Lookup(s string) (uint32, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.ids[s]
+	return id, ok
+}
+
+// Str returns the string behind an id handed out by ID. It panics on ids
+// the table never issued, mirroring the accessor contract of Value.
+func (in *Interner) Str(id uint32) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if int(id) >= len(in.strs) {
+		// lint:allow panic — documented accessor contract, like a failed type assertion
+		panic("value: Str on id never issued by this Interner")
+	}
+	return in.strs[id]
+}
+
+// Len reports the number of distinct strings interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.strs)
+}

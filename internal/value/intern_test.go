@@ -1,0 +1,96 @@
+package value
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternerAssignsDenseStableIDs(t *testing.T) {
+	in := NewInterner()
+	a := in.ID("alpha")
+	b := in.ID("beta")
+	if a == b {
+		t.Fatalf("distinct strings share id %d", a)
+	}
+	if a != 0 || b != 1 {
+		t.Fatalf("ids not dense from zero: alpha=%d beta=%d", a, b)
+	}
+	if got := in.ID("alpha"); got != a {
+		t.Fatalf("re-interning alpha changed id %d -> %d", a, got)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+}
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	words := []string{"", "x", "x", "λ·E[D]", "x\x1fy", "x"}
+	for _, w := range words {
+		id := in.ID(w)
+		if got := in.Str(id); got != w {
+			t.Fatalf("Str(ID(%q)) = %q", w, got)
+		}
+	}
+	if in.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 distinct strings", in.Len())
+	}
+}
+
+func TestInternerLookupDoesNotIntern(t *testing.T) {
+	in := NewInterner()
+	if _, ok := in.Lookup("ghost"); ok {
+		t.Fatal("Lookup reported an unseen string")
+	}
+	if in.Len() != 0 {
+		t.Fatalf("Lookup interned: Len = %d", in.Len())
+	}
+	id := in.ID("ghost")
+	got, ok := in.Lookup("ghost")
+	if !ok || got != id {
+		t.Fatalf("Lookup(ghost) = %d,%v, want %d,true", got, ok, id)
+	}
+}
+
+func TestInternerStrPanicsOnUnknownID(t *testing.T) {
+	in := NewInterner()
+	in.ID("only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Str on an unissued id did not panic")
+		}
+	}()
+	in.Str(7)
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	ids := make([][]uint32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]uint32, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Heavy overlap across workers exercises the double-checked
+				// insert path.
+				ids[w][i] = in.ID(fmt.Sprintf("s%d", i%50))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", in.Len())
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			want := in.ID(fmt.Sprintf("s%d", i%50))
+			if ids[w][i] != want {
+				t.Fatalf("worker %d saw id %d for s%d, want %d", w, ids[w][i], i%50, want)
+			}
+		}
+	}
+}
