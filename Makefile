@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint lint-deep test race chaos bench report cover fmt bench-check bench-record bench-baseline
+.PHONY: all build vet fmt-check lint lint-deep test race chaos bench bench-server report cover fmt bench-check bench-record bench-baseline
 
 all: build vet fmt-check lint lint-deep test
 
@@ -45,6 +45,11 @@ chaos:
 # One benchmark per paper table/figure (see DESIGN.md's experiment index).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The E26 concurrent network-client sweep: an in-process protocol server
+# queried by 1/8/64 database/sql clients through the public driver.
+bench-server:
+	$(GO) run ./cmd/tdbbench -n 1024 -serve -serve-json BENCH_SERVER.json
 
 # The benchmark regression gate. BENCH_CONFIG must match the committed
 # baseline exactly — a mismatch is a hard error, not a comparison.

@@ -9,13 +9,25 @@
 // Usage:
 //
 //	tdb -load Faculty=faculty.csv [-rankorder Faculty:Name:Rank=Assistant,Associate,Full[:continuous]] [-e query.quel]
-//	    [-listen 127.0.0.1:8080] [-trace trace.jsonl] [-parallelism N] [-parallel-min-rows N]
-//	    [-govern] [-profile] [-slow-query 250ms] [-faults "site=mode[:k=v...];..."]
+//	    [-listen 127.0.0.1:8080 [-serve]] [-max-concurrent N] [-max-queue N] [-queue-timeout D]
+//	    [-idle-timeout D] [-drain-timeout D] [-trace trace.jsonl] [-parallelism N]
+//	    [-parallel-min-rows N] [-govern] [-profile] [-slow-query 250ms]
+//	    [-faults "site=mode[:k=v...];..."]
 //
-// With -listen the process serves /metrics (Prometheus text), /debug/vars
-// (expvar) and /debug/pprof while queries run. With -trace every traced
-// query appends its per-query spans to the given JSONL file, and the
-// operational event journal streams there too, interleaved as JSON lines.
+// With -listen the process serves the versioned wire protocol under /v1 —
+// sessions, queries, prepared statements, appends and subscription
+// streams; the driver package is the database/sql client — alongside
+// /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof,
+// while the shell keeps running against the same catalog (shell live
+// commands and network sessions share one set of live tables and
+// standing queries). -serve drops the shell and runs headless until
+// SIGINT or SIGTERM starts a graceful drain: new requests are refused,
+// open subscription streams get a final drain event, and in-flight
+// queries finish within -drain-timeout. The -max-concurrent, -max-queue
+// and -queue-timeout flags set the default tenant's admission quota.
+// With -trace every traced query appends its per-query spans to the
+// given JSONL file, and the operational event journal streams there too,
+// interleaved as JSON lines.
 //
 // -profile turns on per-query resource accounting: traced plans report
 // allocs/op, B/op and the hot-loop counters per node in EXPLAIN ANALYZE
@@ -54,8 +66,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"tdb/internal/constraints"
@@ -67,6 +81,7 @@ import (
 	"tdb/internal/optimizer"
 	"tdb/internal/quel"
 	"tdb/internal/relation"
+	"tdb/internal/server"
 	"tdb/internal/storage"
 	"tdb/internal/value"
 )
@@ -81,7 +96,13 @@ func main() {
 	flag.Var(&loads, "load", "NAME=path.csv — load a temporal relation (repeatable)")
 	rankOrder := flag.String("rankorder", "", "REL:KEY:VAL=v1,v2,...[:continuous] — declare a chronological ordering")
 	script := flag.String("e", "", "execute statements from this file and exit")
-	listen := flag.String("listen", "", "serve /metrics, expvar and pprof on this address (e.g. 127.0.0.1:8080)")
+	listen := flag.String("listen", "", "serve the wire protocol (/v1), /metrics, expvar and pprof on this address (e.g. 127.0.0.1:8080)")
+	serve := flag.Bool("serve", false, "headless service mode: no shell, serve -listen until SIGINT/SIGTERM drains the process")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission quota: concurrent queries per tenant (0 = server default)")
+	maxQueue := flag.Int("max-queue", 0, "admission quota: queued admissions per tenant before rejection (0 = default, <0 = no queue)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission quota: longest a request waits for a slot (0 = server default)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "expire sessions idle for this long (0 = server default)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on graceful drain when shutting the server down")
 	traceFile := flag.String("trace", "", "append per-query JSONL trace spans to this file (also enables \\trace on)")
 	parallelism := flag.Int("parallelism", 0, "worker cap for time-range parallel execution; 0 = GOMAXPROCS, 1 = serial")
 	parallelMinRows := flag.Int("parallel-min-rows", 0, "combined-input floor below which operators stay serial (0 = default)")
@@ -139,13 +160,37 @@ func main() {
 		profile: *profile, slowQuery: *slowQuery, events: obs.NewEventLog(obs.DefaultEventCap)}
 	db.SetMetrics(sh.reg)
 	defer storage.ObserveIO(nil)
+	if *serve && *listen == "" {
+		fatal("-serve requires -listen")
+	}
 	if *listen != "" {
-		srv, addr, err := obs.Serve(*listen, sh.reg)
+		so := serveOptions{maxConcurrent: *maxConcurrent, maxQueue: *maxQueue,
+			queueTimeout: *queueTimeout, idleTimeout: *idleTimeout, drainTimeout: *drainTimeout}
+		srv := newServer(sh, so)
+		addr, err := srv.Start(*listen)
 		if err != nil {
 			fatal("listen %s: %v", *listen, err)
 		}
-		defer func() { _ = srv.Close() }()
-		fmt.Printf("metrics on http://%s/metrics (expvar /debug/vars, profiles /debug/pprof/)\n", addr)
+		sh.srv = srv
+		fmt.Printf("serving tdb protocol %s on http://%s/%s/ (metrics /metrics, expvar /debug/vars, profiles /debug/pprof/)\n",
+			server.Protocol, addr, server.Protocol)
+		if *serve {
+			runServe(srv, *drainTimeout, os.Stdout)
+			return
+		}
+		// Interactive or scripted runs still drain before exiting, and a
+		// signal mid-session drains in-flight network clients instead of
+		// cutting them off — the shell's stdin loop cannot observe it.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		// lint:allow goroutine-hygiene — exits the process after the drain; no joinable lifetime exists
+		go func() {
+			sig := <-sigc
+			fmt.Fprintf(os.Stderr, "received %s; draining\n", sig)
+			drainServer(srv, *drainTimeout, os.Stderr)
+			os.Exit(0)
+		}()
+		defer drainServer(srv, *drainTimeout, os.Stdout)
 	}
 	if *traceFile != "" {
 		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -257,8 +302,12 @@ type shell struct {
 	slowQuery time.Duration
 	events    *obs.EventLog
 	// liveMgr owns live tables and standing queries; created on the first
-	// subscribe or \append.
+	// subscribe or \append. When srv is set (the process is serving the
+	// wire protocol) the server's manager is used instead, so shell
+	// commands and network sessions share one set of live tables and
+	// standing queries.
 	liveMgr *live.Manager
+	srv     *server.Server
 }
 
 // liveManager lazily creates the live manager over the shell's database.
@@ -270,6 +319,19 @@ func (sh *shell) liveManager() *live.Manager {
 	}
 	return sh.liveMgr
 }
+
+// withLive runs fn against the live manager: the server's, under its
+// exclusive catalog lock, when the process is serving network clients;
+// the shell's own otherwise.
+func (sh *shell) withLive(fn func(*live.Manager) error) error {
+	if sh.srv != nil {
+		return sh.srv.WithLive(fn)
+	}
+	return fn(sh.liveManager())
+}
+
+// hasLive reports whether any live state can exist yet.
+func (sh *shell) hasLive() bool { return sh.srv != nil || sh.liveMgr != nil }
 
 // printf writes best-effort shell output; a broken pipe on interactive
 // output is not worth propagating through every display path.
@@ -509,39 +571,45 @@ func (sh *shell) appendRow(arg string) {
 			return
 		}
 	}
-	m := sh.liveManager()
-	if err := m.Append(name, row); err != nil {
+	if err := sh.withLive(func(m *live.Manager) error {
+		if err := m.Append(name, row); err != nil {
+			return err
+		}
+		t := m.Table(name)
+		sh.printf("appended to %s (watermark %d, buffered %d, released %d)\n",
+			name, t.Watermark(), t.Buffered(), t.Released())
+		return nil
+	}); err != nil {
 		sh.printf("append: %v\n", err)
-		return
 	}
-	t := m.Table(name)
-	sh.printf("appended to %s (watermark %d, buffered %d, released %d)\n",
-		name, t.Watermark(), t.Buffered(), t.Released())
 }
 
 // liveStatus renders live tables and standing queries for \live.
 func (sh *shell) liveStatus() {
-	if sh.liveMgr == nil {
+	if !sh.hasLive() {
 		sh.println("live: nothing ingested or subscribed")
 		return
 	}
-	for _, t := range sh.liveMgr.Tables() {
-		sh.printf("table %s: watermark %d, buffered %d, released %d, rejected %d\n",
-			t.Name(), t.Watermark(), t.Buffered(), t.Released(), t.Rejected())
-	}
-	for _, q := range sh.liveMgr.Queries() {
-		sh.printf("query %s: %s — %d deltas, workspace %d (bound %.0f), %s\n",
-			q.Name(), q.Explain(), len(q.Deltas()), q.Workspace(), q.Bound(), q.Suspended())
-	}
+	_ = sh.withLive(func(m *live.Manager) error {
+		for _, t := range m.Tables() {
+			sh.printf("table %s: watermark %d, buffered %d, released %d, rejected %d\n",
+				t.Name(), t.Watermark(), t.Buffered(), t.Released(), t.Rejected())
+		}
+		for _, q := range m.Queries() {
+			sh.printf("query %s: %s — %d deltas, workspace %d (bound %.0f), %s\n",
+				q.Name(), q.Explain(), len(q.Deltas()), q.Workspace(), q.Bound(), q.Suspended())
+		}
+		return nil
+	})
 }
 
 // flushLive force-releases every reorder buffer (\flush).
 func (sh *shell) flushLive() {
-	if sh.liveMgr == nil {
+	if !sh.hasLive() {
 		sh.println("live: nothing to flush")
 		return
 	}
-	if err := sh.liveMgr.Flush(); err != nil {
+	if err := sh.withLive(func(m *live.Manager) error { return m.Flush() }); err != nil {
 		sh.println("flush: " + err.Error())
 	}
 	sh.liveStatus()
@@ -550,42 +618,50 @@ func (sh *shell) flushLive() {
 // pollDeltas handles \deltas NAME: poll the standing query and print the
 // fresh delta rows.
 func (sh *shell) pollDeltas(name string) {
-	if sh.liveMgr == nil || sh.liveMgr.Query(name) == nil {
-		sh.printf("no standing query %q\n", name)
-		return
-	}
-	q := sh.liveMgr.Query(name)
-	rows, err := q.Poll()
-	if err != nil {
+	if err := sh.withLive(func(m *live.Manager) error {
+		q := m.Query(name)
+		if q == nil {
+			sh.printf("no standing query %q\n", name)
+			return nil
+		}
+		rows, err := q.Poll()
+		if err != nil {
+			return err
+		}
+		if schema := q.Schema(); schema != nil {
+			out := relation.New(name+"Δ", schema)
+			out.Rows = rows
+			sh.print(out)
+			return nil
+		}
+		sh.printf("%sΔ: %d rows\n", name, len(rows))
+		for _, row := range rows {
+			sh.println("  " + row.Key())
+		}
+		return nil
+	}); err != nil {
 		sh.printf("poll %s: %v\n", name, err)
-		return
-	}
-	if schema := q.Schema(); schema != nil {
-		out := relation.New(name+"Δ", schema)
-		out.Rows = rows
-		sh.print(out)
-		return
-	}
-	sh.printf("%sΔ: %d rows\n", name, len(rows))
-	for _, row := range rows {
-		sh.println("  " + row.Key())
 	}
 }
 
 // verifyStanding handles \verify NAME: check accumulated deltas against a
 // batch re-execution over the current contents.
 func (sh *shell) verifyStanding(name string) {
-	if sh.liveMgr == nil || sh.liveMgr.Query(name) == nil {
-		sh.printf("no standing query %q\n", name)
-		return
-	}
-	deltas, ref, err := sh.liveMgr.Query(name).Verify()
-	if err != nil {
-		sh.printf("verify %s: FAILED: %v\n", name, err)
-		return
-	}
-	sh.printf("verify %s: OK — %d accumulated deltas consistent with %d-row batch re-execution\n",
-		name, deltas, ref)
+	_ = sh.withLive(func(m *live.Manager) error {
+		q := m.Query(name)
+		if q == nil {
+			sh.printf("no standing query %q\n", name)
+			return nil
+		}
+		deltas, ref, err := q.Verify()
+		if err != nil {
+			sh.printf("verify %s: FAILED: %v\n", name, err)
+			return nil
+		}
+		sh.printf("verify %s: OK — %d accumulated deltas consistent with %d-row batch re-execution\n",
+			name, deltas, ref)
+		return nil
+	})
 }
 
 func (sh *shell) statsOf(name string) {
@@ -626,12 +702,17 @@ func (sh *shell) runStatements(src string) error {
 			continue
 		}
 		if q.Standing != "" {
-			sq, err := sh.liveManager().Register(q.Standing, res.Tree,
-				live.RegisterOptions{AllowDegrade: true, Govern: sh.govern})
-			if err != nil {
+			if err := sh.withLive(func(m *live.Manager) error {
+				sq, err := m.Register(q.Standing, res.Tree,
+					live.RegisterOptions{AllowDegrade: true, Govern: sh.govern})
+				if err != nil {
+					return err
+				}
+				sh.printf("subscribed %s: %s\n", sq.Name(), sq.Explain())
+				return nil
+			}); err != nil {
 				return err
 			}
-			sh.printf("subscribed %s: %s\n", sq.Name(), sq.Explain())
 			continue
 		}
 		opt := engine.Options{ForceNestedLoop: !sh.streams, Registry: sh.reg,

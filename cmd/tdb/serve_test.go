@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	tdbdriver "tdb/driver"
+	"tdb/internal/engine"
+	"tdb/internal/live"
+	"tdb/internal/obs"
+	"tdb/internal/relation"
+	"tdb/internal/workload"
+)
+
+// TestServeUntilSignalDrains: a signal to the service loop drains the
+// server gracefully — the loop returns, the server reports draining, and
+// the listener stops accepting — instead of cutting connections off.
+func TestServeUntilSignalDrains(t *testing.T) {
+	db := engine.NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 20, Seed: 3}))
+	sh := &shell{db: db, out: io.Discard, reg: obs.NewRegistry(), events: obs.NewEventLog(64)}
+	srv := newServer(sh, serveOptions{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The protocol is up before the signal.
+	resp, err := http.Post("http://"+addr+"/v1/ping", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("ping before drain: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ping status %d before drain", resp.StatusCode)
+	}
+
+	var out bytes.Buffer
+	sigc := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	go func() {
+		serveUntilSignal(srv, sigc, 5*time.Second, &out)
+		close(done)
+	}()
+	sigc <- syscall.SIGTERM
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete after the signal")
+	}
+	if !srv.Draining() {
+		t.Error("server not draining after the signal")
+	}
+	for _, frag := range []string{"terminated", "draining", "server drained"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("service output missing %q:\n%s", frag, out.String())
+		}
+	}
+	// The listener is closed: a new connection fails outright.
+	if resp, err := http.Post("http://"+addr+"/v1/ping", "application/json", strings.NewReader("{}")); err == nil {
+		_ = resp.Body.Close()
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestShellLiveRoutesThroughServer: when the process is serving, shell
+// live commands operate on the server's manager — a standing query
+// subscribed in the shell sees tuples appended by a network client.
+func TestShellLiveRoutesThroughServer(t *testing.T) {
+	db := engine.NewDB()
+	db.MustRegister(relation.New("F", workload.FacultySchema))
+	db.MustRegister(relation.New("G", workload.FacultySchema))
+	var buf bytes.Buffer
+	sh := &shell{db: db, streams: true, out: &buf, reg: obs.NewRegistry(), events: obs.NewEventLog(64)}
+	srv := newServer(sh, serveOptions{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	sh.srv = srv
+
+	err = sh.runStatements("range of f is F\nrange of g is G\nsubscribe watch (Name=f.Name) where (f overlap g)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "subscribed watch: incremental") {
+		t.Fatalf("subscribe output: %s", buf.String())
+	}
+	if sh.liveMgr != nil {
+		t.Fatal("shell created its own live manager while serving")
+	}
+
+	// A network client appends through the wire protocol. alice × bob is
+	// the overlapping pair; carol and dave advance both input frontiers
+	// past it so the stream operator may emit.
+	c, err := tdbdriver.NewConnector("http://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, app := range []struct {
+		rel string
+		row []any
+	}{
+		{"F", []any{"alice", "Assistant", 1, 10}},
+		{"G", []any{"bob", "Full", 2, 8}},
+		{"F", []any{"carol", "Full", 20, 25}},
+		{"G", []any{"dave", "Full", 21, 26}},
+	} {
+		if _, err := c.Append(ctx, app.rel, [][]any{app.row}, 0, true); err != nil {
+			t.Fatalf("append %s: %v", app.rel, err)
+		}
+	}
+
+	buf.Reset()
+	sh.pollDeltas("watch")
+	if !strings.Contains(buf.String(), "alice") {
+		t.Fatalf("shell deltas missed the network append: %s", buf.String())
+	}
+	buf.Reset()
+	sh.liveStatus()
+	if out := buf.String(); !strings.Contains(out, "table F:") || !strings.Contains(out, "query watch:") {
+		t.Fatalf("live status over the shared manager: %s", out)
+	}
+	if err := srv.WithLive(func(m *live.Manager) error {
+		if len(m.Queries()) != 1 {
+			t.Errorf("server sees %d standing queries, want 1", len(m.Queries()))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@
 //	         [-json results.json] [-listen 127.0.0.1:8080] [-parallel]
 //	         [-live] [-live-json BENCH_LIVE.json]
 //	         [-chaos] [-chaos-json BENCH_CHAOS.json]
+//	         [-serve] [-serve-json BENCH_SERVER.json] [-serve-queries 25]
 //	         [-record] [-history BENCH_HISTORY.jsonl]
 //	         [-check] [-write-baseline] [-baseline BENCH_BASELINE.json]
 //	         [-slowdown 0s]
@@ -34,6 +35,13 @@
 // batch, typed decline), and seeded fault-injection batches over the
 // parallel executor — every run ends byte-identical or with a clean typed
 // error. The structured document goes to BENCH_CHAOS.json (-chaos-json).
+//
+// -serve additionally runs E26, the concurrent network-client sweep: an
+// in-process protocol server over a Faculty catalog queried by 1, 8 and
+// 64 database/sql clients through the public driver (ad-hoc queries
+// alternating with a shared prepared statement), reporting throughput,
+// mean and p99 latency, and the server's per-tenant admission counters.
+// The structured document goes to BENCH_SERVER.json (-serve-json).
 //
 // The human-readable tables always go to stdout; -json additionally writes
 // the same tables (plus per-experiment wall time) as a machine-readable
@@ -95,6 +103,9 @@ func main() {
 	liveOut := flag.String("live-json", "BENCH_LIVE.json", "where -live writes its machine-readable document")
 	chaosRun := flag.Bool("chaos", false, "also run E24, the fault/degradation sweep, writing BENCH_CHAOS.json")
 	chaosOut := flag.String("chaos-json", "BENCH_CHAOS.json", "where -chaos writes its machine-readable document")
+	serveRun := flag.Bool("serve", false, "also run E26, the concurrent network-client sweep, writing BENCH_SERVER.json")
+	serveOut := flag.String("serve-json", "BENCH_SERVER.json", "where -serve writes its machine-readable document")
+	serveClients := flag.Int("serve-queries", 25, "queries per client in the E26 sweep")
 	record := flag.Bool("record", false, "append this run (git SHA, GOMAXPROCS, per-experiment times) to the history journal")
 	historyPath := flag.String("history", "BENCH_HISTORY.jsonl", "where -record appends run records")
 	check := flag.Bool("check", false, "compare this run against the baseline; exit non-zero on regression")
@@ -213,6 +224,23 @@ func main() {
 		}})
 	}
 
+	if *serveRun {
+		suite = append(suite, struct {
+			name string
+			run  func() (*experiments.Table, error)
+		}{"server", func() (*experiments.Table, error) {
+			res, tab, err := experiments.ServerSweep(*n/4, []int{1, 8, 64}, *serveClients, *seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeServerJSON(*serveOut, res); err != nil {
+				return nil, err
+			}
+			fmt.Printf("server document written to %s\n", *serveOut)
+			return tab, nil
+		}})
+	}
+
 	result := benchResult{N: *n, Faculty: *faculty, Seed: *seed, Policy: *policyName}
 	for _, exp := range suite {
 		start := time.Now()
@@ -269,6 +297,21 @@ func writeLiveJSON(path string, res *experiments.LiveResult) error {
 
 // writeChaosJSON writes the E24 structured document (BENCH_CHAOS.json).
 func writeChaosJSON(path string, res *experiments.ChaosResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error wins
+		return err
+	}
+	return f.Close()
+}
+
+// writeServerJSON writes the E26 structured document (BENCH_SERVER.json).
+func writeServerJSON(path string, res *experiments.ServerResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,35 @@
+package driver
+
+// Error is a typed wire error from the server. Unwrap it with
+// errors.As and branch on Code:
+//
+//	var te *tdbdriver.Error
+//	if errors.As(err, &te) && te.Code == tdbdriver.CodeQuotaConcurrency { ... }
+type Error struct {
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string { return "tdb: " + e.Code + ": " + e.Message }
+
+// Wire error codes — the protocol's error vocabulary, mirrored from the
+// server (the conformance suite pins the two sets together).
+const (
+	CodeBadRequest       = "bad_request"        // malformed request body or missing field
+	CodeParse            = "parse_error"        // quel text did not parse
+	CodeTranslate        = "translate_error"    // semantic analysis failed
+	CodeBind             = "bind_error"         // parameter arity or kind mismatch
+	CodePlan             = "plan_error"         // optimization failed
+	CodeExec             = "exec_error"         // execution failed
+	CodeCanceled         = "canceled"           // the context canceled a running query
+	CodeUnknownSession   = "unknown_session"    // session not open (or idle-expired)
+	CodeUnknownStatement = "unknown_statement"  // prepared-statement id not found
+	CodeUnknownTenant    = "unknown_tenant"     // tenant not configured
+	CodeUnknownRelation  = "unknown_relation"   // append target not in the catalog
+	CodeQuotaConcurrency = "quota_concurrency"  // tenant at MaxConcurrent and queue full
+	CodeQueueTimeout     = "queue_timeout"      // queued past the tenant's QueueTimeout
+	CodeDeclined         = "subscribe_declined" // standing query declined admission
+	CodeBreakerOpen      = "breaker_open"       // standing query's workspace breaker tripped
+	CodeDraining         = "draining"           // server is shutting down
+	CodeLateTuple        = "late_tuple"         // append behind the relation's watermark
+)

@@ -1,0 +1,193 @@
+package driver
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrDrained is returned by Subscription.Next once the server announced
+// shutdown: the stream ended cleanly and no deltas were lost up to the
+// drain point.
+var ErrDrained = errors.New("tdb: subscription drained (server shutting down)")
+
+// Meta describes an admitted standing query: the server-scoped name,
+// the evaluation mode ("incremental" or "batch"), the admission explain
+// note, and the delta row schema.
+type Meta struct {
+	Name    string
+	Mode    string
+	Explain string
+	Columns []Column
+}
+
+// Column is one delta column: its name, kind ("string", "time", "int"),
+// and — on the two lifespan-endpoint columns — "start" or "end".
+type Column struct {
+	Name     string
+	Kind     string
+	Temporal string
+}
+
+// Deltas is one batch of incremental result rows. Seq numbers batches
+// from 1 with no gaps, so a client can detect a lost event. Cells are
+// string or int64 following the Meta column kinds.
+type Deltas struct {
+	Seq  int64
+	Rows [][]any
+}
+
+// Subscription is a standing temporal query's delta stream — the
+// protocol extension database/sql has no surface for. Obtain one from
+// Connector.Subscribe; read with Next; Close cancels the server-side
+// standing query.
+type Subscription struct {
+	meta    Meta
+	br      *bufio.Reader
+	cancel  context.CancelFunc
+	close   func()
+	session string
+}
+
+// Subscribe admits the quel subscribe statement as a standing query on
+// a dedicated session and streams its deltas. pollMS overrides the
+// server's poll cadence when positive. The stream lives until Close,
+// ctx cancellation, a server error, or server drain.
+func (c *Connector) Subscribe(ctx context.Context, quel string, pollMS int64) (*Subscription, error) {
+	var sess sessionOpenResponse
+	if err := c.post(ctx, "session", sessionOpenRequest{Tenant: c.tenant}, &sess); err != nil {
+		return nil, err
+	}
+	closeSession := func() {
+		_ = c.post(context.Background(), "session/close", sessionCloseRequest{Session: sess.Session}, nil)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	resp, err := c.roundTrip(sctx, "subscribe", subscribeRequest{
+		Session: sess.Session, Quel: quel, PollMS: pollMS,
+	})
+	if err != nil {
+		cancel()
+		closeSession()
+		return nil, err
+	}
+	if err := checkStatus(resp); err != nil {
+		_ = resp.Body.Close()
+		cancel()
+		closeSession()
+		return nil, err
+	}
+	sub := &Subscription{
+		br:      bufio.NewReader(resp.Body),
+		cancel:  cancel,
+		session: sess.Session,
+		close: func() {
+			cancel()
+			_ = resp.Body.Close()
+			closeSession()
+		},
+	}
+	ev, data, err := sub.readEvent()
+	if err != nil {
+		sub.close()
+		return nil, fmt.Errorf("tdb: subscribe: reading meta event: %w", err)
+	}
+	if ev != "meta" {
+		sub.close()
+		return nil, fmt.Errorf("tdb: subscribe: first event is %q, want meta", ev)
+	}
+	var m subscribeMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		sub.close()
+		return nil, fmt.Errorf("tdb: subscribe: decoding meta: %w", err)
+	}
+	sub.meta = Meta{Name: m.Name, Mode: m.Mode, Explain: m.Explain}
+	for _, c := range m.Columns {
+		sub.meta.Columns = append(sub.meta.Columns, Column(c))
+	}
+	return sub, nil
+}
+
+// Meta returns the standing query's admission metadata.
+func (s *Subscription) Meta() Meta { return s.meta }
+
+// Next blocks for the next delta batch. It returns ErrDrained after a
+// server drain, a typed *Error after a server-reported stream error
+// (the workspace breaker opening included), and the transport error —
+// never a fabricated result — if the stream dies abruptly.
+func (s *Subscription) Next() (Deltas, error) {
+	ev, data, err := s.readEvent()
+	if err != nil {
+		return Deltas{}, fmt.Errorf("tdb: subscription stream: %w", err)
+	}
+	switch ev {
+	case "deltas":
+		var d subscribeDeltas
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.UseNumber()
+		if err := dec.Decode(&d); err != nil {
+			return Deltas{}, fmt.Errorf("tdb: decoding deltas: %w", err)
+		}
+		out := Deltas{Seq: d.Seq, Rows: make([][]any, len(d.Rows))}
+		for i, row := range d.Rows {
+			vals := make([]any, len(row))
+			for j, cell := range row {
+				switch v := cell.(type) {
+				case string:
+					vals[j] = v
+				case json.Number:
+					n, err := v.Int64()
+					if err != nil {
+						return Deltas{}, fmt.Errorf("tdb: delta cell %q is not an int64: %w", v.String(), err)
+					}
+					vals[j] = n
+				default:
+					return Deltas{}, fmt.Errorf("tdb: unexpected delta cell %T", cell)
+				}
+			}
+			out.Rows[i] = vals
+		}
+		return out, nil
+	case "drain":
+		return Deltas{}, ErrDrained
+	case "error":
+		var we struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal(data, &we); err != nil || we.Code == "" {
+			return Deltas{}, fmt.Errorf("tdb: malformed stream error event: %s", data)
+		}
+		return Deltas{}, &Error{Code: we.Code, Message: we.Message}
+	default:
+		return Deltas{}, fmt.Errorf("tdb: unexpected stream event %q", ev)
+	}
+}
+
+// Close cancels the stream; the server deregisters the standing query.
+func (s *Subscription) Close() error {
+	s.close()
+	return nil
+}
+
+// readEvent parses one server-sent event (event: + data: lines up to a
+// blank line).
+func (s *Subscription) readEvent() (event string, data []byte, err error) {
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return "", nil, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && event != "":
+			return event, data, nil
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package driver_test
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	tdbdriver "tdb/driver"
+	"tdb/internal/engine"
+	"tdb/internal/fault"
+	"tdb/internal/live"
+	"tdb/internal/relation"
+	"tdb/internal/server"
+	"tdb/internal/workload"
+)
+
+func liveDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.NewDB()
+	db.MustRegister(relation.New("F", workload.FacultySchema))
+	db.MustRegister(relation.New("G", workload.FacultySchema))
+	return db
+}
+
+const overlapSubscribe = `
+range of f is F
+range of g is G
+subscribe watch (Name=f.Name) where (f overlap g)
+`
+
+// feedOverlap appends the canonical fixture: alice × bob is the one
+// overlapping pair; carol and dave advance both input frontiers past it
+// so the stream operator may emit (their own pair stays below the
+// frontier and is never released).
+func feedOverlap(t *testing.T, c *tdbdriver.Connector) {
+	t.Helper()
+	ctx := context.Background()
+	for _, app := range []struct {
+		rel string
+		row []any
+	}{
+		{"F", []any{"alice", "Assistant", 1, 10}},
+		{"G", []any{"bob", "Full", 2, 8}},
+		{"F", []any{"carol", "Full", 20, 25}},
+		{"G", []any{"dave", "Full", 21, 26}},
+	} {
+		res, err := c.Append(ctx, app.rel, [][]any{app.row}, 0, true)
+		if err != nil {
+			t.Fatalf("append %s: %v", app.rel, err)
+		}
+		if res.Appended != 1 {
+			t.Fatalf("append %s accepted %d rows", app.rel, res.Appended)
+		}
+	}
+}
+
+// TestSubscribeStreamsVerifiedDeltas: the subscription extension
+// streams exactly the standing query's recorded emission prefix, and
+// the server-side delta contract (Verify) holds over the stream.
+func TestSubscribeStreamsVerifiedDeltas(t *testing.T) {
+	s, url := startServer(t, server.Config{DB: liveDB(t), SubscribePoll: 5 * time.Millisecond})
+	c, err := tdbdriver.NewConnector(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(context.Background(), overlapSubscribe, 5)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer sub.Close()
+
+	meta := sub.Meta()
+	if meta.Mode != "incremental" {
+		t.Errorf("mode %q, want incremental", meta.Mode)
+	}
+	if len(meta.Columns) == 0 || meta.Columns[0].Name != "Name" {
+		t.Errorf("meta columns = %+v", meta.Columns)
+	}
+
+	feedOverlap(t, c)
+	d, err := sub.Next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if d.Seq != 1 || !reflect.DeepEqual(d.Rows, [][]any{{"alice"}}) {
+		t.Fatalf("deltas = %+v, want seq 1 [[alice]]", d)
+	}
+
+	// The streamed rows are a prefix of the standing query's recorded
+	// deltas, and the delta contract holds against a batch reference.
+	if err := s.WithLive(func(m *live.Manager) error {
+		qs := m.Queries()
+		if len(qs) != 1 {
+			t.Fatalf("%d standing queries registered", len(qs))
+		}
+		deltas := qs[0].Deltas()
+		if len(deltas) < 1 || deltas[0][0].AsString() != "alice" {
+			t.Errorf("recorded deltas = %v", deltas)
+		}
+		if _, _, err := qs[0].Verify(); err != nil {
+			t.Errorf("delta contract: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubscribeDrain: server shutdown ends the stream with ErrDrained,
+// never an abrupt cut.
+func TestSubscribeDrain(t *testing.T) {
+	s, url := startServer(t, server.Config{DB: liveDB(t), SubscribePoll: 5 * time.Millisecond})
+	c, err := tdbdriver.NewConnector(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(context.Background(), overlapSubscribe, 5)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer sub.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := sub.Next()
+		done <- err
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, tdbdriver.ErrDrained) {
+			t.Errorf("Next after shutdown = %v, want ErrDrained", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription survived the drain")
+	}
+}
+
+// TestChaosTornWrite: a torn server write surfaces as a hard client
+// error — never a silent partial result — and the next query is whole.
+func TestChaosTornWrite(t *testing.T) {
+	_, url := startServer(t, server.Config{})
+	db := openDB(t, url)
+	if err := fault.Arm("server/wire-write=torn:n=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	rows, err := db.Query(`range of f is Faculty retrieve (f.Name) where f.Rank = "Full"`)
+	if err == nil {
+		// The tear may land mid-body: then the error surfaces at scan.
+		n := len(scanAllLenient(rows))
+		rows.Close()
+		t.Fatalf("torn response parsed as a complete result (%d rows)", n)
+	}
+
+	got, err := db.Query(`range of f is Faculty retrieve (f.Name) where f.Rank = "Full"`)
+	if err != nil {
+		t.Fatalf("query after torn write: %v", err)
+	}
+	defer got.Close()
+	if n := len(scanAll(t, got)); n == 0 {
+		t.Error("recovered query returned no rows")
+	}
+}
+
+// TestChaosSubscribeSever: an armed delivery fault severs the stream
+// with a detectable transport error before any poisoned delta.
+func TestChaosSubscribeSever(t *testing.T) {
+	_, url := startServer(t, server.Config{DB: liveDB(t), SubscribePoll: 5 * time.Millisecond})
+	c, err := tdbdriver.NewConnector(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(context.Background(), overlapSubscribe, 5)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer sub.Close()
+	if err := fault.Arm("server/subscribe-deliver=error:n=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	feedOverlap(t, c)
+	if d, err := sub.Next(); err == nil {
+		t.Fatalf("stream delivered %+v past the armed delivery fault", d)
+	}
+}
+
+// scanAllLenient drains rows as strings, ignoring scan errors — used
+// only to count what a torn response yielded.
+func scanAllLenient(rows *sql.Rows) [][]any {
+	var out [][]any
+	cols, err := rows.Columns()
+	if err != nil {
+		return out
+	}
+	for rows.Next() {
+		ptrs := make([]any, len(cols))
+		for i := range ptrs {
+			ptrs[i] = new(any)
+		}
+		if rows.Scan(ptrs...) == nil {
+			out = append(out, ptrs)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package driver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// The driver speaks the wire protocol from its JSON shapes alone — it
+// deliberately does not share Go types with internal/server, the way an
+// out-of-process client could not. The conformance suite pins the two
+// sides together.
+
+// protocolVersion is the wire protocol this driver speaks; every
+// endpoint lives under "/" + protocolVersion + "/".
+const protocolVersion = "v1"
+
+type wireColumn struct {
+	Name string `json:"name"`
+	// Kind is "string", "time", or "int".
+	Kind string `json:"kind"`
+	// Temporal is "start" or "end" on the two columns the schema
+	// designates as the tuple lifespan endpoints; empty otherwise.
+	Temporal string `json:"temporal,omitempty"`
+}
+
+type sessionOpenRequest struct {
+	Tenant string `json:"tenant,omitempty"`
+}
+
+type sessionOpenResponse struct {
+	Protocol      string `json:"protocol"`
+	Session       string `json:"session"`
+	Tenant        string `json:"tenant"`
+	IdleTimeoutMS int64  `json:"idle_timeout_ms"`
+}
+
+type sessionCloseRequest struct {
+	Session string `json:"session"`
+}
+
+type queryRequest struct {
+	Session string `json:"session,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Quel    string `json:"quel"`
+	Params  []any  `json:"params,omitempty"`
+}
+
+type queryResponse struct {
+	Columns       []wireColumn `json:"columns"`
+	Rows          [][]any      `json:"rows"`
+	Into          string       `json:"into,omitempty"`
+	Contradiction bool         `json:"contradiction,omitempty"`
+	Notes         []string     `json:"notes,omitempty"`
+	ElapsedNS     int64        `json:"elapsed_ns"`
+}
+
+type prepareRequest struct {
+	Session string `json:"session"`
+	Quel    string `json:"quel"`
+}
+
+type prepareResponse struct {
+	Stmt      string       `json:"stmt"`
+	NumParams int          `json:"num_params"`
+	Columns   []wireColumn `json:"columns"`
+}
+
+type executeRequest struct {
+	Session string `json:"session"`
+	Stmt    string `json:"stmt"`
+	Params  []any  `json:"params,omitempty"`
+}
+
+type closeStmtRequest struct {
+	Session string `json:"session"`
+	Stmt    string `json:"stmt"`
+}
+
+type appendRequest struct {
+	Session  string  `json:"session,omitempty"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Relation string  `json:"relation"`
+	Rows     [][]any `json:"rows"`
+	Slack    int64   `json:"slack,omitempty"`
+	Flush    bool    `json:"flush,omitempty"`
+}
+
+type subscribeRequest struct {
+	Session string `json:"session"`
+	Quel    string `json:"quel"`
+	PollMS  int64  `json:"poll_ms,omitempty"`
+}
+
+type subscribeMeta struct {
+	Name    string       `json:"name"`
+	Mode    string       `json:"mode"`
+	Explain string       `json:"explain,omitempty"`
+	Columns []wireColumn `json:"columns"`
+}
+
+type subscribeDeltas struct {
+	Seq  int64   `json:"seq"`
+	Rows [][]any `json:"rows"`
+}
+
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// post runs one protocol request: marshal, POST, and either decode the
+// response into out or map the error envelope to a typed *Error.
+// Chronons travel as JSON numbers up to interval.Forever (2^63-2), so
+// responses are decoded with json.Number — float64 would corrupt them.
+func (c *Connector) post(ctx context.Context, endpoint string, in, out any) error {
+	resp, err := c.roundTrip(ctx, endpoint, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("tdb: decoding %s response: %w", endpoint, err)
+	}
+	return nil
+}
+
+func (c *Connector) roundTrip(ctx context.Context, endpoint string, in any) (*http.Response, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: encoding %s request: %w", endpoint, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/"+protocolVersion+"/"+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: %s: %w", endpoint, err)
+	}
+	return resp, nil
+}
+
+// checkStatus maps a non-2xx response to a typed *Error. The body is
+// consumed only on error paths.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var env errorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		return &Error{Code: env.Error.Code, Message: env.Error.Message}
+	}
+	return fmt.Errorf("tdb: server returned %s: %.200s", resp.Status, raw)
+}

@@ -1,0 +1,141 @@
+// Netclient: the temporal engine over the wire through database/sql.
+//
+// Start a server (any catalog works; F and G are only needed for
+// -subscribe):
+//
+//	go run ./cmd/tdbgen -kind faculty -n 60 -o faculty.csv
+//	printf 'Name,Rank,ValidFrom,ValidTo\n' > f.csv && cp f.csv g.csv
+//	go run ./cmd/tdb -load Faculty=faculty.csv -load F=f.csv -load G=g.csv \
+//	    -listen 127.0.0.1:8080 -serve
+//
+// then run this client against it:
+//
+//	go run ./examples/netclient -addr http://127.0.0.1:8080 -subscribe
+//
+// It runs an ad-hoc TQuel query with an ordinal placeholder, re-executes
+// it as a server-side prepared statement rebound to other parameters,
+// and — with -subscribe — registers a standing temporal query, appends
+// tuples through the wire, and prints the streamed delta batch.
+package main
+
+import (
+	"context"
+	"database/sql"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	tdbdriver "tdb/driver"
+)
+
+const facultyByRank = `
+range of f is Faculty
+retrieve (f.Name, f.ValidFrom, f.ValidTo) where f.Rank = $1
+`
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "tdb server base URL")
+	subscribe := flag.Bool("subscribe", false, "also exercise the subscription extension (needs empty live relations F and G)")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	db, err := sql.Open("tdb", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.PingContext(ctx); err != nil {
+		log.Fatalf("ping %s: %v", *addr, err)
+	}
+
+	// Ad-hoc query: strings bind string placeholders, integers bind
+	// chronons. Interval endpoints come back as int64 and the column
+	// metadata marks them TIME_START / TIME_END.
+	rows, err := db.QueryContext(ctx, facultyByRank, "Full")
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Println("full professors and their lifespans:")
+	n := 0
+	for rows.Next() {
+		var name string
+		var from, to int64
+		if err := rows.Scan(&name, &from, &to); err != nil {
+			log.Fatalf("scan: %v", err)
+		}
+		if n < 5 {
+			fmt.Printf("  %-12s [%d, %d)\n", name, from, to)
+		}
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		log.Fatalf("rows: %v", err)
+	}
+	fmt.Printf("rank Full: %d rows\n", n)
+
+	// Prepared statement: the parse, translation and optimizer plan are
+	// cached in the server session; each execution rebinds $1.
+	stmt, err := db.PrepareContext(ctx, facultyByRank)
+	if err != nil {
+		log.Fatalf("prepare: %v", err)
+	}
+	defer stmt.Close()
+	for _, rank := range []string{"Assistant", "Associate"} {
+		var count int
+		r, err := stmt.QueryContext(ctx, rank)
+		if err != nil {
+			log.Fatalf("execute %q: %v", rank, err)
+		}
+		for r.Next() {
+			count++
+		}
+		if err := r.Close(); err != nil {
+			log.Fatalf("rows: %v", err)
+		}
+		fmt.Printf("prepared, rebound to %s: %d rows\n", rank, count)
+	}
+
+	if !*subscribe {
+		return
+	}
+
+	// The subscription extension lives on the Connector, outside
+	// database/sql. alice × bob is the one overlapping pair; carol and
+	// dave advance both input frontiers past it so the stream operator
+	// may emit.
+	c, err := tdbdriver.NewConnector(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := c.Subscribe(ctx, `
+range of f is F
+range of g is G
+subscribe watch (Name=f.Name) where (f overlap g)
+`, 10)
+	if err != nil {
+		log.Fatalf("subscribe: %v", err)
+	}
+	defer sub.Close()
+	fmt.Printf("subscribed %s (%s)\n", sub.Meta().Name, sub.Meta().Mode)
+	for _, app := range []struct {
+		rel string
+		row []any
+	}{
+		{"F", []any{"alice", "Assistant", 1, 10}},
+		{"G", []any{"bob", "Full", 2, 8}},
+		{"F", []any{"carol", "Full", 20, 25}},
+		{"G", []any{"dave", "Full", 21, 26}},
+	} {
+		if _, err := c.Append(ctx, app.rel, [][]any{app.row}, 0, true); err != nil {
+			log.Fatalf("append %s: %v", app.rel, err)
+		}
+	}
+	d, err := sub.Next()
+	if err != nil {
+		log.Fatalf("next: %v", err)
+	}
+	fmt.Printf("deltas seq %d: %v\n", d.Seq, d.Rows)
+}

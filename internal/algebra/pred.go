@@ -31,12 +31,17 @@ func (c ColRef) String() string {
 // Name returns the qualified column name as it appears in resolved schemas.
 func (c ColRef) Name() string { return c.String() }
 
-// Operand is one side of a comparison atom: a column reference or a
-// constant.
+// Operand is one side of a comparison atom: a column reference, a
+// constant, or an unbound statement parameter ("$1").
 type Operand struct {
 	IsConst bool
 	Const   value.Value
 	Col     ColRef
+	// Param is the 1-based placeholder index of a prepared-statement
+	// parameter ("$1" → 1); zero for ordinary operands. A tree holding
+	// param operands cannot execute — binding (quel.BindParams)
+	// substitutes constants first.
+	Param int
 }
 
 // Column returns a column operand.
@@ -45,8 +50,14 @@ func Column(v, col string) Operand { return Operand{Col: ColRef{Var: v, Col: col
 // Const returns a constant operand.
 func Const(v value.Value) Operand { return Operand{IsConst: true, Const: v} }
 
+// Param returns a placeholder operand for the 1-based index n.
+func Param(n int) Operand { return Operand{Param: n} }
+
 // String renders the operand.
 func (o Operand) String() string {
+	if o.Param > 0 {
+		return fmt.Sprintf("$%d", o.Param)
+	}
 	if o.IsConst {
 		if o.Const.Kind() == value.KindString {
 			return fmt.Sprintf("%q", o.Const.String())

@@ -18,6 +18,9 @@ type pairPred func(l, r relation.Row) bool
 
 // operandLoader resolves an operand to a value extractor over one schema.
 func operandLoader(o algebra.Operand, s *relation.Schema) (func(relation.Row) value.Value, error) {
+	if o.Param > 0 {
+		return nil, fmt.Errorf("engine: unbound parameter $%d reached execution; bind values first (quel.BindParams)", o.Param)
+	}
 	if o.IsConst {
 		c := o.Const
 		return func(relation.Row) value.Value { return c }, nil

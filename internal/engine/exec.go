@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -101,6 +102,33 @@ type Options struct {
 	// emits a slow-query event to Events. Zero disables the slow-query
 	// log.
 	SlowQuery time.Duration
+	// Interrupt, when non-nil, is polled at every plan-node boundary and
+	// periodically inside the row loops of the conventional operators
+	// (selection, Cartesian product). A non-nil return aborts the run
+	// with that error wrapped in ErrInterrupted — the hook the query
+	// server uses to propagate client context cancellation into a
+	// running query. Stream operators check only at node granularity.
+	Interrupt func() error
+}
+
+// ErrInterrupted marks a run aborted by Options.Interrupt; the cause
+// (typically context.Canceled or context.DeadlineExceeded) is wrapped and
+// visible to errors.Is.
+var ErrInterrupted = errors.New("engine: query interrupted")
+
+// interruptEvery bounds how many rows the conventional operators process
+// between Interrupt polls.
+const interruptEvery = 4096
+
+// checkInterrupt polls the interrupt hook, wrapping its error.
+func (ex *executor) checkInterrupt() error {
+	if ex.opt.Interrupt == nil {
+		return nil
+	}
+	if err := ex.opt.Interrupt(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, err)
+	}
+	return nil
 }
 
 // NodeCost is the per-operator cost record of one execution.
@@ -354,6 +382,9 @@ type executor struct {
 // the node body runs under pprof labels so profile samples slice by
 // operator.
 func (ex *executor) eval(e algebra.Expr) (*result, error) {
+	if err := ex.checkInterrupt(); err != nil {
+		return nil, err
+	}
 	if ex.opt.Tracer == nil {
 		if ex.opt.Profile {
 			var res *result
@@ -483,7 +514,12 @@ func (ex *executor) evalSelect(n *algebra.Select) (*result, error) {
 	}
 	probe := metrics.Probe{}
 	var out []relation.Row
-	for _, r := range in.rows {
+	for i, r := range in.rows {
+		if i%interruptEvery == 0 {
+			if err := ex.checkInterrupt(); err != nil {
+				return nil, err
+			}
+		}
 		probe.IncReadLeft()
 		probe.IncComparisons(1)
 		if pred(r) {
@@ -509,7 +545,12 @@ func (ex *executor) evalProduct(n *algebra.Product) (*result, error) {
 	}
 	probe := metrics.Probe{}
 	out := make([]relation.Row, 0, len(l.rows)*len(r.rows))
-	for _, lr := range l.rows {
+	for i, lr := range l.rows {
+		if i%interruptEvery == 0 || len(r.rows) >= interruptEvery {
+			if err := ex.checkInterrupt(); err != nil {
+				return nil, err
+			}
+		}
 		probe.IncReadLeft()
 		for _, rr := range r.rows {
 			probe.IncReadRight()

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tdb/internal/algebra"
+	"tdb/internal/workload"
+)
+
+// TestInterruptAbortsRun cancels a context mid-run and asserts the
+// executor aborts with ErrInterrupted wrapping the cause — the contract
+// the query server's per-request cancellation stands on.
+func TestInterruptAbortsRun(t *testing.T) {
+	db := NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 200, Seed: 7}))
+
+	tree := &algebra.Product{
+		L: &algebra.Scan{Relation: "Faculty", As: "a"},
+		R: &algebra.Scan{Relation: "Faculty", As: "b"},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	opt := Options{Interrupt: func() error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return ctx.Err()
+	}}
+	_, _, err := Run(db, tree, opt)
+	if err == nil {
+		t.Fatal("run completed despite cancellation")
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Errorf("error %v does not wrap ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not expose the context cause", err)
+	}
+}
+
+// TestInterruptNilIsFree asserts a nil hook leaves execution untouched.
+func TestInterruptNilIsFree(t *testing.T) {
+	db := NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: 20, Seed: 7}))
+	tree := &algebra.Scan{Relation: "Faculty", As: "f"}
+	out, _, err := Run(db, tree, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Cardinality() == 0 {
+		t.Fatal("no rows")
+	}
+}

@@ -48,9 +48,9 @@ func (ex *executor) evalJoin(n *algebra.Join) (*result, error) {
 		var rows []relation.Row
 		var cost *NodeCost
 		if ex.opt.PreferMergeJoin {
-			rows, cost, err = sortMergeJoin(l, r, lk, rk, residual)
+			rows, cost, err = ex.sortMergeJoin(l, r, lk, rk, residual)
 		} else {
-			rows, cost, err = hashJoin(l, r, lk, rk, residual)
+			rows, cost, err = ex.hashJoin(l, r, lk, rk, residual)
 		}
 		if err != nil {
 			return nil, err
@@ -63,7 +63,10 @@ func (ex *executor) evalJoin(n *algebra.Join) (*result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, cost := nestedLoopJoin(l, r, pred)
+	rows, cost, err := ex.nestedLoopJoin(l, r, pred)
+	if err != nil {
+		return nil, err
+	}
 	cost.Label = n.Label()
 	ex.stats.add(*cost)
 	return &result{schema: outSchema, rows: rows}, nil
@@ -302,12 +305,22 @@ func (ex *executor) governedJoinFallback(kind algebra.TemporalKind, lw, rw []spa
 	return rows
 }
 
-func nestedLoopJoin(l, r *result, pred pairPred) ([]relation.Row, *NodeCost) {
+// nestedLoopJoin polls the interrupt hook per pair block, not per outer
+// row: a selective theta join can touch millions of pairs from a few
+// hundred outer rows, and cancellation latency follows the pair count.
+func (ex *executor) nestedLoopJoin(l, r *result, pred pairPred) ([]relation.Row, *NodeCost, error) {
 	cost := &NodeCost{Algorithm: "nested-loop join"}
 	var rows []relation.Row
+	pairs := 0
 	for _, lr := range l.rows {
 		cost.Probe.IncReadLeft()
 		for _, rr := range r.rows {
+			if pairs%interruptEvery == 0 {
+				if err := ex.checkInterrupt(); err != nil {
+					return nil, nil, err
+				}
+			}
+			pairs++
 			cost.Probe.IncReadRight()
 			cost.Probe.IncComparisons(1)
 			if pred(lr, rr) {
@@ -318,7 +331,7 @@ func nestedLoopJoin(l, r *result, pred pairPred) ([]relation.Row, *NodeCost) {
 	}
 	cost.Probe.IncEmitted(int64(len(rows)))
 	cost.OutRows = int64(len(rows))
-	return rows, cost
+	return rows, cost, nil
 }
 
 func hashKey(row relation.Row, cols []int) string {
@@ -332,7 +345,7 @@ func hashKey(row relation.Row, cols []int) string {
 	return b.String()
 }
 
-func hashJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relation.Row, *NodeCost, error) {
+func (ex *executor) hashJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relation.Row, *NodeCost, error) {
 	cost := &NodeCost{Algorithm: "hash equi-join"}
 	res, err := compilePairPred(residual, l.schema, r.schema)
 	if err != nil {
@@ -354,7 +367,12 @@ func hashJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relatio
 		table[k] = append(table[k], row)
 	}
 	var rows []relation.Row
-	for _, row := range probeSide.rows {
+	for i, row := range probeSide.rows {
+		if i%interruptEvery == 0 {
+			if err := ex.checkInterrupt(); err != nil {
+				return nil, nil, err
+			}
+		}
 		cost.Probe.IncReadRight()
 		for _, m := range table[hashKey(row, pk)] {
 			cost.Probe.IncComparisons(1)
@@ -376,7 +394,7 @@ func hashJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relatio
 // sortMergeJoin is the classic merge join of Section 4.1's example: both
 // sides are sorted on the key columns and merged, buffering one right key
 // group at a time.
-func sortMergeJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relation.Row, *NodeCost, error) {
+func (ex *executor) sortMergeJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]relation.Row, *NodeCost, error) {
 	cost := &NodeCost{Algorithm: "sort-merge equi-join"}
 	res, err := compilePairPred(residual, l.schema, r.schema)
 	if err != nil {
@@ -398,7 +416,14 @@ func sortMergeJoin(l, r *result, lk, rk []int, residual algebra.Predicate) ([]re
 
 	var rows []relation.Row
 	i, j := 0, 0
+	steps := 0
 	for i < len(ls) && j < len(rs) {
+		if steps%interruptEvery == 0 {
+			if err := ex.checkInterrupt(); err != nil {
+				return nil, nil, err
+			}
+		}
+		steps++
 		cost.Probe.IncComparisons(1)
 		switch c := cmpKeys(ls[i], lk, rs[j], rk); {
 		case c < 0:
@@ -466,9 +491,16 @@ func (ex *executor) evalSemijoin(n *algebra.Semijoin) (*result, error) {
 	}
 	cost := &NodeCost{Label: n.Label(), Algorithm: "nested-loop semijoin"}
 	var rows []relation.Row
+	pairs := 0
 	for _, lr := range l.rows {
 		cost.Probe.IncReadLeft()
 		for _, rr := range r.rows {
+			if pairs%interruptEvery == 0 {
+				if err := ex.checkInterrupt(); err != nil {
+					return nil, err
+				}
+			}
+			pairs++
 			cost.Probe.IncReadRight()
 			cost.Probe.IncComparisons(1)
 			if pred(lr, rr) {

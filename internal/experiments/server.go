@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	_ "tdb/driver" // registers the "tdb" database/sql driver
+	"tdb/internal/engine"
+	"tdb/internal/obs"
+	"tdb/internal/server"
+	"tdb/internal/workload"
+)
+
+// ServerPoint is one client-count measurement of the E26 concurrent
+// network-client sweep.
+type ServerPoint struct {
+	Clients   int     // concurrent database/sql connections
+	Queries   int     // queries completed without error
+	Errors    int     // queries that returned an error
+	Admitted  int64   // server-side per-tenant admission counter delta
+	Rejected  int64   // server-side quota rejections during the point
+	QPS       float64 // completed queries per wall second
+	MeanNS    int64   // mean per-query latency
+	P99NS     int64   // 99th-percentile per-query latency
+	ElapsedNS int64   // wall time of the whole point
+}
+
+// ServerResult is the E26 document: the sweep plus the run configuration.
+type ServerResult struct {
+	N                int // Faculty tuples in the served catalog
+	QueriesPerClient int
+	MaxConcurrent    int // default tenant's admission quota
+	Points           []ServerPoint
+}
+
+// ServerSweep is experiment E26: one in-process protocol server over a
+// Faculty catalog, swept across concurrent database/sql clients. Every
+// client alternates direct queries with executions of a shared prepared
+// statement (exercising the cached-plan path), all through the public
+// driver over real TCP. The per-tenant admission quota stays fixed, so
+// the sweep shows where client concurrency saturates the server: QPS
+// should rise with clients until the concurrency cap, then hold while
+// tail latency grows with queue depth.
+func ServerSweep(n int, clients []int, perClient int, seed int64) (*ServerResult, *Table, error) {
+	db := engine.NewDB()
+	db.MustRegister(workload.Faculty(workload.FacultyConfig{N: n, Seed: seed}))
+	if err := db.DeclareChronOrder(RankOrder(false)); err != nil {
+		return nil, nil, err
+	}
+	const maxConcurrent = 16
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{DB: db, Registry: reg,
+		Tenants: []server.TenantConfig{{Name: "default", MaxConcurrent: maxConcurrent,
+			MaxQueue: 256, QueueTimeout: 30 * time.Second}}})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	admitted := reg.Counter("tdb_server_tenant_default_queries_total", "")
+	rejected := reg.Counter("tdb_server_tenant_default_rejected_total", "")
+
+	res := &ServerResult{N: n, QueriesPerClient: perClient, MaxConcurrent: maxConcurrent}
+	for _, c := range clients {
+		admBefore, rejBefore := admitted.Value(), rejected.Value()
+		p, err := serverPoint(addr, c, perClient)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server sweep, %d clients: %w", c, err)
+		}
+		p.Admitted = admitted.Value() - admBefore
+		p.Rejected = rejected.Value() - rejBefore
+		res.Points = append(res.Points, p)
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("E26 — concurrent network clients over one server (%d tuples, quota %d)",
+			n, maxConcurrent),
+		Header: []string{"clients", "queries", "errors", "admitted", "rejected", "qps", "mean", "p99"},
+	}
+	for _, p := range res.Points {
+		tab.Add(p.Clients, p.Queries, p.Errors, p.Admitted, p.Rejected,
+			fmt.Sprintf("%.0f", p.QPS),
+			time.Duration(p.MeanNS).Round(time.Microsecond).String(),
+			time.Duration(p.P99NS).Round(time.Microsecond).String())
+	}
+	tab.Note("each client alternates ad-hoc queries with a shared prepared statement over the public driver")
+	tab.Note("admitted/rejected are the server's per-tenant admission counters across the point")
+	return res, tab, nil
+}
+
+// serverPoint opens one pool capped at the client count and runs every
+// client's query loop concurrently.
+func serverPoint(addr string, clients, perClient int) (ServerPoint, error) {
+	sdb, err := sql.Open("tdb", "http://"+addr)
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	defer func() { _ = sdb.Close() }()
+	sdb.SetMaxOpenConns(clients)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	stmt, err := sdb.PrepareContext(ctx,
+		`range of f is Faculty retrieve (f.Name, f.ValidFrom) where f.Rank = $1`)
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	defer func() { _ = stmt.Close() }()
+
+	ranks := []string{"Assistant", "Associate", "Full"}
+	var mu sync.Mutex
+	var lats []int64
+	errs := 0
+	var wg sync.WaitGroup
+	start := time.Now() // lint:allow determinism — wall-time measurement, reported as such
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				rank := ranks[(c+q)%len(ranks)]
+				qs := time.Now() // lint:allow determinism — wall-time measurement, reported as such
+				var rows *sql.Rows
+				var qerr error
+				if q%2 == 0 {
+					rows, qerr = sdb.QueryContext(ctx,
+						`range of f is Faculty retrieve (f.Name, f.ValidFrom) where f.Rank = $1`, rank)
+				} else {
+					rows, qerr = stmt.QueryContext(ctx, rank)
+				}
+				if qerr == nil {
+					for rows.Next() {
+					}
+					qerr = rows.Err()
+					_ = rows.Close()
+				}
+				mu.Lock()
+				if qerr != nil {
+					errs++
+				} else {
+					lats = append(lats, time.Since(qs).Nanoseconds())
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Nanoseconds()
+
+	p := ServerPoint{Clients: clients, Queries: len(lats), Errors: errs, ElapsedNS: elapsed}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum int64
+		for _, l := range lats {
+			sum += l
+		}
+		p.MeanNS = sum / int64(len(lats))
+		p.P99NS = lats[len(lats)*99/100]
+		p.QPS = float64(len(lats)) / (float64(elapsed) / 1e9)
+	}
+	return p, nil
+}

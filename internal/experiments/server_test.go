@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestServerSweep is a small E26 run: every query completes, the
+// server-side admission counter accounts for exactly the client load,
+// and nothing is rejected under a quota larger than the client count.
+func TestServerSweep(t *testing.T) {
+	res, tab, err := ServerSweep(200, []int{1, 4}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("table has %d rows, want 2:\n%s", len(tab.Rows), tab)
+	}
+	for _, p := range res.Points {
+		if p.Errors != 0 {
+			t.Errorf("%d clients: %d queries errored", p.Clients, p.Errors)
+		}
+		if want := p.Clients * res.QueriesPerClient; p.Queries != want {
+			t.Errorf("%d clients completed %d queries, want %d", p.Clients, p.Queries, want)
+		}
+		if p.Admitted != int64(p.Queries) {
+			t.Errorf("%d clients: admission counter %d, completed queries %d",
+				p.Clients, p.Admitted, p.Queries)
+		}
+		if p.Rejected != 0 {
+			t.Errorf("%d clients: %d rejections under an ample quota", p.Clients, p.Rejected)
+		}
+		if p.QPS <= 0 || p.MeanNS <= 0 || p.P99NS < p.MeanNS/2 {
+			t.Errorf("%d clients: implausible latency stats %+v", p.Clients, p)
+		}
+	}
+}

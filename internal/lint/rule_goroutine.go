@@ -19,12 +19,15 @@ import (
 // internal/obs (including internal/obs/prof) joined the scope with the
 // resource-accounting layer: the exposition server and any future
 // profiling goroutines must obey the same shutdown discipline.
+// internal/server and driver joined with the network service: a
+// subscription pump or client reader that sends without a drain/cancel
+// case outlives its HTTP handler or its connection and leaks per client.
 var goroutineHygieneAnalyzer = &Analyzer{
 	Name: "goroutine-hygiene",
 	Doc:  "channel sends in go func literals must select on a quit/done case",
 	Run: func(pass *Pass) any {
 		p := pass.Pkg
-		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition", "internal/live", "internal/obs") {
+		if !inScope(p, "internal/core", "internal/stream", "internal/engine", "internal/partition", "internal/live", "internal/obs", "internal/server", "driver") {
 			return nil
 		}
 		inspect(p, func(n ast.Node) bool {

@@ -16,12 +16,15 @@ import (
 // performs a channel receive, the quit/done idiom of core.Async.GoRun.
 // A goroutine with neither is unstoppable from the outside: under a fault
 // or a governor abort it leaks, holding its workspace forever.
+// internal/server and driver are in scope with the network service:
+// server-side pumps must die with the request context on drain, and
+// client-side readers with the query context on cancellation.
 var workerContextAnalyzer = &Analyzer{
 	Name: "worker-context",
 	Doc:  "goroutines in governed packages must carry a context.Context or quit-channel cancellation edge",
 	Run: func(pass *Pass) any {
 		p := pass.Pkg
-		if !inScope(p, "internal/core", "internal/engine", "internal/live") {
+		if !inScope(p, "internal/core", "internal/engine", "internal/live", "internal/server", "driver") {
 			return nil
 		}
 		inspect(p, func(n ast.Node) bool {

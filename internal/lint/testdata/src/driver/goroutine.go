@@ -1,0 +1,40 @@
+package driver
+
+import "context"
+
+// BadStreamReader parses server-sent events on a goroutine nothing can
+// stop: if the caller abandons the subscription the reader leaks with
+// the connection it holds.
+func BadStreamReader(read func() (string, error)) <-chan string {
+	ch := make(chan string)
+	go func() { // want worker-context
+		for {
+			ev, err := read()
+			if err != nil {
+				return
+			}
+			ch <- ev // want goroutine-hygiene
+		}
+	}()
+	return ch
+}
+
+// GoodStreamReader threads the subscription context through the reader:
+// Close cancels it, which both unblocks the send and ends the loop.
+func GoodStreamReader(ctx context.Context, read func() (string, error)) <-chan string {
+	ch := make(chan string)
+	go func() {
+		for {
+			ev, err := read()
+			if err != nil {
+				return
+			}
+			select {
+			case ch <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}

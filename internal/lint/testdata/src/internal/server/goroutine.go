@@ -1,0 +1,32 @@
+package server
+
+import "context"
+
+// BadSubscribePump ships deltas to the response writer goroutine over an
+// unguarded send: when the client disconnects and the consumer stops
+// reading, the pump blocks forever, pinning the standing query.
+func BadSubscribePump(poll func() []string) <-chan []string {
+	ch := make(chan []string)
+	go func() { // want worker-context
+		for {
+			ch <- poll() // want goroutine-hygiene
+		}
+	}()
+	return ch
+}
+
+// GoodSubscribePump carries the request context: the send selects against
+// ctx.Done, so a disconnect or a drain unwinds the pump immediately.
+func GoodSubscribePump(ctx context.Context, poll func() []string) <-chan []string {
+	ch := make(chan []string)
+	go func() {
+		for {
+			select {
+			case ch <- poll():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}

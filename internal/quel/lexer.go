@@ -28,6 +28,7 @@ const (
 	tokString
 	tokNumber
 	tokSymbol // one of = != < <= > >= ( ) , .
+	tokParam  // "$1"-style prepared-statement placeholder; text is the index digits
 )
 
 type token struct {
@@ -120,6 +121,16 @@ scan:
 	case strings.ContainsRune("=(),.", rune(c)):
 		lx.i++
 		return token{kind: tokSymbol, text: string(c), pos: start, line: lx.line}, nil
+	case c == '$':
+		lx.i++
+		ds := lx.i
+		for lx.i < len(lx.src) && lx.src[lx.i] >= '0' && lx.src[lx.i] <= '9' {
+			lx.i++
+		}
+		if lx.i == ds {
+			return token{}, lx.errf(start, "expected a parameter index after $ (as in $1)")
+		}
+		return token{kind: tokParam, text: lx.src[ds:lx.i], pos: start, line: lx.line}, nil
 	}
 	return token{}, lx.errf(start, "unexpected character %q", string(c))
 }

@@ -1,0 +1,56 @@
+package quel
+
+import (
+	"fmt"
+
+	"tdb/internal/algebra"
+	"tdb/internal/value"
+)
+
+// BindParams returns a deep copy of the query's tree with every "$N"
+// placeholder replaced by the corresponding constant (params[0] binds $1).
+// The original tree is untouched, so a prepared statement binds fresh
+// values per execution against the one cached parse. Arity and kind are
+// checked: too few or too many values is an error, and a value whose
+// string-ness contradicts the kind the statement's comparisons expect
+// (Query.ParamKinds) is rejected before execution rather than comparing
+// incomparably at runtime.
+func BindParams(q *Query, params []value.Value) (algebra.Expr, error) {
+	if q.NumParams == 0 {
+		if len(params) != 0 {
+			return nil, fmt.Errorf("quel: statement takes no parameters, got %d", len(params))
+		}
+		return q.Tree, nil
+	}
+	if len(params) != q.NumParams {
+		return nil, fmt.Errorf("quel: statement wants %d parameters ($1…$%d), got %d", q.NumParams, q.NumParams, len(params))
+	}
+	for i, v := range params {
+		if i < len(q.KindsKnown) && q.KindsKnown[i] {
+			want := q.ParamKinds[i]
+			if (want == value.KindString) != (v.Kind() == value.KindString) {
+				return nil, fmt.Errorf("quel: parameter $%d wants a %v value, got %v", i+1, want, v.Kind())
+			}
+		}
+	}
+	tree := algebra.CloneExpr(q.Tree)
+	var bindErr error
+	algebra.RewritePredicates(tree, func(p *algebra.Predicate) {
+		for i := range p.Atoms {
+			for _, o := range []*algebra.Operand{&p.Atoms[i].L, &p.Atoms[i].R} {
+				if o.Param == 0 {
+					continue
+				}
+				if o.Param > len(params) {
+					bindErr = fmt.Errorf("quel: placeholder $%d exceeds the %d bound parameters", o.Param, len(params))
+					return
+				}
+				*o = algebra.Const(params[o.Param-1])
+			}
+		}
+	})
+	if bindErr != nil {
+		return nil, bindErr
+	}
+	return tree, nil
+}

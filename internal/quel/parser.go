@@ -238,6 +238,17 @@ func (p *parser) subscribeStmt() (*SubscribeStmt, error) {
 	if st.Into != "" {
 		return nil, fmt.Errorf("quel: subscribe %s: \"into\" is not allowed — deltas stream to the subscriber", name)
 	}
+	// Standing queries are admitted once against their state
+	// characterization; a placeholder would make the admission decision
+	// depend on a value that is not known yet, so parameters are not yet
+	// legal anywhere in a subscribe.
+	for _, a := range st.Where.Atoms {
+		for _, o := range []algebra.Operand{a.L, a.R} {
+			if o.Param > 0 {
+				return nil, fmt.Errorf("quel: subscribe %s: parameter $%d is not legal in a subscribe statement (standing queries are admitted once; bind values before subscribing)", name, o.Param)
+			}
+		}
+	}
 	return &SubscribeStmt{Name: name, Retrieve: st}, nil
 }
 
@@ -434,10 +445,18 @@ func (p *parser) term(pred *algebra.Predicate) error {
 	return nil
 }
 
-// operand parses a column reference, string, number, or "forever".
+// operand parses a column reference, string, number, "forever", or a
+// "$1"-style placeholder.
 func (p *parser) operand() (algebra.Operand, error) {
 	t := p.peek()
 	switch t.kind {
+	case tokParam:
+		p.take()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return algebra.Operand{}, fmt.Errorf("quel: line %d: bad parameter $%s: indexes start at $1", t.line, t.text)
+		}
+		return algebra.Param(n), nil
 	case tokString:
 		p.take()
 		return algebra.Const(value.String_(t.text)), nil

@@ -16,6 +16,16 @@ type Query struct {
 	// plain retrieve. The tree is registered with the live manager rather
 	// than executed once.
 	Standing string
+	// NumParams is the number of "$N" placeholders the statement binds
+	// ($1…$NumParams; zero for an ordinary statement). A tree with
+	// NumParams > 0 must go through BindParams before optimization.
+	NumParams int
+	// ParamKinds records, per placeholder (index 0 is $1), the value
+	// kind the statement's comparisons expect of it, inferred from the
+	// opposing operand. KindsKnown marks which entries carry an
+	// expectation ($1 = $2 comparisons leave both open).
+	ParamKinds []value.Kind
+	KindsKnown []bool
 }
 
 // Translate converts a parsed program into algebra trees, performing
@@ -105,7 +115,7 @@ func translateRetrieve(st *RetrieveStmt, ranges map[string]string, order []strin
 	}
 	for _, a := range st.Where.Atoms {
 		for _, o := range []algebra.Operand{a.L, a.R} {
-			if !o.IsConst {
+			if !o.IsConst && o.Param == 0 {
 				if err := noteRef(o.Col); err != nil {
 					return nil, err
 				}
@@ -154,7 +164,52 @@ func translateRetrieve(st *RetrieveStmt, ranges map[string]string, order []strin
 		}
 		return colKind(o.Col)
 	}
+	// Placeholders adopt a kind expectation from the opposing operand; a
+	// placeholder compared against both a string and a numeric column in
+	// one statement can never bind consistently, so that is an error now
+	// rather than at every execute.
+	var paramKinds []value.Kind
+	var kindsKnown []bool
+	growParams := func(idx int) {
+		for len(paramKinds) < idx {
+			paramKinds = append(paramKinds, value.KindString)
+			kindsKnown = append(kindsKnown, false)
+		}
+	}
+	noteParam := func(idx int, k value.Kind) error {
+		growParams(idx)
+		i := idx - 1
+		if !kindsKnown[i] {
+			paramKinds[i], kindsKnown[i] = k, true
+			return nil
+		}
+		if (paramKinds[i] == value.KindString) != (k == value.KindString) {
+			return fmt.Errorf("quel: parameter $%d is compared against both %v and %v operands", idx, paramKinds[i], k)
+		}
+		return nil
+	}
 	for _, a := range st.Where.Atoms {
+		if a.L.Param > 0 || a.R.Param > 0 {
+			for _, side := range []struct{ p, other algebra.Operand }{{a.L, a.R}, {a.R, a.L}} {
+				if side.p.Param == 0 {
+					continue
+				}
+				if side.other.Param > 0 {
+					// "$1 = $2": no expectation either way; still track
+					// the indexes so NumParams covers them.
+					growParams(side.p.Param)
+					continue
+				}
+				k, err := kindOf(side.other)
+				if err != nil {
+					return nil, err
+				}
+				if err := noteParam(side.p.Param, k); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
 		lk, err := kindOf(a.L)
 		if err != nil {
 			return nil, err
@@ -212,7 +267,8 @@ func translateRetrieve(st *RetrieveStmt, ranges map[string]string, order []strin
 			}
 			outs[i] = algebra.Output{Name: t.Name, From: algebra.ColRef{Col: src}}
 		}
-		return &Query{Into: st.Into, Tree: &algebra.Project{Input: agg, Cols: outs}}, nil
+		return &Query{Into: st.Into, Tree: &algebra.Project{Input: agg, Cols: outs},
+			NumParams: len(paramKinds), ParamKinds: paramKinds, KindsKnown: kindsKnown}, nil
 	}
 
 	// Projection: output columns named ValidFrom/ValidTo of time kind
@@ -243,5 +299,6 @@ func translateRetrieve(st *RetrieveStmt, ranges map[string]string, order []strin
 		TSName: tsName, TEName: teName,
 		Distinct: true,
 	}
-	return &Query{Into: st.Into, Tree: tree}, nil
+	return &Query{Into: st.Into, Tree: tree,
+		NumParams: len(paramKinds), ParamKinds: paramKinds, KindsKnown: kindsKnown}, nil
 }

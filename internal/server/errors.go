@@ -1,0 +1,69 @@
+// Package server exposes the embedded temporal query engine as a
+// multi-tenant network service: a versioned JSON-over-HTTP wire protocol
+// with sessions, prepared statements, standing-query subscriptions
+// (SSE delta streams), live appends, and per-tenant admission quotas.
+// The driver package at the module root speaks this protocol through
+// database/sql.
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Wire error codes. The driver maps these back to typed errors, so the
+// set is part of the protocol: additions are fine, renames are not.
+const (
+	CodeBadRequest       = "bad_request"        // malformed request body or missing field
+	CodeParse            = "parse_error"        // quel text did not parse
+	CodeTranslate        = "translate_error"    // semantic analysis failed
+	CodeBind             = "bind_error"         // parameter arity or kind mismatch
+	CodePlan             = "plan_error"         // optimization failed
+	CodeExec             = "exec_error"         // execution failed
+	CodeCanceled         = "canceled"           // client context canceled a running query
+	CodeUnknownSession   = "unknown_session"    // session id not open (or expired)
+	CodeUnknownStatement = "unknown_statement"  // prepared-statement id not found
+	CodeUnknownTenant    = "unknown_tenant"     // tenant not configured
+	CodeUnknownRelation  = "unknown_relation"   // append target not in the catalog
+	CodeQuotaConcurrency = "quota_concurrency"  // tenant at MaxConcurrent and queue full
+	CodeQueueTimeout     = "queue_timeout"      // queued past the tenant's QueueTimeout
+	CodeDeclined         = "subscribe_declined" // standing query declined admission
+	CodeBreakerOpen      = "breaker_open"       // standing query's workspace breaker tripped open
+	CodeDraining         = "draining"           // server is shutting down
+	CodeLateTuple        = "late_tuple"         // append behind the relation's watermark
+)
+
+// Error is the typed wire error: a protocol code, a human-readable
+// message, and the HTTP status it travels under.
+type Error struct {
+	Code    string
+	Message string
+	HTTP    int
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// httpStatus maps a code to its transport status. 499 follows the
+// client-closed-request convention for canceled queries.
+func httpStatus(code string) int {
+	switch code {
+	case CodeBadRequest, CodeParse, CodeTranslate, CodeBind, CodePlan:
+		return http.StatusBadRequest
+	case CodeUnknownSession, CodeUnknownStatement, CodeUnknownTenant, CodeUnknownRelation:
+		return http.StatusNotFound
+	case CodeQuotaConcurrency, CodeQueueTimeout:
+		return http.StatusTooManyRequests
+	case CodeDeclined, CodeBreakerOpen, CodeLateTuple:
+		return http.StatusConflict
+	case CodeCanceled:
+		return 499
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), HTTP: httpStatus(code)}
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tdb/internal/engine"
+	"tdb/internal/obs"
+	"tdb/internal/optimizer"
+	"tdb/internal/quel"
+)
+
+// Event kinds the server emits into the operational journal.
+const (
+	EventSessionOpen   = "session-open"
+	EventSessionClose  = "session-close"
+	EventSessionExpire = "session-expire"
+	EventQuotaReject   = "quota-reject"
+	EventDrain         = "server-drain"
+)
+
+// maxCachedPlans bounds a prepared statement's per-binding plan cache.
+// The semantic pass folds constants — a contradiction for one binding can
+// be a live plan for another — so plans are keyed by the bound parameter
+// vector rather than shared across bindings.
+const maxCachedPlans = 32
+
+// prepared is one server-side prepared statement: the cached parse and
+// translation (the parameterized tree), plus optimized plans keyed by
+// parameter binding.
+type prepared struct {
+	id   string
+	src  string
+	q    quel.Query
+	cols []Column
+
+	mu    sync.Mutex
+	plans map[string]*optimizer.Result
+}
+
+// cachedPlan returns the optimized plan for a binding key, or nil.
+func (p *prepared) cachedPlan(key string) *optimizer.Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.plans[key]
+}
+
+// storePlan caches an optimized plan under a binding key, evicting an
+// arbitrary entry at capacity.
+func (p *prepared) storePlan(key string, res *optimizer.Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.plans == nil {
+		p.plans = map[string]*optimizer.Result{}
+	}
+	if len(p.plans) >= maxCachedPlans {
+		for k := range p.plans {
+			delete(p.plans, k)
+			break
+		}
+	}
+	p.plans[key] = res
+}
+
+// session is one client connection's server-side state: a private
+// catalog (the shared base relations by reference, plus any "into"
+// results, which never leak across sessions) and its prepared
+// statements.
+type session struct {
+	id     string
+	tenant *tenant
+	db     *engine.DB
+
+	mu      sync.Mutex
+	stmts   map[string]*prepared
+	stmtSeq int
+	subSeq  int
+}
+
+func (s *session) addStmt(p *prepared) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stmtSeq++
+	p.id = fmt.Sprintf("st%d", s.stmtSeq)
+	s.stmts[p.id] = p
+	return p.id
+}
+
+func (s *session) stmt(id string) (*prepared, *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.stmts[id]
+	if !ok {
+		return nil, errf(CodeUnknownStatement, "statement %q is not prepared on session %s", id, s.id)
+	}
+	return p, nil
+}
+
+func (s *session) closeStmt(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.stmts, id)
+}
+
+func (s *session) nextSub() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subSeq++
+	return s.subSeq
+}
+
+// sessionTable owns every open session and the idle-expiry sweeper.
+type sessionTable struct {
+	mu       sync.Mutex
+	m        map[string]*session
+	lastUsed map[string]time.Time
+	seq      int
+	idle     time.Duration
+
+	gActive *obs.Gauge
+	cOpened *obs.Counter
+	events  *obs.EventLog
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+func newSessionTable(idle time.Duration, reg *obs.Registry, events *obs.EventLog) *sessionTable {
+	st := &sessionTable{
+		m:        map[string]*session{},
+		lastUsed: map[string]time.Time{},
+		idle:     idle,
+		gActive:  reg.Gauge("tdb_server_sessions_active", "open client sessions"),
+		cOpened:  reg.Counter("tdb_server_sessions_total", "sessions ever opened"),
+		events:   events,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	tick := idle / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 30*time.Second {
+		tick = 30 * time.Second
+	}
+	go func() {
+		defer close(st.done)
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-st.quit:
+				return
+			case <-ticker.C:
+				st.expire(time.Now())
+			}
+		}
+	}()
+	return st
+}
+
+// open registers a new session for a tenant.
+func (st *sessionTable) open(t *tenant, db *engine.DB) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	s := &session{
+		id:     fmt.Sprintf("s%d", st.seq),
+		tenant: t,
+		db:     db,
+		stmts:  map[string]*prepared{},
+	}
+	st.m[s.id] = s
+	st.lastUsed[s.id] = time.Now()
+	st.gActive.Add(1)
+	st.cOpened.Inc()
+	st.events.Emit(EventSessionOpen, s.id, map[string]string{"tenant": t.cfg.Name})
+	return s
+}
+
+// get resolves a session id and refreshes its idle clock.
+func (st *sessionTable) get(id string) (*session, *Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	if !ok {
+		return nil, errf(CodeUnknownSession, "session %q is not open (closed, expired, or never opened)", id)
+	}
+	st.lastUsed[id] = time.Now()
+	return s, nil
+}
+
+// close removes a session; unknown ids are a no-op so close is
+// idempotent under retries.
+func (st *sessionTable) close(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.m[id]; ok {
+		delete(st.m, id)
+		delete(st.lastUsed, id)
+		st.gActive.Add(-1)
+		st.events.Emit(EventSessionClose, s.id, map[string]string{"tenant": s.tenant.cfg.Name})
+	}
+}
+
+// expire sweeps sessions idle past the timeout.
+func (st *sessionTable) expire(now time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for id, last := range st.lastUsed {
+		if now.Sub(last) <= st.idle {
+			continue
+		}
+		s := st.m[id]
+		delete(st.m, id)
+		delete(st.lastUsed, id)
+		st.gActive.Add(-1)
+		st.events.Emit(EventSessionExpire, s.id, map[string]string{
+			"tenant": s.tenant.cfg.Name,
+			"idle":   now.Sub(last).String(),
+		})
+	}
+}
+
+// count returns the number of open sessions.
+func (st *sessionTable) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// stop terminates the sweeper and drops every session.
+func (st *sessionTable) stop() {
+	close(st.quit)
+	<-st.done
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gActive.Add(-int64(len(st.m)))
+	st.m = map[string]*session{}
+	st.lastUsed = map[string]time.Time{}
+}

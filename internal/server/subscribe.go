@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tdb/internal/algebra"
+	"tdb/internal/fault"
+	"tdb/internal/live"
+	"tdb/internal/optimizer"
+	"tdb/internal/quel"
+)
+
+// writeEvent emits one server-sent event and flushes it to the client.
+func writeEvent(w http.ResponseWriter, fl http.Flusher, event string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}
+
+// handleSubscribe admits a standing query and streams its deltas as
+// server-sent events until the client cancels, the stream errors (the
+// workspace breaker opening included), or the server drains. The
+// admission slot is held only through registration; the open stream is
+// tracked by the tenant's subscriptions gauge and bounded by the live
+// manager's own backpressure, not the query quota.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req SubscribeRequest
+	if apiErr := decodeBody(r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if req.Session == "" {
+		writeError(w, errf(CodeBadRequest, "subscribe requires a session"))
+		return
+	}
+	sess, apiErr := s.sessions.get(req.Session)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errf(CodeExec, "transport does not support streaming"))
+		return
+	}
+	ten := sess.tenant
+	prog, err := quel.Parse(req.Quel)
+	if err != nil {
+		writeError(w, errf(CodeParse, "%v", err))
+		return
+	}
+	// Standing queries scan base relations through the shared live
+	// manager, so translation runs against the shared catalog: a
+	// session-private "into" relation has no ingestion front to stand on.
+	s.mu.RLock()
+	qs, err := quel.Translate(prog, s.db)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, errf(CodeTranslate, "%v", err))
+		return
+	}
+	if len(qs) != 1 || qs[0].Standing == "" {
+		writeError(w, errf(CodeBadRequest, "subscribe takes exactly one subscribe statement"))
+		return
+	}
+	q := qs[0]
+
+	if apiErr := s.admit(r, ten); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	name := fmt.Sprintf("%s.%d.%s", sess.id, sess.nextSub(), q.Standing)
+	s.mu.Lock()
+	res, err := optimizer.Optimize(q.Tree, s.db, s.optOptions())
+	var sq *live.StandingQuery
+	if err == nil {
+		sq, err = s.live.Register(name, res.Tree, live.RegisterOptions{
+			AllowDegrade: true,
+			Govern:       ten.cfg.Govern,
+		})
+	}
+	s.mu.Unlock()
+	ten.release()
+	if err != nil {
+		var decl *live.DeclinedError
+		if errors.As(err, &decl) {
+			writeError(w, errf(CodeDeclined, "%v", err))
+			return
+		}
+		writeError(w, errf(CodePlan, "%v", err))
+		return
+	}
+	ten.gSubs.Add(1)
+	defer ten.gSubs.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		_ = s.live.Deregister(name)
+		s.mu.Unlock()
+	}()
+
+	sch := sq.Schema()
+	if sch == nil {
+		s.mu.RLock()
+		sch, err = algebra.OutputSchema(res.Tree, s.db)
+		s.mu.RUnlock()
+		if err != nil {
+			writeError(w, errf(CodePlan, "output schema: %v", err))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	if err := writeEvent(w, fl, "meta", SubscribeMeta{
+		Name:    name,
+		Mode:    sq.Mode().String(),
+		Explain: sq.Explain(),
+		Columns: encodeColumns(sch),
+	}); err != nil {
+		return
+	}
+
+	poll := s.cfg.SubscribePoll
+	if req.PollMS > 0 {
+		poll = time.Duration(req.PollMS) * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	var seq int64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			_ = writeEvent(w, fl, "drain", map[string]string{"reason": "server shutting down"})
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		rows, err := sq.Poll()
+		s.mu.Unlock()
+		if err != nil {
+			code := CodeExec
+			if errors.Is(err, live.ErrBreakerOpen) {
+				code = CodeBreakerOpen
+			}
+			_ = writeEvent(w, fl, "error", wireError{Code: code, Message: err.Error()})
+			return
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		if err := fault.Check("server/subscribe-deliver"); err != nil {
+			// Sever the stream rather than risk a delta the client
+			// cannot distinguish from a healthy one: an abrupt EOF is a
+			// detectable failure, a fabricated event is not.
+			// lint:allow panic — http.ErrAbortHandler severs the connection; net/http recovers it
+			panic(http.ErrAbortHandler)
+		}
+		seq++
+		if err := writeEvent(w, fl, "deltas", SubscribeDeltas{Seq: seq, Rows: encodeRows(rows)}); err != nil {
+			return
+		}
+	}
+}

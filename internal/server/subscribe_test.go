@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tdb/internal/engine"
+	"tdb/internal/live"
+	"tdb/internal/relation"
+	"tdb/internal/workload"
+)
+
+// liveDB is an empty two-relation catalog for streaming tests.
+func liveDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.NewDB()
+	db.MustRegister(relation.New("F", workload.FacultySchema))
+	db.MustRegister(relation.New("G", workload.FacultySchema))
+	return db
+}
+
+const overlapSubscribe = `
+range of f is F
+range of g is G
+subscribe watch (Name=f.Name) where (f overlap g)
+`
+
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readEvent blocks until the next complete server-sent event.
+func readEvent(r *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && ev.name != "":
+			return ev, nil
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+}
+
+// startSubscribe opens a cancelable subscription stream and returns its
+// event reader.
+func startSubscribe(t *testing.T, ts *httptest.Server, req SubscribeRequest) (*bufio.Reader, context.CancelFunc) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/"+Protocol+"/subscribe", bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		cancel()
+		t.Fatalf("subscribe: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, raw)
+	}
+	t.Cleanup(func() {
+		cancel()
+		resp.Body.Close()
+	})
+	return bufio.NewReader(resp.Body), cancel
+}
+
+func TestSubscribeStreamsDeltas(t *testing.T) {
+	s, ts := newTestServer(t, Config{DB: liveDB(t), SubscribePoll: 5 * time.Millisecond})
+	sid := openSession(t, ts.URL, "")
+	r, _ := startSubscribe(t, ts, SubscribeRequest{Session: sid, Quel: overlapSubscribe})
+
+	ev, err := readEvent(r)
+	if err != nil {
+		t.Fatalf("read meta: %v", err)
+	}
+	if ev.name != "meta" {
+		t.Fatalf("first event %q, want meta", ev.name)
+	}
+	var meta SubscribeMeta
+	if err := json.Unmarshal(ev.data, &meta); err != nil {
+		t.Fatalf("decode meta: %v", err)
+	}
+	if meta.Mode != "incremental" {
+		t.Errorf("mode %q, want incremental (overlap joins admit incrementally)", meta.Mode)
+	}
+	if len(meta.Columns) == 0 || meta.Columns[0].Name != "Name" {
+		t.Errorf("meta columns = %+v", meta.Columns)
+	}
+
+	// alice × bob is the overlapping pair; carol and dave advance both
+	// input frontiers past TS=2 so the stream operator may emit it (their
+	// own pair stays below the frontier and is never released).
+	for _, app := range []AppendRequest{
+		{Relation: "F", Rows: [][]any{{"alice", "Assistant", 1, 10}}, Flush: true},
+		{Relation: "G", Rows: [][]any{{"bob", "Full", 2, 8}}, Flush: true},
+		{Relation: "F", Rows: [][]any{{"carol", "Full", 20, 25}}, Flush: true},
+		{Relation: "G", Rows: [][]any{{"dave", "Full", 21, 26}}, Flush: true},
+	} {
+		if we := post(t, ts.URL, "append", app, nil); we != nil {
+			t.Fatalf("append %s: %s: %s", app.Relation, we.Code, we.Message)
+		}
+	}
+	ev, err = readEvent(r)
+	if err != nil {
+		t.Fatalf("read deltas: %v", err)
+	}
+	if ev.name != "deltas" {
+		t.Fatalf("event %q, want deltas", ev.name)
+	}
+	var deltas SubscribeDeltas
+	if err := json.Unmarshal(ev.data, &deltas); err != nil {
+		t.Fatal(err)
+	}
+	if deltas.Seq != 1 || len(deltas.Rows) != 1 || deltas.Rows[0][0] != "alice" {
+		t.Errorf("deltas = %+v, want seq 1 with alice", deltas)
+	}
+
+	// The streamed rows are exactly the standing query's recorded
+	// emission prefix.
+	var recorded []string
+	if err := s.WithLive(func(m *live.Manager) error {
+		for _, q := range m.Queries() {
+			for _, row := range q.Deltas() {
+				recorded = append(recorded, row[0].AsString())
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) != 1 || recorded[0] != "alice" {
+		t.Errorf("server-side standing query deltas = %v", recorded)
+	}
+}
+
+func TestSubscribeDrainEventOnShutdown(t *testing.T) {
+	s, ts := newTestServer(t, Config{DB: liveDB(t), SubscribePoll: 5 * time.Millisecond})
+	sid := openSession(t, ts.URL, "")
+	r, _ := startSubscribe(t, ts, SubscribeRequest{Session: sid, Quel: overlapSubscribe})
+	if ev, err := readEvent(r); err != nil || ev.name != "meta" {
+		t.Fatalf("meta: %v %+v", err, ev)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ev, err := readEvent(r)
+	if err != nil {
+		t.Fatalf("read drain: %v", err)
+	}
+	if ev.name != "drain" {
+		t.Errorf("event %q, want drain", ev.name)
+	}
+	if _, err := readEvent(r); err == nil {
+		t.Error("stream stayed open past the drain event")
+	}
+}
+
+func TestSubscribeRejectsRetrieve(t *testing.T) {
+	_, ts := newTestServer(t, Config{DB: liveDB(t)})
+	sid := openSession(t, ts.URL, "")
+	we := post(t, ts.URL, "subscribe", SubscribeRequest{
+		Session: sid, Quel: "range of f is F\nretrieve (f.Name)",
+	}, nil)
+	if we == nil || we.Code != CodeBadRequest {
+		t.Errorf("retrieve on subscribe endpoint: %+v", we)
+	}
+}
