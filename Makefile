@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint lint-deep test race chaos bench bench-server report cover fmt bench-check bench-record bench-baseline
+.PHONY: all build vet fmt-check lint lint-deep test race chaos bench bench-server bench-resilience report cover fmt bench-check bench-record bench-baseline
 
 all: build vet fmt-check lint lint-deep test
 
@@ -50,6 +50,11 @@ bench:
 # queried by 1/8/64 database/sql clients through the public driver.
 bench-server:
 	$(GO) run ./cmd/tdbbench -n 1024 -serve -serve-json BENCH_SERVER.json
+
+# The E27 wire-resilience recovery sweep: 1/8/64 driver subscriptions
+# surviving scheduled delivery severs with exactly-once accounting.
+bench-resilience:
+	$(GO) run ./cmd/tdbbench -n 1024 -resilience -resilience-json BENCH_RESILIENCE.json
 
 # The benchmark regression gate. BENCH_CONFIG must match the committed
 # baseline exactly — a mismatch is a hard error, not a comparison.

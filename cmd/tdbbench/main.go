@@ -43,6 +43,15 @@
 // mean and p99 latency, and the server's per-tenant admission counters.
 // The structured document goes to BENCH_SERVER.json (-serve-json).
 //
+// -resilience additionally runs E27, the wire-resilience recovery sweep:
+// 1, 8 and 64 concurrent driver subscriptions fed synchronized delta
+// rounds while the delivery path is severed on a fixed schedule and
+// every keyed append is deliberately double-sent. It reports recovery
+// latency (sever to resumed stream), the resume/sever and dedup/dup
+// ledgers, and the client-side seq-violation count — all of which must
+// balance for the point to pass. The structured document goes to
+// BENCH_RESILIENCE.json (-resilience-json).
+//
 // The human-readable tables always go to stdout; -json additionally writes
 // the same tables (plus per-experiment wall time) as a machine-readable
 // JSON document. -listen serves /metrics and /debug/pprof while the suite
@@ -106,6 +115,9 @@ func main() {
 	serveRun := flag.Bool("serve", false, "also run E26, the concurrent network-client sweep, writing BENCH_SERVER.json")
 	serveOut := flag.String("serve-json", "BENCH_SERVER.json", "where -serve writes its machine-readable document")
 	serveClients := flag.Int("serve-queries", 25, "queries per client in the E26 sweep")
+	resRun := flag.Bool("resilience", false, "also run E27, the wire-resilience recovery sweep, writing BENCH_RESILIENCE.json")
+	resOut := flag.String("resilience-json", "BENCH_RESILIENCE.json", "where -resilience writes its machine-readable document")
+	resRounds := flag.Int("resilience-rounds", 6, "delta rounds per point in the E27 sweep")
 	record := flag.Bool("record", false, "append this run (git SHA, GOMAXPROCS, per-experiment times) to the history journal")
 	historyPath := flag.String("history", "BENCH_HISTORY.jsonl", "where -record appends run records")
 	check := flag.Bool("check", false, "compare this run against the baseline; exit non-zero on regression")
@@ -241,6 +253,23 @@ func main() {
 		}})
 	}
 
+	if *resRun {
+		suite = append(suite, struct {
+			name string
+			run  func() (*experiments.Table, error)
+		}{"resilience", func() (*experiments.Table, error) {
+			res, tab, err := experiments.ResilienceSweep([]int{1, 8, 64}, *resRounds, 2, 5)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeResilienceJSON(*resOut, res); err != nil {
+				return nil, err
+			}
+			fmt.Printf("resilience document written to %s\n", *resOut)
+			return tab, nil
+		}})
+	}
+
 	result := benchResult{N: *n, Faculty: *faculty, Seed: *seed, Policy: *policyName}
 	for _, exp := range suite {
 		start := time.Now()
@@ -312,6 +341,22 @@ func writeChaosJSON(path string, res *experiments.ChaosResult) error {
 
 // writeServerJSON writes the E26 structured document (BENCH_SERVER.json).
 func writeServerJSON(path string, res *experiments.ServerResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error wins
+		return err
+	}
+	return f.Close()
+}
+
+// writeResilienceJSON writes the E27 structured document
+// (BENCH_RESILIENCE.json).
+func writeResilienceJSON(path string, res *experiments.ResilienceResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

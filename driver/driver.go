@@ -57,14 +57,18 @@ func (d Driver) OpenConnector(dsn string) (driver.Connector, error) {
 
 // Connector dials one tdb server under one tenant. It also carries the
 // protocol extensions database/sql has no surface for: Subscribe and
-// Append.
+// Append — and the retry policy every request runs under.
 type Connector struct {
 	base   string
 	tenant string
 	hc     *http.Client
+	retry  RetryPolicy
 }
 
 // NewConnector parses a DSN of the form "http://host:port?tenant=name".
+// Retry tuning rides in the query string: retry=off disables the retry
+// layer (and subscription auto-resume); retry_attempts, retry_base_ms,
+// retry_max_ms and retry_budget_ms reshape the backoff.
 func NewConnector(dsn string) (*Connector, error) {
 	u, err := url.Parse(dsn)
 	if err != nil {
@@ -79,10 +83,15 @@ func NewConnector(dsn string) (*Connector, error) {
 	if p := strings.TrimSuffix(u.Path, "/"); p != "" {
 		return nil, fmt.Errorf("tdb: DSN %q: the server lives at the URL root, not %q", dsn, u.Path)
 	}
+	retry, err := parseRetryDSN(u.Query(), defaultRetryPolicy())
+	if err != nil {
+		return nil, fmt.Errorf("tdb: DSN %q: %w", dsn, err)
+	}
 	return &Connector{
 		base:   u.Scheme + "://" + u.Host,
 		tenant: u.Query().Get("tenant"),
 		hc:     &http.Client{},
+		retry:  retry,
 	}, nil
 }
 
@@ -106,20 +115,41 @@ func (c *Connector) Connect(ctx context.Context) (driver.Conn, error) {
 // follow the relation's schema: strings for string columns, int/int64
 // for time and int columns. flush drains the reorder buffer afterwards,
 // releasing every buffered row to storage and the standing queries.
+//
+// Each call travels under a generated idempotency key, so the retry
+// layer may safely replay it after an ambiguous failure: the server
+// remembers the outcome and never applies the rows twice. Use
+// AppendKeyed to control the key (application-level exactly-once across
+// process restarts) or to send an unkeyed, never-retried append.
 func (c *Connector) Append(ctx context.Context, relation string, rows [][]any, slack int64, flush bool) (AppendResult, error) {
+	return c.AppendKeyed(ctx, relation, rows, slack, flush, newIdemKey())
+}
+
+// AppendKeyed is Append with an explicit idempotency key. An empty key
+// sends the append unkeyed and disables retries for it — repeating an
+// unkeyed append could double-apply rows.
+func (c *Connector) AppendKeyed(ctx context.Context, relation string, rows [][]any, slack int64, flush bool, key string) (AppendResult, error) {
 	var resp AppendResult
-	err := c.post(ctx, "append", appendRequest{
-		Tenant: c.tenant, Relation: relation, Rows: rows, Slack: slack, Flush: flush,
-	}, &resp)
+	req := appendRequest{
+		Tenant: c.tenant, Relation: relation, Rows: rows, Slack: slack, Flush: flush, IdemKey: key,
+	}
+	var err error
+	if key == "" {
+		err = c.postOnce(ctx, "append", req, &resp)
+	} else {
+		err = c.post(ctx, "append", req, &resp)
+	}
 	return resp, err
 }
 
 // AppendResult reports one append batch: rows accepted, the relation's
 // reorder watermark, rows still buffered, and total rows released to
-// storage.
+// storage. Deduped marks a replayed outcome: the idempotency key had
+// already been applied, so this call appended nothing new.
 type AppendResult struct {
 	Appended  int   `json:"appended"`
 	Watermark int64 `json:"watermark"`
 	Buffered  int   `json:"buffered"`
 	Released  int64 `json:"released"`
+	Deduped   bool  `json:"deduped,omitempty"`
 }

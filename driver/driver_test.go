@@ -403,6 +403,9 @@ func TestCodesMirrorServer(t *testing.T) {
 		{tdbdriver.CodeBreakerOpen, server.CodeBreakerOpen},
 		{tdbdriver.CodeDraining, server.CodeDraining},
 		{tdbdriver.CodeLateTuple, server.CodeLateTuple},
+		{tdbdriver.CodeSessionExpired, server.CodeSessionExpired},
+		{tdbdriver.CodeResumeHorizon, server.CodeResumeHorizon},
+		{tdbdriver.CodeUnknownResume, server.CodeUnknownResume},
 	}
 	for _, p := range pairs {
 		if p[0] != p[1] {

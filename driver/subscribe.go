@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
+	"time"
 )
 
 // ErrDrained is returned by Subscription.Next once the server announced
@@ -16,12 +18,16 @@ var ErrDrained = errors.New("tdb: subscription drained (server shutting down)")
 
 // Meta describes an admitted standing query: the server-scoped name,
 // the evaluation mode ("incremental" or "batch"), the admission explain
-// note, and the delta row schema.
+// note, the delta row schema, and the resume surface (the token a
+// reconnect presents, and how many events the server's replay ring
+// retains behind the stream head).
 type Meta struct {
-	Name    string
-	Mode    string
-	Explain string
-	Columns []Column
+	Name      string
+	Mode      string
+	Explain   string
+	Columns   []Column
+	Resume    string
+	ReplayCap int
 }
 
 // Column is one delta column: its name, kind ("string", "time", "int"),
@@ -40,85 +46,149 @@ type Deltas struct {
 	Rows [][]any
 }
 
+// Stats reports a subscription's resilience counters: how many times
+// the stream auto-resumed after a transport failure, and the time the
+// reconnects took (wall clock from detecting the failure to the resumed
+// stream's meta event).
+type Stats struct {
+	Resumes         int
+	LastResumeTime  time.Duration
+	TotalResumeTime time.Duration
+}
+
 // Subscription is a standing temporal query's delta stream — the
 // protocol extension database/sql has no surface for. Obtain one from
 // Connector.Subscribe; read with Next; Close cancels the server-side
 // standing query.
+//
+// Unless the connector's retry layer is disabled, a subscription
+// survives transport failures: Next re-dials with the server's resume
+// token and the last delivered seq, the server replays exactly the
+// missed events from its bounded ring, and delivery stays exactly-once.
+// Next enforces that invariant — a duplicate, gap, or reorder from a
+// misbehaving server is a typed ErrSeqViolation, never silently
+// repaired. A resume that falls behind the replay ring surfaces as
+// ErrResumeHorizon; a server that lost the subscription (restart)
+// surfaces the typed unknown_resume error. Both are terminal: the
+// caller decides whether to re-subscribe from scratch.
 type Subscription struct {
+	c       *Connector
+	ctx     context.Context
 	meta    Meta
-	br      *bufio.Reader
-	cancel  context.CancelFunc
-	close   func()
 	session string
+	token   string
+	lastSeq int64
+	stats   Stats
+
+	br     *bufio.Reader
+	body   io.ReadCloser
+	cancel context.CancelFunc
+	closed bool
 }
 
 // Subscribe admits the quel subscribe statement as a standing query on
 // a dedicated session and streams its deltas. pollMS overrides the
 // server's poll cadence when positive. The stream lives until Close,
-// ctx cancellation, a server error, or server drain.
+// ctx cancellation, a terminal server error, or server drain; transport
+// failures in between auto-resume (see Subscription).
 func (c *Connector) Subscribe(ctx context.Context, quel string, pollMS int64) (*Subscription, error) {
 	var sess sessionOpenResponse
 	if err := c.post(ctx, "session", sessionOpenRequest{Tenant: c.tenant}, &sess); err != nil {
 		return nil, err
 	}
-	closeSession := func() {
-		_ = c.post(context.Background(), "session/close", sessionCloseRequest{Session: sess.Session}, nil)
-	}
 	sctx, cancel := context.WithCancel(ctx)
-	resp, err := c.roundTrip(sctx, "subscribe", subscribeRequest{
-		Session: sess.Session, Quel: quel, PollMS: pollMS,
-	})
+	sub := &Subscription{c: c, ctx: sctx, cancel: cancel, session: sess.Session}
+	err := sub.dial(subscribeRequest{Session: sess.Session, Quel: quel, PollMS: pollMS})
 	if err != nil {
-		cancel()
-		closeSession()
+		sub.teardown()
 		return nil, err
+	}
+	return sub, nil
+}
+
+// dial opens one subscribe stream (fresh or resume) and consumes its
+// meta event, swapping the subscription onto the new connection.
+func (s *Subscription) dial(req subscribeRequest) error {
+	resp, err := s.c.roundTrip(s.ctx, "subscribe", req)
+	if err != nil {
+		return err
 	}
 	if err := checkStatus(resp); err != nil {
 		_ = resp.Body.Close()
-		cancel()
-		closeSession()
-		return nil, err
+		return err
 	}
-	sub := &Subscription{
-		br:      bufio.NewReader(resp.Body),
-		cancel:  cancel,
-		session: sess.Session,
-		close: func() {
-			cancel()
-			_ = resp.Body.Close()
-			closeSession()
-		},
-	}
-	ev, data, err := sub.readEvent()
+	br := bufio.NewReader(resp.Body)
+	ev, data, err := readEvent(br)
 	if err != nil {
-		sub.close()
-		return nil, fmt.Errorf("tdb: subscribe: reading meta event: %w", err)
+		_ = resp.Body.Close()
+		return fmt.Errorf("tdb: subscribe: reading meta event: %w", err)
 	}
 	if ev != "meta" {
-		sub.close()
-		return nil, fmt.Errorf("tdb: subscribe: first event is %q, want meta", ev)
+		_ = resp.Body.Close()
+		return fmt.Errorf("tdb: subscribe: first event is %q, want meta", ev)
 	}
 	var m subscribeMeta
 	if err := json.Unmarshal(data, &m); err != nil {
-		sub.close()
-		return nil, fmt.Errorf("tdb: subscribe: decoding meta: %w", err)
+		_ = resp.Body.Close()
+		return fmt.Errorf("tdb: subscribe: decoding meta: %w", err)
 	}
-	sub.meta = Meta{Name: m.Name, Mode: m.Mode, Explain: m.Explain}
+	if s.body != nil {
+		_ = s.body.Close()
+	}
+	s.body = resp.Body
+	s.br = br
+	s.token = m.Resume
+	s.meta = Meta{Name: m.Name, Mode: m.Mode, Explain: m.Explain, Resume: m.Resume, ReplayCap: m.ReplayCap}
 	for _, c := range m.Columns {
-		sub.meta.Columns = append(sub.meta.Columns, Column(c))
+		s.meta.Columns = append(s.meta.Columns, Column(c))
 	}
-	return sub, nil
+	return nil
 }
 
 // Meta returns the standing query's admission metadata.
 func (s *Subscription) Meta() Meta { return s.meta }
 
+// Stats returns the subscription's resilience counters.
+func (s *Subscription) Stats() Stats { return s.stats }
+
 // Next blocks for the next delta batch. It returns ErrDrained after a
-// server drain, a typed *Error after a server-reported stream error
-// (the workspace breaker opening included), and the transport error —
-// never a fabricated result — if the stream dies abruptly.
+// server drain and a typed *Error after a server-reported terminal
+// condition (the workspace breaker opening, a resume falling past the
+// replay horizon). A transport failure triggers auto-resume — only when
+// that fails does the transport error surface. Every delivered batch
+// has seq exactly lastSeq+1; anything else is ErrSeqViolation.
 func (s *Subscription) Next() (Deltas, error) {
-	ev, data, err := s.readEvent()
+	for {
+		d, err := s.nextEvent()
+		if err == nil {
+			if d.Seq != s.lastSeq+1 {
+				kind := "gap"
+				if d.Seq <= s.lastSeq {
+					kind = "duplicate or reorder"
+				}
+				return Deltas{}, fmt.Errorf("tdb: delta seq %d after %d (%s): %w", d.Seq, s.lastSeq, kind, ErrSeqViolation)
+			}
+			s.lastSeq = d.Seq
+			return d, nil
+		}
+		var te *Error
+		if errors.As(err, &te) || errors.Is(err, ErrDrained) || errors.Is(err, ErrSeqViolation) {
+			return Deltas{}, err // server-reported or protocol violation: terminal
+		}
+		if s.closed || s.c.retry.Disabled || s.token == "" || s.ctx.Err() != nil {
+			return Deltas{}, err
+		}
+		if rerr := s.resume(); rerr != nil {
+			return Deltas{}, rerr
+		}
+	}
+}
+
+// nextEvent reads one stream event and maps it like the pre-resume
+// protocol: deltas decode, drain is ErrDrained, error events carry the
+// typed code.
+func (s *Subscription) nextEvent() (Deltas, error) {
+	ev, data, err := readEvent(s.br)
 	if err != nil {
 		return Deltas{}, fmt.Errorf("tdb: subscription stream: %w", err)
 	}
@@ -166,17 +236,69 @@ func (s *Subscription) Next() (Deltas, error) {
 	}
 }
 
-// Close cancels the stream; the server deregisters the standing query.
+// resume re-dials the stream with the resume token and last delivered
+// seq, under the connector's backoff policy. Typed server errors are
+// terminal immediately (retrying a resume_horizon cannot help); only
+// transport failures burn further attempts.
+func (s *Subscription) resume() error {
+	p := s.c.retry
+	start := time.Now()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.dial(subscribeRequest{Session: s.session, Resume: s.token, AfterSeq: s.lastSeq})
+		if err == nil {
+			s.stats.Resumes++
+			s.stats.LastResumeTime = time.Since(start)
+			s.stats.TotalResumeTime += s.stats.LastResumeTime
+			return nil
+		}
+		ok, retryAfter := retryable(err)
+		if !ok {
+			return err
+		}
+		if attempt+1 >= p.MaxAttempts {
+			return fmt.Errorf("tdb: resume: giving up after %d attempts: %w", attempt+1, err)
+		}
+		delay := p.backoffDelay(attempt, retryAfter)
+		if elapsed := time.Since(start); elapsed+delay > p.Budget {
+			return fmt.Errorf("tdb: resume: retry budget %v exhausted after %d attempts: %w", p.Budget, attempt+1, err)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-s.ctx.Done():
+			t.Stop()
+			return fmt.Errorf("tdb: resume: %w (after %d attempts: %v)", s.ctx.Err(), attempt+1, err)
+		case <-t.C:
+		}
+	}
+}
+
+// teardown cancels the stream context, closes any open body, and closes
+// the dedicated session.
+func (s *Subscription) teardown() {
+	s.cancel()
+	if s.body != nil {
+		_ = s.body.Close()
+	}
+	_ = s.c.post(context.Background(), "session/close", sessionCloseRequest{Session: s.session}, nil)
+}
+
+// Close cancels the stream; the server deregisters the standing query
+// with the session.
 func (s *Subscription) Close() error {
-	s.close()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.teardown()
 	return nil
 }
 
 // readEvent parses one server-sent event (event: + data: lines up to a
 // blank line).
-func (s *Subscription) readEvent() (event string, data []byte, err error) {
+func readEvent(br *bufio.Reader) (event string, data []byte, err error) {
 	for {
-		line, err := s.br.ReadString('\n')
+		line, err := br.ReadString('\n')
 		if err != nil {
 			return "", nil, err
 		}

@@ -144,9 +144,11 @@ func TestSubscribeDrain(t *testing.T) {
 
 // TestChaosTornWrite: a torn server write surfaces as a hard client
 // error — never a silent partial result — and the next query is whole.
+// retry=off pins the single-attempt contract; the retry layer would
+// heal the tear (TestRetryHealsTornWrite covers that).
 func TestChaosTornWrite(t *testing.T) {
 	_, url := startServer(t, server.Config{})
-	db := openDB(t, url)
+	db := openDB(t, url+"?retry=off")
 	if err := fault.Arm("server/wire-write=torn:n=1"); err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +173,11 @@ func TestChaosTornWrite(t *testing.T) {
 
 // TestChaosSubscribeSever: an armed delivery fault severs the stream
 // with a detectable transport error before any poisoned delta.
+// retry=off disables auto-resume so the sever stays observable
+// (TestChaosAutoResume covers the healed path).
 func TestChaosSubscribeSever(t *testing.T) {
 	_, url := startServer(t, server.Config{DB: liveDB(t), SubscribePoll: 5 * time.Millisecond})
-	c, err := tdbdriver.NewConnector(url)
+	c, err := tdbdriver.NewConnector(url + "?retry=off")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,19 +87,24 @@ type appendRequest struct {
 	Rows     [][]any `json:"rows"`
 	Slack    int64   `json:"slack,omitempty"`
 	Flush    bool    `json:"flush,omitempty"`
+	IdemKey  string  `json:"idem_key,omitempty"`
 }
 
 type subscribeRequest struct {
-	Session string `json:"session"`
-	Quel    string `json:"quel"`
-	PollMS  int64  `json:"poll_ms,omitempty"`
+	Session  string `json:"session"`
+	Quel     string `json:"quel,omitempty"`
+	PollMS   int64  `json:"poll_ms,omitempty"`
+	Resume   string `json:"resume,omitempty"`
+	AfterSeq int64  `json:"after_seq,omitempty"`
 }
 
 type subscribeMeta struct {
-	Name    string       `json:"name"`
-	Mode    string       `json:"mode"`
-	Explain string       `json:"explain,omitempty"`
-	Columns []wireColumn `json:"columns"`
+	Name      string       `json:"name"`
+	Mode      string       `json:"mode"`
+	Explain   string       `json:"explain,omitempty"`
+	Columns   []wireColumn `json:"columns"`
+	Resume    string       `json:"resume,omitempty"`
+	ReplayCap int          `json:"replay_cap,omitempty"`
 }
 
 type subscribeDeltas struct {
@@ -109,16 +114,27 @@ type subscribeDeltas struct {
 
 type errorEnvelope struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code         string `json:"code"`
+		Message      string `json:"message"`
+		RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 	} `json:"error"`
 }
 
-// post runs one protocol request: marshal, POST, and either decode the
-// response into out or map the error envelope to a typed *Error.
+// post runs one protocol request under the retry policy: marshal, POST,
+// and either decode the response into out or map the error envelope to
+// a typed *Error. Every endpoint routed through post is safe to repeat
+// (appends pass through only when keyed); use postOnce otherwise.
 // Chronons travel as JSON numbers up to interval.Forever (2^63-2), so
 // responses are decoded with json.Number — float64 would corrupt them.
 func (c *Connector) post(ctx context.Context, endpoint string, in, out any) error {
+	return c.withRetry(ctx, endpoint, func() error {
+		return c.postOnce(ctx, endpoint, in, out)
+	})
+}
+
+// postOnce is one attempt with no retry — the path for requests whose
+// repetition is not provably safe (unkeyed appends).
+func (c *Connector) postOnce(ctx context.Context, endpoint string, in, out any) error {
 	resp, err := c.roundTrip(ctx, endpoint, in)
 	if err != nil {
 		return err
@@ -166,7 +182,7 @@ func checkStatus(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var env errorEnvelope
 	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
-		return &Error{Code: env.Error.Code, Message: env.Error.Message}
+		return &Error{Code: env.Error.Code, Message: env.Error.Message, RetryAfterMS: env.Error.RetryAfterMS}
 	}
 	return fmt.Errorf("tdb: server returned %s: %.200s", resp.Status, raw)
 }

@@ -16,14 +16,28 @@
 // it as a server-side prepared statement rebound to other parameters,
 // and — with -subscribe — registers a standing temporal query, appends
 // tuples through the wire, and prints the streamed delta batch.
+//
+// -resilience instead runs the server-restart drill: subscribe, append
+// under idempotency keys (each sent twice to prove the dedup window),
+// read the first delta, then wait for the operator (or CI) to kill and
+// restart the server. The old stream must be refused with the typed
+// unknown_resume error — never silently resumed against lost state — and
+// a fresh subscription over re-sent same-keyed appends must rebuild the
+// byte-identical delta. When the restarted server arms
+// TDB_FAULTS="server/subscribe-deliver=error:n=1", the rebuilt stream's
+// first delivery is severed mid-lifetime and the driver's auto-resume
+// heals it transparently, which the drill asserts via resume stats.
 package main
 
 import (
 	"context"
 	"database/sql"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"strings"
 	"time"
 
 	tdbdriver "tdb/driver"
@@ -37,7 +51,13 @@ retrieve (f.Name, f.ValidFrom, f.ValidTo) where f.Rank = $1
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "tdb server base URL")
 	subscribe := flag.Bool("subscribe", false, "also exercise the subscription extension (needs empty live relations F and G)")
+	resilience := flag.Bool("resilience", false, "run the server-restart drill instead (needs empty live relations F and G)")
 	flag.Parse()
+
+	if *resilience {
+		resilienceDrill(*addr)
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -138,4 +158,175 @@ subscribe watch (Name=f.Name) where (f overlap g)
 		log.Fatalf("next: %v", err)
 	}
 	fmt.Printf("deltas seq %d: %v\n", d.Seq, d.Rows)
+}
+
+const overlapWatch = `
+range of f is F
+range of g is G
+subscribe watch (Name=f.Name) where (f overlap g)
+`
+
+// firstBatch is the canonical overlap fixture: alice × bob is the one
+// released pair; carol and dave advance both frontiers past it.
+var firstBatch = []struct {
+	rel string
+	row []any
+}{
+	{"F", []any{"alice", "Assistant", 1, 10}},
+	{"G", []any{"bob", "Full", 2, 8}},
+	{"F", []any{"carol", "Full", 20, 25}},
+	{"G", []any{"dave", "Full", 21, 26}},
+}
+
+// secondBatch releases exactly the pending carol × dave pair once jack
+// — the only G-frontier advance, landing last — arrives.
+var secondBatch = []struct {
+	rel string
+	row []any
+}{
+	{"F", []any{"iris", "Full", 60, 65}},
+	{"G", []any{"jack", "Full", 61, 66}},
+}
+
+// feedKeyed sends every append twice under a stable idempotency key:
+// the first send must land, the second must be replayed from the
+// server's dedup window — the at-least-once producer contract.
+func feedKeyed(ctx context.Context, c *tdbdriver.Connector, batch []struct {
+	rel string
+	row []any
+}) {
+	for _, app := range batch {
+		key := fmt.Sprintf("drill-%s-%v", app.rel, app.row[0])
+		first, err := c.AppendKeyed(ctx, app.rel, [][]any{app.row}, 0, true, key)
+		if err != nil {
+			log.Fatalf("append %s: %v", app.rel, err)
+		}
+		if first.Deduped || first.Appended != 1 {
+			log.Fatalf("append %s: appended %d deduped %v, want a fresh single-row append",
+				app.rel, first.Appended, first.Deduped)
+		}
+		again, err := c.AppendKeyed(ctx, app.rel, [][]any{app.row}, 0, true, key)
+		if err != nil {
+			log.Fatalf("duplicate append %s: %v", app.rel, err)
+		}
+		if !again.Deduped {
+			log.Fatalf("duplicate append %s was not deduped", app.rel)
+		}
+	}
+}
+
+// awaitRestart polls the ping endpoint until the server goes down and
+// comes back, so the drill can be driven by a CI job that SIGKILLs and
+// restarts the process underneath it.
+func awaitRestart(addr string) {
+	client := &http.Client{Timeout: time.Second}
+	ping := func() bool {
+		resp, err := client.Post(addr+"/v1/ping", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			return false
+		}
+		_ = resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for ping() {
+		if time.Now().After(deadline) {
+			log.Fatal("server was never killed")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Println("server down, awaiting restart")
+	for !ping() {
+		if time.Now().After(deadline) {
+			log.Fatal("server never came back")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Println("server back up")
+}
+
+// resilienceDrill is the server-restart exercise: phase 1 builds a
+// subscription and a keyed-append history, then the server is killed and
+// restarted underneath it. The drill proves the wire layer's restart
+// story end to end: the orphaned stream is refused with a typed error,
+// a rebuilt subscription over re-sent same-keyed appends yields the
+// byte-identical delta (zero loss, zero duplication), and — when the
+// restarted server arms a delivery sever — the rebuilt stream heals a
+// mid-lifetime cut through driver auto-resume.
+func resilienceDrill(addr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	c, err := tdbdriver.NewConnector(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := c.Subscribe(ctx, overlapWatch, 10)
+	if err != nil {
+		log.Fatalf("subscribe: %v", err)
+	}
+	feedKeyed(ctx, c, firstBatch)
+	d, err := sub.Next()
+	if err != nil {
+		log.Fatalf("phase 1 next: %v", err)
+	}
+	canonical := fmt.Sprintf("%v", d.Rows)
+	fmt.Printf("phase 1: deltas seq %d: %s (appends deduped on the wire)\n", d.Seq, canonical)
+
+	awaitRestart(addr)
+
+	// The orphaned stream must die loudly: auto-resume reaches the new
+	// process, which no longer knows the session or subscription, and the
+	// typed refusal is terminal — never a silent rewind onto lost state.
+	_, err = sub.Next()
+	var te *tdbdriver.Error
+	if !errors.As(err, &te) ||
+		(te.Code != tdbdriver.CodeUnknownSession && te.Code != tdbdriver.CodeUnknownResume) {
+		log.Fatalf("orphaned stream Next = %v, want typed unknown_session/unknown_resume", err)
+	}
+	fmt.Printf("orphaned stream refused: %s\n", te.Code)
+	_ = sub.Close()
+
+	// Rebuild: fresh subscription, same idempotency keys. The restarted
+	// server's dedup window is empty, so the first sends land and rebuild
+	// the live state; the second sends prove the new window. If the
+	// server armed a delivery sever (TDB_FAULTS), the first delta is cut
+	// mid-stream and auto-resume replays it from the ring.
+	c2, err := tdbdriver.NewConnector(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub2, err := c2.Subscribe(ctx, overlapWatch, 10)
+	if err != nil {
+		log.Fatalf("phase 2 subscribe: %v", err)
+	}
+	defer sub2.Close()
+	feedKeyed(ctx, c2, firstBatch)
+	d2, err := sub2.Next()
+	if err != nil {
+		log.Fatalf("phase 2 next: %v", err)
+	}
+	rebuilt := fmt.Sprintf("%v", d2.Rows)
+	if rebuilt != canonical {
+		log.Fatalf("rebuilt delta %s != pre-restart delta %s", rebuilt, canonical)
+	}
+	if st := sub2.Stats(); st.Resumes > 0 {
+		fmt.Printf("phase 2: deltas seq %d: %s (healed %d sever(s) in %v)\n",
+			d2.Seq, rebuilt, st.Resumes, st.LastResumeTime.Round(time.Microsecond))
+	} else {
+		fmt.Printf("phase 2: deltas seq %d: %s\n", d2.Seq, rebuilt)
+	}
+
+	// Continue past the restart point: the next batch must arrive exactly
+	// once, with the next seq and no replay of the first delta's rows.
+	feedKeyed(ctx, c2, secondBatch)
+	d3, err := sub2.Next()
+	if err != nil {
+		log.Fatalf("phase 2 second next: %v", err)
+	}
+	if d3.Seq != d2.Seq+1 || strings.Contains(fmt.Sprintf("%v", d3.Rows), "alice") {
+		log.Fatalf("post-restart continuation = seq %d %v, want seq %d without alice",
+			d3.Seq, d3.Rows, d2.Seq+1)
+	}
+	fmt.Println("resilience drill: zero loss, zero duplication")
 }

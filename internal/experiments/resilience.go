@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	tdbdriver "tdb/driver"
+	"tdb/internal/engine"
+	"tdb/internal/fault"
+	"tdb/internal/obs"
+	"tdb/internal/relation"
+	"tdb/internal/server"
+	"tdb/internal/workload"
+)
+
+// ResiliencePoint is one client-count measurement of the E27 wire-
+// resilience sweep: a fleet of subscriptions fed synchronized delta
+// rounds while the delivery path is severed on a fixed schedule.
+type ResiliencePoint struct {
+	Clients        int   // concurrent driver subscriptions
+	Rounds         int   // delta batches each subscription must deliver
+	Severs         int   // delivery faults injected across the point
+	Resumes        int   // driver auto-resumes observed (must equal Severs)
+	Deltas         int   // delta batches delivered across all clients
+	SeqViolations  int   // client-side seq-contract violations (must be 0)
+	StreamErrors   int   // subscriptions that died instead of resuming
+	DupAppends     int   // keyed appends deliberately re-sent
+	DedupHits      int64 // server-side dedup-window replays (must equal DupAppends)
+	RecoveryMeanNS int64 // mean sever-to-resumed-stream latency
+	RecoveryP99NS  int64 // p99 (max at these sample sizes) recovery latency
+	ElapsedNS      int64 // wall time of the whole point
+}
+
+// ResilienceResult is the E27 document: the sweep plus its chaos
+// schedule.
+type ResilienceResult struct {
+	Rounds     int // delta rounds per point
+	SeverEvery int // a delivery sever is armed before every k-th round
+	Points     []ResiliencePoint
+}
+
+// resilienceSubscribe is the standing query every client admits: the
+// canonical F-overlap-G stream.
+const resilienceSubscribe = `
+range of f is F
+range of g is G
+subscribe watch (Name=f.Name) where (f overlap g)
+`
+
+// ResilienceSweep is experiment E27: one live server, swept across
+// concurrent driver subscriptions, with the subscribe delivery path
+// severed before every severEvery-th round. Each round's appends are
+// ordered so the single G-frontier advance lands last — every
+// subscription therefore sees exactly one delta batch per round, and the
+// round number IS the stream seq. Every keyed append is deliberately
+// sent twice, exercising the server's idempotency window the way an
+// at-least-once producer would. The point passes only if delivery stays
+// exactly-once under fire: resumes equal severs, dedup hits equal
+// duplicate sends, and no client ever observes a seq gap, duplicate, or
+// reorder. Recovery latency is the driver-measured wall time from
+// detecting the severed stream to the resumed stream's meta event.
+func ResilienceSweep(clients []int, rounds, severEvery int, pollMS int64) (*ResilienceResult, *Table, error) {
+	if rounds < 1 || severEvery < 1 {
+		return nil, nil, fmt.Errorf("resilience sweep: rounds %d, severEvery %d", rounds, severEvery)
+	}
+	res := &ResilienceResult{Rounds: rounds, SeverEvery: severEvery}
+	for _, c := range clients {
+		p, err := resiliencePoint(c, rounds, severEvery, pollMS)
+		if err != nil {
+			return nil, nil, fmt.Errorf("resilience sweep, %d clients: %w", c, err)
+		}
+		res.Points = append(res.Points, p)
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("E27 — wire-resilience recovery sweep (%d rounds, sever every %d)",
+			rounds, severEvery),
+		Header: []string{"clients", "deltas", "severs", "resumes", "seqviol", "dups", "dedup", "recover-mean", "recover-p99"},
+	}
+	for _, p := range res.Points {
+		tab.Add(p.Clients, p.Deltas, p.Severs, p.Resumes, p.SeqViolations,
+			p.DupAppends, p.DedupHits,
+			time.Duration(p.RecoveryMeanNS).Round(time.Microsecond).String(),
+			time.Duration(p.RecoveryP99NS).Round(time.Microsecond).String())
+	}
+	tab.Note("every keyed append is sent twice; dedup must equal dups or the idempotency window leaked")
+	tab.Note("resumes must equal severs and seqviol must be 0: delivery stayed exactly-once through every cut")
+	return res, tab, nil
+}
+
+// resiliencePoint runs one client count: subscribe the fleet, feed the
+// rounds with severs on schedule, and account for every delta, resume,
+// and dedup replay.
+func resiliencePoint(clients, rounds, severEvery int, pollMS int64) (ResiliencePoint, error) {
+	db := engine.NewDB()
+	db.MustRegister(relation.New("F", workload.FacultySchema))
+	db.MustRegister(relation.New("G", workload.FacultySchema))
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{DB: db, Registry: reg})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return ResiliencePoint{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	defer fault.Reset()
+	dedupHits := reg.Counter("tdb_server_append_dedup_hits_total", "")
+
+	conn, err := tdbdriver.NewConnector("http://" + addr)
+	if err != nil {
+		return ResiliencePoint{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	type delivery struct {
+		seq int64
+		err error
+	}
+	subs := make([]*tdbdriver.Subscription, clients)
+	chans := make([]chan delivery, clients)
+	for i := range subs {
+		sub, err := conn.Subscribe(ctx, resilienceSubscribe, pollMS)
+		if err != nil {
+			return ResiliencePoint{}, fmt.Errorf("subscribe client %d: %w", i, err)
+		}
+		defer sub.Close()
+		subs[i] = sub
+		ch := make(chan delivery, rounds+1)
+		chans[i] = ch
+		go func(sub *tdbdriver.Subscription, ch chan delivery) {
+			for {
+				d, err := sub.Next()
+				if err != nil {
+					ch <- delivery{err: err}
+					return
+				}
+				ch <- delivery{seq: d.Seq}
+			}
+		}(sub, ch)
+	}
+
+	p := ResiliencePoint{Clients: clients, Rounds: rounds}
+	prevResumes := make([]int, clients)
+	var recoveries []int64
+	start := time.Now() // lint:allow determinism — wall-time measurement, reported as such
+	for r := 1; r <= rounds; r++ {
+		sever := r%severEvery == 0
+		if sever {
+			if err := fault.Arm("server/subscribe-deliver=error:n=1"); err != nil {
+				return ResiliencePoint{}, err
+			}
+			p.Severs++
+		}
+		if err := feedRound(ctx, conn, r, &p); err != nil {
+			return ResiliencePoint{}, fmt.Errorf("round %d: %w", r, err)
+		}
+		for i, ch := range chans {
+			select {
+			case d := <-ch:
+				switch {
+				case d.err != nil:
+					p.StreamErrors++
+					return ResiliencePoint{}, fmt.Errorf("round %d client %d: %w", r, i, d.err)
+				case d.seq != int64(r):
+					p.SeqViolations++
+				default:
+					p.Deltas++
+				}
+			case <-time.After(30 * time.Second):
+				return ResiliencePoint{}, fmt.Errorf("round %d client %d: no delta within 30s", r, i)
+			}
+		}
+		if sever {
+			for i, sub := range subs {
+				if st := sub.Stats(); st.Resumes > prevResumes[i] {
+					p.Resumes += st.Resumes - prevResumes[i]
+					prevResumes[i] = st.Resumes
+					recoveries = append(recoveries, int64(st.LastResumeTime))
+				}
+			}
+		}
+	}
+	p.ElapsedNS = time.Since(start).Nanoseconds()
+	p.DedupHits = dedupHits.Value()
+	if len(recoveries) > 0 {
+		sort.Slice(recoveries, func(i, j int) bool { return recoveries[i] < recoveries[j] })
+		var sum int64
+		for _, rec := range recoveries {
+			sum += rec
+		}
+		p.RecoveryMeanNS = sum / int64(len(recoveries))
+		p.RecoveryP99NS = recoveries[len(recoveries)*99/100]
+	}
+	return p, nil
+}
+
+// feedRound appends one round of the fixture, every append sent twice
+// under the same idempotency key. Each round contributes one overlapping
+// F × G pair that stays below the frontiers until the NEXT round's
+// advancers land — and within a round the single G tuple, the only
+// G-frontier advance, lands last. Exactly one pair therefore releases
+// per round, at the round's final append: one delta batch per round, and
+// the round number is the stream seq, no matter how the poll ticks
+// interleave with the operator's feed.
+func feedRound(ctx context.Context, conn *tdbdriver.Connector, r int, p *ResiliencePoint) error {
+	base := 100 * r
+	rows := [][3]any{}
+	if r == 1 {
+		// The seed pair round 1 releases once its advancers land.
+		rows = append(rows,
+			[3]any{"F", "alice", [2]int{1, 10}},
+			[3]any{"G", "bob", [2]int{2, 8}})
+	}
+	rows = append(rows,
+		[3]any{"F", fmt.Sprintf("iris%d", r), [2]int{base + 60, base + 65}},
+		[3]any{"G", fmt.Sprintf("jack%d", r), [2]int{base + 61, base + 66}})
+	for _, rw := range rows {
+		rel, name, span := rw[0].(string), rw[1].(string), rw[2].([2]int)
+		key := fmt.Sprintf("e27-%s-%s", rel, name)
+		row := [][]any{{name, "Full", span[0], span[1]}}
+		first, err := conn.AppendKeyed(ctx, rel, row, 0, true, key)
+		if err != nil {
+			return fmt.Errorf("append %s: %w", name, err)
+		}
+		if first.Appended != 1 {
+			return fmt.Errorf("append %s accepted %d rows", name, first.Appended)
+		}
+		again, err := conn.AppendKeyed(ctx, rel, row, 0, true, key)
+		if err != nil {
+			return fmt.Errorf("duplicate append %s: %w", name, err)
+		}
+		if !again.Deduped {
+			return fmt.Errorf("duplicate append %s was not deduped", name)
+		}
+		p.DupAppends++
+	}
+	return nil
+}

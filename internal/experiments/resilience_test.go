@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestResilienceSweepSmoke runs a miniature E27 point and pins the
+// exactly-once ledger: every round reaches every client in order, each
+// armed sever produces exactly one observed resume, and the idempotency
+// window replays every deliberate duplicate append.
+func TestResilienceSweepSmoke(t *testing.T) {
+	res, tab, err := ResilienceSweep([]int{2}, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || len(tab.Rows) != 1 {
+		t.Fatalf("table = %+v", tab)
+	}
+	p := res.Points[0]
+	if p.Deltas != p.Clients*p.Rounds {
+		t.Errorf("deltas %d, want %d (every round to every client)", p.Deltas, p.Clients*p.Rounds)
+	}
+	if p.Severs != 2 || p.Resumes != p.Severs {
+		t.Errorf("severs %d resumes %d, want equal (got 2 sever rounds)", p.Severs, p.Resumes)
+	}
+	if p.SeqViolations != 0 || p.StreamErrors != 0 {
+		t.Errorf("seq violations %d, stream errors %d, want 0", p.SeqViolations, p.StreamErrors)
+	}
+	if p.DupAppends == 0 || p.DedupHits != int64(p.DupAppends) {
+		t.Errorf("dedup hits %d, want %d (one per duplicate send)", p.DedupHits, p.DupAppends)
+	}
+	if p.RecoveryMeanNS <= 0 || p.RecoveryP99NS < p.RecoveryMeanNS {
+		t.Errorf("recovery mean %d p99 %d, want positive and ordered", p.RecoveryMeanNS, p.RecoveryP99NS)
+	}
+}

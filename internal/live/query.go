@@ -95,6 +95,7 @@ type StandingQuery struct {
 
 	deltas    []relation.Row // every delta ever emitted, in emission order
 	deltaHash uint64         // FNV-1a over the delta sequence
+	batches   int            // non-empty delta batches emitted (the stream seq authority)
 
 	// Workspace-governor state.
 	govern       bool
@@ -365,12 +366,20 @@ func (q *StandingQuery) record(rows []relation.Row) {
 	for _, row := range rows {
 		q.deltaHash = fnv1aRow(q.deltaHash, row)
 	}
+	if len(rows) > 0 {
+		q.batches++
+	}
 	q.deltas = append(q.deltas, rows...)
 	q.cDeltas.Add(int64(len(rows)))
 }
 
 // Deltas returns every delta row ever emitted, in emission order.
 func (q *StandingQuery) Deltas() []relation.Row { return q.deltas }
+
+// Batches counts the non-empty delta batches ever emitted — the
+// sequence authority a wire subscription's replay ring aligns with: the
+// ring's newest seq must equal this count, severed or not.
+func (q *StandingQuery) Batches() int { return q.batches }
 
 // DeltaHash returns the FNV-1a hash of the emission sequence — the figure
 // checkpoints record and restores verify.

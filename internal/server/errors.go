@@ -31,14 +31,20 @@ const (
 	CodeBreakerOpen      = "breaker_open"       // standing query's workspace breaker tripped open
 	CodeDraining         = "draining"           // server is shutting down
 	CodeLateTuple        = "late_tuple"         // append behind the relation's watermark
+	CodeSessionExpired   = "session_expired"    // session idle-expired while the request was in flight
+	CodeResumeHorizon    = "resume_horizon"     // replay ring evicted the requested resume seq
+	CodeUnknownResume    = "unknown_resume"     // resume token not registered (restart or deregistration)
 )
 
 // Error is the typed wire error: a protocol code, a human-readable
-// message, and the HTTP status it travels under.
+// message, and the HTTP status it travels under. RetryAfterMS, when
+// positive, tells a well-behaved client how long to back off before
+// retrying (quota and drain rejections set it).
 type Error struct {
-	Code    string
-	Message string
-	HTTP    int
+	Code         string
+	Message      string
+	HTTP         int
+	RetryAfterMS int64
 }
 
 func (e *Error) Error() string { return e.Code + ": " + e.Message }
@@ -49,8 +55,10 @@ func httpStatus(code string) int {
 	switch code {
 	case CodeBadRequest, CodeParse, CodeTranslate, CodeBind, CodePlan:
 		return http.StatusBadRequest
-	case CodeUnknownSession, CodeUnknownStatement, CodeUnknownTenant, CodeUnknownRelation:
+	case CodeUnknownSession, CodeUnknownStatement, CodeUnknownTenant, CodeUnknownRelation, CodeUnknownResume:
 		return http.StatusNotFound
+	case CodeSessionExpired, CodeResumeHorizon:
+		return http.StatusGone
 	case CodeQuotaConcurrency, CodeQueueTimeout:
 		return http.StatusTooManyRequests
 	case CodeDeclined, CodeBreakerOpen, CodeLateTuple:
@@ -65,5 +73,19 @@ func httpStatus(code string) int {
 }
 
 func errf(code, format string, args ...any) *Error {
-	return &Error{Code: code, Message: fmt.Sprintf(format, args...), HTTP: httpStatus(code)}
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), HTTP: httpStatus(code), RetryAfterMS: defaultRetryAfterMS(code)}
+}
+
+// defaultRetryAfterMS is the server's standing backoff advice per code:
+// quota rejections clear as soon as a slot frees (hundreds of ms), a
+// drain means the client should aim at the replacement process (a
+// second). Zero means "do not retry".
+func defaultRetryAfterMS(code string) int64 {
+	switch code {
+	case CodeQuotaConcurrency, CodeQueueTimeout:
+		return 250
+	case CodeDraining:
+		return 1000
+	}
+	return 0
 }

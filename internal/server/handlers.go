@@ -32,8 +32,14 @@ func decodeBody(r *http.Request, v any) *Error {
 
 func writeError(w http.ResponseWriter, e *Error) {
 	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfterMS > 0 {
+		// Retry-After is whole seconds; round up so the header never
+		// advises a shorter wait than the envelope.
+		secs := (e.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
 	w.WriteHeader(e.HTTP)
-	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: wireError{Code: e.Code, Message: e.Message}})
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: wireError{Code: e.Code, Message: e.Message, RetryAfterMS: e.RetryAfterMS}})
 }
 
 // writeJSON serializes a success response through the server/wire-write
@@ -69,7 +75,14 @@ func (s *Server) resolve(sessionID, tenantName string) (*session, *tenant, *engi
 		if apiErr != nil {
 			return nil, nil, nil, apiErr
 		}
-		return sess, sess.tenant, sess.db, nil
+		sess.mu.Lock()
+		apiErr = sess.expired()
+		db := sess.db
+		sess.mu.Unlock()
+		if apiErr != nil {
+			return nil, nil, nil, apiErr
+		}
+		return sess, sess.tenant, db, nil
 	}
 	ten, apiErr := s.adm.tenant(tenantName)
 	if apiErr != nil {
@@ -90,7 +103,11 @@ func (s *Server) admit(r *http.Request, ten *tenant) *Error {
 }
 
 func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"protocol": Protocol, "status": "ok"})
+	status := "serving"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, PingResponse{Protocol: Protocol, Status: status})
 }
 
 func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
@@ -177,6 +194,10 @@ func (s *Server) runRetrieve(r *http.Request, sess *session, ten *tenant, db *en
 	if sess != nil {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
+		if apiErr := sess.expired(); apiErr != nil {
+			return nil, apiErr
+		}
+		db = sess.db
 	}
 	qs, err := quel.Translate(prog, db)
 	if err != nil {
@@ -275,6 +296,12 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	sess.mu.Lock()
+	if apiErr := sess.expired(); apiErr != nil {
+		sess.mu.Unlock()
+		s.mu.RUnlock()
+		writeError(w, apiErr)
+		return
+	}
 	qs, err := quel.Translate(prog, sess.db)
 	var (
 		q    *quel.Query
@@ -369,6 +396,9 @@ func (s *Server) runPrepared(r *http.Request, sess *session, ten *tenant, p *pre
 	defer s.mu.RUnlock()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if apiErr := sess.expired(); apiErr != nil {
+		return nil, apiErr
+	}
 	key := paramKey(params)
 	res := p.cachedPlan(key)
 	if res == nil {
@@ -408,22 +438,61 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
-	if _, _, _, apiErr := s.resolve(req.Session, req.Tenant); apiErr != nil {
+	_, ten, _, apiErr := s.resolve(req.Session, req.Tenant)
+	if apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
+	var key string
+	if req.IdemKey != "" {
+		key = ten.cfg.Name + "\x00" + req.Relation + "\x00" + req.IdemKey
+		if e, ok := s.dedup.lookup(key, time.Now()); ok {
+			// Replay the remembered outcome — rows are never applied twice
+			// under one key, and a retried failure reports the original
+			// error, not a second partial application.
+			if e.err != nil {
+				writeError(w, e.err)
+				return
+			}
+			resp := e.resp
+			resp.Deduped = true
+			writeJSON(w, resp)
+			return
+		}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	resp, apiErr := s.applyAppend(&req)
+	s.mu.Unlock()
+	if key != "" {
+		s.dedup.store(key, dedupEntry{at: time.Now(), resp: resp, err: apiErr})
+		if err := fault.Check("server/dup-append"); err != nil {
+			// The outcome is recorded but the response never leaves: the
+			// client sees an ambiguous failure and must retry into the
+			// dedup window.
+			// lint:allow panic — http.ErrAbortHandler severs the connection; net/http recovers it
+			panic(http.ErrAbortHandler)
+		}
+	}
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// applyAppend ingests the rows under the exclusive catalog lock and
+// reports the outcome. Partial application is possible (a late tuple at
+// row i leaves rows 0..i-1 applied) — which is exactly why retries must
+// travel under an idempotency key.
+func (s *Server) applyAppend(req *AppendRequest) (AppendResponse, *Error) {
 	sch, err := s.db.SchemaOf(req.Relation)
 	if err != nil {
-		writeError(w, errf(CodeUnknownRelation, "%v", err))
-		return
+		return AppendResponse{}, errf(CodeUnknownRelation, "%v", err)
 	}
 	tbl := s.live.Table(req.Relation)
 	if tbl == nil {
 		if tbl, err = s.live.Live(req.Relation, interval.Time(req.Slack)); err != nil {
-			writeError(w, errf(CodeExec, "promote %s to live ingestion: %v", req.Relation, err))
-			return
+			return AppendResponse{}, errf(CodeExec, "promote %s to live ingestion: %v", req.Relation, err)
 		}
 	}
 	appended := 0
@@ -431,29 +500,26 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		row, apiErr := decodeRow(sch, wireRow)
 		if apiErr != nil {
 			apiErr.Message = fmt.Sprintf("row %d: %s", i, apiErr.Message)
-			writeError(w, apiErr)
-			return
+			return AppendResponse{}, apiErr
 		}
 		if err := s.live.Append(req.Relation, row); err != nil {
 			code := CodeExec
 			if errors.Is(err, live.ErrLateTuple) {
 				code = CodeLateTuple
 			}
-			writeError(w, errf(code, "row %d: %v", i, err))
-			return
+			return AppendResponse{}, errf(code, "row %d: %v", i, err)
 		}
 		appended++
 	}
 	if req.Flush {
 		if err := s.live.Flush(); err != nil {
-			writeError(w, errf(CodeExec, "flush: %v", err))
-			return
+			return AppendResponse{}, errf(CodeExec, "flush: %v", err)
 		}
 	}
-	writeJSON(w, AppendResponse{
+	return AppendResponse{
 		Appended:  appended,
 		Watermark: int64(tbl.Watermark()),
 		Buffered:  tbl.Buffered(),
 		Released:  tbl.Released(),
-	})
+	}, nil
 }

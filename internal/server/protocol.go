@@ -24,9 +24,12 @@ type Column struct {
 }
 
 // wireError is the error payload; every non-2xx response carries one.
+// RetryAfterMS, when positive, is the server's backoff advice (also sent
+// as a Retry-After header, rounded up to whole seconds).
 type wireError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 type errorEnvelope struct {
@@ -111,6 +114,11 @@ type AppendRequest struct {
 	// Flush drains the reorder buffer after the appends, releasing
 	// every buffered row to storage and the standing queries.
 	Flush bool `json:"flush,omitempty"`
+	// IdemKey makes the append idempotent: the server remembers the
+	// outcome under (tenant, relation, key) for the dedup window's TTL
+	// and replays it — without re-applying the rows — when the same key
+	// is retried after an ambiguous failure.
+	IdemKey string `json:"idem_key,omitempty"`
 }
 
 type AppendResponse struct {
@@ -118,6 +126,9 @@ type AppendResponse struct {
 	Watermark int64 `json:"watermark"`
 	Buffered  int   `json:"buffered"`
 	Released  int64 `json:"released"`
+	// Deduped marks a replayed outcome: the idempotency key had already
+	// been applied, so the rows were NOT appended a second time.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // SubscribeRequest admits a standing query and streams its deltas as
@@ -128,14 +139,35 @@ type SubscribeRequest struct {
 	Session string `json:"session"`
 	Quel    string `json:"quel"`
 	PollMS  int64  `json:"poll_ms,omitempty"`
+	// Resume re-attaches to an existing subscription instead of
+	// registering a new standing query: the server replays every ring
+	// event with seq > AfterSeq and then continues the live stream.
+	// Quel must be empty on a resume request. A seq the bounded ring
+	// has already evicted is a typed resume_horizon error.
+	Resume   string `json:"resume,omitempty"`
+	AfterSeq int64  `json:"after_seq,omitempty"`
 }
 
-// SubscribeMeta is the payload of the leading "meta" SSE event.
+// SubscribeMeta is the payload of the leading "meta" SSE event. Resume
+// is the token a disconnected client presents to re-attach; ReplayCap is
+// the bounded replay ring's capacity — how many delivered delta events
+// stay replayable behind the stream head.
 type SubscribeMeta struct {
-	Name    string   `json:"name"`
-	Mode    string   `json:"mode"`
-	Explain string   `json:"explain,omitempty"`
-	Columns []Column `json:"columns"`
+	Name      string   `json:"name"`
+	Mode      string   `json:"mode"`
+	Explain   string   `json:"explain,omitempty"`
+	Columns   []Column `json:"columns"`
+	Resume    string   `json:"resume,omitempty"`
+	ReplayCap int      `json:"replay_cap,omitempty"`
+}
+
+// PingResponse reports the readiness state machine: "serving" while the
+// server accepts protocol requests, "draining" once Shutdown began.
+// Ping answers during a drain (readiness must stay observable) — every
+// other endpoint rejects with a typed draining error.
+type PingResponse struct {
+	Protocol string `json:"protocol"`
+	Status   string `json:"status"`
 }
 
 // SubscribeDeltas is the payload of each "deltas" SSE event. Seq numbers

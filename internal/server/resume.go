@@ -1,0 +1,251 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"tdb/internal/live"
+	"tdb/internal/obs"
+)
+
+// Wire-resilience bounds. The replay ring is sized by the same
+// minimal-history argument that bounds standing-query state: a resumable
+// client is at most one transport failure behind the stream head, so the
+// ring only has to cover the events that can be in flight across one
+// disconnect window — a small constant — not the subscription's history.
+const (
+	defaultReplayRing = 256
+	defaultDedupTTL   = 5 * time.Minute
+	defaultDedupMax   = 4096
+)
+
+// subEvent is one delivered (or deliverable) delta event: its stream
+// sequence number and pre-encoded wire rows. Events enter the ring
+// before they touch the wire, so a severed write is always replayable.
+type subEvent struct {
+	seq  int64
+	rows [][]any
+}
+
+// subState is one standing subscription's server-side resume state. It
+// outlives the HTTP stream that created it: a disconnect leaves the
+// standing query registered and the ring intact, and a resume request
+// re-attaches. It dies with its session (close, idle expiry, restart)
+// or on a fatal stream error.
+type subState struct {
+	token   string // resume token clients present; also the live registration name
+	sessID  string
+	sq      *live.StandingQuery
+	mode    string
+	explain string
+	cols    []Column
+	poll    time.Duration
+
+	mu      sync.Mutex
+	nextSeq int64 // seq the next event will be assigned (starts at 1)
+	minSeq  int64 // seq of the oldest event still in the ring
+	ring    []subEvent
+	ringCap int
+	kick    chan struct{} // closed to evict the currently attached stream
+}
+
+func newSubState(token, sessID string, sq *live.StandingQuery, ringCap int) *subState {
+	return &subState{
+		token:   token,
+		sessID:  sessID,
+		sq:      sq,
+		nextSeq: 1,
+		minSeq:  1,
+		ringCap: ringCap,
+	}
+}
+
+// appendEvent assigns the next sequence number, records the event in the
+// bounded ring (evicting the oldest beyond capacity), and returns it.
+func (st *subState) appendEvent(rows [][]any) subEvent {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ev := subEvent{seq: st.nextSeq, rows: rows}
+	st.nextSeq++
+	st.ring = append(st.ring, ev)
+	if len(st.ring) > st.ringCap {
+		st.ring = st.ring[1:]
+	}
+	if len(st.ring) > 0 {
+		st.minSeq = st.ring[0].seq
+	}
+	return ev
+}
+
+// replaySince returns the retained events with seq > after, or a typed
+// error when the ring has already evicted part of that range — a silent
+// gap is never an option.
+func (st *subState) replaySince(after int64) ([]subEvent, *Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if after >= st.nextSeq {
+		return nil, errf(CodeBadRequest,
+			"resume after seq %d, but the stream head is %d (client claims events the server never sent)",
+			after, st.nextSeq-1)
+	}
+	if after+1 < st.minSeq {
+		return nil, errf(CodeResumeHorizon,
+			"resume after seq %d exceeds the replay horizon: the ring (cap %d) retains [%d, %d)",
+			after, st.ringCap, st.minSeq, st.nextSeq)
+	}
+	var out []subEvent
+	for _, ev := range st.ring {
+		if ev.seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+// attach installs a fresh kick channel for a newly attached stream and
+// returns it. Any previously attached stream is kicked: its poll loop
+// sees the closed channel and unwinds, so one subscription never has two
+// writers.
+func (st *subState) attach() chan struct{} {
+	ch := make(chan struct{})
+	st.mu.Lock()
+	old := st.kick
+	st.kick = ch
+	st.mu.Unlock()
+	if old != nil {
+		close(old)
+	}
+	return ch
+}
+
+// lastSeq reports the newest assigned sequence number (0 before the
+// first event).
+func (st *subState) lastSeq() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nextSeq - 1
+}
+
+// --- subscription registry ----------------------------------------------
+
+// registerSub tracks a subscription's resume state under its token.
+func (s *Server) registerSub(st *subState) {
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	s.subs[st.token] = st
+}
+
+// lookupSub resolves a resume token.
+func (s *Server) lookupSub(token string) *subState {
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	return s.subs[token]
+}
+
+// dropSub removes a subscription: the resume token dies, any attached
+// stream is kicked, and the standing query deregisters from the live
+// manager. Safe to call twice.
+func (s *Server) dropSub(token string) {
+	s.subsMu.Lock()
+	st := s.subs[token]
+	delete(s.subs, token)
+	s.subsMu.Unlock()
+	if st == nil {
+		return
+	}
+	st.attach() // kick whichever stream is attached; nobody reads the new channel
+	s.mu.Lock()
+	_ = s.live.Deregister(token)
+	s.mu.Unlock()
+}
+
+// dropSessionSubs removes every subscription owned by a session — the
+// cleanup edge for session close, idle expiry, and simulated restart.
+func (s *Server) dropSessionSubs(sessID string) {
+	s.subsMu.Lock()
+	var tokens []string
+	for token, st := range s.subs {
+		if st.sessID == sessID {
+			tokens = append(tokens, token)
+		}
+	}
+	s.subsMu.Unlock()
+	for _, token := range tokens {
+		s.dropSub(token)
+	}
+}
+
+// --- append dedup window ------------------------------------------------
+
+// dedupEntry is one remembered append outcome: either the success
+// response or the typed error the first application produced. Replaying
+// the outcome (rather than just "seen") makes retries of partially
+// failed appends deterministic: the retry reports the same result the
+// original did, and never re-applies rows.
+type dedupEntry struct {
+	at   time.Time
+	resp AppendResponse
+	err  *Error
+}
+
+// dedupWindow backs append idempotency keys: outcomes are remembered for
+// a TTL under (tenant, relation, key) and bounded in count, oldest first.
+type dedupWindow struct {
+	mu   sync.Mutex
+	m    map[string]dedupEntry
+	ttl  time.Duration
+	max  int
+	hits *obs.Counter
+}
+
+func newDedupWindow(ttl time.Duration, max int, reg *obs.Registry) *dedupWindow {
+	return &dedupWindow{
+		m:    map[string]dedupEntry{},
+		ttl:  ttl,
+		max:  max,
+		hits: reg.Counter("tdb_server_append_dedup_hits_total", "append retries answered from the idempotency window without re-applying rows"),
+	}
+}
+
+// lookup returns the remembered outcome for a key, counting the hit.
+func (d *dedupWindow) lookup(key string, now time.Time) (dedupEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.m[key]
+	if !ok || now.Sub(e.at) > d.ttl {
+		return dedupEntry{}, false
+	}
+	d.hits.Inc()
+	return e, true
+}
+
+// store remembers an outcome, evicting expired entries first and then —
+// if the window is still at capacity — the oldest live entry.
+func (d *dedupWindow) store(key string, e dedupEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.m) >= d.max {
+		var oldestKey string
+		var oldest time.Time
+		for k, old := range d.m {
+			if e.at.Sub(old.at) > d.ttl {
+				delete(d.m, k)
+				continue
+			}
+			if oldestKey == "" || old.at.Before(oldest) {
+				oldestKey, oldest = k, old.at
+			}
+		}
+		if len(d.m) >= d.max && oldestKey != "" {
+			delete(d.m, oldestKey)
+		}
+	}
+	d.m[key] = e
+}
+
+// reset drops every remembered outcome (simulated restart).
+func (d *dedupWindow) reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m = map[string]dedupEntry{}
+}

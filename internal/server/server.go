@@ -17,7 +17,11 @@ import (
 func init() {
 	fault.Declare("server/execute", "query execution entry on the wire path")
 	fault.Declare("server/wire-write", "response body serialization (torn mode truncates the body and aborts the connection)")
-	fault.Declare("server/subscribe-deliver", "per-event delivery on a subscription stream")
+	fault.Declare("server/subscribe-deliver", "per-event delivery on a subscription stream (severs before the event reaches the wire; the replay ring keeps it)")
+	fault.Declare("server/conn-sever", "subscription stream after an event reached the wire (severs the connection post-delivery)")
+	fault.Declare("server/resume-gap", "subscription resume path (forces a typed resume_horizon error)")
+	fault.Declare("server/dup-append", "append response after the rows applied and the dedup outcome was recorded (severs pre-response, so the client must retry into the dedup window)")
+	fault.Declare("server/restart", "protocol gate (wipes sessions, subscriptions, and the dedup window — a simulated process restart losing all in-memory state)")
 }
 
 // Config assembles a Server. DB is the only required field.
@@ -45,6 +49,15 @@ type Config struct {
 	// SubscribePoll is the standing-query poll cadence on subscription
 	// streams (default 25ms).
 	SubscribePoll time.Duration
+	// ReplayRing bounds each subscription's resume ring: how many
+	// delivered delta events stay replayable behind the stream head
+	// (default 256). A resume past the horizon is a typed error.
+	ReplayRing int
+	// DedupTTL is how long append idempotency-key outcomes are
+	// remembered (default 5 minutes); DedupMax bounds the window's
+	// entry count (default 4096).
+	DedupTTL time.Duration
+	DedupMax int
 }
 
 // Server is the multi-tenant query service over one base catalog.
@@ -66,6 +79,11 @@ type Server struct {
 
 	mu   sync.RWMutex // catalog lock: see type comment
 	live *live.Manager
+
+	subsMu sync.Mutex // subscription resume registry; never held with s.mu
+	subs   map[string]*subState
+
+	dedup *dedupWindow
 
 	mux       *http.ServeMux
 	draining  chan struct{}
@@ -91,6 +109,15 @@ func New(cfg Config) *Server {
 	if cfg.SubscribePoll <= 0 {
 		cfg.SubscribePoll = 25 * time.Millisecond
 	}
+	if cfg.ReplayRing <= 0 {
+		cfg.ReplayRing = defaultReplayRing
+	}
+	if cfg.DedupTTL <= 0 {
+		cfg.DedupTTL = defaultDedupTTL
+	}
+	if cfg.DedupMax <= 0 {
+		cfg.DedupMax = defaultDedupMax
+	}
 	if cfg.Exec.Registry == nil {
 		cfg.Exec.Registry = cfg.Registry
 	}
@@ -104,8 +131,11 @@ func New(cfg Config) *Server {
 		events:   cfg.Events,
 		adm:      newAdmission(cfg.Tenants, cfg.Registry),
 		sessions: newSessionTable(cfg.IdleTimeout, cfg.Registry, cfg.Events),
+		subs:     map[string]*subState{},
+		dedup:    newDedupWindow(cfg.DedupTTL, cfg.DedupMax, cfg.Registry),
 		draining: make(chan struct{}),
 	}
+	s.sessions.onDrop = s.dropSessionSubs
 	s.live = live.NewManager(cfg.DB, cfg.Registry, s.execOptions(context.Background(), nil))
 
 	s.mux = obs.NewMux(cfg.Registry)
@@ -120,11 +150,16 @@ func New(cfg Config) *Server {
 	v1("stmt/close", s.handleCloseStmt)
 	v1("append", s.handleAppend)
 	v1("subscribe", s.handleSubscribe)
-	v1("ping", s.handlePing)
+	// Ping bypasses the drain gate: readiness must stay observable while
+	// the server refuses everything else.
+	s.mux.HandleFunc("/"+Protocol+"/ping", s.gatePing(s.handlePing))
 	return s
 }
 
 // gate rejects protocol requests once draining and normalizes the method.
+// It also hosts the restart failpoint: a fired server/restart wipes all
+// in-memory resume state (sessions, subscriptions, dedup window) before
+// the request proceeds, simulating a process that crashed and came back.
 func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -137,8 +172,40 @@ func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
 			writeError(w, errf(CodeBadRequest, "method %s not allowed (protocol endpoints are POST)", r.Method))
 			return
 		}
+		if err := fault.Check("server/restart"); err != nil {
+			s.simulateRestart()
+		}
 		h(w, r)
 	}
+}
+
+// gatePing is the drain-exempt gate: method normalization only.
+func (s *Server) gatePing(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, errf(CodeBadRequest, "method %s not allowed (protocol endpoints are POST)", r.Method))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// simulateRestart drops every session, subscription, and remembered
+// append outcome — the state a real process restart loses. The base
+// catalog (durable state) survives, exactly as it would on disk.
+func (s *Server) simulateRestart() {
+	s.events.Emit(EventRestart, "", nil)
+	s.subsMu.Lock()
+	var tokens []string
+	for token := range s.subs {
+		tokens = append(tokens, token)
+	}
+	s.subsMu.Unlock()
+	for _, token := range tokens {
+		s.dropSub(token)
+	}
+	s.sessions.closeAll()
+	s.dedup.reset()
 }
 
 // Handler returns the full HTTP surface: the /v1 protocol plus the

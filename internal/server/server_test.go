@@ -405,13 +405,29 @@ func TestDrainRejectsAndAbortsWaiters(t *testing.T) {
 	if waited == nil || waited.Code != CodeDraining {
 		t.Errorf("queued waiter during drain: %+v, want %s", waited, CodeDraining)
 	}
+	// Ping bypasses the drain gate so readiness stays observable: 200
+	// with status "draining", while every other endpoint rejects.
 	resp, err := http.Post(ts.URL+"/"+Protocol+"/ping", "application/json", strings.NewReader("{}"))
 	if err != nil {
 		t.Fatalf("ping after drain: %v", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("post-drain status %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-drain ping status %d, want 200", resp.StatusCode)
+	}
+	var ping PingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ping); err != nil {
+		t.Fatalf("decode ping: %v", err)
+	}
+	if ping.Status != "draining" {
+		t.Errorf("post-drain ping status %q, want \"draining\"", ping.Status)
+	}
+	var qe *wireError
+	if we := post(t, ts.URL, "query", QueryRequest{Tenant: "", Quel: "retrieve (f.Name)"}, nil); we != nil {
+		qe = we
+	}
+	if qe == nil || qe.Code != CodeDraining {
+		t.Errorf("post-drain query error %+v, want %s", qe, CodeDraining)
 	}
 	ten.release()
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdb/internal/engine"
@@ -18,6 +19,7 @@ const (
 	EventSessionExpire = "session-expire"
 	EventQuotaReject   = "quota-reject"
 	EventDrain         = "server-drain"
+	EventRestart       = "server-restart"
 )
 
 // maxCachedPlans bounds a prepared statement's per-binding plan cache.
@@ -70,12 +72,34 @@ func (p *prepared) storePlan(key string, res *optimizer.Result) {
 type session struct {
 	id     string
 	tenant *tenant
-	db     *engine.DB
+	dead   atomic.Bool // set by invalidate; checked under mu before touching db
 
 	mu      sync.Mutex
+	db      *engine.DB
 	stmts   map[string]*prepared
 	stmtSeq int
 	subSeq  int
+}
+
+// invalidate marks an expired or closed session dead and releases its
+// private catalog and statements. A request already in flight observes
+// the flag — under sess.mu, so never mid-operation — and fails with a
+// typed session_expired error instead of dereferencing the nil catalog.
+func (s *session) invalidate() {
+	s.dead.Store(true)
+	s.mu.Lock()
+	s.db = nil
+	s.stmts = nil
+	s.mu.Unlock()
+}
+
+// expired returns the typed error for a session that died mid-request.
+// Caller holds s.mu (the flag only stabilizes under the session lock).
+func (s *session) expired() *Error {
+	if !s.dead.Load() {
+		return nil
+	}
+	return errf(CodeSessionExpired, "session %s expired while the request was in flight", s.id)
 }
 
 func (s *session) addStmt(p *prepared) string {
@@ -117,6 +141,11 @@ type sessionTable struct {
 	lastUsed map[string]time.Time
 	seq      int
 	idle     time.Duration
+
+	// onDrop runs after a session leaves the table (close, expiry,
+	// stop), outside st.mu — the server uses it to tear down the
+	// session's subscriptions. Set once before the first session opens.
+	onDrop func(sessID string)
 
 	gActive *obs.Gauge
 	cOpened *obs.Counter
@@ -191,23 +220,47 @@ func (st *sessionTable) get(id string) (*session, *Error) {
 	return s, nil
 }
 
+// touch refreshes a session's idle clock without resolving it — the
+// keepalive edge for attached subscription streams, which hold no
+// per-request admission but must not idle-expire under their session.
+func (st *sessionTable) touch(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[id]; ok {
+		st.lastUsed[id] = time.Now()
+	}
+}
+
 // close removes a session; unknown ids are a no-op so close is
 // idempotent under retries.
 func (st *sessionTable) close(id string) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if s, ok := st.m[id]; ok {
+	s, ok := st.m[id]
+	if ok {
 		delete(st.m, id)
 		delete(st.lastUsed, id)
 		st.gActive.Add(-1)
 		st.events.Emit(EventSessionClose, s.id, map[string]string{"tenant": s.tenant.cfg.Name})
+	}
+	st.mu.Unlock()
+	if ok {
+		st.drop(s)
+	}
+}
+
+// drop invalidates a removed session and runs the drop hook — always
+// outside st.mu, so the hook may take the catalog lock freely.
+func (st *sessionTable) drop(s *session) {
+	s.invalidate()
+	if st.onDrop != nil {
+		st.onDrop(s.id)
 	}
 }
 
 // expire sweeps sessions idle past the timeout.
 func (st *sessionTable) expire(now time.Time) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	var dropped []*session
 	for id, last := range st.lastUsed {
 		if now.Sub(last) <= st.idle {
 			continue
@@ -220,6 +273,29 @@ func (st *sessionTable) expire(now time.Time) {
 			"tenant": s.tenant.cfg.Name,
 			"idle":   now.Sub(last).String(),
 		})
+		dropped = append(dropped, s)
+	}
+	st.mu.Unlock()
+	for _, s := range dropped {
+		st.drop(s)
+	}
+}
+
+// closeAll drops every session without stopping the sweeper — the
+// simulated-restart edge (a real restart loses the table but the new
+// process still sweeps).
+func (st *sessionTable) closeAll() {
+	st.mu.Lock()
+	var dropped []*session
+	for _, s := range st.m {
+		dropped = append(dropped, s)
+	}
+	st.gActive.Add(-int64(len(st.m)))
+	st.m = map[string]*session{}
+	st.lastUsed = map[string]time.Time{}
+	st.mu.Unlock()
+	for _, s := range dropped {
+		st.drop(s)
 	}
 }
 
@@ -235,8 +311,15 @@ func (st *sessionTable) stop() {
 	close(st.quit)
 	<-st.done
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	var dropped []*session
+	for _, s := range st.m {
+		dropped = append(dropped, s)
+	}
 	st.gActive.Add(-int64(len(st.m)))
 	st.m = map[string]*session{}
 	st.lastUsed = map[string]time.Time{}
+	st.mu.Unlock()
+	for _, s := range dropped {
+		st.drop(s)
+	}
 }

@@ -33,6 +33,10 @@ func writeEvent(w http.ResponseWriter, fl http.Flusher, event string, v any) err
 // admission slot is held only through registration; the open stream is
 // tracked by the tenant's subscriptions gauge and bounded by the live
 // manager's own backpressure, not the query quota.
+//
+// The subscription outlives the stream: its resume state (standing
+// query, replay ring, resume token) survives a disconnect, and a
+// request with Resume set re-attaches where the client left off.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	var req SubscribeRequest
 	if apiErr := decodeBody(r, &req); apiErr != nil {
@@ -51,6 +55,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, errf(CodeExec, "transport does not support streaming"))
+		return
+	}
+	if req.Resume != "" {
+		if req.Quel != "" {
+			writeError(w, errf(CodeBadRequest, "a resume request re-attaches to an existing subscription; quel must be empty"))
+			return
+		}
+		s.handleResume(w, fl, r, sess, &req)
 		return
 	}
 	ten := sess.tenant
@@ -100,13 +112,6 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(CodePlan, "%v", err))
 		return
 	}
-	ten.gSubs.Add(1)
-	defer ten.gSubs.Add(-1)
-	defer func() {
-		s.mu.Lock()
-		_ = s.live.Deregister(name)
-		s.mu.Unlock()
-	}()
 
 	sch := sq.Schema()
 	if sch == nil {
@@ -114,40 +119,119 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		sch, err = algebra.OutputSchema(res.Tree, s.db)
 		s.mu.RUnlock()
 		if err != nil {
+			s.mu.Lock()
+			_ = s.live.Deregister(name)
+			s.mu.Unlock()
 			writeError(w, errf(CodePlan, "output schema: %v", err))
 			return
 		}
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("X-Accel-Buffering", "no")
-	if err := writeEvent(w, fl, "meta", SubscribeMeta{
-		Name:    name,
-		Mode:    sq.Mode().String(),
-		Explain: sq.Explain(),
-		Columns: encodeColumns(sch),
-	}); err != nil {
-		return
-	}
-
 	poll := s.cfg.SubscribePoll
 	if req.PollMS > 0 {
 		poll = time.Duration(req.PollMS) * time.Millisecond
 	}
-	ticker := time.NewTicker(poll)
+	st := newSubState(name, sess.id, sq, s.cfg.ReplayRing)
+	st.mode = sq.Mode().String()
+	st.explain = sq.Explain()
+	st.cols = encodeColumns(sch)
+	st.poll = poll
+	s.registerSub(st)
+	kick := st.attach()
+
+	writeStreamHeaders(w)
+	if err := writeEvent(w, fl, "meta", SubscribeMeta{
+		Name:      name,
+		Mode:      st.mode,
+		Explain:   st.explain,
+		Columns:   st.cols,
+		Resume:    name,
+		ReplayCap: st.ringCap,
+	}); err != nil {
+		return
+	}
+	s.streamSub(w, fl, r, st, kick)
+}
+
+// handleResume re-attaches a disconnected client to its subscription:
+// replay every retained event past the client's last seq, then continue
+// the live stream. The standing query kept polling state the whole time,
+// so the spliced stream is byte-identical to one that never severed.
+func (s *Server) handleResume(w http.ResponseWriter, fl http.Flusher, r *http.Request, sess *session, req *SubscribeRequest) {
+	if err := fault.Check("server/resume-gap"); err != nil {
+		writeError(w, errf(CodeResumeHorizon, "resume after seq %d: %v", req.AfterSeq, err))
+		return
+	}
+	st := s.lookupSub(req.Resume)
+	if st == nil || st.sessID != sess.id {
+		writeError(w, errf(CodeUnknownResume, "resume token %q is not registered (server restart, subscription teardown, or foreign session)", req.Resume))
+		return
+	}
+	replay, apiErr := st.replaySince(req.AfterSeq)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	kick := st.attach()
+
+	writeStreamHeaders(w)
+	if err := writeEvent(w, fl, "meta", SubscribeMeta{
+		Name:      st.token,
+		Mode:      st.mode,
+		Explain:   st.explain,
+		Columns:   st.cols,
+		Resume:    st.token,
+		ReplayCap: st.ringCap,
+	}); err != nil {
+		return
+	}
+	for _, ev := range replay {
+		if err := writeEvent(w, fl, "deltas", SubscribeDeltas{Seq: ev.seq, Rows: ev.rows}); err != nil {
+			return
+		}
+	}
+	s.streamSub(w, fl, r, st, kick)
+}
+
+func writeStreamHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+}
+
+// streamSub is the shared live loop: poll the standing query, record
+// each delta batch in the replay ring, and deliver it. The two sever
+// failpoints bracket the write — subscribe-deliver fires after the ring
+// recorded the event but before the wire saw it (a resume must replay
+// it: the zero-loss edge), conn-sever fires after a successful write (a
+// resume must NOT replay it: the zero-duplication edge).
+func (s *Server) streamSub(w http.ResponseWriter, fl http.Flusher, r *http.Request, st *subState, kick chan struct{}) {
+	ten := s.sessionTenant(st.sessID)
+	if ten != nil {
+		ten.gSubs.Add(1)
+		defer ten.gSubs.Add(-1)
+	}
+	ticker := time.NewTicker(st.poll)
 	defer ticker.Stop()
-	var seq int64
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-kick:
+			// A newer stream attached (or the subscription dropped); this
+			// writer must stop so the subscription never has two.
+			return
 		case <-s.draining:
 			_ = writeEvent(w, fl, "drain", map[string]string{"reason": "server shutting down"})
+			s.dropSub(st.token)
 			return
 		case <-ticker.C:
 		}
+		// The stream is the session's liveness signal: an attached
+		// subscriber holds no per-request admission but must not have its
+		// session idle-expire underneath the subscription.
+		s.sessions.touch(st.sessID)
 		s.mu.Lock()
-		rows, err := sq.Poll()
+		rows, err := st.sq.Poll()
 		s.mu.Unlock()
 		if err != nil {
 			code := CodeExec
@@ -155,21 +239,38 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				code = CodeBreakerOpen
 			}
 			_ = writeEvent(w, fl, "error", wireError{Code: code, Message: err.Error()})
+			s.dropSub(st.token)
 			return
 		}
 		if len(rows) == 0 {
 			continue
 		}
+		ev := st.appendEvent(encodeRows(rows))
 		if err := fault.Check("server/subscribe-deliver"); err != nil {
-			// Sever the stream rather than risk a delta the client
-			// cannot distinguish from a healthy one: an abrupt EOF is a
-			// detectable failure, a fabricated event is not.
+			// Sever before the event reaches the wire. The ring already
+			// holds it, so a resume replays exactly this event — the
+			// client loses nothing.
 			// lint:allow panic — http.ErrAbortHandler severs the connection; net/http recovers it
 			panic(http.ErrAbortHandler)
 		}
-		seq++
-		if err := writeEvent(w, fl, "deltas", SubscribeDeltas{Seq: seq, Rows: encodeRows(rows)}); err != nil {
+		if err := writeEvent(w, fl, "deltas", SubscribeDeltas{Seq: ev.seq, Rows: ev.rows}); err != nil {
 			return
 		}
+		if err := fault.Check("server/conn-sever"); err != nil {
+			// Sever after the event reached the wire. A resume with the
+			// client's true last seq replays nothing — no duplicate.
+			// lint:allow panic — http.ErrAbortHandler severs the connection; net/http recovers it
+			panic(http.ErrAbortHandler)
+		}
 	}
+}
+
+// sessionTenant resolves a session's tenant for gauge accounting; nil
+// when the session is already gone.
+func (s *Server) sessionTenant(sessID string) *tenant {
+	sess, apiErr := s.sessions.get(sessID)
+	if apiErr != nil {
+		return nil
+	}
+	return sess.tenant
 }
